@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the Chapter 7 solvers and the delta
+//! encoder.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deltastore::{
+    p1_min_storage, p2_min_recreation, p3_min_sum_recreation, p5_min_storage_sum,
+    p6_min_storage_max, Delta, GenConfig, GraphShape, VersionContent,
+};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let g = GenConfig {
+        versions: 300,
+        shape: GraphShape::Random,
+        extra_edges: 600,
+        seed: 3,
+        ..GenConfig::default()
+    }
+    .build();
+    let mst = p1_min_storage(&g);
+    let spt = p2_min_recreation(&g);
+
+    let mut group = c.benchmark_group("deltastore_solvers");
+    group.sample_size(10);
+    group.bench_function("p1_arborescence", |b| b.iter(|| black_box(p1_min_storage(&g))));
+    group.bench_function("p2_spt", |b| b.iter(|| black_box(p2_min_recreation(&g))));
+    let beta = mst.storage_cost() * 2;
+    group.bench_function("p3_lmg", |b| {
+        b.iter(|| black_box(p3_min_sum_recreation(&g, beta)))
+    });
+    let theta_sum = spt.sum_recreation() * 2;
+    group.bench_function("p5_lmg", |b| {
+        b.iter(|| black_box(p5_min_storage_sum(&g, theta_sum)))
+    });
+    let theta_max = spt.max_recreation() * 2;
+    group.bench_function("p6_mp", |b| {
+        b.iter(|| black_box(p6_min_storage_max(&g, theta_max)))
+    });
+    group.finish();
+
+    let base = VersionContent::new((0..50_000).collect(), 100);
+    let target = VersionContent::new((5_000..55_000).collect(), 100);
+    let mut group = c.benchmark_group("delta_encoding");
+    group.bench_function("between_50k", |b| {
+        b.iter(|| black_box(Delta::between(&base, &target)))
+    });
+    let d = Delta::between(&base, &target);
+    group.bench_function("apply_50k", |b| b.iter(|| black_box(d.apply(&base))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks for VQuel parsing and evaluation, and
+//! provenance inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provenance::{infer_lineage, synthesize, InferConfig, SynthConfig};
+use std::hint::black_box;
+use vquel::model::example_repository;
+use vquel::{execute, parse};
+
+fn bench_vquel(c: &mut Criterion) {
+    let repo = example_repository();
+    let query = r#"
+        range of V is Version
+        range of E is V.Relations(name = "Employee").Tuples
+        retrieve V.commit_id
+        where count(E.employee_id where E.last_name = "Smith") = 2
+    "#;
+
+    let mut g = c.benchmark_group("vquel");
+    g.bench_function("parse", |b| b.iter(|| black_box(parse(query).unwrap())));
+    g.bench_function("execute_aggregate", |b| {
+        b.iter(|| black_box(execute(&repo, query).unwrap()))
+    });
+    g.finish();
+
+    let w = synthesize(SynthConfig {
+        derivations: 30,
+        ..SynthConfig::default()
+    });
+    let mut g = c.benchmark_group("provenance");
+    g.sample_size(10);
+    g.bench_function("infer_30_artifacts", |b| {
+        b.iter(|| black_box(infer_lineage(&w.repo, InferConfig::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_vquel);
+criterion_main!(benches);

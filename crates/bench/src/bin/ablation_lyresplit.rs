@@ -1,0 +1,121 @@
+//! Ablations for LyreSplit's design choices (DESIGN.md):
+//!
+//! 1. **Weighted frequencies (§5.3.2)** — when recent versions are checked
+//!    out far more often, does the weighted expansion beat running plain
+//!    LyreSplit on the unweighted tree?
+//! 2. **Schema-aware weights (§5.3.3)** — with evolving schemas, does
+//!    cell-based (records × attributes) splitting beat record-based?
+//! 3. **DAG→tree transform (§5.3.1)** — how much does computing the exact
+//!    duplicated-record count |R̂| (from the bipartite graph) matter versus
+//!    the upper bound available from edge weights alone?
+
+use benchgen::{generate, DatasetSpec};
+use partition::lyresplit::{lyresplit, lyresplit_weighted, schema_weighted_tree};
+
+fn main() {
+    bench::banner(
+        "LyreSplit ablations",
+        "§5.3.1–5.3.3 generalizations: weighted, schema-aware, DAG transform",
+    );
+
+    // -- 1. Weighted checkout frequencies -----------------------------------
+    let d = generate(&DatasetSpec::sci("SCI_W", 800, 80, 20));
+    let tree = d.tree();
+    let bipartite = &d.bipartite;
+    // Recent 10% of versions are checked out 50× as often.
+    let n = d.num_versions();
+    let freqs: Vec<u64> = (0..n).map(|i| if i >= n * 9 / 10 { 50 } else { 1 }).collect();
+    println!("--- weighted frequencies (hot recent versions, 50×) ---");
+    bench::header(&["variant", "δ", "S (records)", "Cw (records)"]);
+    for delta in [0.05f64, 0.2, 0.5] {
+        let plain = lyresplit(&tree, delta);
+        let weighted = lyresplit_weighted(&tree, &freqs, delta);
+        let cw_plain = plain.partitioning.weighted_checkout(bipartite, &freqs);
+        let cw_weighted = weighted.partitioning.weighted_checkout(bipartite, &freqs);
+        let s_plain = plain.partitioning.evaluate(bipartite).storage_records;
+        let s_weighted = weighted.partitioning.evaluate(bipartite).storage_records;
+        bench::row(&[
+            "plain".into(),
+            format!("{delta}"),
+            s_plain.to_string(),
+            format!("{cw_plain:.0}"),
+        ]);
+        bench::row(&[
+            "weighted".into(),
+            format!("{delta}"),
+            s_weighted.to_string(),
+            format!("{cw_weighted:.0}"),
+        ]);
+    }
+
+    // -- 2. Schema-aware splitting -------------------------------------------
+    // Synthetic schema evolution: versions gain attributes over time, so
+    // later versions are "wider". Cell-based weights should prefer cutting
+    // between schema eras.
+    println!("\n--- schema-aware splitting (4 schema eras; era changes share half) ---");
+    let n_v = tree.num_versions();
+    let era = |v: usize| 4 * v / n_v;
+    let attrs: Vec<u64> = (0..n_v).map(|v| 10 + 5 * era(v) as u64).collect();
+    let common: Vec<u64> = (0..n_v)
+        .map(|v| match tree.parent[v] {
+            // Crossing an era boundary rewrites half the attributes.
+            Some(p) if era(p.idx()) != era(v) => attrs[p.idx()].min(attrs[v]) / 2,
+            Some(p) => attrs[p.idx()].min(attrs[v]),
+            None => 0,
+        })
+        .collect();
+    let cell_tree = schema_weighted_tree(&tree, &attrs, &common);
+    bench::header(&["variant", "δ", "parts", "S (cells)", "Cavg (cells)"]);
+    for delta in [0.1f64, 0.3] {
+        // Evaluate both partitionings on the cell-weighted tree model:
+        // per-partition cells = Σ over the partition's component of the
+        // cell tree's Eq. 5.4.
+        for (name, res) in [
+            ("record-based", lyresplit(&tree, delta)),
+            ("cell-based", lyresplit(&cell_tree, delta)),
+        ] {
+            let groups = res.partitioning.groups();
+            let mut cells = 0u64;
+            let mut checkout_cells = 0u128;
+            for g in &groups {
+                let total: u64 = g.iter().map(|v| cell_tree.sizes[v.idx()]).sum();
+                let shared: u64 = g
+                    .iter()
+                    .filter_map(|v| {
+                        cell_tree.parent[v.idx()].and_then(|p| {
+                            g.contains(&p).then_some(cell_tree.edge_weight[v.idx()])
+                        })
+                    })
+                    .sum();
+                let part_cells = total - shared;
+                cells += part_cells;
+                checkout_cells += part_cells as u128 * g.len() as u128;
+            }
+            bench::row(&[
+                name.into(),
+                format!("{delta}"),
+                groups.len().to_string(),
+                cells.to_string(),
+                format!("{:.0}", checkout_cells as f64 / n_v as f64),
+            ]);
+        }
+    }
+
+    // -- 3. DAG→tree transform: exact |R̂| vs upper bound --------------------
+    println!("\n--- DAG→tree duplicated-record accounting (CUR workloads) ---");
+    bench::header(&["dataset", "exact R̂", "bound R̂", "overestimate"]);
+    for spec in [
+        DatasetSpec::cur("CUR_10K", 1000, 100, 10),
+        DatasetSpec::cur("CUR_50K", 1000, 100, 50),
+    ] {
+        let d = generate(&spec);
+        let exact = d.graph.to_tree(Some(&d.bipartite)).rhat;
+        let bound = d.graph.to_tree(None).rhat;
+        bench::row(&[
+            spec.name.clone(),
+            exact.to_string(),
+            bound.to_string(),
+            format!("{:.2}x", bound as f64 / exact.max(1) as f64),
+        ]);
+    }
+}

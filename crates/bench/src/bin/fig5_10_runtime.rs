@@ -1,0 +1,91 @@
+//! Fig. 5.10 / 5.12 — running time of the partitioning algorithms: the
+//! end-to-end binary search for Problem 5.1 (γ = 2|R|) and the time per
+//! search iteration, on SCI_* and CUR_* datasets.
+//!
+//! Expected shape: LyreSplit (operating on the version tree) is orders of
+//! magnitude faster than Agglo and KMeans (operating on the bipartite
+//! graph), and the gap widens with dataset size.
+
+use bench::{ms, time};
+use benchgen::{generate, DatasetSpec};
+use partition::baselines::{agglo_for_budget, kmeans_for_budget};
+use partition::{lyresplit_for_budget, AggloParams, KmeansParams};
+
+fn main() {
+    bench::banner(
+        "Fig 5.10 / 5.12: partitioning algorithm running time",
+        "Fig. 5.10(a,b), 5.12 — total binary-search time and per-iteration time",
+    );
+    let specs = [
+        DatasetSpec::sci("SCI_10K", 1000, 100, 10),
+        DatasetSpec::sci("SCI_50K", 1000, 100, 50),
+        DatasetSpec::sci("SCI_100K", 2000, 200, 50),
+        DatasetSpec::cur("CUR_10K", 1000, 100, 10),
+        DatasetSpec::cur("CUR_50K", 1000, 100, 50),
+    ];
+    bench::header(&[
+        "dataset",
+        "algorithm",
+        "total ms",
+        "per-iter ms",
+        "S (records)",
+    ]);
+    for spec in specs {
+        let d = generate(&spec);
+        let tree = d.tree();
+        let bipartite = &d.bipartite;
+        let gamma = 2 * d.num_records();
+
+        let (res, t) = time(|| lyresplit_for_budget(&tree, gamma));
+        bench::row(&[
+            spec.name.clone(),
+            "LyreSplit".into(),
+            ms(t),
+            format!(
+                "{:.2}",
+                t.as_secs_f64() * 1e3 / res.search_iterations.max(1) as f64
+            ),
+            res.partitioning.evaluate(bipartite).storage_records.to_string(),
+        ]);
+
+        let (p, t) = time(|| agglo_for_budget(bipartite, gamma, AggloParams::default()));
+        bench::row(&[
+            spec.name.clone(),
+            "Agglo".into(),
+            ms(t),
+            format!("{:.2}", t.as_secs_f64() * 1e3 / 12.0),
+            p.evaluate(bipartite).storage_records.to_string(),
+        ]);
+
+        // KMeans is the slowest by far (the paper caps it at 10 hours); we
+        // cap the iteration count instead and skip the largest dataset.
+        if d.num_records() <= 60_000 {
+            let (p, t) = time(|| {
+                kmeans_for_budget(
+                    bipartite,
+                    gamma,
+                    KmeansParams {
+                        iterations: 3,
+                        ..KmeansParams::default()
+                    },
+                )
+            });
+            bench::row(&[
+                spec.name.clone(),
+                "KMeans".into(),
+                ms(t),
+                format!("{:.2}", t.as_secs_f64() * 1e3 / 10.0),
+                p.evaluate(bipartite).storage_records.to_string(),
+            ]);
+        } else {
+            bench::row(&[
+                spec.name.clone(),
+                "KMeans".into(),
+                "capped".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
+        println!();
+    }
+}

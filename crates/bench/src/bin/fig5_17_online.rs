@@ -1,0 +1,66 @@
+//! Fig. 5.17 / 5.19 — online maintenance and migration: the current
+//! checkout cost Cavg vs the best cost C*avg over a stream of commits, the
+//! migrations triggered at tolerance factors µ, and intelligent-vs-naive
+//! migration cost.
+//!
+//! Expected shape: Cavg diverges slowly from C*avg; smaller µ triggers more,
+//! cheaper migrations; the intelligent migration strategy costs a fraction
+//! (≈1/10 on average in the paper) of naive rebuilding.
+
+use benchgen::{generate, DatasetSpec};
+use partition::{OnlineConfig, OnlineEvent, OnlineMaintainer, Vid};
+
+fn run_stream(mu: f64, gamma_factor: f64) {
+    let spec = DatasetSpec::sci("SCI_STREAM", 1500, 150, 20);
+    let dataset = generate(&spec);
+    let mut m = OnlineMaintainer::new(OnlineConfig {
+        gamma_factor,
+        mu,
+        delta_star: 0.02,
+        check_every: 25,
+    });
+    let mut migrations = 0usize;
+    let mut intelligent = 0u64;
+    let mut naive = 0u64;
+    let mut samples: Vec<(usize, f64, f64)> = Vec::new();
+    for v in dataset.versions() {
+        let parents: Vec<Vid> = dataset.graph.parents(v).to_vec();
+        let events = m.commit(dataset.version_records(v).to_vec(), &parents);
+        for e in events {
+            if let OnlineEvent::Migrated { plan, .. } = e {
+                migrations += 1;
+                intelligent += plan.intelligent_cost;
+                naive += plan.naive_cost;
+            }
+        }
+        let n = v.idx() + 1;
+        if n % 250 == 0 {
+            samples.push((n, m.checkout_avg(), m.best_checkout_avg()));
+        }
+    }
+    println!(
+        "µ={mu:<4} γ={gamma_factor}|R|: {migrations} migrations; migration cost: \
+         intelligent {intelligent} rec vs naive {naive} rec ({:.2}x cheaper)",
+        naive as f64 / intelligent.max(1) as f64
+    );
+    for (n, cavg, best) in samples {
+        println!(
+            "    after {n:>5} commits: Cavg = {cavg:>10.0}  C*avg = {best:>10.0}  ratio {:.2}",
+            cavg / best.max(1.0)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    bench::banner(
+        "Fig 5.17 / 5.19: online maintenance and migration",
+        "Fig. 5.17(a,b), 5.19(a,b) — Cavg vs C*avg over streamed commits; migration cost",
+    );
+    for gamma in [1.5f64, 2.0] {
+        println!("--- γ = {gamma}|R| ---");
+        for mu in [1.05f64, 1.2, 1.5, 2.0, 2.5] {
+            run_stream(mu, gamma);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig. 5.20 / 5.21 — estimated storage cost vs estimated checkout cost
+//! (both in records, the model the partitioners optimize) for LyreSplit,
+//! Agglo, and KMeans over SCI_* and CUR_* datasets.
+//!
+//! The model-level analogue of Fig. 5.8: no physical execution, exact
+//! evaluation of S = Σ|Rk| and Cavg = Σ|Vk||Rk| / n against the bipartite
+//! graph.
+
+use benchgen::{generate, DatasetSpec};
+use partition::{agglo_partition, kmeans_partition, lyresplit, AggloParams, KmeansParams};
+
+fn main() {
+    bench::banner(
+        "Fig 5.20 / 5.21: estimated storage vs estimated checkout cost",
+        "Fig. 5.20(a–c), 5.21(a–c)",
+    );
+    let specs = [
+        DatasetSpec::sci("SCI_10K", 1000, 100, 10),
+        DatasetSpec::sci("SCI_50K", 1000, 100, 50),
+        DatasetSpec::cur("CUR_10K", 1000, 100, 10),
+        DatasetSpec::cur("CUR_50K", 1000, 100, 50),
+    ];
+    for spec in specs {
+        let d = generate(&spec);
+        let tree = d.tree();
+        let b = &d.bipartite;
+        println!(
+            "--- {} (|R| = {}, lower bounds: S ≥ {}, Cavg ≥ {:.0}) ---",
+            spec.name,
+            d.num_records(),
+            d.num_records(),
+            b.num_edges() as f64 / b.num_versions() as f64,
+        );
+        bench::header(&["algorithm", "param", "S (records)", "Cavg (records)"]);
+        for delta in [0.0001, 0.001, 0.01, 0.1, 0.5, 1.0] {
+            let res = lyresplit(&tree, delta);
+            let s = res.partitioning.evaluate(b);
+            bench::row(&[
+                "LyreSplit".into(),
+                format!("δ={delta}"),
+                s.storage_records.to_string(),
+                format!("{:.0}", s.checkout_avg),
+            ]);
+        }
+        let r = b.num_records();
+        for cap_factor in [8u64, 2, 1] {
+            let p = agglo_partition(
+                b,
+                AggloParams {
+                    capacity: (r / cap_factor).max(1),
+                    ..AggloParams::default()
+                },
+            );
+            let s = p.evaluate(b);
+            bench::row(&[
+                "Agglo".into(),
+                format!("BC=R/{cap_factor}"),
+                s.storage_records.to_string(),
+                format!("{:.0}", s.checkout_avg),
+            ]);
+        }
+        for k in [2usize, 8, 20] {
+            let p = kmeans_partition(
+                b,
+                KmeansParams {
+                    k,
+                    iterations: 5,
+                    ..KmeansParams::default()
+                },
+            );
+            let s = p.evaluate(b);
+            bench::row(&[
+                "KMeans".into(),
+                format!("k={k}"),
+                s.storage_records.to_string(),
+                format!("{:.0}", s.checkout_avg),
+            ]);
+        }
+        println!();
+    }
+}

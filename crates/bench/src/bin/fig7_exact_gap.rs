@@ -1,0 +1,73 @@
+//! Chapter 7 heuristic quality (§7.5): optimality gap of LMG and MP
+//! against the exact branch-and-bound solver on small instances (the
+//! paper's ILP reference, §7.2.3).
+
+use deltastore::exact::{solve_exact, ExactProblem};
+use deltastore::lmg::{lmg_min_storage, lmg_min_sum_recreation};
+use deltastore::mp::mp_min_storage;
+use deltastore::spanning::{dijkstra_spt, min_storage_tree};
+use deltastore::{GenConfig, GraphShape};
+
+fn main() {
+    bench::banner(
+        "Ch. 7: heuristics vs exact solver",
+        "§7.5 — optimality gap of LMG (P3/P5) and MP (P6) on 10-version instances",
+    );
+    bench::header(&["seed", "P5 gap", "P3 gap", "P6 gap"]);
+    let mut worst = [1.0f64; 3];
+    let mut sums = [0.0f64; 3];
+    let seeds: Vec<u64> = (1..=10).collect();
+    for &seed in &seeds {
+        let g = GenConfig {
+            versions: 10,
+            shape: GraphShape::Random,
+            base_items: 300,
+            adds_per_step: 40,
+            removes_per_step: 10,
+            extra_edges: 20,
+            directed: true,
+            decouple_phi: false,
+            seed,
+        }
+        .build();
+        let spt = dijkstra_spt(&g);
+        let mst = min_storage_tree(&g);
+
+        let theta = spt.sum_recreation() * 3 / 2;
+        let exact = solve_exact(&g, ExactProblem::MinStorageSumRecreation { theta }).unwrap();
+        let p5_gap = lmg_min_storage(&g, theta).storage_cost() as f64
+            / exact.storage_cost() as f64;
+
+        let beta = mst.storage_cost() * 3 / 2;
+        let exact = solve_exact(&g, ExactProblem::MinSumRecreationStorage { beta }).unwrap();
+        let p3_gap = lmg_min_sum_recreation(&g, beta).sum_recreation() as f64
+            / exact.sum_recreation() as f64;
+
+        let theta = spt.max_recreation() * 2;
+        let exact = solve_exact(&g, ExactProblem::MinStorageMaxRecreation { theta }).unwrap();
+        let p6_gap = mp_min_storage(&g, theta).unwrap().storage_cost() as f64
+            / exact.storage_cost() as f64;
+
+        for (i, gap) in [p5_gap, p3_gap, p6_gap].into_iter().enumerate() {
+            worst[i] = worst[i].max(gap);
+            sums[i] += gap;
+        }
+        bench::row(&[
+            seed.to_string(),
+            format!("{p5_gap:.3}"),
+            format!("{p3_gap:.3}"),
+            format!("{p6_gap:.3}"),
+        ]);
+    }
+    let n = seeds.len() as f64;
+    println!();
+    println!(
+        "average gaps: P5 {:.3}, P3 {:.3}, P6 {:.3}; worst: P5 {:.3}, P3 {:.3}, P6 {:.3}",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        worst[0],
+        worst[1],
+        worst[2],
+    );
+}

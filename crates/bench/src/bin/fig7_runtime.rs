@@ -1,0 +1,44 @@
+//! Chapter 7 solver running times (§7.5): scaling of MST/arborescence,
+//! SPT, LMG, and MP with the number of versions.
+
+use bench::{ms, time};
+use deltastore::{
+    p1_min_storage, p2_min_recreation, p3_min_sum_recreation, p6_min_storage_max, GenConfig,
+    GraphShape,
+};
+
+fn main() {
+    bench::banner(
+        "Ch. 7: solver running times",
+        "§7.5 — algorithm scalability with the number of versions",
+    );
+    bench::header(&["versions", "edges", "MST ms", "SPT ms", "LMG ms", "MP ms"]);
+    for n in [100usize, 250, 500, 1000, 2000] {
+        let g = GenConfig {
+            versions: n,
+            shape: GraphShape::Random,
+            base_items: 1000,
+            adds_per_step: 50,
+            removes_per_step: 15,
+            extra_edges: 2 * n,
+            directed: true,
+            decouple_phi: false,
+            seed: 5,
+        }
+        .build();
+        let (mst, t_mst) = time(|| p1_min_storage(&g));
+        let (spt, t_spt) = time(|| p2_min_recreation(&g));
+        let beta = mst.storage_cost() * 2;
+        let (_, t_lmg) = time(|| p3_min_sum_recreation(&g, beta));
+        let theta = spt.max_recreation() * 2;
+        let (_, t_mp) = time(|| p6_min_storage_max(&g, theta));
+        bench::row(&[
+            n.to_string(),
+            g.num_edges().to_string(),
+            ms(t_mst),
+            ms(t_spt),
+            ms(t_lmg),
+            ms(t_mp),
+        ]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Chapter 7 storage/recreation trade-off (§7.5): for each workload shape
+//! and scenario, sweep the constraint threshold and report the frontier
+//! each solver achieves, bracketed by the two extremes (MST = minimum
+//! storage, SPT = minimum recreation).
+//!
+//! Expected shape: LMG and MP trace smooth frontiers between the extremes;
+//! tightening θ (or β) trades storage for recreation monotonically; in the
+//! directed Φ≠Δ scenario the frontier shifts because recreation is no
+//! longer proportional to storage.
+
+use deltastore::{
+    gith, p1_min_storage, p2_min_recreation, p3_min_sum_recreation, p5_min_storage_sum,
+    p6_min_storage_max, GenConfig, GraphShape,
+};
+
+fn sweep(name: &str, cfg: GenConfig) {
+    let g = cfg.build();
+    let mst = p1_min_storage(&g);
+    let spt = p2_min_recreation(&g);
+    println!(
+        "--- {name}: n={} edges={} | MST: C={} ΣR={} | SPT: C={} ΣR={} ---",
+        g.num_versions(),
+        g.num_edges(),
+        mst.storage_cost(),
+        mst.sum_recreation(),
+        spt.storage_cost(),
+        spt.sum_recreation(),
+    );
+
+    // Problem 7.5: min storage s.t. ΣR ≤ θ.
+    bench::header(&["problem", "threshold", "C (storage)", "ΣR", "max R", "mat."]);
+    for f in [1.05f64, 1.25, 1.5, 2.0, 4.0, 16.0] {
+        let theta = (spt.sum_recreation() as f64 * f) as u64;
+        let sol = p5_min_storage_sum(&g, theta);
+        bench::row(&[
+            "P5 (LMG)".into(),
+            format!("θ={f}×SPT"),
+            sol.storage_cost().to_string(),
+            sol.sum_recreation().to_string(),
+            sol.max_recreation().to_string(),
+            sol.num_materialized().to_string(),
+        ]);
+    }
+    // Problem 7.3: min ΣR s.t. C ≤ β.
+    for f in [1.0f64, 1.5, 2.0, 4.0, 8.0] {
+        let beta = (mst.storage_cost() as f64 * f) as u64;
+        let sol = p3_min_sum_recreation(&g, beta);
+        bench::row(&[
+            "P3 (LMG)".into(),
+            format!("β={f}×MST"),
+            sol.storage_cost().to_string(),
+            sol.sum_recreation().to_string(),
+            sol.max_recreation().to_string(),
+            sol.num_materialized().to_string(),
+        ]);
+    }
+    // GitH baseline: delta chains capped at a depth.
+    for depth in [0usize, 4, 16, 64] {
+        let sol = gith(&g, depth);
+        bench::row(&[
+            "GitH".into(),
+            format!("depth={depth}"),
+            sol.storage_cost().to_string(),
+            sol.sum_recreation().to_string(),
+            sol.max_recreation().to_string(),
+            sol.num_materialized().to_string(),
+        ]);
+    }
+    // Problem 7.6: min storage s.t. max R ≤ θ.
+    for f in [1.0f64, 1.5, 2.0, 4.0, 16.0] {
+        let theta = (spt.max_recreation() as f64 * f) as u64;
+        match p6_min_storage_max(&g, theta) {
+            Some(sol) => bench::row(&[
+                "P6 (MP)".into(),
+                format!("θ={f}×SPTmax"),
+                sol.storage_cost().to_string(),
+                sol.sum_recreation().to_string(),
+                sol.max_recreation().to_string(),
+                sol.num_materialized().to_string(),
+            ]),
+            None => bench::row(&[
+                "P6 (MP)".into(),
+                format!("θ={f}×SPTmax"),
+                "infeasible".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    println!();
+}
+
+fn main() {
+    bench::banner(
+        "Ch. 7: storage/recreation trade-off frontiers",
+        "§7.5 evaluation — LMG (P3/P5) and MP (P6) across workload shapes and scenarios",
+    );
+    let base = GenConfig {
+        versions: 400,
+        base_items: 2000,
+        adds_per_step: 80,
+        removes_per_step: 20,
+        extra_edges: 400,
+        seed: 17,
+        ..GenConfig::default()
+    };
+    sweep(
+        "chain, directed, Φ=Δ",
+        GenConfig {
+            shape: GraphShape::Chain,
+            directed: true,
+            decouple_phi: false,
+            ..base
+        },
+    );
+    sweep(
+        "tree, directed, Φ=Δ",
+        GenConfig {
+            shape: GraphShape::Tree { branching: 4 },
+            directed: true,
+            decouple_phi: false,
+            ..base
+        },
+    );
+    sweep(
+        "random, undirected, Φ=Δ (Scenario 7.1)",
+        GenConfig {
+            shape: GraphShape::Random,
+            directed: false,
+            decouple_phi: false,
+            ..base
+        },
+    );
+    sweep(
+        "random, directed, Φ≠Δ (Scenario 7.3)",
+        GenConfig {
+            shape: GraphShape::Random,
+            directed: true,
+            decouple_phi: true,
+            ..base
+        },
+    );
+    sweep(
+        "flat (all from v1), directed, Φ=Δ",
+        GenConfig {
+            shape: GraphShape::Flat,
+            directed: true,
+            decouple_phi: false,
+            ..base
+        },
+    );
+
+    // LAST sweep for the undirected scenario.
+    println!("--- LAST (undirected, Φ=Δ): α sweep ---");
+    let g = GenConfig {
+        shape: GraphShape::Tree { branching: 3 },
+        directed: false,
+        decouple_phi: false,
+        ..base
+    }
+    .build();
+    let mst = p1_min_storage(&g);
+    let spt = p2_min_recreation(&g);
+    bench::header(&["α", "C (storage)", "max R", "C/MST", "maxR/SPTmax"]);
+    for alpha in [1.1f64, 1.5, 2.0, 3.0, 8.0] {
+        let sol = deltastore::last::last_tree(&g, alpha);
+        bench::row(&[
+            format!("{alpha}"),
+            sol.storage_cost().to_string(),
+            sol.max_recreation().to_string(),
+            format!(
+                "{:.2}",
+                sol.storage_cost() as f64 / mst.storage_cost() as f64
+            ),
+            format!(
+                "{:.2}",
+                sol.max_recreation() as f64 / spt.max_recreation() as f64
+            ),
+        ]);
+    }
+}

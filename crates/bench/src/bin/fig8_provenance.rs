@@ -1,0 +1,62 @@
+//! §8.8 — preliminary evaluation of lineage inference: precision, recall,
+//! F1, and operation-label accuracy over synthetic untracked repositories,
+//! with and without min-hash candidate pruning, and the pruning speedup.
+
+use bench::time;
+use provenance::{infer_lineage, score_edges, synthesize, InferConfig, SynthConfig};
+
+fn main() {
+    bench::banner(
+        "§8.8: lineage inference quality",
+        "precision/recall of inferred derivation edges vs ground truth",
+    );
+    bench::header(&[
+        "derivations",
+        "pruning",
+        "precision",
+        "recall",
+        "F1",
+        "op acc.",
+        "time ms",
+    ]);
+    for derivations in [10usize, 25, 50, 100] {
+        for &(label, floor) in &[("off", 0.0f64), ("minhash", 0.1)] {
+            let mut agg = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let mut total_ms = 0.0;
+            let runs = 5u64;
+            for seed in 0..runs {
+                let w = synthesize(SynthConfig {
+                    derivations,
+                    base_rows: 400,
+                    base_cols: 6,
+                    seed,
+                });
+                let (g, t) = time(|| {
+                    infer_lineage(
+                        &w.repo,
+                        InferConfig {
+                            sketch_floor: floor,
+                            ..InferConfig::default()
+                        },
+                    )
+                });
+                total_ms += t.as_secs_f64() * 1e3;
+                let s = score_edges(&g, &w.truth);
+                agg.0 += s.precision;
+                agg.1 += s.recall;
+                agg.2 += s.f1;
+                agg.3 += s.operation_accuracy;
+            }
+            let n = runs as f64;
+            bench::row(&[
+                derivations.to_string(),
+                label.to_string(),
+                format!("{:.3}", agg.0 / n),
+                format!("{:.3}", agg.1 / n),
+                format!("{:.3}", agg.2 / n),
+                format!("{:.3}", agg.3 / n),
+                format!("{:.1}", total_ms / n),
+            ]);
+        }
+    }
+}

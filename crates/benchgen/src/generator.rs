@@ -1,0 +1,460 @@
+//! The SCI/CUR dataset generators.
+
+use crate::spec::{DatasetSpec, DatasetStats, Workload};
+use partition::{Bipartite, Rid, VersionGraph, VersionTree, Vid};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// A generated versioned dataset: the version graph, the record membership
+/// of every version, and the record payloads themselves.
+#[derive(Debug, Clone)]
+pub struct VersionedDataset {
+    pub spec: DatasetSpec,
+    pub graph: VersionGraph,
+    pub bipartite: Bipartite,
+    /// Record payloads indexed by `rid`: `num_attrs` integers, the first of
+    /// which is the logical primary key.
+    pub records: Vec<Vec<i64>>,
+}
+
+impl VersionedDataset {
+    pub fn num_versions(&self) -> usize {
+        self.graph.num_versions()
+    }
+
+    pub fn num_records(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Sorted record ids of a version.
+    pub fn version_records(&self, v: Vid) -> &[Rid] {
+        self.bipartite.records(v)
+    }
+
+    /// Record payload by rid.
+    pub fn record(&self, r: Rid) -> &[i64] {
+        &self.records[r.idx()]
+    }
+
+    /// The version tree (§5.3.1 transform if the graph has merges),
+    /// with exact duplicated-record counts.
+    pub fn tree(&self) -> VersionTree {
+        self.graph.to_tree(Some(&self.bipartite))
+    }
+
+    /// One row of Table 5.2 for this dataset.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            name: self.spec.name.clone(),
+            versions: self.num_versions(),
+            records: self.num_records(),
+            edges: self.bipartite.num_edges(),
+            branches: self.spec.branches,
+            mods_per_commit: self.spec.mods_per_commit,
+            rhat: self.tree().rhat,
+        }
+    }
+
+    /// Version ids of the dataset in commit order.
+    pub fn versions(&self) -> impl Iterator<Item = Vid> + '_ {
+        self.graph.versions()
+    }
+}
+
+/// Deterministic attribute payload for a record: `attrs[0]` is the entity
+/// (primary) key; the rest are derived from the rid so that updated records
+/// differ from their predecessors.
+fn make_record(rid: u64, entity: i64, num_attrs: usize) -> Vec<i64> {
+    let mut attrs = Vec::with_capacity(num_attrs);
+    attrs.push(entity);
+    let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03;
+    for _ in 1..num_attrs {
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x3C79AC492BA7B653);
+        x ^= x >> 33;
+        attrs.push((x % 10_000) as i64);
+    }
+    attrs
+}
+
+/// Mutable generation state.
+struct GenState {
+    rng: StdRng,
+    records: Vec<Vec<i64>>,
+    /// record set per version, sorted.
+    version_records: Vec<Vec<Rid>>,
+    graph: VersionGraph,
+    next_entity: i64,
+}
+
+impl GenState {
+    fn new(seed: u64) -> Self {
+        GenState {
+            rng: StdRng::seed_from_u64(seed),
+            records: Vec::new(),
+            version_records: Vec::new(),
+            graph: VersionGraph::new(),
+            next_entity: 0,
+        }
+    }
+
+    fn new_record(&mut self, entity: i64, num_attrs: usize) -> Rid {
+        let rid = Rid(self.records.len() as u64);
+        self.records.push(make_record(rid.0, entity, num_attrs));
+        rid
+    }
+
+    fn fresh_entity(&mut self) -> i64 {
+        let e = self.next_entity;
+        self.next_entity += 1;
+        e
+    }
+
+    /// Register a version with the given sorted record set and parents;
+    /// parent edge weights are computed exactly.
+    fn add_version(&mut self, records: Vec<Rid>, parents: &[Vid]) -> Vid {
+        debug_assert!(records.windows(2).all(|w| w[0] < w[1]));
+        let edges: Vec<(Vid, u64)> = parents
+            .iter()
+            .map(|&p| {
+                let w = partition::graph::intersect_count(&self.version_records[p.idx()], &records);
+                (p, w)
+            })
+            .collect();
+        let vid = self.graph.add_version(records.len() as u64, &edges);
+        self.version_records.push(records);
+        vid
+    }
+
+    /// Derive a child from `parent` with `mods` modifications split into
+    /// (insert, update, delete) fractions. Updates replace a record with a
+    /// new rid carrying the same entity key; deletes drop records; inserts
+    /// add records for fresh entities.
+    fn derive(
+        &mut self,
+        parent: Vid,
+        mods: usize,
+        fracs: (f64, f64, f64),
+        num_attrs: usize,
+    ) -> Vid {
+        let (fi, fu, _fd) = fracs;
+        let n_ins = (mods as f64 * fi).round() as usize;
+        let n_upd = (mods as f64 * fu).round() as usize;
+        let n_del = mods.saturating_sub(n_ins + n_upd);
+        let mut working = self.version_records[parent.idx()].clone();
+
+        // Deletes and updates pick distinct random positions in the parent.
+        let mut victim_count = (n_upd + n_del).min(working.len());
+        let mut victims: Vec<usize> = Vec::with_capacity(victim_count);
+        {
+            let mut seen = std::collections::HashSet::new();
+            while victims.len() < victim_count {
+                let i = self.rng.random_range(0..working.len());
+                if seen.insert(i) {
+                    victims.push(i);
+                }
+                if seen.len() == working.len() {
+                    break;
+                }
+            }
+            victim_count = victims.len();
+        }
+        victims.sort_unstable_by(|a, b| b.cmp(a)); // remove back-to-front
+        let n_upd_eff = n_upd.min(victim_count);
+        let mut updated_entities = Vec::with_capacity(n_upd_eff);
+        for (k, &i) in victims.iter().enumerate() {
+            let old = working.remove(i);
+            if k < n_upd_eff {
+                updated_entities.push(self.records[old.idx()][0]);
+            }
+        }
+        let mut additions = Vec::with_capacity(n_ins + n_upd_eff);
+        for e in updated_entities {
+            additions.push(self.new_record(e, num_attrs));
+        }
+        for _ in 0..n_ins {
+            let e = self.fresh_entity();
+            additions.push(self.new_record(e, num_attrs));
+        }
+        working.extend(additions);
+        working.sort_unstable();
+        self.add_version(working, &[parent])
+    }
+
+    /// Union two versions' records with primary-key precedence: records of
+    /// `first` win over records of `second` with the same entity key
+    /// (§3.3.1's precedence-based merge).
+    fn merge_records(&self, first: Vid, second: Vid) -> Vec<Rid> {
+        let mut by_entity: HashMap<i64, Rid> = HashMap::new();
+        for &r in &self.version_records[second.idx()] {
+            by_entity.insert(self.records[r.idx()][0], r);
+        }
+        for &r in &self.version_records[first.idx()] {
+            by_entity.insert(self.records[r.idx()][0], r);
+        }
+        let mut out: Vec<Rid> = by_entity.into_values().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Generate a dataset from its spec.
+pub fn generate(spec: &DatasetSpec) -> VersionedDataset {
+    match spec.workload {
+        Workload::Sci => generate_sci(spec),
+        Workload::Cur => generate_cur(spec),
+    }
+}
+
+/// SCI: a mainline chain plus branches forked from random existing
+/// versions (mainline or branch). Mainline commits mostly insert; branch
+/// commits mostly update.
+fn generate_sci(spec: &DatasetSpec) -> VersionedDataset {
+    let mut st = GenState::new(spec.seed);
+    let i = spec.mods_per_commit.max(1);
+
+    // Root version: I fresh records.
+    let mut root_records = Vec::with_capacity(i);
+    for _ in 0..i {
+        let e = st.fresh_entity();
+        root_records.push(st.new_record(e, spec.num_attrs));
+    }
+    root_records.sort_unstable();
+    let root = st.add_version(root_records, &[]);
+
+    // Mainline: one commit per branch point, roughly.
+    let mainline_len = (spec.num_versions / spec.branches.max(1)).clamp(2, spec.num_versions);
+    let mut mainline = vec![root];
+    for _ in 1..mainline_len {
+        let tip = *mainline.last().unwrap();
+        let v = st.derive(tip, i, (0.85, 0.13, 0.02), spec.num_attrs);
+        mainline.push(v);
+    }
+
+    // Branches: fork from a uniformly random existing version; branch
+    // commits mostly update (isolated analysis).
+    while st.graph.num_versions() < spec.num_versions {
+        let remaining = spec.num_versions - st.graph.num_versions();
+        let avg_branch = ((spec.num_versions - mainline_len) / spec.branches.max(1)).max(1);
+        let len = remaining.min(1 + st.rng.random_range(0..(2 * avg_branch).max(1)));
+        let fork = Vid(st.rng.random_range(0..st.graph.num_versions() as u32));
+        let mut tip = fork;
+        for _ in 0..len {
+            tip = st.derive(tip, i, (0.30, 0.65, 0.05), spec.num_attrs);
+            if st.graph.num_versions() >= spec.num_versions {
+                break;
+            }
+        }
+    }
+
+    finish(spec, st)
+}
+
+/// CUR: a canonical mainline that branches fork from and merge back into.
+/// Most contributors fork from the canonical tip and merge straight back
+/// (little divergence); occasionally a contributor works from a *stale*
+/// canonical version, whose merge then re-introduces records the canonical
+/// line evolved past — the source of the duplicated records `|R̂|` that the
+/// paper reports at 7–10% of `|R|`.
+fn generate_cur(spec: &DatasetSpec) -> VersionedDataset {
+    let mut st = GenState::new(spec.seed);
+    let i = spec.mods_per_commit.max(1);
+
+    // Canonical root: larger initial dataset (contributors curate an
+    // existing corpus), ~20 commits' worth of records.
+    let initial = 20 * i;
+    let mut root_records = Vec::with_capacity(initial);
+    for _ in 0..initial {
+        let e = st.fresh_entity();
+        root_records.push(st.new_record(e, spec.num_attrs));
+    }
+    root_records.sort_unstable();
+    let mut canonical = st.add_version(root_records, &[]);
+    let mut previous_canonical = canonical;
+
+    // Branch length such that B branches (each branch_len commits + one
+    // merge) total num_versions.
+    let cycle = (spec.num_versions / spec.branches.max(1)).max(2);
+    let branch_len = cycle - 1;
+
+    while st.graph.num_versions() + 1 < spec.num_versions {
+        // ~12% of contributors work from a stale canonical version.
+        let stale = st.rng.random_range(0..100u32) < 12 && previous_canonical != canonical;
+        let fork = if stale { previous_canonical } else { canonical };
+        let mut tip = fork;
+        for _ in 0..branch_len {
+            if st.graph.num_versions() + 1 >= spec.num_versions {
+                break;
+            }
+            tip = st.derive(tip, i, (0.03, 0.92, 0.05), spec.num_attrs);
+        }
+        if tip == fork || st.graph.num_versions() >= spec.num_versions {
+            break;
+        }
+        // Merge with branch precedence: the contributor's changes win on
+        // primary-key conflicts (checkout -v tip, canonical; §3.3.1).
+        let merged = st.merge_records(tip, canonical);
+        previous_canonical = canonical;
+        canonical = st.add_version(merged, &[canonical, tip]);
+    }
+    // The branch/merge cycle can stop one version short of the target when
+    // the boundary falls mid-branch; pad with plain canonical commits.
+    while st.graph.num_versions() < spec.num_versions {
+        canonical = st.derive(canonical, i, (0.03, 0.92, 0.05), spec.num_attrs);
+    }
+
+    finish(spec, st)
+}
+
+fn finish(spec: &DatasetSpec, st: GenState) -> VersionedDataset {
+    let mut bipartite = Bipartite::new(st.records.len() as u64);
+    for records in st.version_records {
+        bipartite.push_version(records);
+    }
+    VersionedDataset {
+        spec: spec.clone(),
+        graph: st.graph,
+        bipartite,
+        records: st.records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sci() -> VersionedDataset {
+        generate(&DatasetSpec::sci("SCI_TEST", 100, 10, 20))
+    }
+
+    fn small_cur() -> VersionedDataset {
+        generate(&DatasetSpec::cur("CUR_TEST", 100, 10, 20))
+    }
+
+    #[test]
+    fn sci_is_a_tree() {
+        let d = small_sci();
+        assert_eq!(d.num_versions(), 100);
+        assert!(!d.graph.has_merges());
+        // Exactly one root.
+        let roots = d
+            .versions()
+            .filter(|&v| d.graph.parents(v).is_empty())
+            .count();
+        assert_eq!(roots, 1);
+        assert_eq!(d.tree().rhat, 0);
+    }
+
+    #[test]
+    fn cur_is_a_dag_with_merges() {
+        let d = small_cur();
+        assert_eq!(d.num_versions(), 100);
+        assert!(d.graph.has_merges());
+        // R̂ is a modest fraction of |R| (the paper reports 7–10%).
+        let rhat = d.tree().rhat;
+        assert!(rhat > 0);
+        assert!(
+            (rhat as f64) < 0.35 * d.num_records() as f64,
+            "rhat {} too large for |R| {}",
+            rhat,
+            d.num_records()
+        );
+    }
+
+    #[test]
+    fn record_count_tracks_v_times_i() {
+        // |R| ≈ |V| × I under mostly-insert/update workloads.
+        let d = small_sci();
+        let expect = (100 * 20) as f64;
+        let got = d.num_records() as f64;
+        assert!(
+            got > 0.5 * expect && got < 1.5 * expect,
+            "|R| = {got}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn edge_weights_match_bipartite_intersections() {
+        let d = small_sci();
+        for v in d.versions() {
+            for &p in d.graph.parents(v) {
+                assert_eq!(
+                    d.graph.weight(p, v),
+                    d.bipartite.common_records(p, v),
+                    "weight mismatch on edge ({p}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn versions_respect_primary_key() {
+        // Within any version, no two records share an entity key (§3.1).
+        for d in [small_sci(), small_cur()] {
+            for v in d.versions() {
+                let mut keys: Vec<i64> = d
+                    .version_records(v)
+                    .iter()
+                    .map(|&r| d.record(r)[0])
+                    .collect();
+                let n = keys.len();
+                keys.sort_unstable();
+                keys.dedup();
+                assert_eq!(keys.len(), n, "duplicate pk in {v} of {}", d.spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn updates_preserve_entity_keys() {
+        let d = small_sci();
+        // Some entity should appear under multiple rids (an update).
+        let mut by_entity: std::collections::HashMap<i64, u32> = Default::default();
+        for r in &d.records {
+            *by_entity.entry(r[0]).or_insert(0) += 1;
+        }
+        assert!(by_entity.values().any(|&c| c > 1), "no updates generated");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&DatasetSpec::sci("A", 50, 5, 10));
+        let b = generate(&DatasetSpec::sci("A", 50, 5, 10));
+        assert_eq!(a.records, b.records);
+        for v in a.versions() {
+            assert_eq!(a.version_records(v), b.version_records(v));
+        }
+        let c = generate(&DatasetSpec::sci("A", 50, 5, 10).with_seed(99));
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn cur_merge_respects_precedence() {
+        let d = small_cur();
+        // For every merge node, each record comes from one of its parents
+        // or… nothing else (merges create no fresh records).
+        for v in d.versions() {
+            let ps = d.graph.parents(v);
+            if ps.len() < 2 {
+                continue;
+            }
+            for &r in d.version_records(v) {
+                let in_some_parent = ps
+                    .iter()
+                    .any(|&p| d.version_records(p).binary_search(&r).is_ok());
+                assert!(in_some_parent, "merge {v} invented record {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_row_is_consistent() {
+        let d = small_sci();
+        let s = d.stats();
+        assert_eq!(s.versions, 100);
+        assert_eq!(s.records, d.num_records());
+        assert_eq!(s.edges, d.bipartite.num_edges());
+        assert_eq!(s.rhat, 0);
+    }
+}

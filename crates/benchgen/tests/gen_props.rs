@@ -1,0 +1,88 @@
+//! Property-based tests: the SCI/CUR generators uphold the paper's
+//! structural invariants for arbitrary parameters.
+
+use benchgen::{generate, DatasetSpec, Workload};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = DatasetSpec> {
+    (
+        prop_oneof![Just(Workload::Sci), Just(Workload::Cur)],
+        10usize..120,  // versions
+        2usize..12,    // branches
+        2usize..30,    // mods per commit
+        0u64..1000,    // seed
+    )
+        .prop_map(|(w, v, b, i, seed)| {
+            let spec = match w {
+                Workload::Sci => DatasetSpec::sci("P", v, b, i),
+                Workload::Cur => DatasetSpec::cur("P", v, b, i),
+            };
+            spec.with_seed(seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generator_invariants(spec in spec_strategy()) {
+        let d = generate(&spec);
+        // Exact version count.
+        prop_assert_eq!(d.num_versions(), spec.num_versions);
+
+        // Versions arrive in topological order; SCI graphs are trees.
+        for v in d.versions() {
+            for &p in d.graph.parents(v) {
+                prop_assert!(p < v);
+            }
+            if spec.workload == Workload::Sci {
+                prop_assert!(d.graph.parents(v).len() <= 1);
+            }
+        }
+
+        // Every edge weight equals the true record intersection.
+        for v in d.versions() {
+            for &p in d.graph.parents(v) {
+                prop_assert_eq!(d.graph.weight(p, v), d.bipartite.common_records(p, v));
+            }
+        }
+
+        // Per-version primary keys are unique (§3.1).
+        for v in d.versions() {
+            let mut keys: Vec<i64> =
+                d.version_records(v).iter().map(|&r| d.record(r)[0]).collect();
+            let n = keys.len();
+            keys.sort_unstable();
+            keys.dedup();
+            prop_assert_eq!(keys.len(), n);
+        }
+
+        // Every record belongs to at least one version and payload width
+        // matches the spec.
+        let mut seen = vec![false; d.num_records() as usize];
+        for v in d.versions() {
+            for &r in d.version_records(v) {
+                seen[r.idx()] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        prop_assert!(d.records.iter().all(|r| r.len() == spec.num_attrs));
+
+        // Eq. 5.4 holds on the derived tree: |R| + |R̂| = Σ|R(v)| − Σw.
+        let tree = d.tree();
+        prop_assert_eq!(tree.num_records(), d.num_records() + tree.rhat);
+
+        // CUR merges never invent records.
+        for v in d.versions() {
+            let ps = d.graph.parents(v);
+            if ps.len() < 2 {
+                continue;
+            }
+            for &r in d.version_records(v) {
+                prop_assert!(ps
+                    .iter()
+                    .any(|&p| d.version_records(p).binary_search(&r).is_ok()));
+            }
+        }
+    }
+}

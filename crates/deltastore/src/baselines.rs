@@ -1,0 +1,141 @@
+//! Baseline storage heuristics the Chapter 7 solvers are compared against.
+//!
+//! **GitH** mimics source-code version control (git's pack heuristics,
+//! cf. the Related Work discussion of Chapter 2): store each version as a
+//! delta against its cheapest earlier version, but cap the delta-chain
+//! depth — when a chain reaches the cap, materialize. Depth 0 degenerates
+//! to materializing everything; depth → ∞ approaches a greedy spanning
+//! structure with unbounded recreation cost.
+
+use crate::graph::{StorageGraph, ROOT};
+use crate::solution::StorageSolution;
+
+/// Git-like heuristic: cheapest-incoming-delta chains capped at
+/// `max_depth`. Assumes version ids reflect creation order (parents have
+/// smaller ids), as they do for commits arriving over time.
+pub fn gith(graph: &StorageGraph, max_depth: usize) -> StorageSolution {
+    let n = graph.num_versions();
+    let mut sol = StorageSolution::new(n);
+    let mut depth = vec![0usize; n + 1];
+    for v in 1..=n {
+        // Cheapest incoming delta from an *earlier* version whose chain has
+        // headroom.
+        let mut best: Option<(u64, usize, u64)> = None; // (delta, from, phi)
+        for &eid in graph.incoming(v) {
+            let e = graph.edge(eid);
+            if e.from == ROOT || e.from >= v {
+                continue;
+            }
+            if depth[e.from] + 1 > max_depth {
+                continue;
+            }
+            let cand = (e.delta, e.from, e.phi);
+            if best.map(|b| cand < b).unwrap_or(true) {
+                best = Some(cand);
+            }
+        }
+        // Materialization fallback (always revealed).
+        let mat = graph
+            .incoming(v)
+            .iter()
+            .map(|&eid| graph.edge(eid))
+            .filter(|e| e.from == ROOT)
+            .min_by_key(|e| e.delta);
+        match (best, mat) {
+            (Some((delta, from, phi)), Some(mat)) if delta < mat.delta => {
+                sol.parent[v] = from;
+                sol.delta[v] = delta;
+                sol.phi[v] = phi;
+                depth[v] = depth[from] + 1;
+            }
+            (_, Some(mat)) => {
+                sol.parent[v] = ROOT;
+                sol.delta[v] = mat.delta;
+                sol.phi[v] = mat.phi;
+                depth[v] = 0;
+            }
+            (Some((delta, from, phi)), None) => {
+                sol.parent[v] = from;
+                sol.delta[v] = delta;
+                sol.phi[v] = phi;
+                depth[v] = depth[from] + 1;
+            }
+            (None, None) => panic!("version {v} has no incoming edge"),
+        }
+    }
+    sol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GenConfig, GraphShape};
+    use crate::problems::{p1_min_storage, p2_min_recreation};
+
+    fn instance() -> StorageGraph {
+        GenConfig {
+            versions: 120,
+            shape: GraphShape::Chain,
+            extra_edges: 100,
+            seed: 23,
+            ..GenConfig::default()
+        }
+        .build()
+    }
+
+    #[test]
+    fn depth_zero_materializes_everything() {
+        let g = instance();
+        let sol = gith(&g, 0);
+        assert!(sol.is_valid());
+        assert_eq!(sol.num_materialized(), g.num_versions());
+    }
+
+    #[test]
+    fn deeper_chains_trade_recreation_for_storage() {
+        let g = instance();
+        let mut prev_storage = u64::MAX;
+        for depth in [0usize, 2, 8, 32, 1000] {
+            let sol = gith(&g, depth);
+            assert!(sol.is_valid());
+            assert!(sol.consistent_with(&g));
+            assert!(
+                sol.storage_cost() <= prev_storage,
+                "storage must shrink as chains deepen"
+            );
+            prev_storage = sol.storage_cost();
+        }
+        // Max recreation grows with depth.
+        assert!(gith(&g, 1000).max_recreation() >= gith(&g, 2).max_recreation());
+    }
+
+    #[test]
+    fn gith_is_dominated_by_the_solvers_at_the_extremes() {
+        let g = instance();
+        let mst = p1_min_storage(&g);
+        let spt = p2_min_recreation(&g);
+        // Unbounded GitH cannot beat the optimal arborescence on storage…
+        assert!(gith(&g, usize::MAX).storage_cost() >= mst.storage_cost());
+        // …and depth-0 GitH cannot beat the SPT on recreation.
+        assert!(gith(&g, 0).sum_recreation() >= spt.sum_recreation());
+    }
+
+    #[test]
+    fn chain_depth_respected() {
+        let g = instance();
+        for cap in [1usize, 3, 7] {
+            let sol = gith(&g, cap);
+            // Walk every path: no more than `cap` delta hops to a
+            // materialized version.
+            for v in 1..=g.num_versions() {
+                let mut cur = v;
+                let mut hops = 0;
+                while sol.parent[cur] != ROOT {
+                    cur = sol.parent[cur];
+                    hops += 1;
+                    assert!(hops <= cap, "chain of {v} exceeds cap {cap}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Synthetic storage-graph instances.
+//!
+//! Instances are derived from **latent item sets**: each version is a set
+//! of items evolved from its parent by adds/removes, and revealed deltas
+//! are measured as actual set differences. This guarantees the triangle
+//! inequalities of Eq. 7.3/7.4 by construction (set differences are
+//! (pseudo)metrics), which matters because the hardness and the heuristics
+//! both assume realistic deltas (§7.3).
+
+use crate::graph::StorageGraph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// Shape of the latent version graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphShape {
+    /// Each version derives from the previous one.
+    Chain,
+    /// Random tree with bounded branching.
+    Tree { branching: usize },
+    /// Versions derive from a random earlier version (bushy DAG-ish tree).
+    Random,
+    /// All versions derive directly from version 1.
+    Flat,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    pub versions: usize,
+    pub shape: GraphShape,
+    /// Initial item count of version 1.
+    pub base_items: usize,
+    /// Items added per derivation.
+    pub adds_per_step: usize,
+    /// Items removed per derivation.
+    pub removes_per_step: usize,
+    /// Extra random version pairs to reveal beyond the derivation edges.
+    pub extra_edges: usize,
+    /// Directed (asymmetric) deltas vs undirected (symmetric).
+    pub directed: bool,
+    /// If set, Φ is decoupled from Δ (Scenario 7.3): recreation costs get
+    /// a random per-edge expansion factor in [1, 5].
+    pub decouple_phi: bool,
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            versions: 50,
+            shape: GraphShape::Random,
+            base_items: 1000,
+            adds_per_step: 60,
+            removes_per_step: 20,
+            extra_edges: 50,
+            directed: true,
+            decouple_phi: false,
+            seed: 42,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Build the storage graph (and discard the latent sets).
+    pub fn build(&self) -> StorageGraph {
+        self.build_with_sets().0
+    }
+
+    /// Build the storage graph, also returning the latent item sets
+    /// (version index 0 unused).
+    pub fn build_with_sets(&self) -> (StorageGraph, Vec<Vec<u64>>) {
+        assert!(self.versions >= 1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut next_item: u64;
+        let mut sets: Vec<Vec<u64>> = vec![Vec::new()]; // index 0 unused
+
+        // Version 1: base items.
+        let mut base: Vec<u64> = (0..self.base_items as u64).collect();
+        next_item = self.base_items as u64;
+        base.sort_unstable();
+        sets.push(base);
+
+        // Derivation structure.
+        let mut parent_of: Vec<usize> = vec![0, 0]; // index 0, 1 unused/root
+        for v in 2..=self.versions {
+            let parent = match self.shape {
+                GraphShape::Chain => v - 1,
+                GraphShape::Flat => 1,
+                GraphShape::Random => rng.random_range(1..v),
+                GraphShape::Tree { branching } => {
+                    // Pick among recent versions with bounded fan-out.
+                    let lo = v.saturating_sub(branching * 2).max(1);
+                    rng.random_range(lo..v)
+                }
+            };
+            parent_of.push(parent);
+            let mut set: HashSet<u64> = sets[parent].iter().copied().collect();
+            for _ in 0..self.removes_per_step.min(set.len() / 2) {
+                let idx = rng.random_range(0..sets[parent].len());
+                set.remove(&sets[parent][idx]);
+            }
+            for _ in 0..self.adds_per_step {
+                set.insert(next_item);
+                next_item += 1;
+            }
+            let mut sorted: Vec<u64> = set.into_iter().collect();
+            sorted.sort_unstable();
+            sets.push(sorted);
+        }
+
+        let mut g = StorageGraph::new(self.versions, !self.directed);
+        let phi_factor = |rng: &mut StdRng| -> u64 {
+            if self.decouple_phi {
+                rng.random_range(1..=5)
+            } else {
+                1
+            }
+        };
+
+        // Materialization edges: Δᵢᵢ = |set|, Φᵢᵢ = |set| (× factor).
+        for v in 1..=self.versions {
+            let size = sets[v].len() as u64;
+            let f = phi_factor(&mut rng);
+            g.add_materialization(v, size.max(1), (size * f).max(1));
+        }
+
+        // Reveal: derivation edges + random extra pairs.
+        let mut revealed: HashSet<(usize, usize)> = HashSet::new();
+        let reveal = |g: &mut StorageGraph,
+                          rng: &mut StdRng,
+                          revealed: &mut HashSet<(usize, usize)>,
+                          a: usize,
+                          b: usize,
+                          sets: &[Vec<u64>],
+                          directed: bool,
+                          decouple: bool| {
+            if a == b || !revealed.insert((a, b)) {
+                return;
+            }
+            let only_b = diff_count(&sets[b], &sets[a]);
+            let only_a = diff_count(&sets[a], &sets[b]);
+            let f = if decouple { rng.random_range(1..=5) } else { 1 };
+            if directed {
+                // Forward delta a→b: store the records of b missing from a
+                // plus tombstones for removed ones (count both, tombstones
+                // cheap).
+                let delta = (only_b + only_a / 8).max(1);
+                let phi = (delta * f).max(1);
+                g.add_delta(a, b, delta, phi);
+                // Reverse direction revealed separately with its own cost.
+                if revealed.insert((b, a)) {
+                    let delta_rev = (only_a + only_b / 8).max(1);
+                    g.add_delta(b, a, delta_rev, (delta_rev * f).max(1));
+                }
+            } else {
+                // Symmetric delta: the full symmetric difference.
+                let delta = (only_a + only_b).max(1);
+                g.add_delta(a, b, delta, (delta * f).max(1));
+            }
+        };
+
+        for v in 2..=self.versions {
+            reveal(
+                &mut g,
+                &mut rng,
+                &mut revealed,
+                parent_of[v],
+                v,
+                &sets,
+                self.directed,
+                self.decouple_phi,
+            );
+        }
+        for _ in 0..self.extra_edges {
+            let a = rng.random_range(1..=self.versions);
+            let b = rng.random_range(1..=self.versions);
+            reveal(
+                &mut g,
+                &mut rng,
+                &mut revealed,
+                a,
+                b,
+                &sets,
+                self.directed,
+                self.decouple_phi,
+            );
+        }
+        (g, sets)
+    }
+}
+
+/// |a \ b| for sorted slices.
+fn diff_count(a: &[u64], b: &[u64]) -> u64 {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0u64);
+    while i < a.len() {
+        if j >= b.len() {
+            n += (a.len() - i) as u64;
+            break;
+        }
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                n += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_connected_graphs() {
+        for shape in [
+            GraphShape::Chain,
+            GraphShape::Flat,
+            GraphShape::Random,
+            GraphShape::Tree { branching: 3 },
+        ] {
+            let g = GenConfig {
+                versions: 30,
+                shape,
+                ..GenConfig::default()
+            }
+            .build();
+            assert!(g.is_connected(), "{shape:?} not connected");
+            assert_eq!(g.num_versions(), 30);
+        }
+    }
+
+    #[test]
+    fn undirected_instances_satisfy_triangle_inequality() {
+        let g = GenConfig {
+            versions: 25,
+            directed: false,
+            extra_edges: 120,
+            ..GenConfig::default()
+        }
+        .build();
+        assert!(g.satisfies_triangle_inequality());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = GenConfig::default();
+        let a = c.build();
+        let b = c.build();
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn decoupled_phi_inflates_recreation() {
+        let base = GenConfig {
+            versions: 20,
+            decouple_phi: false,
+            ..GenConfig::default()
+        }
+        .build();
+        let dec = GenConfig {
+            versions: 20,
+            decouple_phi: true,
+            ..GenConfig::default()
+        }
+        .build();
+        let sum_ratio = |g: &StorageGraph| {
+            g.edges().iter().map(|e| e.phi as f64 / e.delta as f64).sum::<f64>()
+                / g.num_edges() as f64
+        };
+        assert!(sum_ratio(&dec) > sum_ratio(&base));
+    }
+
+    #[test]
+    fn deltas_smaller_than_materialization_along_chain() {
+        let g = GenConfig {
+            versions: 10,
+            shape: GraphShape::Chain,
+            ..GenConfig::default()
+        }
+        .build();
+        // The derivation delta into v (from its parent) must be far cheaper
+        // than materializing v.
+        for v in 2..=10usize {
+            let mat = g
+                .incoming(v)
+                .iter()
+                .map(|&e| g.edge(e))
+                .find(|e| e.from == crate::graph::ROOT)
+                .unwrap();
+            let best_delta = g
+                .incoming(v)
+                .iter()
+                .map(|&e| g.edge(e))
+                .filter(|e| e.from != crate::graph::ROOT)
+                .map(|e| e.delta)
+                .min()
+                .unwrap();
+            assert!(best_delta < mat.delta / 2);
+        }
+    }
+}

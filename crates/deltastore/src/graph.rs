@@ -1,0 +1,237 @@
+//! The augmented storage graph of §7.2.2.
+//!
+//! Nodes are versions `1..=n` plus the dummy root `V0 = 0`. An edge
+//! `V0 → Vi` weighted `⟨Δᵢᵢ, Φᵢᵢ⟩` represents materializing `Vi`; an edge
+//! `Vi → Vj` weighted `⟨Δᵢⱼ, Φᵢⱼ⟩` represents storing the delta from `Vi`
+//! to `Vj`. Only *revealed* matrix entries become edges — computing all
+//! pairwise deltas is infeasible, so instances carry the version-graph
+//! edges plus however many extra pairs the caller revealed (§7.2.1).
+
+/// A node: 0 is the dummy root; versions are `1..=n`.
+pub type NodeId = usize;
+
+/// Index into the edge list.
+pub type EdgeId = usize;
+
+/// The dummy root node `V0`.
+pub const ROOT: NodeId = 0;
+
+/// A revealed delta (or materialization) option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    pub from: NodeId,
+    pub to: NodeId,
+    /// Storage cost Δ of keeping this delta.
+    pub delta: u64,
+    /// Recreation cost Φ of applying this delta.
+    pub phi: u64,
+}
+
+/// A storage graph over `n` versions.
+#[derive(Debug, Clone)]
+pub struct StorageGraph {
+    num_versions: usize,
+    edges: Vec<Edge>,
+    /// Incoming edge ids per node (how a node can be created).
+    incoming: Vec<Vec<EdgeId>>,
+    /// Outgoing edge ids per node.
+    outgoing: Vec<Vec<EdgeId>>,
+    /// Whether deltas are symmetric (undirected case): every non-root edge
+    /// is stored once but usable in both directions.
+    undirected: bool,
+}
+
+impl StorageGraph {
+    /// An empty graph over `n` versions. `undirected` declares the deltas
+    /// symmetric (Scenario 7.1): each added version-version edge is then
+    /// traversable both ways.
+    pub fn new(num_versions: usize, undirected: bool) -> Self {
+        StorageGraph {
+            num_versions,
+            edges: Vec::new(),
+            incoming: vec![Vec::new(); num_versions + 1],
+            outgoing: vec![Vec::new(); num_versions + 1],
+            undirected,
+        }
+    }
+
+    pub fn num_versions(&self) -> usize {
+        self.num_versions
+    }
+
+    /// Total node count including the dummy root.
+    pub fn num_nodes(&self) -> usize {
+        self.num_versions + 1
+    }
+
+    pub fn is_undirected(&self) -> bool {
+        self.undirected
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id]
+    }
+
+    /// Register the materialization option for a version: `Δᵢᵢ`, `Φᵢᵢ`.
+    pub fn add_materialization(&mut self, v: NodeId, delta: u64, phi: u64) {
+        assert!(v >= 1 && v <= self.num_versions, "bad version {v}");
+        self.push_edge(Edge {
+            from: ROOT,
+            to: v,
+            delta,
+            phi,
+        });
+    }
+
+    /// Reveal a delta edge between two versions.
+    pub fn add_delta(&mut self, from: NodeId, to: NodeId, delta: u64, phi: u64) {
+        assert!(from >= 1 && from <= self.num_versions, "bad version {from}");
+        assert!(to >= 1 && to <= self.num_versions, "bad version {to}");
+        assert_ne!(from, to);
+        self.push_edge(Edge {
+            from,
+            to,
+            delta,
+            phi,
+        });
+        if self.undirected {
+            self.push_edge(Edge {
+                from: to,
+                to: from,
+                delta,
+                phi,
+            });
+        }
+    }
+
+    fn push_edge(&mut self, e: Edge) {
+        let id = self.edges.len();
+        self.incoming[e.to].push(id);
+        self.outgoing[e.from].push(id);
+        self.edges.push(e);
+    }
+
+    pub fn incoming(&self, v: NodeId) -> &[EdgeId] {
+        &self.incoming[v]
+    }
+
+    pub fn outgoing(&self, v: NodeId) -> &[EdgeId] {
+        &self.outgoing[v]
+    }
+
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Every version must be reachable from the root for any valid storage
+    /// solution to exist.
+    pub fn is_connected(&self) -> bool {
+        let mut seen = vec![false; self.num_nodes()];
+        seen[ROOT] = true;
+        let mut stack = vec![ROOT];
+        while let Some(u) = stack.pop() {
+            for &eid in &self.outgoing[u] {
+                let v = self.edges[eid].to;
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// Check the triangle inequalities of Eq. 7.3/7.4 on every revealed
+    /// edge triple (used by tests; O(V·E)). Only meaningful when Δ = Φ and
+    /// the graph is undirected.
+    pub fn satisfies_triangle_inequality(&self) -> bool {
+        // Build a dense map of revealed delta values (min across parallel
+        // edges).
+        let n = self.num_nodes();
+        let mut d = vec![vec![None::<u64>; n]; n];
+        for e in &self.edges {
+            let cur = &mut d[e.from][e.to];
+            *cur = Some(cur.map_or(e.delta, |x| x.min(e.delta)));
+        }
+        for p in 0..n {
+            for q in 0..n {
+                let Some(dpq) = d[p][q] else { continue };
+                for w in 0..n {
+                    let (Some(dqw), Some(dpw)) = (d[q][w], d[p][w]) else {
+                        continue;
+                    };
+                    if dpw > dpq + dqw {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 5-version example of Fig. 7.1 / Fig. 7.2.
+    pub(crate) fn fig71() -> StorageGraph {
+        let mut g = StorageGraph::new(5, false);
+        g.add_materialization(1, 10000, 10000);
+        g.add_materialization(2, 10100, 10100);
+        g.add_materialization(3, 9700, 9700);
+        g.add_materialization(4, 9800, 9800);
+        g.add_materialization(5, 10120, 10120);
+        g.add_delta(1, 2, 200, 200);
+        g.add_delta(1, 3, 1000, 3000);
+        g.add_delta(2, 4, 50, 400);
+        g.add_delta(2, 5, 800, 2500);
+        g.add_delta(3, 5, 200, 550);
+        // The extra revealed entries of Fig. 7.2.
+        g.add_delta(2, 1, 500, 600);
+        g.add_delta(3, 2, 1100, 3200);
+        g.add_delta(5, 4, 800, 2300);
+        g.add_delta(4, 5, 900, 2500);
+        g
+    }
+
+    #[test]
+    fn construction_and_adjacency() {
+        let g = fig71();
+        assert_eq!(g.num_versions(), 5);
+        assert_eq!(g.num_nodes(), 6);
+        assert!(g.is_connected());
+        assert_eq!(g.outgoing(ROOT).len(), 5);
+    }
+
+    #[test]
+    fn incoming_counts() {
+        let g = fig71();
+        // v5 can be made from root, v2, v3, v4.
+        assert_eq!(g.incoming(5).len(), 4);
+        // v1 from root and v2.
+        assert_eq!(g.incoming(1).len(), 2);
+    }
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let mut g = StorageGraph::new(2, true);
+        g.add_materialization(1, 10, 10);
+        g.add_materialization(2, 12, 12);
+        g.add_delta(1, 2, 3, 3);
+        assert_eq!(g.incoming(1).len(), 2); // root + reverse delta
+        assert_eq!(g.incoming(2).len(), 2);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let mut g = StorageGraph::new(2, false);
+        g.add_materialization(1, 5, 5);
+        // v2 has no incoming edge at all.
+        assert!(!g.is_connected());
+    }
+}

@@ -1,0 +1,254 @@
+//! LMG — the Local-Move Greedy heuristic for the sum-recreation problems
+//! (7.3 and 7.5, Table 7.1).
+//!
+//! A *move* re-parents one version `v` from its current incoming edge to
+//! another revealed incoming edge `(u → v)`. Because every descendant of
+//! `v` recreates through `v`, the move changes the total recreation cost by
+//! `(R'ᵥ − Rᵥ) · |subtree(v)|` and the storage cost by `Δᵤᵥ − Δ_cur`.
+//! LMG starts from the extreme tree on the unconstrained side and applies
+//! the move with the best benefit/cost ratio until the constraint binds.
+
+use crate::graph::{StorageGraph, ROOT};
+use crate::solution::StorageSolution;
+use crate::spanning::{dijkstra_spt, min_storage_tree};
+
+/// State for evaluating moves incrementally.
+struct MoveState {
+    sol: StorageSolution,
+    recreation: Vec<u64>,
+    subtree: Vec<u64>,
+}
+
+impl MoveState {
+    fn new(sol: StorageSolution) -> Self {
+        let recreation = sol.recreation_costs();
+        let subtree = sol.subtree_sizes();
+        MoveState {
+            sol,
+            recreation,
+            subtree,
+        }
+    }
+
+    fn refresh(&mut self) {
+        self.recreation = self.sol.recreation_costs();
+        self.subtree = self.sol.subtree_sizes();
+    }
+
+    /// Would re-parenting `v` under `u` create a cycle (u inside v's
+    /// subtree)?
+    fn creates_cycle(&self, v: usize, u: usize) -> bool {
+        let mut cur = u;
+        let n = self.sol.num_versions();
+        let mut steps = 0;
+        while cur != ROOT {
+            if cur == v {
+                return true;
+            }
+            cur = self.sol.parent[cur];
+            steps += 1;
+            if steps > n {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// A candidate re-parenting move.
+#[derive(Debug, Clone, Copy)]
+struct Move {
+    v: usize,
+    new_parent: usize,
+    new_delta: u64,
+    new_phi: u64,
+    /// Change in storage cost (may be negative).
+    d_storage: i64,
+    /// Change in Σ recreation (may be negative).
+    d_recreation: i128,
+}
+
+fn candidate_moves(graph: &StorageGraph, st: &MoveState) -> Vec<Move> {
+    let mut out = Vec::new();
+    for v in 1..=graph.num_versions() {
+        let cur_parent = st.sol.parent[v];
+        let r_parent_cur = st.recreation[v] - st.sol.phi[v];
+        let _ = r_parent_cur;
+        for &eid in graph.incoming(v) {
+            let e = graph.edge(eid);
+            if e.from == cur_parent && e.delta == st.sol.delta[v] && e.phi == st.sol.phi[v] {
+                continue;
+            }
+            if st.creates_cycle(v, e.from) {
+                continue;
+            }
+            let new_r = st.recreation[e.from] + e.phi;
+            let d_r = (new_r as i128 - st.recreation[v] as i128) * st.subtree[v] as i128;
+            let d_s = e.delta as i64 - st.sol.delta[v] as i64;
+            out.push(Move {
+                v,
+                new_parent: e.from,
+                new_delta: e.delta,
+                new_phi: e.phi,
+                d_storage: d_s,
+                d_recreation: d_r,
+            });
+        }
+    }
+    out
+}
+
+fn apply(st: &mut MoveState, m: Move) {
+    st.sol.parent[m.v] = m.new_parent;
+    st.sol.delta[m.v] = m.new_delta;
+    st.sol.phi[m.v] = m.new_phi;
+    st.refresh();
+}
+
+/// Problem 7.3: minimize `ΣRᵢ` subject to `C ≤ β`.
+///
+/// Starts from the minimum-storage tree; repeatedly applies the move with
+/// the largest recreation reduction per unit storage increase that still
+/// fits the budget.
+pub fn lmg_min_sum_recreation(graph: &StorageGraph, beta: u64) -> StorageSolution {
+    let mut st = MoveState::new(min_storage_tree(graph));
+    if st.sol.storage_cost() > beta {
+        // β below the MST storage is infeasible; return the MST anyway
+        // (the least-storage solution that exists).
+        return st.sol;
+    }
+    loop {
+        let storage = st.sol.storage_cost();
+        let headroom = beta - storage;
+        let mut best: Option<(f64, Move)> = None;
+        for m in candidate_moves(graph, &st) {
+            if m.d_recreation >= 0 {
+                continue; // must reduce recreation
+            }
+            if m.d_storage > 0 && m.d_storage as u64 > headroom {
+                continue;
+            }
+            // Benefit per storage unit; free or storage-saving moves rank
+            // highest.
+            let ratio = (-m.d_recreation) as f64 / (m.d_storage.max(1)) as f64;
+            if best.map(|(b, _)| ratio > b).unwrap_or(true) {
+                best = Some((ratio, m));
+            }
+        }
+        match best {
+            Some((_, m)) => apply(&mut st, m),
+            None => break,
+        }
+    }
+    st.sol
+}
+
+/// Problem 7.5: minimize `C` subject to `ΣRᵢ ≤ θ`.
+///
+/// Starts from the shortest-path tree (minimum ΣR); repeatedly applies the
+/// move with the largest storage reduction per unit recreation increase
+/// that keeps `ΣRᵢ ≤ θ`.
+pub fn lmg_min_storage(graph: &StorageGraph, theta: u64) -> StorageSolution {
+    let mut st = MoveState::new(dijkstra_spt(graph));
+    if st.sol.sum_recreation() > theta {
+        // θ below the SPT total is infeasible; return the SPT (least total
+        // recreation achievable).
+        return st.sol;
+    }
+    loop {
+        let sum_r = st.sol.sum_recreation() as i128;
+        let headroom = theta as i128 - sum_r;
+        let mut best: Option<(f64, Move)> = None;
+        for m in candidate_moves(graph, &st) {
+            if m.d_storage >= 0 {
+                continue; // must reduce storage
+            }
+            if m.d_recreation > 0 && m.d_recreation > headroom {
+                continue;
+            }
+            let ratio = (-m.d_storage) as f64 / (m.d_recreation.max(1)) as f64;
+            if best.map(|(b, _)| ratio > b).unwrap_or(true) {
+                best = Some((ratio, m));
+            }
+        }
+        match best {
+            Some((_, m)) => apply(&mut st, m),
+            None => break,
+        }
+    }
+    st.sol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GenConfig, GraphShape};
+
+    fn instance() -> StorageGraph {
+        GenConfig {
+            versions: 40,
+            shape: GraphShape::Tree { branching: 3 },
+            extra_edges: 40,
+            directed: true,
+            decouple_phi: false,
+            seed: 7,
+            ..GenConfig::default()
+        }
+        .build()
+    }
+
+    #[test]
+    fn p3_respects_budget_and_improves_recreation() {
+        let g = instance();
+        let mst = min_storage_tree(&g);
+        let beta = mst.storage_cost() * 2;
+        let sol = lmg_min_sum_recreation(&g, beta);
+        assert!(sol.is_valid());
+        assert!(sol.consistent_with(&g));
+        assert!(sol.storage_cost() <= beta);
+        assert!(
+            sol.sum_recreation() <= mst.sum_recreation(),
+            "LMG must not worsen recreation"
+        );
+    }
+
+    #[test]
+    fn p3_with_mst_budget_is_mst() {
+        let g = instance();
+        let mst = min_storage_tree(&g);
+        let sol = lmg_min_sum_recreation(&g, mst.storage_cost());
+        // With zero headroom, only free moves are possible.
+        assert!(sol.storage_cost() <= mst.storage_cost());
+    }
+
+    #[test]
+    fn p3_budget_monotone() {
+        let g = instance();
+        let mst = min_storage_tree(&g);
+        let lo = lmg_min_sum_recreation(&g, mst.storage_cost() * 3 / 2);
+        let hi = lmg_min_sum_recreation(&g, mst.storage_cost() * 4);
+        assert!(hi.sum_recreation() <= lo.sum_recreation());
+    }
+
+    #[test]
+    fn p5_respects_theta_and_reduces_storage() {
+        let g = instance();
+        let spt = dijkstra_spt(&g);
+        let theta = spt.sum_recreation() * 2;
+        let sol = lmg_min_storage(&g, theta);
+        assert!(sol.is_valid());
+        assert!(sol.consistent_with(&g));
+        assert!(sol.sum_recreation() <= theta);
+        assert!(sol.storage_cost() <= spt.storage_cost());
+    }
+
+    #[test]
+    fn p5_converges_to_mst_with_loose_theta() {
+        let g = instance();
+        let mst = min_storage_tree(&g);
+        let sol = lmg_min_storage(&g, u64::MAX / 4);
+        // With an unbounded recreation budget, LMG should get close to the
+        // MST storage (greedy may not reach it exactly).
+        assert!(sol.storage_cost() <= mst.storage_cost() * 13 / 10);
+    }
+}

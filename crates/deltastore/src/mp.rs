@@ -1,0 +1,174 @@
+//! MP — the Modified Prim's algorithm for the max-recreation problems
+//! (7.6 directly; 7.4 via binary search), following §7.4.
+//!
+//! Grow the storage tree from the dummy root. At each step, among versions
+//! not yet in the tree, attach the one whose cheapest feasible incoming
+//! edge (recreation through the tree ≤ θ) has minimum storage cost Δ —
+//! Prim's rule filtered by the recreation constraint.
+
+use crate::graph::{StorageGraph, ROOT};
+use crate::solution::StorageSolution;
+
+/// Problem 7.6: minimize `C` subject to `max Rᵢ ≤ θ`.
+///
+/// Returns `None` if some version cannot be attached within θ (θ below the
+/// cheapest materialization recreation of some version is infeasible).
+pub fn mp_min_storage(graph: &StorageGraph, theta: u64) -> Option<StorageSolution> {
+    let n = graph.num_versions();
+    let mut sol = StorageSolution::new(n);
+    let mut in_tree = vec![false; n + 1];
+    let mut recreation = vec![0u64; n + 1];
+    in_tree[ROOT] = true;
+    let mut added = 0usize;
+    // Best feasible incoming option per out-of-tree node, refreshed as the
+    // tree grows: (delta, from, phi).
+    while added < n {
+        let mut best: Option<(u64, usize, usize, u64)> = None; // (delta, to, from, phi)
+        for v in 1..=n {
+            if in_tree[v] {
+                continue;
+            }
+            for &eid in graph.incoming(v) {
+                let e = graph.edge(eid);
+                if !in_tree[e.from] {
+                    continue;
+                }
+                let r = recreation[e.from].saturating_add(e.phi);
+                if r > theta {
+                    continue;
+                }
+                let cand = (e.delta, v, e.from, e.phi);
+                if best.map(|b| cand < b).unwrap_or(true) {
+                    best = Some(cand);
+                }
+            }
+        }
+        let (delta, v, from, phi) = best?;
+        in_tree[v] = true;
+        sol.parent[v] = from;
+        sol.delta[v] = delta;
+        sol.phi[v] = phi;
+        recreation[v] = recreation[from] + phi;
+        added += 1;
+    }
+    Some(sol)
+}
+
+/// Problem 7.4: minimize `max Rᵢ` subject to `C ≤ β`, by binary searching
+/// the threshold θ over [`mp_min_storage`] runs (§7.4).
+pub fn mp_min_max_recreation(graph: &StorageGraph, beta: u64) -> Option<StorageSolution> {
+    // Bounds: the SPT's max recreation is the smallest achievable θ; the
+    // MST's max recreation is always feasible storage-wise iff MST fits β.
+    let spt = crate::spanning::dijkstra_spt(graph);
+    let mut lo = spt.max_recreation();
+    let mst = crate::spanning::min_storage_tree(graph);
+    if mst.storage_cost() > beta {
+        return None; // no tree fits the budget
+    }
+    let mut hi = mst.max_recreation().max(lo);
+    let mut best: Option<StorageSolution> = None;
+    // Check the lower extreme first.
+    if let Some(sol) = mp_min_storage(graph, lo) {
+        if sol.storage_cost() <= beta {
+            return Some(sol);
+        }
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match mp_min_storage(graph, mid) {
+            Some(sol) if sol.storage_cost() <= beta => {
+                hi = mid;
+                best = Some(sol);
+            }
+            _ => {
+                lo = mid + 1;
+            }
+        }
+    }
+    best.or_else(|| {
+        let sol = mp_min_storage(graph, hi)?;
+        (sol.storage_cost() <= beta).then_some(sol)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GenConfig, GraphShape};
+    use crate::spanning::{dijkstra_spt, min_storage_tree};
+
+    fn instance() -> StorageGraph {
+        GenConfig {
+            versions: 40,
+            shape: GraphShape::Chain,
+            extra_edges: 60,
+            directed: true,
+            decouple_phi: false,
+            seed: 11,
+            ..GenConfig::default()
+        }
+        .build()
+    }
+
+    #[test]
+    fn p6_respects_theta() {
+        let g = instance();
+        let spt = dijkstra_spt(&g);
+        for factor in [1.0, 1.5, 2.0, 4.0] {
+            let theta = (spt.max_recreation() as f64 * factor) as u64;
+            let sol = mp_min_storage(&g, theta).expect("feasible");
+            assert!(sol.is_valid());
+            assert!(sol.consistent_with(&g));
+            assert!(
+                sol.max_recreation() <= theta,
+                "max R {} > θ {theta}",
+                sol.max_recreation()
+            );
+        }
+    }
+
+    #[test]
+    fn p6_storage_decreases_with_looser_theta() {
+        let g = instance();
+        let spt = dijkstra_spt(&g);
+        let tight = mp_min_storage(&g, spt.max_recreation()).unwrap();
+        let loose = mp_min_storage(&g, spt.max_recreation() * 8).unwrap();
+        assert!(loose.storage_cost() <= tight.storage_cost());
+    }
+
+    #[test]
+    fn p6_infeasible_theta_returns_none() {
+        let g = instance();
+        // θ = 0 cannot even materialize a version (Φᵢᵢ > 0).
+        assert!(mp_min_storage(&g, 0).is_none());
+    }
+
+    #[test]
+    fn p6_loose_theta_approaches_mst() {
+        let g = instance();
+        let mst = min_storage_tree(&g);
+        let sol = mp_min_storage(&g, u64::MAX / 2).unwrap();
+        // MP with no effective constraint is plain Prim over Δ; on directed
+        // instances it may exceed the optimal arborescence slightly.
+        assert!(sol.storage_cost() <= mst.storage_cost() * 3 / 2);
+    }
+
+    #[test]
+    fn p4_budget_controls_max_recreation() {
+        let g = instance();
+        let mst = min_storage_tree(&g);
+        let spt = dijkstra_spt(&g);
+        let tight = mp_min_max_recreation(&g, mst.storage_cost()).unwrap();
+        let loose = mp_min_max_recreation(&g, spt.storage_cost() * 2).unwrap();
+        assert!(tight.is_valid() && loose.is_valid());
+        assert!(loose.max_recreation() <= tight.max_recreation());
+        assert!(tight.storage_cost() <= mst.storage_cost());
+    }
+
+    #[test]
+    fn p4_infeasible_budget() {
+        let g = instance();
+        let mst = min_storage_tree(&g);
+        assert!(mp_min_max_recreation(&g, mst.storage_cost() - 1).is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! The six problem variants of Table 7.1, each dispatched to its solver.
+
+use crate::graph::StorageGraph;
+use crate::lmg::{lmg_min_storage, lmg_min_sum_recreation};
+use crate::mp::{mp_min_max_recreation, mp_min_storage};
+use crate::solution::StorageSolution;
+use crate::spanning::{dijkstra_spt, min_storage_tree};
+
+/// Problem 7.1 — minimize total storage `C` with finite recreation costs:
+/// the minimum spanning tree (undirected) or arborescence (directed) over
+/// Δ (Lemma 7.2).
+pub fn p1_min_storage(graph: &StorageGraph) -> StorageSolution {
+    min_storage_tree(graph)
+}
+
+/// Problem 7.2 — minimize every `Rᵢ` with unbounded storage: the
+/// shortest-path tree over Φ (Lemma 7.3).
+pub fn p2_min_recreation(graph: &StorageGraph) -> StorageSolution {
+    dijkstra_spt(graph)
+}
+
+/// Problem 7.3 — minimize `ΣRᵢ` subject to `C ≤ β` (NP-hard; LMG).
+pub fn p3_min_sum_recreation(graph: &StorageGraph, beta: u64) -> StorageSolution {
+    lmg_min_sum_recreation(graph, beta)
+}
+
+/// Problem 7.4 — minimize `max Rᵢ` subject to `C ≤ β` (NP-hard; binary
+/// search over MP). `None` when no spanning tree fits β.
+pub fn p4_min_max_recreation(graph: &StorageGraph, beta: u64) -> Option<StorageSolution> {
+    mp_min_max_recreation(graph, beta)
+}
+
+/// Problem 7.5 — minimize `C` subject to `ΣRᵢ ≤ θ` (NP-hard; LMG).
+pub fn p5_min_storage_sum(graph: &StorageGraph, theta: u64) -> StorageSolution {
+    lmg_min_storage(graph, theta)
+}
+
+/// Problem 7.6 — minimize `C` subject to `max Rᵢ ≤ θ` (NP-hard; MP).
+/// `None` when θ is below some version's cheapest recreation.
+pub fn p6_min_storage_max(graph: &StorageGraph, theta: u64) -> Option<StorageSolution> {
+    mp_min_storage(graph, theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GenConfig, GraphShape};
+
+    #[test]
+    fn extremes_bound_the_constrained_problems() {
+        let g = GenConfig {
+            versions: 30,
+            shape: GraphShape::Random,
+            seed: 3,
+            ..GenConfig::default()
+        }
+        .build();
+        let mst = p1_min_storage(&g);
+        let spt = p2_min_recreation(&g);
+        // Storage: MST ≤ everything; recreation: SPT ≤ everything.
+        let beta = mst.storage_cost() * 2;
+        let p3 = p3_min_sum_recreation(&g, beta);
+        assert!(p3.storage_cost() >= mst.storage_cost());
+        assert!(p3.sum_recreation() >= spt.sum_recreation());
+
+        let theta = spt.sum_recreation() * 2;
+        let p5 = p5_min_storage_sum(&g, theta);
+        assert!(p5.storage_cost() >= mst.storage_cost());
+        assert!(p5.sum_recreation() >= spt.sum_recreation());
+
+        let theta = spt.max_recreation() * 2;
+        let p6 = p6_min_storage_max(&g, theta).unwrap();
+        assert!(p6.storage_cost() >= mst.storage_cost());
+
+        let p4 = p4_min_max_recreation(&g, beta).unwrap();
+        assert!(p4.max_recreation() >= spt.max_recreation());
+        assert!(p4.storage_cost() <= beta);
+    }
+}

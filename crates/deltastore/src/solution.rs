@@ -1,0 +1,205 @@
+//! Storage solutions: spanning trees of the augmented graph (Lemma 7.1).
+
+use crate::graph::{NodeId, StorageGraph, ROOT};
+
+/// A storage solution: for every version, either the materialization edge
+/// or a delta edge from another version — together a spanning tree rooted
+/// at `V0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageSolution {
+    /// `parent[v]` for `v in 1..=n`: the source of v's chosen incoming
+    /// edge (`ROOT` = materialized). Index 0 is unused.
+    pub parent: Vec<NodeId>,
+    /// Δ of the chosen incoming edge per version (index 0 unused).
+    pub delta: Vec<u64>,
+    /// Φ of the chosen incoming edge per version (index 0 unused).
+    pub phi: Vec<u64>,
+}
+
+impl StorageSolution {
+    pub fn new(num_versions: usize) -> Self {
+        StorageSolution {
+            parent: vec![ROOT; num_versions + 1],
+            delta: vec![0; num_versions + 1],
+            phi: vec![0; num_versions + 1],
+        }
+    }
+
+    /// Build from explicit (parent, delta, phi) choices per version.
+    pub fn from_choices(choices: &[(NodeId, u64, u64)]) -> Self {
+        let mut s = StorageSolution::new(choices.len());
+        for (i, &(p, d, f)) in choices.iter().enumerate() {
+            s.parent[i + 1] = p;
+            s.delta[i + 1] = d;
+            s.phi[i + 1] = f;
+        }
+        s
+    }
+
+    pub fn num_versions(&self) -> usize {
+        self.parent.len() - 1
+    }
+
+    /// Whether every version traces back to the root without cycles.
+    pub fn is_valid(&self) -> bool {
+        let n = self.num_versions();
+        // Walk up from every node with a step bound.
+        for start in 1..=n {
+            let mut cur = start;
+            let mut steps = 0;
+            while cur != ROOT {
+                cur = self.parent[cur];
+                steps += 1;
+                if steps > n {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Total storage cost `C = Σ Δ` over chosen edges (Problem 7.1's
+    /// objective).
+    pub fn storage_cost(&self) -> u64 {
+        self.delta[1..].iter().sum()
+    }
+
+    /// Recreation cost `Rᵢ` per version: the Φ-sum of the path from the
+    /// root (index 0 unused, set to 0).
+    pub fn recreation_costs(&self) -> Vec<u64> {
+        let n = self.num_versions();
+        let mut memo: Vec<Option<u64>> = vec![None; n + 1];
+        memo[ROOT] = Some(0);
+        fn rec(v: usize, parent: &[usize], phi: &[u64], memo: &mut [Option<u64>]) -> u64 {
+            if let Some(r) = memo[v] {
+                return r;
+            }
+            let r = rec(parent[v], parent, phi, memo) + phi[v];
+            memo[v] = Some(r);
+            r
+        }
+        let mut out = vec![0u64; n + 1];
+        for v in 1..=n {
+            out[v] = rec(v, &self.parent, &self.phi, &mut memo);
+        }
+        out
+    }
+
+    /// `Σᵢ Rᵢ` — the total-recreation objective of Problems 7.3/7.5.
+    pub fn sum_recreation(&self) -> u64 {
+        self.recreation_costs()[1..].iter().sum()
+    }
+
+    /// `maxᵢ Rᵢ` — the max-recreation objective of Problems 7.4/7.6.
+    pub fn max_recreation(&self) -> u64 {
+        self.recreation_costs()[1..].iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of materialized versions.
+    pub fn num_materialized(&self) -> usize {
+        self.parent[1..].iter().filter(|&&p| p == ROOT).count()
+    }
+
+    /// Children lists in the storage tree.
+    pub fn children(&self) -> Vec<Vec<NodeId>> {
+        let mut ch = vec![Vec::new(); self.num_versions() + 1];
+        for v in 1..=self.num_versions() {
+            ch[self.parent[v]].push(v);
+        }
+        ch
+    }
+
+    /// Subtree sizes (including self) per node in the storage tree.
+    pub fn subtree_sizes(&self) -> Vec<u64> {
+        let n = self.num_versions();
+        let ch = self.children();
+        let mut size = vec![1u64; n + 1];
+        // Process in reverse topological order via DFS.
+        let mut order = Vec::with_capacity(n + 1);
+        let mut stack = vec![ROOT];
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            stack.extend_from_slice(&ch[u]);
+        }
+        for &u in order.iter().rev() {
+            for &c in &ch[u] {
+                size[u] += size[c];
+            }
+        }
+        size[ROOT] = n as u64; // root is not a version
+        size
+    }
+
+    /// Verify that every chosen edge exists in `graph` with the recorded
+    /// weights (sanity check for solvers).
+    pub fn consistent_with(&self, graph: &StorageGraph) -> bool {
+        (1..=self.num_versions()).all(|v| {
+            graph.incoming(v).iter().any(|&eid| {
+                let e = graph.edge(eid);
+                e.from == self.parent[v] && e.delta == self.delta[v] && e.phi == self.phi[v]
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 7.1(iv): V1 and V3 materialized, V2 ← V1, V4 ← V2, V5 ← V3.
+    fn fig71_iv() -> StorageSolution {
+        StorageSolution::from_choices(&[
+            (ROOT, 10000, 10000),
+            (1, 200, 200),
+            (ROOT, 9700, 9700),
+            (2, 50, 400),
+            (3, 200, 550),
+        ])
+    }
+
+    #[test]
+    fn costs_match_paper_example() {
+        let s = fig71_iv();
+        assert!(s.is_valid());
+        assert_eq!(s.storage_cost(), 10000 + 200 + 9700 + 50 + 200);
+        let r = s.recreation_costs();
+        assert_eq!(r[1], 10000);
+        assert_eq!(r[2], 10200);
+        assert_eq!(r[3], 9700);
+        assert_eq!(r[4], 10600);
+        assert_eq!(r[5], 10250);
+        assert_eq!(s.num_materialized(), 2);
+    }
+
+    #[test]
+    fn fig71_iii_chain_recreation() {
+        // Fig. 7.1(iii): only V1 materialized; V5 via V3: R5 = 13550.
+        let s = StorageSolution::from_choices(&[
+            (ROOT, 10000, 10000),
+            (1, 200, 200),
+            (1, 1000, 3000),
+            (2, 50, 400),
+            (3, 200, 550),
+        ]);
+        assert_eq!(s.storage_cost(), 11450);
+        assert_eq!(s.recreation_costs()[5], 13550);
+    }
+
+    #[test]
+    fn cycle_is_invalid() {
+        let mut s = StorageSolution::from_choices(&[(2, 1, 1), (1, 1, 1), (ROOT, 5, 5)]);
+        assert!(!s.is_valid());
+        s.parent[1] = ROOT;
+        assert!(s.is_valid());
+    }
+
+    #[test]
+    fn subtree_sizes_count_descendants() {
+        let s = fig71_iv();
+        let sizes = s.subtree_sizes();
+        assert_eq!(sizes[1], 3); // v1 → v2 → v4
+        assert_eq!(sizes[2], 2);
+        assert_eq!(sizes[3], 2); // v3 → v5
+        assert_eq!(sizes[4], 1);
+    }
+}

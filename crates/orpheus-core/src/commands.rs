@@ -1,0 +1,980 @@
+//! The OrpheusDB command surface (§3.3): git-style version control
+//! commands, the access-controlled staging area, user management, CSV
+//! import/export, and the `run` command for versioned SQL.
+//!
+//! `OrpheusDb` plays the role of the middleware in Fig. 3.1: the query
+//! translator ([`crate::query`]), record/version managers
+//! ([`crate::cvd`]), partition optimizer ([`crate::partitioned`] +
+//! [`partition`]), provenance manager (the staging registry here), and the
+//! access controller (staging-table ownership checks).
+
+use crate::cvd::{CommitResult, Cvd};
+use crate::error::{Error, Result};
+use crate::models::{load_cvd, SplitByRlist, VersioningModel};
+use crate::partitioned::PartitionedStore;
+use crate::query::{parse_query, predicate_expr, QueryResult, VersionedQuery, VQuery};
+use partition::{lyresplit_for_budget, Vid};
+use relstore::{Column, Database, DataType, ExecContext, Row, Schema, Value};
+use std::collections::HashMap;
+
+/// A CVD registered in the system, with its physical representation.
+struct CvdHandle {
+    cvd: Cvd,
+    model: SplitByRlist,
+    partitioned: Option<PartitionedStore>,
+}
+
+/// Provenance metadata of an uncommitted checkout (staging table or file):
+/// which CVD and parent versions it derives from, who owns it, and when it
+/// was created (§3.2, provenance manager).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagingInfo {
+    pub cvd: String,
+    pub parents: Vec<Vid>,
+    pub owner: String,
+    pub created_at: u64,
+}
+
+/// Output of [`OrpheusDb::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommandOutput {
+    Message(String),
+    Version(Vid),
+    Table(QueryResult),
+    Listing(Vec<String>),
+    Csv(String),
+}
+
+/// The OrpheusDB middleware.
+pub struct OrpheusDb {
+    db: Database,
+    cvds: HashMap<String, CvdHandle>,
+    users: Vec<String>,
+    current_user: Option<String>,
+    staging: HashMap<String, StagingInfo>,
+    clock: u64,
+}
+
+impl Default for OrpheusDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OrpheusDb {
+    pub fn new() -> Self {
+        OrpheusDb {
+            db: Database::new(),
+            cvds: HashMap::new(),
+            users: Vec::new(),
+            current_user: None,
+            staging: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    // -- user management (`create_user`, `config`, `whoami`) ---------------
+
+    pub fn create_user(&mut self, name: &str) -> Result<()> {
+        if self.users.iter().any(|u| u == name) {
+            return Err(Error::UserError(format!("user {name} already exists")));
+        }
+        self.users.push(name.to_owned());
+        Ok(())
+    }
+
+    /// Log in (`config`).
+    pub fn login(&mut self, name: &str) -> Result<()> {
+        if !self.users.iter().any(|u| u == name) {
+            return Err(Error::UserError(format!("no such user: {name}")));
+        }
+        self.current_user = Some(name.to_owned());
+        Ok(())
+    }
+
+    pub fn whoami(&self) -> Result<&str> {
+        self.current_user
+            .as_deref()
+            .ok_or_else(|| Error::UserError("no user logged in".into()))
+    }
+
+    // -- cvd lifecycle ------------------------------------------------------
+
+    /// `init`: register a new CVD from a schema and initial rows.
+    pub fn init_cvd(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        pk: Vec<String>,
+        rows: Vec<Row>,
+    ) -> Result<Vid> {
+        if self.cvds.contains_key(name) {
+            return Err(Error::CvdExists(name.to_owned()));
+        }
+        let author = self.whoami()?.to_owned();
+        let (cvd, v0) = Cvd::init(name, schema, pk, rows, &author)?;
+        let mut model = SplitByRlist::new(name);
+        load_cvd(&mut model, &mut self.db, &cvd)?;
+        self.cvds.insert(
+            name.to_owned(),
+            CvdHandle {
+                cvd,
+                model,
+                partitioned: None,
+            },
+        );
+        Ok(v0)
+    }
+
+    /// `log`: render a CVD's version graph as text — the command-line
+    /// analogue of the demo's version-graph visualization (the SIGMOD'17 demo).
+    pub fn log(&self, cvd_name: &str) -> Result<String> {
+        let cvd = self.cvd(cvd_name)?;
+        let mut out = String::new();
+        for meta in cvd.metas().iter().rev() {
+            let parents = if meta.parents.is_empty() {
+                "(root)".to_string()
+            } else {
+                meta.parents
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let records = cvd.version_records(meta.vid)?.len();
+            out.push_str(&format!(
+                "* {}  ← {parents}
+    author: {}  records: {records}  msg: {}
+",
+                meta.vid, meta.author, meta.message
+            ));
+        }
+        Ok(out)
+    }
+
+    /// `ls`: all CVD names.
+    pub fn list_cvds(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.cvds.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// `drop`: remove a CVD and its physical tables.
+    pub fn drop_cvd(&mut self, name: &str) -> Result<()> {
+        let handle = self
+            .cvds
+            .remove(name)
+            .ok_or_else(|| Error::CvdNotFound(name.to_owned()))?;
+        for t in self
+            .db
+            .tables_with_prefix(&handle.model.table_prefix())
+            .into_iter()
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+        {
+            let _ = self.db.drop_table(&t);
+        }
+        if let Some(p) = handle.partitioned {
+            p.drop_tables(&mut self.db);
+        }
+        self.staging.retain(|_, info| info.cvd != name);
+        Ok(())
+    }
+
+    fn handle(&self, name: &str) -> Result<&CvdHandle> {
+        self.cvds
+            .get(name)
+            .ok_or_else(|| Error::CvdNotFound(name.to_owned()))
+    }
+
+    pub fn cvd(&self, name: &str) -> Result<&Cvd> {
+        Ok(&self.handle(name)?.cvd)
+    }
+
+    /// Staging provenance info of a checked-out table.
+    pub fn staging_info(&self, table: &str) -> Option<&StagingInfo> {
+        self.staging.get(table)
+    }
+
+    // -- checkout / commit ---------------------------------------------------
+
+    /// `checkout [cvd] -v [vids] -t [table]`: materialize one or more
+    /// versions into a private staging table.
+    pub fn checkout(&mut self, cvd_name: &str, versions: &[Vid], table: &str) -> Result<()> {
+        let owner = self.whoami()?.to_owned();
+        let created_at = self.tick();
+        let handle = self.handle(cvd_name)?;
+        let rows = handle.cvd.checkout_rows(versions)?;
+        let schema = handle.cvd.schema().clone();
+        if self.db.has_table(table) {
+            return Err(Error::Storage(relstore::Error::TableExists(
+                table.to_owned(),
+            )));
+        }
+        let t = self.db.create_table(table, schema)?;
+        for (_, row) in rows {
+            t.insert(row)?;
+        }
+        self.staging.insert(
+            table.to_owned(),
+            StagingInfo {
+                cvd: cvd_name.to_owned(),
+                parents: versions.to_vec(),
+                owner,
+                created_at,
+            },
+        );
+        Ok(())
+    }
+
+    /// Access-control check on a staging table (§3.3.1: only the user who
+    /// checked a table out may read or commit it).
+    fn authorize(&self, table: &str) -> Result<&StagingInfo> {
+        let info = self
+            .staging
+            .get(table)
+            .ok_or_else(|| Error::NotCheckedOut(table.to_owned()))?;
+        let user = self.whoami()?;
+        if info.owner != user {
+            return Err(Error::PermissionDenied {
+                user: user.to_owned(),
+                table: table.to_owned(),
+            });
+        }
+        Ok(info)
+    }
+
+    /// Mutable access to a staging table for the current user (to run
+    /// modifications before committing).
+    pub fn staging_table_mut(&mut self, table: &str) -> Result<&mut relstore::Table> {
+        self.authorize(table)?;
+        self.db.table_mut(table).map_err(Error::Storage)
+    }
+
+    pub fn staging_table(&self, table: &str) -> Result<&relstore::Table> {
+        self.authorize(table)?;
+        self.db.table(table).map_err(Error::Storage)
+    }
+
+    /// `commit -t [table] -m [message]`: add the (possibly modified)
+    /// staging table back to its CVD as a new version, then drop it from
+    /// the staging area.
+    pub fn commit(&mut self, table: &str, message: &str) -> Result<CommitResult> {
+        let info = self.authorize(table)?.clone();
+        let author = self.whoami()?.to_owned();
+        let staged = self.db.table(table)?;
+        let schema = staged.schema().clone();
+        let rows: Vec<Row> = staged.iter().map(|(_, r)| r.clone()).collect();
+        let handle = self
+            .cvds
+            .get_mut(&info.cvd)
+            .ok_or_else(|| Error::CvdNotFound(info.cvd.clone()))?;
+        let result = if &schema == handle.cvd.schema() {
+            handle.cvd.commit(&info.parents, rows, message, &author)?
+        } else {
+            handle
+                .cvd
+                .commit_with_schema(&info.parents, &schema, rows, message, &author)?
+        };
+        // Physical apply: new rids are those the commit introduced.
+        let new_rids: Vec<partition::Rid> = {
+            let total = handle.cvd.num_records();
+            ((total - result.new_records)..total)
+                .map(|i| partition::Rid(i as u64))
+                .collect()
+        };
+        handle.model.apply_commit(
+            &mut self.db,
+            &handle.cvd,
+            result.vid,
+            &new_rids,
+            &mut relstore::CostTracker::new(),
+        )?;
+        if let Some(p) = handle.partitioned.as_mut() {
+            // Online maintenance: attach to the best parent's partition.
+            let best_parent = info
+                .parents
+                .iter()
+                .max_by_key(|&&pv| handle.cvd.graph().weight(pv, result.vid))
+                .copied();
+            match best_parent {
+                Some(parent) => {
+                    let pid = p.partitioning().partition_of(parent);
+                    p.append_version(&mut self.db, &handle.cvd, result.vid, pid, false)?;
+                }
+                None => {
+                    let pid = p.partitioning().num_partitions();
+                    p.append_version(&mut self.db, &handle.cvd, result.vid, pid, true)?;
+                }
+            }
+        }
+        // Cleanup: remove the staging table (§3.3.1).
+        self.db.drop_table(table)?;
+        self.staging.remove(table);
+        Ok(result)
+    }
+
+    /// `checkout … -f file.csv`: materialize into CSV text instead of a
+    /// table (for analysis in Python/R, §3.3.1).
+    pub fn checkout_csv(&mut self, cvd_name: &str, versions: &[Vid], file: &str) -> Result<String> {
+        let owner = self.whoami()?.to_owned();
+        let created_at = self.tick();
+        let handle = self.handle(cvd_name)?;
+        let rows = handle.cvd.checkout_rows(versions)?;
+        let csv = to_csv(
+            handle.cvd.schema(),
+            rows.iter().map(|(_, r)| r.as_slice()),
+        );
+        self.staging.insert(
+            file.to_owned(),
+            StagingInfo {
+                cvd: cvd_name.to_owned(),
+                parents: versions.to_vec(),
+                owner,
+                created_at,
+            },
+        );
+        Ok(csv)
+    }
+
+    /// `commit -f file.csv -s schema`: commit CSV contents with an explicit
+    /// schema string (`name:type,…`) so columns map correctly.
+    pub fn commit_csv(
+        &mut self,
+        file: &str,
+        csv: &str,
+        schema_spec: &str,
+        message: &str,
+    ) -> Result<CommitResult> {
+        let info = self.authorize(file)?.clone();
+        let author = self.whoami()?.to_owned();
+        let schema = parse_schema_spec(schema_spec)?;
+        let rows = from_csv(&schema, csv)?;
+        let handle = self
+            .cvds
+            .get_mut(&info.cvd)
+            .ok_or_else(|| Error::CvdNotFound(info.cvd.clone()))?;
+        let result = if &schema == handle.cvd.schema() {
+            handle.cvd.commit(&info.parents, rows, message, &author)?
+        } else {
+            handle
+                .cvd
+                .commit_with_schema(&info.parents, &schema, rows, message, &author)?
+        };
+        let new_rids: Vec<partition::Rid> = {
+            let total = handle.cvd.num_records();
+            ((total - result.new_records)..total)
+                .map(|i| partition::Rid(i as u64))
+                .collect()
+        };
+        handle.model.apply_commit(
+            &mut self.db,
+            &handle.cvd,
+            result.vid,
+            &new_rids,
+            &mut relstore::CostTracker::new(),
+        )?;
+        self.staging.remove(file);
+        Ok(result)
+    }
+
+    /// `diff -v a b`: records in one version but not the other.
+    pub fn diff(&self, cvd_name: &str, a: Vid, b: Vid) -> Result<(QueryResult, QueryResult)> {
+        let handle = self.handle(cvd_name)?;
+        let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model);
+        let mut ctx = ExecContext::new();
+        let left = q.v_diff(a, b, &mut ctx)?;
+        let right = q.v_diff(b, a, &mut ctx)?;
+        Ok((left, right))
+    }
+
+    /// `optimize`: run LyreSplit under a storage threshold
+    /// `γ = gamma_factor × |R|` and materialize the partitioned store.
+    pub fn optimize(&mut self, cvd_name: &str, gamma_factor: f64) -> Result<usize> {
+        let handle = self
+            .cvds
+            .get_mut(cvd_name)
+            .ok_or_else(|| Error::CvdNotFound(cvd_name.to_owned()))?;
+        let tree = handle.cvd.tree();
+        let gamma = (gamma_factor * handle.cvd.num_records() as f64) as u64;
+        let result = lyresplit_for_budget(&tree, gamma);
+        if let Some(old) = handle.partitioned.take() {
+            old.drop_tables(&mut self.db);
+        }
+        let store = PartitionedStore::build(&mut self.db, &handle.cvd, result.partitioning)?;
+        let n = store.partitioning().num_partitions();
+        handle.partitioned = Some(store);
+        Ok(n)
+    }
+
+    /// Checkout served by the partitioned store when one exists.
+    pub fn checkout_rows_fast(&self, cvd_name: &str, vid: Vid) -> Result<(Vec<Row>, ExecContext)> {
+        let handle = self.handle(cvd_name)?;
+        let mut ctx = ExecContext::new();
+        let rows = match &handle.partitioned {
+            Some(p) => p.checkout(&self.db, vid, &mut ctx)?,
+            None => handle
+                .model
+                .checkout(&self.db, &handle.cvd, vid, &mut ctx)?,
+        };
+        Ok((rows, ctx))
+    }
+
+    /// `run`: execute a versioned SQL string (§3.3.2).
+    pub fn run(&self, sql: &str) -> Result<QueryResult> {
+        let parsed = parse_query(sql)?;
+        let mut ctx = ExecContext::new();
+        match parsed {
+            VQuery::SelectVersions {
+                cvd,
+                versions,
+                predicate,
+                limit,
+            } => {
+                let handle = self.handle(&cvd)?;
+                let pred = predicate
+                    .as_ref()
+                    .map(|p| predicate_expr(&handle.cvd, p))
+                    .transpose()?;
+                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model);
+                q.select_versions(&versions, pred, limit, &mut ctx)
+            }
+            VQuery::AggregateByVersion {
+                cvd,
+                agg,
+                agg_col,
+                predicate,
+            } => {
+                let handle = self.handle(&cvd)?;
+                let pred = predicate
+                    .as_ref()
+                    .map(|p| predicate_expr(&handle.cvd, p))
+                    .transpose()?;
+                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model);
+                let col = if agg_col == "rid" { "rid" } else { &agg_col };
+                q.aggregate_by_version(agg, col, pred, &mut ctx)
+            }
+            VQuery::Diff { cvd, a, b } => {
+                let handle = self.handle(&cvd)?;
+                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model);
+                q.v_diff(a, b, &mut ctx)
+            }
+            VQuery::Intersect { cvd, versions } => {
+                let handle = self.handle(&cvd)?;
+                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model);
+                q.v_intersect(&versions, &mut ctx)
+            }
+            VQuery::JoinVersions {
+                cvd,
+                left,
+                right,
+                on,
+            } => {
+                let handle = self.handle(&cvd)?;
+                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model);
+                q.join_versions(left, right, &on, &mut ctx)
+            }
+        }
+    }
+
+    /// Execute a command-line style command string; the textual surface of
+    /// §3.3.1 (e.g. `checkout Interaction -v 1 -t my_table`).
+    pub fn execute(&mut self, line: &str) -> Result<CommandOutput> {
+        let args: Vec<&str> = line.split_whitespace().collect();
+        let Some(&cmd) = args.first() else {
+            return Err(Error::Parse("empty command".into()));
+        };
+        match cmd {
+            "create_user" => {
+                let name = arg_at(&args, 1)?;
+                self.create_user(name)?;
+                Ok(CommandOutput::Message(format!("created user {name}")))
+            }
+            "config" => {
+                let name = arg_at(&args, 1)?;
+                self.login(name)?;
+                Ok(CommandOutput::Message(format!("logged in as {name}")))
+            }
+            "whoami" => Ok(CommandOutput::Message(self.whoami()?.to_owned())),
+            "ls" => Ok(CommandOutput::Listing(self.list_cvds())),
+            "log" => {
+                let name = arg_at(&args, 1)?;
+                Ok(CommandOutput::Message(self.log(name)?))
+            }
+            "drop" => {
+                let name = arg_at(&args, 1)?;
+                self.drop_cvd(name)?;
+                Ok(CommandOutput::Message(format!("dropped {name}")))
+            }
+            "checkout" => {
+                let cvd = arg_at(&args, 1)?.to_owned();
+                let versions = flag_values(&args, "-v")?
+                    .iter()
+                    .map(|s| s.parse::<u32>().map(Vid))
+                    .collect::<std::result::Result<Vec<_>, _>>()
+                    .map_err(|e| Error::Parse(format!("bad version id: {e}")))?;
+                let table = flag_value(&args, "-t")?.to_owned();
+                self.checkout(&cvd, &versions, &table)?;
+                Ok(CommandOutput::Message(format!(
+                    "checked out {} version(s) of {cvd} into {table}",
+                    versions.len()
+                )))
+            }
+            "commit" => {
+                let table = flag_value(&args, "-t")?.to_owned();
+                let message = flag_values(&args, "-m")?.join(" ");
+                let result = self.commit(&table, &message)?;
+                Ok(CommandOutput::Version(result.vid))
+            }
+            "diff" => {
+                let cvd = arg_at(&args, 1)?.to_owned();
+                let vs = flag_values(&args, "-v")?;
+                if vs.len() != 2 {
+                    return Err(Error::Parse("diff needs exactly two versions".into()));
+                }
+                let a = Vid(vs[0].parse().map_err(|_| Error::Parse("bad vid".into()))?);
+                let b = Vid(vs[1].parse().map_err(|_| Error::Parse("bad vid".into()))?);
+                let (left, _right) = self.diff(&cvd, a, b)?;
+                Ok(CommandOutput::Table(left))
+            }
+            "optimize" => {
+                let cvd = arg_at(&args, 1)?.to_owned();
+                let gamma: f64 = flag_value(&args, "-g")
+                    .unwrap_or("2.0")
+                    .parse()
+                    .map_err(|_| Error::Parse("bad gamma".into()))?;
+                let parts = self.optimize(&cvd, gamma)?;
+                Ok(CommandOutput::Message(format!(
+                    "partitioned {cvd} into {parts} partition(s)"
+                )))
+            }
+            "run" => {
+                let sql = line[cmd.len()..].trim();
+                Ok(CommandOutput::Table(self.run(sql)?))
+            }
+            other => Err(Error::Parse(format!("unknown command: {other}"))),
+        }
+    }
+}
+
+fn arg_at<'a>(args: &[&'a str], i: usize) -> Result<&'a str> {
+    args.get(i)
+        .copied()
+        .ok_or_else(|| Error::Parse("missing argument".into()))
+}
+
+fn flag_value<'a>(args: &[&'a str], flag: &str) -> Result<&'a str> {
+    args.iter()
+        .position(|&a| a == flag)
+        .and_then(|i| args.get(i + 1).copied())
+        .ok_or_else(|| Error::Parse(format!("missing {flag} <value>")))
+}
+
+fn flag_values<'a>(args: &[&'a str], flag: &str) -> Result<Vec<&'a str>> {
+    let start = args
+        .iter()
+        .position(|&a| a == flag)
+        .ok_or_else(|| Error::Parse(format!("missing {flag}")))?;
+    let vals: Vec<&str> = args[start + 1..]
+        .iter()
+        .take_while(|a| !a.starts_with('-'))
+        .copied()
+        .collect();
+    if vals.is_empty() {
+        return Err(Error::Parse(format!("missing values for {flag}")));
+    }
+    Ok(vals)
+}
+
+// ---------------------------------------------------------------------------
+// CSV import/export
+// ---------------------------------------------------------------------------
+
+/// Serialize rows to CSV with a header line.
+pub fn to_csv<'a>(schema: &Schema, rows: impl Iterator<Item = &'a [Value]>) -> String {
+    let mut out = String::new();
+    let header: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                Value::Text(s) if s.contains(',') || s.contains('"') => {
+                    format!("\"{}\"", s.replace('"', "\"\""))
+                }
+                other => other.to_string(),
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse CSV text (with header) into rows of the given schema.
+pub fn from_csv(schema: &Schema, csv: &str) -> Result<Vec<Row>> {
+    let mut lines = csv.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::Parse("empty csv".into()))?;
+    let names: Vec<&str> = header.split(',').collect();
+    if names.len() != schema.len() {
+        return Err(Error::Parse(format!(
+            "csv has {} columns, schema expects {}",
+            names.len(),
+            schema.len()
+        )));
+    }
+    let mut rows = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_csv_line(line);
+        if fields.len() != schema.len() {
+            return Err(Error::Parse(format!(
+                "csv row has {} fields, expected {}",
+                fields.len(),
+                schema.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (field, col) in fields.iter().zip(schema.columns()) {
+            let v = if field.is_empty() {
+                Value::Null
+            } else {
+                match col.dtype {
+                    DataType::Int64 => Value::Int64(
+                        field
+                            .parse()
+                            .map_err(|_| Error::Parse(format!("bad int: {field}")))?,
+                    ),
+                    DataType::Float64 => Value::Float64(
+                        field
+                            .parse()
+                            .map_err(|_| Error::Parse(format!("bad float: {field}")))?,
+                    ),
+                    DataType::Bool => Value::Bool(field == "true"),
+                    DataType::Text => Value::Text(field.clone()),
+                    DataType::IntArray => {
+                        return Err(Error::Parse("arrays not supported in csv".into()))
+                    }
+                }
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Parse a schema spec string: `name:int,name:text,name:float,name:bool`.
+pub fn parse_schema_spec(spec: &str) -> Result<Schema> {
+    let mut cols = Vec::new();
+    for part in spec.split(',') {
+        let (name, ty) = part
+            .split_once(':')
+            .ok_or_else(|| Error::Parse(format!("bad schema entry: {part}")))?;
+        let dtype = match ty.trim().to_ascii_lowercase().as_str() {
+            "int" | "integer" => DataType::Int64,
+            "float" | "decimal" | "double" => DataType::Float64,
+            "text" | "string" | "varchar" => DataType::Text,
+            "bool" | "boolean" => DataType::Bool,
+            other => return Err(Error::Parse(format!("unknown type: {other}"))),
+        };
+        cols.push(Column::nullable(name.trim().to_owned(), dtype));
+    }
+    Ok(Schema::new(cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> OrpheusDb {
+        let mut odb = OrpheusDb::new();
+        odb.create_user("alice").unwrap();
+        odb.create_user("bob").unwrap();
+        odb.login("alice").unwrap();
+        let schema = Schema::new(vec![
+            Column::new("protein1", DataType::Text),
+            Column::new("protein2", DataType::Text),
+            Column::new("coexpression", DataType::Int64),
+        ]);
+        let rows = vec![
+            vec![Value::from("A"), Value::from("B"), Value::Int64(10)],
+            vec![Value::from("C"), Value::from("D"), Value::Int64(90)],
+            vec![Value::from("E"), Value::from("F"), Value::Int64(50)],
+        ];
+        odb.init_cvd(
+            "Interaction",
+            schema,
+            vec!["protein1".into(), "protein2".into()],
+            rows,
+        )
+        .unwrap();
+        odb
+    }
+
+    #[test]
+    fn checkout_modify_commit_cycle() {
+        let mut odb = setup();
+        odb.checkout("Interaction", &[Vid(0)], "work").unwrap();
+        {
+            let t = odb.staging_table_mut("work").unwrap();
+            let id = t
+                .iter()
+                .find(|(_, r)| r[0] == Value::from("A"))
+                .map(|(id, _)| id)
+                .unwrap();
+            let mut row = t.get(id).unwrap().clone();
+            row[2] = Value::Int64(11);
+            t.update(id, row).unwrap();
+        }
+        let res = odb.commit("work", "bump AB").unwrap();
+        assert_eq!(res.vid, Vid(1));
+        assert_eq!(res.new_records, 1);
+        // Staging table is gone after commit.
+        assert!(odb.staging_table("work").is_err());
+        let meta = odb.cvd("Interaction").unwrap().meta(Vid(1)).unwrap();
+        assert_eq!(meta.parents, vec![Vid(0)]);
+        assert_eq!(meta.author, "alice");
+        assert_eq!(meta.message, "bump AB");
+    }
+
+    #[test]
+    fn access_control_blocks_other_users() {
+        let mut odb = setup();
+        odb.checkout("Interaction", &[Vid(0)], "private").unwrap();
+        odb.login("bob").unwrap();
+        assert!(matches!(
+            odb.staging_table("private"),
+            Err(Error::PermissionDenied { .. })
+        ));
+        assert!(matches!(
+            odb.commit("private", "steal"),
+            Err(Error::PermissionDenied { .. })
+        ));
+        odb.login("alice").unwrap();
+        assert!(odb.commit("private", "mine").is_ok());
+    }
+
+    #[test]
+    fn command_strings_roundtrip() {
+        let mut odb = setup();
+        let out = odb.execute("whoami").unwrap();
+        assert_eq!(out, CommandOutput::Message("alice".into()));
+        odb.execute("checkout Interaction -v 0 -t t1").unwrap();
+        let out = odb.execute("commit -t t1 -m no changes").unwrap();
+        assert_eq!(out, CommandOutput::Version(Vid(1)));
+        let out = odb.execute("ls").unwrap();
+        assert_eq!(out, CommandOutput::Listing(vec!["Interaction".into()]));
+        let out = odb
+            .execute("run SELECT * FROM VERSION 0 OF CVD Interaction WHERE coexpression > 40")
+            .unwrap();
+        match out {
+            CommandOutput::Table(t) => assert_eq!(t.rows.len(), 2),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn versioned_sql_aggregate() {
+        let mut odb = setup();
+        odb.checkout("Interaction", &[Vid(0)], "w").unwrap();
+        {
+            let t = odb.staging_table_mut("w").unwrap();
+            t.insert(vec![
+                Value::from("G"),
+                Value::from("H"),
+                Value::Int64(99),
+            ])
+            .unwrap();
+        }
+        odb.commit("w", "insert GH").unwrap();
+        let result = odb
+            .run("SELECT vid, count(*) FROM CVD Interaction GROUP BY vid")
+            .unwrap();
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0], vec![Value::Int64(0), Value::Int64(3)]);
+        assert_eq!(result.rows[1], vec![Value::Int64(1), Value::Int64(4)]);
+    }
+
+    #[test]
+    fn csv_checkout_commit() {
+        let mut odb = setup();
+        let csv = odb
+            .checkout_csv("Interaction", &[Vid(0)], "data.csv")
+            .unwrap();
+        assert!(csv.starts_with("protein1,protein2,coexpression\n"));
+        assert_eq!(csv.lines().count(), 4);
+        // Edit the csv externally: change a value.
+        let edited = csv.replace("A,B,10", "A,B,12");
+        let res = odb
+            .commit_csv(
+                "data.csv",
+                &edited,
+                "protein1:text,protein2:text,coexpression:int",
+                "via csv",
+            )
+            .unwrap();
+        assert_eq!(res.new_records, 1);
+    }
+
+    #[test]
+    fn optimize_builds_partitions_and_serves_checkouts() {
+        let mut odb = setup();
+        // A couple of divergent versions.
+        for i in 0..4 {
+            let table = format!("t{i}");
+            odb.checkout("Interaction", &[Vid(i)], &table).unwrap();
+            {
+                let t = odb.staging_table_mut(&table).unwrap();
+                t.insert(vec![
+                    Value::from(format!("X{i}")),
+                    Value::from("Y"),
+                    Value::Int64(i as i64),
+                ])
+                .unwrap();
+            }
+            odb.commit(&table, "grow").unwrap();
+        }
+        let parts = odb.optimize("Interaction", 2.0).unwrap();
+        assert!(parts >= 1);
+        let (rows, _ctx) = odb.checkout_rows_fast("Interaction", Vid(4)).unwrap();
+        assert_eq!(
+            rows.len(),
+            odb.cvd("Interaction")
+                .unwrap()
+                .version_records(Vid(4))
+                .unwrap()
+                .len()
+        );
+        // Committing after optimize appends to the partitioned store.
+        odb.checkout("Interaction", &[Vid(4)], "post").unwrap();
+        let res = odb.commit("post", "after optimize").unwrap();
+        let (rows, _) = odb.checkout_rows_fast("Interaction", res.vid).unwrap();
+        assert!(!rows.is_empty());
+    }
+
+    #[test]
+    fn run_v_diff_and_intersect() {
+        let mut odb = setup();
+        odb.checkout("Interaction", &[Vid(0)], "w").unwrap();
+        {
+            let t = odb.staging_table_mut("w").unwrap();
+            let id = t.iter().next().map(|(id, _)| id).unwrap();
+            let mut row = t.get(id).unwrap().clone();
+            row[2] = Value::Int64(1234);
+            t.update(id, row).unwrap();
+        }
+        odb.commit("w", "change one").unwrap();
+        let diff = odb.run("SELECT * FROM V_DIFF(1, 0) OF CVD Interaction").unwrap();
+        assert_eq!(diff.rows.len(), 1);
+        assert_eq!(diff.rows[0][3], Value::Int64(1234));
+        let common = odb
+            .run("SELECT * FROM V_INTERSECT(0, 1) OF CVD Interaction")
+            .unwrap();
+        assert_eq!(common.rows.len(), 2);
+    }
+
+    #[test]
+    fn log_renders_version_graph() {
+        let mut odb = setup();
+        odb.checkout("Interaction", &[Vid(0)], "w").unwrap();
+        odb.commit("w", "second").unwrap();
+        let out = odb.log("Interaction").unwrap();
+        // Newest first, with parent pointers and metadata.
+        let first = out.lines().next().unwrap();
+        assert!(first.starts_with("* v1"), "{first}");
+        assert!(out.contains("← v0"));
+        assert!(out.contains("(root)"));
+        assert!(out.contains("msg: second"));
+        assert!(odb.log("nope").is_err());
+    }
+
+    #[test]
+    fn run_cross_version_join() {
+        let mut odb = setup();
+        odb.checkout("Interaction", &[Vid(0)], "w").unwrap();
+        {
+            let t = odb.staging_table_mut("w").unwrap();
+            let id = t
+                .iter()
+                .find(|(_, r)| r[0] == Value::from("A"))
+                .map(|(id, _)| id)
+                .unwrap();
+            let mut row = t.get(id).unwrap().clone();
+            row[2] = Value::Int64(11);
+            t.update(id, row).unwrap();
+        }
+        odb.commit("w", "bump").unwrap();
+        // Join v0 × v1 on coexpression: the two unchanged records match
+        // themselves (90=90, 50=50); the changed pair (10 vs 11) does not.
+        let rs = odb
+            .run("SELECT * FROM VERSION 0 OF CVD Interaction JOIN VERSION 1 ON coexpression")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        // Output carries both sides' attributes.
+        assert_eq!(rs.schema.len(), 8);
+    }
+
+    #[test]
+    fn drop_removes_everything() {
+        let mut odb = setup();
+        odb.execute("drop Interaction").unwrap();
+        assert!(odb.cvd("Interaction").is_err());
+        assert!(odb.run("SELECT * FROM VERSION 0 OF CVD Interaction").is_err());
+    }
+
+    #[test]
+    fn csv_quoting_roundtrip() {
+        let schema = Schema::new(vec![
+            Column::new("name", DataType::Text),
+            Column::new("x", DataType::Int64),
+        ]);
+        let rows = vec![
+            vec![Value::from("a,b"), Value::Int64(1)],
+            vec![Value::from("q\"uote"), Value::Int64(2)],
+        ];
+        let csv = to_csv(&schema, rows.iter().map(|r| r.as_slice()));
+        let parsed = from_csv(&schema, &csv).unwrap();
+        assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn schema_spec_parsing() {
+        let s = parse_schema_spec("a:int, b:text, c:float, d:bool").unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.column(2).unwrap().dtype, DataType::Float64);
+        assert!(parse_schema_spec("nope").is_err());
+        assert!(parse_schema_spec("x:blob").is_err());
+    }
+}

@@ -1,0 +1,816 @@
+//! The collaborative versioned dataset (CVD): record manager, version
+//! manager, and schema evolution (Chapters 3–4).
+//!
+//! A CVD corresponds to one relation and implicitly contains many versions
+//! of it. Records are immutable: any modification yields a new record with
+//! a fresh `rid`. Versions form a DAG (the version graph); each version is
+//! a set of `rid`s plus metadata (Fig. 4.2). The `Cvd` struct here is the
+//! *logical* source of truth; the physical representations of Chapter 4
+//! ([`crate::models`]) are materialized from it.
+
+use crate::error::{Error, Result};
+use partition::{Bipartite, Rid, VersionGraph, VersionTree, Vid};
+use relstore::{DataType, Row, Schema, Value};
+use std::collections::HashMap;
+
+/// Identifier of an entry in the attribute table (§4.3).
+pub type AttrId = u32;
+
+/// One row of the attribute table: a (name, type) pair. Any property change
+/// of an attribute creates a new entry (Fig. 4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    pub id: AttrId,
+    pub name: String,
+    pub dtype: DataType,
+}
+
+/// One row of the metadata table (Fig. 4.2a).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VersionMeta {
+    pub vid: Vid,
+    pub parents: Vec<Vid>,
+    /// Logical checkout timestamp (when the parent was materialized).
+    pub checkout_t: u64,
+    /// Logical commit timestamp.
+    pub commit_t: u64,
+    pub message: String,
+    pub author: String,
+    /// Attribute-table ids present in this version.
+    pub attributes: Vec<AttrId>,
+}
+
+/// Result of a commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitResult {
+    pub vid: Vid,
+    /// Records added to the CVD by this commit (new or modified rows).
+    pub new_records: usize,
+    /// Records reused from the parent version(s).
+    pub reused_records: usize,
+}
+
+/// Canonical byte encoding of a row, used to detect identical records
+/// during commit (the no-cross-version-diff rule compares the committed
+/// table against its parent versions only, §3.3.1).
+fn encode_row(row: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(row.len() * 9);
+    for v in row {
+        match v {
+            Value::Int64(x) => {
+                out.push(1);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::Float64(x) => {
+                out.push(2);
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            Value::Text(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                out.push(4);
+                out.push(*b as u8);
+            }
+            Value::IntArray(a) => {
+                out.push(5);
+                out.extend_from_slice(&(a.len() as u32).to_le_bytes());
+                for x in a {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Value::Null => out.push(0),
+        }
+    }
+    out
+}
+
+/// A collaborative versioned dataset.
+#[derive(Debug, Clone)]
+pub struct Cvd {
+    name: String,
+    /// The union ("single-pool", §4.3) schema over all versions.
+    schema: Schema,
+    /// Primary-key column names (stable across schema evolution).
+    pk_names: Vec<String>,
+    /// Record payloads by rid, padded to the current union schema width.
+    records: Vec<Row>,
+    version_records: Vec<Vec<Rid>>,
+    graph: VersionGraph,
+    metas: Vec<VersionMeta>,
+    attributes: Vec<Attribute>,
+    clock: u64,
+}
+
+impl Cvd {
+    /// Initialize a CVD from an initial table of records (the `init`
+    /// command). Creates version `v0`.
+    pub fn init(
+        name: impl Into<String>,
+        schema: Schema,
+        pk_names: Vec<String>,
+        rows: Vec<Row>,
+        author: &str,
+    ) -> Result<(Cvd, Vid)> {
+        for pk in &pk_names {
+            schema.index_of(pk)?;
+        }
+        let attributes: Vec<Attribute> = schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Attribute {
+                id: i as AttrId,
+                name: c.name.clone(),
+                dtype: c.dtype,
+            })
+            .collect();
+        let mut cvd = Cvd {
+            name: name.into(),
+            schema,
+            pk_names,
+            records: Vec::new(),
+            version_records: Vec::new(),
+            graph: VersionGraph::new(),
+            metas: Vec::new(),
+            attributes,
+            clock: 0,
+        };
+        let attr_ids: Vec<AttrId> = cvd.attributes.iter().map(|a| a.id).collect();
+        cvd.check_pk(&rows)?;
+        let mut rids = Vec::with_capacity(rows.len());
+        for row in rows {
+            cvd.schema.check_row(&row)?;
+            rids.push(cvd.push_record(row));
+        }
+        rids.sort_unstable();
+        let vid = cvd.graph.add_version(rids.len() as u64, &[]);
+        cvd.version_records.push(rids);
+        let t = cvd.tick();
+        cvd.metas.push(VersionMeta {
+            vid,
+            parents: Vec::new(),
+            checkout_t: t,
+            commit_t: t,
+            message: "init".into(),
+            author: author.into(),
+            attributes: attr_ids,
+        });
+        Ok((cvd, vid))
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn push_record(&mut self, row: Row) -> Rid {
+        let rid = Rid(self.records.len() as u64);
+        self.records.push(row);
+        rid
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The union schema across all versions (without the `rid` column).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn pk_names(&self) -> &[String] {
+        &self.pk_names
+    }
+
+    pub fn pk_cols(&self) -> Vec<usize> {
+        self.pk_names
+            .iter()
+            .map(|n| self.schema.index_of(n).expect("pk column exists"))
+            .collect()
+    }
+
+    pub fn num_versions(&self) -> usize {
+        self.graph.num_versions()
+    }
+
+    pub fn num_records(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn latest_version(&self) -> Vid {
+        Vid(self.graph.num_versions() as u32 - 1)
+    }
+
+    pub fn graph(&self) -> &VersionGraph {
+        &self.graph
+    }
+
+    pub fn meta(&self, v: Vid) -> Result<&VersionMeta> {
+        self.metas
+            .get(v.idx())
+            .ok_or(Error::VersionNotFound(v.0))
+    }
+
+    pub fn metas(&self) -> &[VersionMeta] {
+        &self.metas
+    }
+
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    pub fn record(&self, r: Rid) -> &Row {
+        &self.records[r.idx()]
+    }
+
+    pub fn version_records(&self, v: Vid) -> Result<&[Rid]> {
+        self.version_records
+            .get(v.idx())
+            .map(|r| r.as_slice())
+            .ok_or(Error::VersionNotFound(v.0))
+    }
+
+    fn check_version(&self, v: Vid) -> Result<()> {
+        if v.idx() < self.num_versions() {
+            Ok(())
+        } else {
+            Err(Error::VersionNotFound(v.0))
+        }
+    }
+
+    /// Enforce the per-version primary-key constraint (§3.1): within one
+    /// version, no two records share pk values. Across versions duplicates
+    /// are fine.
+    fn check_pk(&self, rows: &[Row]) -> Result<()> {
+        if self.pk_names.is_empty() {
+            return Ok(());
+        }
+        let cols: Vec<usize> = self
+            .pk_names
+            .iter()
+            .filter_map(|n| self.schema.index_of(n).ok())
+            .collect();
+        let mut seen = std::collections::HashSet::with_capacity(rows.len());
+        for row in rows {
+            let key: Vec<u8> = encode_row(
+                &cols
+                    .iter()
+                    .map(|&c| row.get(c).cloned().unwrap_or(Value::Null))
+                    .collect::<Vec<_>>(),
+            );
+            if !seen.insert(key) {
+                return Err(Error::PrimaryKeyViolation(format!(
+                    "duplicate key in committed version of {}",
+                    self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize the records of one or more versions, applying the
+    /// precedence-based merge of §3.3.1: records are added in the order the
+    /// versions are listed; a record whose primary key was already added is
+    /// omitted.
+    pub fn checkout_rows(&self, versions: &[Vid]) -> Result<Vec<(Rid, Row)>> {
+        for &v in versions {
+            self.check_version(v)?;
+        }
+        let pk_cols = self.pk_cols();
+        let mut out: Vec<(Rid, Row)> = Vec::new();
+        let mut seen_pk = std::collections::HashSet::new();
+        for &v in versions {
+            for &rid in &self.version_records[v.idx()] {
+                let row = &self.records[rid.idx()];
+                if pk_cols.is_empty() {
+                    out.push((rid, row.clone()));
+                    continue;
+                }
+                let key = encode_row(
+                    &pk_cols
+                        .iter()
+                        .map(|&c| row[c].clone())
+                        .collect::<Vec<_>>(),
+                );
+                if seen_pk.insert(key) {
+                    out.push((rid, row.clone()));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Commit a modified table as a new version derived from `parents`.
+    ///
+    /// `rows` are full-width rows in the CVD's current union schema. Per
+    /// the no-cross-version-diff rule, each row is compared against the
+    /// parent versions only: identical rows reuse the parent's rid, all
+    /// others get fresh rids (even if equal to some distant ancestor's
+    /// record).
+    pub fn commit(
+        &mut self,
+        parents: &[Vid],
+        rows: Vec<Row>,
+        message: &str,
+        author: &str,
+    ) -> Result<CommitResult> {
+        for &p in parents {
+            self.check_version(p)?;
+        }
+        self.check_pk(&rows)?;
+        // Parent lookup: encoded row -> rid.
+        let mut parent_index: HashMap<Vec<u8>, Rid> = HashMap::new();
+        for &p in parents {
+            for &rid in &self.version_records[p.idx()] {
+                parent_index.insert(encode_row(&self.records[rid.idx()]), rid);
+            }
+        }
+        let mut rids = Vec::with_capacity(rows.len());
+        let mut new_records = 0usize;
+        for row in rows {
+            self.schema.check_row(&row)?;
+            match parent_index.get(&encode_row(&row)) {
+                Some(&rid) => rids.push(rid),
+                None => {
+                    rids.push(self.push_record(row));
+                    new_records += 1;
+                }
+            }
+        }
+        let reused = rids.len() - new_records;
+        rids.sort_unstable();
+        rids.dedup();
+
+        let edges: Vec<(Vid, u64)> = parents
+            .iter()
+            .map(|&p| {
+                let w = partition::graph::intersect_count(&self.version_records[p.idx()], &rids);
+                (p, w)
+            })
+            .collect();
+        let vid = self.graph.add_version(rids.len() as u64, &edges);
+        self.version_records.push(rids);
+        let t = self.tick();
+        let attrs = self.attributes.iter().map(|a| a.id).collect();
+        self.metas.push(VersionMeta {
+            vid,
+            parents: parents.to_vec(),
+            checkout_t: t.saturating_sub(1),
+            commit_t: t,
+            message: message.into(),
+            author: author.into(),
+            attributes: attrs,
+        });
+        Ok(CommitResult {
+            vid,
+            new_records,
+            reused_records: reused,
+        })
+    }
+
+    /// Commit rows whose schema differs from the CVD's: new attributes are
+    /// appended to the single-pool schema (older records padded with NULL),
+    /// type changes are widened (integer → decimal → string, §4.3), and
+    /// attributes missing from `schema` are simply absent from the new
+    /// version's attribute list.
+    pub fn commit_with_schema(
+        &mut self,
+        parents: &[Vid],
+        schema: &Schema,
+        rows: Vec<Row>,
+        message: &str,
+        author: &str,
+    ) -> Result<CommitResult> {
+        // Evolve the union schema and build the column mapping.
+        let mut mapping = Vec::with_capacity(schema.len());
+        let mut version_attrs: Vec<AttrId> = Vec::with_capacity(schema.len());
+        for col in schema.columns() {
+            let target = match self.schema.index_of(&col.name) {
+                Ok(idx) => {
+                    let existing = self.schema.column(idx).unwrap().dtype;
+                    if existing != col.dtype {
+                        let general = existing.generalize(col.dtype).ok_or_else(|| {
+                            Error::SchemaEvolution(format!(
+                                "attribute {}: cannot reconcile {} with {}",
+                                col.name, existing, col.dtype
+                            ))
+                        })?;
+                        if general != existing {
+                            // Widen the stored records in place.
+                            self.schema
+                                .widen_column(&col.name, general)
+                                .map_err(Error::Storage)?;
+                            for row in &mut self.records {
+                                if let Some(w) = row[idx].widen(general) {
+                                    row[idx] = w;
+                                }
+                            }
+                        }
+                    }
+                    idx
+                }
+                Err(_) => {
+                    // Brand-new attribute: extend schema, pad old records.
+                    let idx = self
+                        .schema
+                        .add_column(relstore::Column::nullable(col.name.clone(), col.dtype))
+                        .map_err(Error::Storage)?;
+                    for row in &mut self.records {
+                        row.push(Value::Null);
+                    }
+                    idx
+                }
+            };
+            // Attribute-table entry for (name, current dtype).
+            let dtype = self.schema.column(target).unwrap().dtype;
+            let attr_id = match self
+                .attributes
+                .iter()
+                .find(|a| a.name == col.name && a.dtype == dtype)
+            {
+                Some(a) => a.id,
+                None => {
+                    let id = self.attributes.len() as AttrId;
+                    self.attributes.push(Attribute {
+                        id,
+                        name: col.name.clone(),
+                        dtype,
+                    });
+                    id
+                }
+            };
+            version_attrs.push(attr_id);
+            mapping.push(target);
+        }
+
+        // Re-project rows into the union layout, widening values as needed.
+        let width = self.schema.len();
+        let projected: Vec<Row> = rows
+            .into_iter()
+            .map(|row| {
+                let mut out = vec![Value::Null; width];
+                for (src, &dst) in mapping.iter().enumerate() {
+                    let dtype = self.schema.column(dst).unwrap().dtype;
+                    out[dst] = row[src].widen(dtype).unwrap_or(Value::Null);
+                }
+                out
+            })
+            .collect();
+
+        let mut result = self.commit(parents, projected, message, author)?;
+        // Overwrite the version's attribute list with the committed schema.
+        self.metas[result.vid.idx()].attributes = version_attrs;
+        result.vid = self.metas[result.vid.idx()].vid;
+        Ok(result)
+    }
+
+    /// `diff`: rids in `a` but not in `b`, and vice versa (§3.3.1(a)).
+    pub fn diff(&self, a: Vid, b: Vid) -> Result<(Vec<Rid>, Vec<Rid>)> {
+        self.check_version(a)?;
+        self.check_version(b)?;
+        let ra = &self.version_records[a.idx()];
+        let rb = &self.version_records[b.idx()];
+        let only_a = ra
+            .iter()
+            .copied()
+            .filter(|r| rb.binary_search(r).is_err())
+            .collect();
+        let only_b = rb
+            .iter()
+            .copied()
+            .filter(|r| ra.binary_search(r).is_err())
+            .collect();
+        Ok((only_a, only_b))
+    }
+
+    /// `v_intersect`: records present in all given versions (§3.3.2(c)).
+    pub fn v_intersect(&self, versions: &[Vid]) -> Result<Vec<Rid>> {
+        if versions.is_empty() {
+            return Ok(Vec::new());
+        }
+        for &v in versions {
+            self.check_version(v)?;
+        }
+        let mut acc: Vec<Rid> = self.version_records[versions[0].idx()].clone();
+        for &v in &versions[1..] {
+            let set = &self.version_records[v.idx()];
+            acc.retain(|r| set.binary_search(r).is_ok());
+        }
+        Ok(acc)
+    }
+
+    /// The bipartite version–record graph of this CVD.
+    pub fn bipartite(&self) -> Bipartite {
+        let mut b = Bipartite::new(self.records.len() as u64);
+        for records in &self.version_records {
+            b.push_version(records.clone());
+        }
+        b
+    }
+
+    /// The version tree (with the DAG→tree transform of §5.3.1 if needed).
+    pub fn tree(&self) -> VersionTree {
+        let b = self.bipartite();
+        self.graph.to_tree(Some(&b))
+    }
+
+    /// Rows of a version projected onto the attributes that version
+    /// actually has (per its metadata attribute list).
+    pub fn checkout_projected(&self, v: Vid) -> Result<(Schema, Vec<Row>)> {
+        self.check_version(v)?;
+        let meta = &self.metas[v.idx()];
+        let cols: Vec<usize> = meta
+            .attributes
+            .iter()
+            .map(|&a| {
+                let attr = &self.attributes[a as usize];
+                self.schema.index_of(&attr.name).expect("attr in schema")
+            })
+            .collect();
+        let schema = self.schema.project(&cols);
+        let rows = self.version_records[v.idx()]
+            .iter()
+            .map(|&rid| {
+                let row = &self.records[rid.idx()];
+                cols.iter().map(|&c| row[c].clone()).collect()
+            })
+            .collect();
+        Ok((schema, rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::Column;
+
+    fn protein_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("protein1", DataType::Text),
+            Column::new("protein2", DataType::Text),
+            Column::new("neighborhood", DataType::Int64),
+            Column::new("cooccurrence", DataType::Int64),
+            Column::new("coexpression", DataType::Int64),
+        ])
+    }
+
+    fn row(p1: &str, p2: &str, n: i64, co: i64, ce: i64) -> Row {
+        vec![
+            Value::from(p1),
+            Value::from(p2),
+            Value::Int64(n),
+            Value::Int64(co),
+            Value::Int64(ce),
+        ]
+    }
+
+    fn init_cvd() -> (Cvd, Vid) {
+        Cvd::init(
+            "Interaction",
+            protein_schema(),
+            vec!["protein1".into(), "protein2".into()],
+            vec![
+                row("ENSP273047", "ENSP261890", 0, 53, 0),
+                row("ENSP273047", "ENSP235932", 0, 87, 0),
+                row("ENSP300413", "ENSP274242", 426, 0, 164),
+            ],
+            "alice",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn init_creates_v0() {
+        let (cvd, v0) = init_cvd();
+        assert_eq!(v0, Vid(0));
+        assert_eq!(cvd.num_versions(), 1);
+        assert_eq!(cvd.num_records(), 3);
+        assert_eq!(cvd.version_records(v0).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn commit_reuses_unchanged_records() {
+        let (mut cvd, v0) = init_cvd();
+        let mut rows: Vec<Row> = cvd
+            .checkout_rows(&[v0])
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        // Modify one record's coexpression (an update), keep the rest.
+        rows[0][4] = Value::Int64(83);
+        let res = cvd.commit(&[v0], rows, "updated coexpression", "bob").unwrap();
+        assert_eq!(res.new_records, 1);
+        assert_eq!(res.reused_records, 2);
+        assert_eq!(cvd.num_records(), 4); // immutable records: one new rid
+        let w = cvd.graph().weight(v0, res.vid);
+        assert_eq!(w, 2);
+    }
+
+    #[test]
+    fn commit_identical_table_shares_everything() {
+        let (mut cvd, v0) = init_cvd();
+        let rows: Vec<Row> = cvd
+            .checkout_rows(&[v0])
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let res = cvd.commit(&[v0], rows, "no-op", "bob").unwrap();
+        assert_eq!(res.new_records, 0);
+        assert_eq!(cvd.version_records(res.vid).unwrap(), cvd.version_records(v0).unwrap());
+    }
+
+    #[test]
+    fn no_cross_version_diff_rule() {
+        // Delete a record, commit, re-add it identically: it gets a NEW rid
+        // because commits only compare against parents (§3.3.1).
+        let (mut cvd, v0) = init_cvd();
+        let rows: Vec<Row> = cvd
+            .checkout_rows(&[v0])
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let deleted = rows[2].clone();
+        let v1 = cvd
+            .commit(&[v0], rows[..2].to_vec(), "delete", "bob")
+            .unwrap()
+            .vid;
+        let mut back = rows[..2].to_vec();
+        back.push(deleted);
+        let res = cvd.commit(&[v1], back, "re-add", "bob").unwrap();
+        assert_eq!(res.new_records, 1, "re-added record must get a fresh rid");
+    }
+
+    #[test]
+    fn pk_enforced_within_version_not_across() {
+        let (mut cvd, v0) = init_cvd();
+        // Same pk twice in one commit → error.
+        let dup = vec![
+            row("A", "B", 1, 1, 1),
+            row("A", "B", 2, 2, 2),
+        ];
+        assert!(matches!(
+            cvd.commit(&[v0], dup, "dup", "bob"),
+            Err(Error::PrimaryKeyViolation(_))
+        ));
+        // Same pk as v0 with different attrs in a *different* version → ok.
+        let other = vec![row("ENSP273047", "ENSP261890", 9, 9, 9)];
+        assert!(cvd.commit(&[v0], other, "changed", "bob").is_ok());
+    }
+
+    #[test]
+    fn multi_version_checkout_precedence() {
+        let (mut cvd, v0) = init_cvd();
+        let rows: Vec<Row> = cvd
+            .checkout_rows(&[v0])
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let mut changed = rows.clone();
+        changed[0][4] = Value::Int64(999);
+        let v1 = cvd.commit(&[v0], changed, "change", "bob").unwrap().vid;
+        // Checkout [v1, v0]: v1's record wins for the shared pk.
+        let merged = cvd.checkout_rows(&[v1, v0]).unwrap();
+        assert_eq!(merged.len(), 3);
+        let first = merged
+            .iter()
+            .find(|(_, r)| r[0] == Value::from("ENSP273047") && r[1] == Value::from("ENSP261890"))
+            .unwrap();
+        assert_eq!(first.1[4], Value::Int64(999));
+        // Reversed precedence: v0's record wins.
+        let merged = cvd.checkout_rows(&[v0, v1]).unwrap();
+        let first = merged
+            .iter()
+            .find(|(_, r)| r[0] == Value::from("ENSP273047") && r[1] == Value::from("ENSP261890"))
+            .unwrap();
+        assert_eq!(first.1[4], Value::Int64(0));
+    }
+
+    #[test]
+    fn merge_commit_records_both_parents() {
+        let (mut cvd, v0) = init_cvd();
+        let rows: Vec<Row> = cvd
+            .checkout_rows(&[v0])
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let mut a = rows.clone();
+        a[0][2] = Value::Int64(1);
+        let v1 = cvd.commit(&[v0], a, "branch a", "alice").unwrap().vid;
+        let mut b = rows.clone();
+        b[1][2] = Value::Int64(2);
+        let v2 = cvd.commit(&[v0], b, "branch b", "bob").unwrap().vid;
+        let merged_rows: Vec<Row> = cvd
+            .checkout_rows(&[v1, v2])
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let v3 = cvd
+            .commit(&[v1, v2], merged_rows, "merge", "carol")
+            .unwrap()
+            .vid;
+        assert_eq!(cvd.meta(v3).unwrap().parents, vec![v1, v2]);
+        assert!(cvd.graph().has_merges());
+        // Merge introduces no new records.
+        assert_eq!(cvd.num_records(), 3 + 1 + 1);
+    }
+
+    #[test]
+    fn diff_and_intersect() {
+        let (mut cvd, v0) = init_cvd();
+        let rows: Vec<Row> = cvd
+            .checkout_rows(&[v0])
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let mut changed = rows.clone();
+        changed[0][4] = Value::Int64(83);
+        let v1 = cvd.commit(&[v0], changed, "x", "bob").unwrap().vid;
+        let (only_a, only_b) = cvd.diff(v0, v1).unwrap();
+        assert_eq!(only_a.len(), 1);
+        assert_eq!(only_b.len(), 1);
+        let common = cvd.v_intersect(&[v0, v1]).unwrap();
+        assert_eq!(common.len(), 2);
+    }
+
+    #[test]
+    fn schema_evolution_adds_and_widens() {
+        let (mut cvd, v0) = init_cvd();
+        // Commit with cooccurrence as decimal and a new "source" column,
+        // mirroring Fig. 4.3.
+        let new_schema = Schema::new(vec![
+            Column::new("protein1", DataType::Text),
+            Column::new("protein2", DataType::Text),
+            Column::new("neighborhood", DataType::Int64),
+            Column::new("cooccurrence", DataType::Float64),
+            Column::new("coexpression", DataType::Int64),
+            Column::new("source", DataType::Text),
+        ]);
+        let rows = vec![vec![
+            Value::from("P1"),
+            Value::from("P2"),
+            Value::Int64(1),
+            Value::Float64(0.5),
+            Value::Int64(7),
+            Value::from("lab"),
+        ]];
+        let res = cvd
+            .commit_with_schema(&[v0], &new_schema, rows, "evolve", "bob")
+            .unwrap();
+        // The union schema widened cooccurrence and gained `source`.
+        let idx = cvd.schema().index_of("cooccurrence").unwrap();
+        assert_eq!(cvd.schema().column(idx).unwrap().dtype, DataType::Float64);
+        assert!(cvd.schema().contains("source"));
+        // Old records were widened and padded.
+        let old = cvd.record(Rid(0));
+        assert_eq!(old[3], Value::Float64(53.0));
+        assert_eq!(old[5], Value::Null);
+        // Attribute table gained two entries: decimal cooccurrence + source.
+        assert_eq!(cvd.attributes().len(), 7);
+        // v0's projection still shows five original attributes as integers…
+        let (s0, _) = cvd.checkout_projected(v0).unwrap();
+        assert_eq!(s0.len(), 5);
+        // …while the new version projects six.
+        let (s1, r1) = cvd.checkout_projected(res.vid).unwrap();
+        assert_eq!(s1.len(), 6);
+        assert_eq!(r1[0][5], Value::from("lab"));
+    }
+
+    #[test]
+    fn version_not_found_errors() {
+        let (cvd, _) = init_cvd();
+        assert!(matches!(
+            cvd.version_records(Vid(9)),
+            Err(Error::VersionNotFound(9))
+        ));
+        assert!(cvd.checkout_rows(&[Vid(9)]).is_err());
+    }
+
+    #[test]
+    fn bipartite_and_tree_roundtrip() {
+        let (mut cvd, v0) = init_cvd();
+        let rows: Vec<Row> = cvd
+            .checkout_rows(&[v0])
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let mut c = rows.clone();
+        c[0][4] = Value::Int64(83);
+        cvd.commit(&[v0], c, "x", "b").unwrap();
+        let b = cvd.bipartite();
+        assert_eq!(b.num_versions(), 2);
+        assert_eq!(b.num_records(), 4);
+        let t = cvd.tree();
+        assert_eq!(t.num_records(), 4);
+    }
+}

@@ -1,0 +1,659 @@
+//! The versioned query layer (§3.3.2).
+//!
+//! OrpheusDB lets users run SQL directly against versions without
+//! materializing them:
+//!
+//! ```sql
+//! SELECT * FROM VERSION 1, 2 OF CVD Interaction
+//!   WHERE coexpression > 80 LIMIT 50;
+//! SELECT vid, count(*) FROM CVD Interaction GROUP BY vid;
+//! ```
+//!
+//! plus functional primitives over the version graph —
+//! `ancestor(v)`, `descendant(v)`, `parent(v)`, `v_diff(a, b)`,
+//! `v_intersect(vs)`. Queries are translated into plans over the
+//! split-by-rlist physical tables, exactly as the middleware translates
+//! them to PostgreSQL SQL in the original.
+
+use crate::cvd::Cvd;
+use crate::error::{Error, Result};
+use crate::models::SplitByRlist;
+use partition::Vid;
+use relstore::{
+    AggFunc, BinOp, Database, ExecContext, Executor, Expr, Filter, HashJoin, Limit, Project,
+    Row, Schema, SeqScan, Value, Values,
+};
+
+/// A query result: a schema plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+/// Versioned queries over a CVD stored under the split-by-rlist model.
+pub struct VersionedQuery<'a> {
+    db: &'a Database,
+    cvd: &'a Cvd,
+    model: &'a SplitByRlist,
+}
+
+impl<'a> VersionedQuery<'a> {
+    pub fn new(db: &'a Database, cvd: &'a Cvd, model: &'a SplitByRlist) -> Self {
+        VersionedQuery { db, cvd, model }
+    }
+
+    /// Output schema of `SELECT *`: `[rid, attrs…]`.
+    fn star_schema(&self) -> Schema {
+        crate::models::data_schema(self.cvd)
+    }
+
+    /// Collect the rids of the listed versions (union, deduplicated).
+    fn rids_of(&self, versions: &[Vid]) -> Result<Vec<i64>> {
+        let mut rids: Vec<i64> = Vec::new();
+        for &v in versions {
+            rids.extend(self.cvd.version_records(v)?.iter().map(|r| r.0 as i64));
+        }
+        rids.sort_unstable();
+        rids.dedup();
+        Ok(rids)
+    }
+
+    /// `SELECT * FROM VERSION v1, v2… OF CVD c [WHERE pred] [LIMIT n]`.
+    /// The predicate is over the `[rid, attrs…]` schema.
+    pub fn select_versions(
+        &self,
+        versions: &[Vid],
+        predicate: Option<Expr>,
+        limit: Option<usize>,
+        ctx: &mut ExecContext,
+    ) -> Result<QueryResult> {
+        let rids = self.rids_of(versions)?;
+        let data = self.db.table(&self.model.data_name())?;
+        let build = Box::new(Values::ints("rid", rids));
+        let probe = Box::new(SeqScan::new(data));
+        let join = Box::new(HashJoin::new(build, probe, 0, 0));
+        let cols: Vec<usize> = (1..join.schema().len()).collect();
+        let mut plan: Box<dyn Executor + '_> = Box::new(Project::columns(join, &cols));
+        if let Some(pred) = predicate {
+            plan = Box::new(Filter::new(plan, pred));
+        }
+        if let Some(n) = limit {
+            plan = Box::new(Limit::new(plan, n));
+        }
+        let rows = relstore::collect(plan.as_mut(), ctx)?;
+        // The projection is exactly the star schema; use its column names
+        // (the join output renames collided columns with an rhs_ prefix).
+        Ok(QueryResult {
+            schema: self.star_schema(),
+            rows,
+        })
+    }
+
+    /// `SELECT vid, agg(col) FROM CVD c [WHERE pred] GROUP BY vid`
+    /// (§3.3.2): the aggregate runs across every version of the CVD.
+    pub fn aggregate_by_version(
+        &self,
+        agg: AggFunc,
+        agg_col: &str,
+        predicate: Option<Expr>,
+        ctx: &mut ExecContext,
+    ) -> Result<QueryResult> {
+        let data = self.db.table(&self.model.data_name())?;
+        let vtab = self.db.table(&self.model.vtab_name())?;
+        // (vid, rid) pairs via unnest of every rlist.
+        let scan = Box::new(SeqScan::new(vtab));
+        let unnest = Box::new(relstore::Unnest::new(scan, 1).map_err(Error::Storage)?);
+        // Join with the data table on rid.
+        let probe = Box::new(SeqScan::new(data));
+        let join = Box::new(HashJoin::new(unnest, probe, 1, 0));
+        // Joined schema: [vid, rid, rid, attrs…] — predicate columns are
+        // offset by 2 relative to the star schema.
+        let mut plan: Box<dyn Executor + '_> = join;
+        if let Some(pred) = predicate {
+            plan = Box::new(Filter::new(plan, shift_columns(&pred, 2)));
+        }
+        // Joined schema: [vid, rid, rid, attrs…]; star column i sits at i+2.
+        let agg_idx = 2 + self.star_schema().index_of(agg_col).map_err(Error::Storage)?;
+        let mut aggregate = relstore::HashAggregate::new(plan, vec![0], vec![(agg, agg_idx)]);
+        let schema = aggregate.schema().clone();
+        let rows = aggregate.collect(ctx)?;
+        Ok(QueryResult { schema, rows })
+    }
+
+    /// Versions whose aggregate satisfies `cmp value` — e.g. *“find versions
+    /// where the total count of tuples with protein1 = X is greater than
+    /// 50”* (§4.1).
+    pub fn versions_where_aggregate(
+        &self,
+        agg: AggFunc,
+        agg_col: &str,
+        predicate: Option<Expr>,
+        cmp: BinOp,
+        value: Value,
+        ctx: &mut ExecContext,
+    ) -> Result<Vec<Vid>> {
+        let result = self.aggregate_by_version(agg, agg_col, predicate, ctx)?;
+        let mut out = Vec::new();
+        for row in &result.rows {
+            let matches = Expr::Bin(
+                cmp,
+                Box::new(Expr::col(1)),
+                Box::new(Expr::Const(value.clone())),
+            )
+            .matches(row, &mut ctx.tracker)?;
+            if matches {
+                out.push(Vid(row[0].as_i64().unwrap() as u32));
+            }
+        }
+        Ok(out)
+    }
+
+    /// `v_diff(a, b)` as a query: records in `a` but not `b`, materialized.
+    pub fn v_diff(&self, a: Vid, b: Vid, ctx: &mut ExecContext) -> Result<QueryResult> {
+        let (only_a, _) = self.cvd.diff(a, b)?;
+        let rids: Vec<i64> = only_a.iter().map(|r| r.0 as i64).collect();
+        self.fetch_rids(rids, ctx)
+    }
+
+    /// `v_intersect(vs)`: records present in every listed version.
+    pub fn v_intersect(&self, versions: &[Vid], ctx: &mut ExecContext) -> Result<QueryResult> {
+        let rids: Vec<i64> = self
+            .cvd
+            .v_intersect(versions)?
+            .iter()
+            .map(|r| r.0 as i64)
+            .collect();
+        self.fetch_rids(rids, ctx)
+    }
+
+    /// Join two versions of the CVD on an attribute: rows are
+    /// `[left rid, left attrs…, right rid, right attrs…]` — how §3.3.2's
+    /// renaming trick lets one SQL statement compare versions.
+    pub fn join_versions(
+        &self,
+        left: Vid,
+        right: Vid,
+        on: &str,
+        ctx: &mut ExecContext,
+    ) -> Result<QueryResult> {
+        // The join attribute must be Int64 (the engine's join-key type).
+        let col = 1 + self.cvd.schema().index_of(on).map_err(Error::Storage)?;
+        let data = self.db.table(&self.model.data_name())?;
+        let fetch_side = |v: Vid, ctx: &mut ExecContext| -> Result<Vec<Row>> {
+            let rids: Vec<i64> = self
+                .cvd
+                .version_records(v)?
+                .iter()
+                .map(|r| r.0 as i64)
+                .collect();
+            let build = Box::new(Values::ints("rid", rids));
+            let probe = Box::new(SeqScan::new(data));
+            let join = Box::new(HashJoin::new(build, probe, 0, 0));
+            let cols: Vec<usize> = (1..join.schema().len()).collect();
+            Ok(relstore::collect(&mut Project::columns(join, &cols), ctx)?)
+        };
+        let left_rows = fetch_side(left, ctx)?;
+        let right_rows = fetch_side(right, ctx)?;
+        let star = self.star_schema();
+        let schema = star.join(&star);
+        let lhs = Box::new(Values::new(star.clone(), left_rows));
+        let rhs = Box::new(Values::new(star, right_rows));
+        let mut join = HashJoin::new(lhs, rhs, col, col);
+        let rows = join.collect(ctx)?;
+        Ok(QueryResult { schema, rows })
+    }
+
+    fn fetch_rids(&self, rids: Vec<i64>, ctx: &mut ExecContext) -> Result<QueryResult> {
+        let data = self.db.table(&self.model.data_name())?;
+        let build = Box::new(Values::ints("rid", rids));
+        let probe = Box::new(SeqScan::new(data));
+        let join = Box::new(HashJoin::new(build, probe, 0, 0));
+        let cols: Vec<usize> = (1..join.schema().len()).collect();
+        let mut project = Project::columns(join, &cols);
+        let rows = project.collect(ctx)?;
+        Ok(QueryResult {
+            schema: self.star_schema(),
+            rows,
+        })
+    }
+}
+
+/// Rewrite column ordinals in an expression by a fixed offset (used when a
+/// predicate written against `[rid, attrs…]` runs over a join output with
+/// leading bookkeeping columns).
+fn shift_columns(e: &Expr, offset: usize) -> Expr {
+    match e {
+        Expr::Col(i) => Expr::Col(i + offset),
+        Expr::Const(v) => Expr::Const(v.clone()),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(shift_columns(l, offset)),
+            Box::new(shift_columns(r, offset)),
+        ),
+        Expr::And(l, r) => Expr::And(
+            Box::new(shift_columns(l, offset)),
+            Box::new(shift_columns(r, offset)),
+        ),
+        Expr::Or(l, r) => Expr::Or(
+            Box::new(shift_columns(l, offset)),
+            Box::new(shift_columns(r, offset)),
+        ),
+        Expr::Not(x) => Expr::Not(Box::new(shift_columns(x, offset))),
+        Expr::ArrayContains(l, r) => Expr::ArrayContains(
+            Box::new(shift_columns(l, offset)),
+            Box::new(shift_columns(r, offset)),
+        ),
+        Expr::ArrayAppend(l, r) => Expr::ArrayAppend(
+            Box::new(shift_columns(l, offset)),
+            Box::new(shift_columns(r, offset)),
+        ),
+        Expr::IsNull(x) => Expr::IsNull(Box::new(shift_columns(x, offset))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A small parser for the versioned-SQL surface used by the `run` command.
+// ---------------------------------------------------------------------------
+
+/// A parsed versioned query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VQuery {
+    /// `SELECT * FROM VERSION v… OF CVD name [WHERE col op lit] [LIMIT n]`
+    SelectVersions {
+        cvd: String,
+        versions: Vec<Vid>,
+        predicate: Option<(String, BinOp, Value)>,
+        limit: Option<usize>,
+    },
+    /// `SELECT vid, AGG(col) FROM CVD name [WHERE col op lit] GROUP BY vid`
+    AggregateByVersion {
+        cvd: String,
+        agg: AggFunc,
+        agg_col: String,
+        predicate: Option<(String, BinOp, Value)>,
+    },
+    /// `SELECT * FROM V_DIFF(a, b) OF CVD name` — records in `a` not in `b`
+    /// (§3.3.2(b)).
+    Diff { cvd: String, a: Vid, b: Vid },
+    /// `SELECT * FROM VERSION a OF CVD name JOIN VERSION b ON col` — a
+    /// cross-version self-join via renaming ("users can operate directly on
+    /// multiple versions within a single SQL statement", §3.3.2).
+    JoinVersions {
+        cvd: String,
+        left: Vid,
+        right: Vid,
+        on: String,
+    },
+    /// `SELECT * FROM V_INTERSECT(v…) OF CVD name` — records in every
+    /// listed version (§3.3.2(c)).
+    Intersect { cvd: String, versions: Vec<Vid> },
+}
+
+/// Parse the SQL-ish syntax of §3.3.2. Case-insensitive keywords.
+pub fn parse_query(input: &str) -> Result<VQuery> {
+    let tokens = tokenize(input);
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect_kw("SELECT")?;
+    if p.peek_is("VID") {
+        p.next();
+        p.expect_tok(",")?;
+        let (agg, col) = p.parse_agg()?;
+        p.expect_kw("FROM")?;
+        p.expect_kw("CVD")?;
+        let cvd = p.ident()?;
+        let predicate = p.parse_where()?;
+        p.expect_kw("GROUP")?;
+        p.expect_kw("BY")?;
+        p.expect_kw("VID")?;
+        p.end()?;
+        Ok(VQuery::AggregateByVersion {
+            cvd,
+            agg,
+            agg_col: col,
+            predicate,
+        })
+    } else {
+        p.expect_tok("*")?;
+        p.expect_kw("FROM")?;
+        if p.peek_is("V_DIFF") || p.peek_is("V_INTERSECT") {
+            let func = p.ident()?.to_ascii_lowercase();
+            p.expect_tok("(")?;
+            let mut versions = vec![Vid(p.number()? as u32)];
+            while p.peek_is(",") {
+                p.next();
+                versions.push(Vid(p.number()? as u32));
+            }
+            p.expect_tok(")")?;
+            p.expect_kw("OF")?;
+            p.expect_kw("CVD")?;
+            let cvd = p.ident()?;
+            p.end()?;
+            return if func == "v_diff" {
+                if versions.len() != 2 {
+                    return Err(Error::Parse("v_diff takes exactly two versions".into()));
+                }
+                Ok(VQuery::Diff {
+                    cvd,
+                    a: versions[0],
+                    b: versions[1],
+                })
+            } else {
+                Ok(VQuery::Intersect { cvd, versions })
+            };
+        }
+        p.expect_kw("VERSION")?;
+        let mut versions = vec![Vid(p.number()? as u32)];
+        while p.peek_is(",") {
+            p.next();
+            versions.push(Vid(p.number()? as u32));
+        }
+        p.expect_kw("OF")?;
+        p.expect_kw("CVD")?;
+        let cvd = p.ident()?;
+        if p.peek_is("JOIN") {
+            p.next();
+            p.expect_kw("VERSION")?;
+            let right = Vid(p.number()? as u32);
+            p.expect_kw("ON")?;
+            let on = p.ident()?;
+            p.end()?;
+            if versions.len() != 1 {
+                return Err(Error::Parse("JOIN takes one version per side".into()));
+            }
+            return Ok(VQuery::JoinVersions {
+                cvd,
+                left: versions[0],
+                right,
+                on,
+            });
+        }
+        let predicate = p.parse_where()?;
+        let limit = if p.peek_is("LIMIT") {
+            p.next();
+            Some(p.number()? as usize)
+        } else {
+            None
+        };
+        p.end()?;
+        Ok(VQuery::SelectVersions {
+            cvd,
+            versions,
+            predicate,
+            limit,
+        })
+    }
+}
+
+fn tokenize(input: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            ',' | '(' | ')' | '*' | ';' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                if c != ';' {
+                    out.push(c.to_string());
+                }
+            }
+            '>' | '<' | '=' | '!' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                let mut op = c.to_string();
+                if chars.peek() == Some(&'=') {
+                    op.push('=');
+                    chars.next();
+                }
+                out.push(op);
+            }
+            '\'' => {
+                // String literal.
+                let mut s = String::from("'");
+                for c2 in chars.by_ref() {
+                    if c2 == '\'' {
+                        break;
+                    }
+                    s.push(c2);
+                }
+                out.push(s);
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+struct Parser {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn peek_is(&self, kw: &str) -> bool {
+        self.peek()
+            .map(|t| t.eq_ignore_ascii_case(kw))
+            .unwrap_or(false)
+    }
+
+    fn next(&mut self) -> Option<String> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(t) if t.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(Error::Parse(format!(
+                "expected {kw}, got {}",
+                other.unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn expect_tok(&mut self, tok: &str) -> Result<()> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(Error::Parse(format!(
+                "expected {tok}, got {}",
+                other.unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.next()
+            .ok_or_else(|| Error::Parse("expected identifier".into()))
+    }
+
+    fn number(&mut self) -> Result<i64> {
+        let t = self.ident()?;
+        t.parse()
+            .map_err(|_| Error::Parse(format!("expected number, got {t}")))
+    }
+
+    fn parse_agg(&mut self) -> Result<(AggFunc, String)> {
+        let name = self.ident()?;
+        let agg = match name.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            other => return Err(Error::Parse(format!("unknown aggregate {other}"))),
+        };
+        self.expect_tok("(")?;
+        let col = match self.next() {
+            Some(t) if t == "*" => "rid".to_owned(),
+            Some(t) => t,
+            None => return Err(Error::Parse("expected column".into())),
+        };
+        self.expect_tok(")")?;
+        Ok((agg, col))
+    }
+
+    fn parse_where(&mut self) -> Result<Option<(String, BinOp, Value)>> {
+        if !self.peek_is("WHERE") {
+            return Ok(None);
+        }
+        self.next();
+        let col = self.ident()?;
+        let op = match self.next().as_deref() {
+            Some("=") => BinOp::Eq,
+            Some("!=") | Some("<>") => BinOp::Ne,
+            Some(">") => BinOp::Gt,
+            Some(">=") => BinOp::Ge,
+            Some("<") => BinOp::Lt,
+            Some("<=") => BinOp::Le,
+            other => {
+                return Err(Error::Parse(format!(
+                    "expected comparison operator, got {other:?}"
+                )))
+            }
+        };
+        let lit = self.ident()?;
+        let value = if let Some(stripped) = lit.strip_prefix('\'') {
+            Value::Text(stripped.to_owned())
+        } else if let Ok(i) = lit.parse::<i64>() {
+            Value::Int64(i)
+        } else if let Ok(f) = lit.parse::<f64>() {
+            Value::Float64(f)
+        } else {
+            Value::Text(lit)
+        };
+        Ok(Some((col, op, value)))
+    }
+
+    fn end(&mut self) -> Result<()> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(Error::Parse(format!("unexpected trailing token {t}"))),
+        }
+    }
+}
+
+/// Build a predicate `Expr` over the `[rid, attrs…]` star schema from the
+/// parsed `(col, op, lit)` triple.
+pub fn predicate_expr(cvd: &Cvd, pred: &(String, BinOp, Value)) -> Result<Expr> {
+    let (col, op, value) = pred;
+    let idx = 1 + cvd.schema().index_of(col)?;
+    Ok(Expr::Bin(
+        *op,
+        Box::new(Expr::col(idx)),
+        Box::new(Expr::Const(value.clone())),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_select_versions() {
+        let q = parse_query(
+            "SELECT * FROM VERSION 1, 2 OF CVD Interaction WHERE coexpression > 80 LIMIT 50;",
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            VQuery::SelectVersions {
+                cvd: "Interaction".into(),
+                versions: vec![Vid(1), Vid(2)],
+                predicate: Some(("coexpression".into(), BinOp::Gt, Value::Int64(80))),
+                limit: Some(50),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_aggregate() {
+        let q = parse_query("SELECT vid, count(*) FROM CVD t GROUP BY vid").unwrap();
+        assert_eq!(
+            q,
+            VQuery::AggregateByVersion {
+                cvd: "t".into(),
+                agg: AggFunc::Count,
+                agg_col: "rid".into(),
+                predicate: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_aggregate_with_where_string() {
+        let q = parse_query(
+            "SELECT vid, sum(coexpression) FROM CVD t WHERE protein1 = 'ENSP273047' GROUP BY vid",
+        )
+        .unwrap();
+        match q {
+            VQuery::AggregateByVersion { predicate, .. } => {
+                assert_eq!(
+                    predicate,
+                    Some((
+                        "protein1".into(),
+                        BinOp::Eq,
+                        Value::Text("ENSP273047".into())
+                    ))
+                );
+            }
+            _ => panic!("wrong parse"),
+        }
+    }
+
+    #[test]
+    fn parse_join_versions() {
+        assert_eq!(
+            parse_query("SELECT * FROM VERSION 1 OF CVD t JOIN VERSION 2 ON k").unwrap(),
+            VQuery::JoinVersions {
+                cvd: "t".into(),
+                left: Vid(1),
+                right: Vid(2),
+                on: "k".into(),
+            }
+        );
+        assert!(parse_query("SELECT * FROM VERSION 1, 2 OF CVD t JOIN VERSION 3 ON k").is_err());
+    }
+
+    #[test]
+    fn parse_v_diff_and_intersect() {
+        assert_eq!(
+            parse_query("SELECT * FROM V_DIFF(1, 2) OF CVD t").unwrap(),
+            VQuery::Diff {
+                cvd: "t".into(),
+                a: Vid(1),
+                b: Vid(2)
+            }
+        );
+        assert_eq!(
+            parse_query("SELECT * FROM v_intersect(0, 1, 3) OF CVD t").unwrap(),
+            VQuery::Intersect {
+                cvd: "t".into(),
+                versions: vec![Vid(0), Vid(1), Vid(3)]
+            }
+        );
+        assert!(parse_query("SELECT * FROM V_DIFF(1) OF CVD t").is_err());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_query("DELETE FROM x").is_err());
+        assert!(parse_query("SELECT * FROM VERSION x OF CVD t").is_err());
+        assert!(parse_query("SELECT * FROM VERSION 1 OF CVD t LIMIT").is_err());
+    }
+}

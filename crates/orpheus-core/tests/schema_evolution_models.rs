@@ -1,0 +1,75 @@
+//! Regression test: incremental commits across a schema change must leave
+//! every physical model serving type-correct checkouts of *old* versions
+//! (per-version tables freeze their schema; §4.3's single-pool widening
+//! has to be applied on read).
+
+use orpheus_core::cvd::Cvd;
+use orpheus_core::models::{load_cvd, ModelKind};
+use orpheus_core::Vid;
+use partition::Rid;
+use relstore::{Column, CostTracker, DataType, Database, ExecContext, Schema, Value};
+
+#[test]
+fn incremental_commit_across_widening_serves_aligned_rows() {
+    let schema = Schema::new(vec![
+        Column::new("k", DataType::Int64),
+        Column::new("x", DataType::Int64),
+    ]);
+    let (cvd0, v0) = Cvd::init(
+        "t",
+        schema,
+        vec!["k".into()],
+        vec![vec![Value::Int64(1), Value::Int64(7)]],
+        "a",
+    )
+    .unwrap();
+
+    for kind in ModelKind::all() {
+        let mut cvd = cvd0.clone();
+        let mut db = Database::new();
+        let mut model = kind.build(cvd.name());
+        load_cvd(model.as_mut(), &mut db, &cvd).unwrap();
+
+        // Schema evolves AFTER the physical store was loaded: x widens to
+        // decimal and a new column appears.
+        let new_schema = Schema::new(vec![
+            Column::new("k", DataType::Int64),
+            Column::new("x", DataType::Float64),
+            Column::new("note", DataType::Text),
+        ]);
+        let res = cvd
+            .commit_with_schema(
+                &[v0],
+                &new_schema,
+                vec![vec![
+                    Value::Int64(1),
+                    Value::Float64(7.5),
+                    Value::from("updated"),
+                ]],
+                "widen",
+                "a",
+            )
+            .unwrap();
+        let new_rids: Vec<Rid> = ((cvd.num_records() - res.new_records)..cvd.num_records())
+            .map(|i| Rid(i as u64))
+            .collect();
+        model
+            .apply_commit(&mut db, &cvd, res.vid, &new_rids, &mut CostTracker::new())
+            .unwrap();
+
+        // Old version's checkout must match the (widened) logical record:
+        // x = Float64(7.0), note = NULL.
+        let mut ctx = ExecContext::new();
+        let rows = model.checkout(&db, &cvd, v0, &mut ctx).unwrap();
+        assert_eq!(rows.len(), 1, "{}", kind.name());
+        assert_eq!(rows[0][2], Value::Float64(7.0), "{} x type", kind.name());
+        assert_eq!(rows[0][3], Value::Null, "{} padded column", kind.name());
+
+        // New version serves the committed values.
+        let mut ctx = ExecContext::new();
+        let rows = model.checkout(&db, &cvd, res.vid, &mut ctx).unwrap();
+        assert_eq!(rows[0][2], Value::Float64(7.5), "{}", kind.name());
+        assert_eq!(rows[0][3], Value::from("updated"), "{}", kind.name());
+        let _ = Vid(0);
+    }
+}

@@ -1,0 +1,503 @@
+//! Baseline partitioners from NScale (§5.5.1): agglomerative clustering
+//! (its Algorithm 4) and k-means clustering (its Algorithm 5),
+//! adapted to the version-partitioning setting. Unlike LyreSplit these
+//! operate on the full version–record bipartite graph, which is why the
+//! paper finds them orders of magnitude slower.
+
+use crate::cost::Partitioning;
+use crate::graph::{Bipartite, Rid, Vid};
+use std::collections::HashMap;
+
+/// Deterministic 64-bit mixer (splitmix64) so baselines need no RNG crate.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+const NUM_SHINGLES: usize = 16;
+
+/// Min-hash signature of a record set: `NUM_SHINGLES` independent hashes.
+fn signature(records: &[Rid], salts: &[u64; NUM_SHINGLES]) -> [u64; NUM_SHINGLES] {
+    let mut sig = [u64::MAX; NUM_SHINGLES];
+    for &r in records {
+        for (i, &salt) in salts.iter().enumerate() {
+            let mut s = r.0 ^ salt;
+            let h = splitmix64(&mut s);
+            if h < sig[i] {
+                sig[i] = h;
+            }
+        }
+    }
+    sig
+}
+
+fn common_shingles(a: &[u64; NUM_SHINGLES], b: &[u64; NUM_SHINGLES]) -> usize {
+    a.iter().zip(b).filter(|(x, y)| x == y).count()
+}
+
+/// Parameters for [`agglo_partition`].
+#[derive(Debug, Clone, Copy)]
+pub struct AggloParams {
+    /// Maximum records per partition (`BC`). Partitions never merge past it.
+    pub capacity: u64,
+    /// Minimum common shingles (`τ`) required to merge.
+    pub shingle_threshold: usize,
+    /// Each partition considers the following `l` partitions in shingle
+    /// order as merge candidates.
+    pub lookahead: usize,
+    pub seed: u64,
+}
+
+impl Default for AggloParams {
+    fn default() -> Self {
+        AggloParams {
+            capacity: u64::MAX,
+            shingle_threshold: NUM_SHINGLES / 4,
+            lookahead: 100,
+            seed: 42,
+        }
+    }
+}
+
+struct Cluster {
+    versions: Vec<Vid>,
+    records: Vec<Rid>, // sorted
+    sig: [u64; NUM_SHINGLES],
+}
+
+fn union_sorted(a: &[Rid], b: &[Rid]) -> Vec<Rid> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Agglomerative clustering: start with one partition per version, order by
+/// min-hash shingles, and repeatedly merge shingle-similar neighbours while
+/// capacity allows.
+pub fn agglo_partition(bipartite: &Bipartite, params: AggloParams) -> Partitioning {
+    let mut seed = params.seed;
+    let mut salts = [0u64; NUM_SHINGLES];
+    for s in salts.iter_mut() {
+        *s = splitmix64(&mut seed);
+    }
+
+    let mut clusters: Vec<Cluster> = (0..bipartite.num_versions())
+        .map(|v| {
+            let records = bipartite.records(Vid(v as u32)).to_vec();
+            let sig = signature(&records, &salts);
+            Cluster {
+                versions: vec![Vid(v as u32)],
+                records,
+                sig,
+            }
+        })
+        .collect();
+
+    loop {
+        // Shingle-based ordering: lexicographic on signatures.
+        clusters.sort_by_key(|a| a.sig);
+        let n = clusters.len();
+        let mut merged_into: Vec<Option<usize>> = vec![None; n];
+        let mut any = false;
+        for i in 0..n {
+            if merged_into[i].is_some() {
+                continue;
+            }
+            // Find the best candidate among the next `lookahead` clusters.
+            let mut best: Option<(usize, usize)> = None; // (index, shingles)
+            for j in (i + 1)..n.min(i + 1 + params.lookahead) {
+                if merged_into[j].is_some() {
+                    continue;
+                }
+                let cs = common_shingles(&clusters[i].sig, &clusters[j].sig);
+                if cs < params.shingle_threshold {
+                    continue;
+                }
+                let merged_size =
+                    union_sorted(&clusters[i].records, &clusters[j].records).len() as u64;
+                if merged_size > params.capacity {
+                    continue;
+                }
+                if best.map(|(_, b)| cs > b).unwrap_or(true) {
+                    best = Some((j, cs));
+                }
+            }
+            if let Some((j, _)) = best {
+                merged_into[j] = Some(i);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        // Apply merges.
+        let mut next: Vec<Cluster> = Vec::with_capacity(n);
+        let mut moved: Vec<Option<usize>> = vec![None; n];
+        for i in 0..n {
+            if merged_into[i].is_some() {
+                continue;
+            }
+            moved[i] = Some(next.len());
+            let c = &clusters[i];
+            next.push(Cluster {
+                versions: c.versions.clone(),
+                records: c.records.clone(),
+                sig: c.sig,
+            });
+        }
+        for j in 0..n {
+            if let Some(i) = merged_into[j] {
+                let target = moved[i].expect("merge target survives");
+                let records = union_sorted(&next[target].records, &clusters[j].records);
+                let sig = {
+                    let mut s = next[target].sig;
+                    for (a, b) in s.iter_mut().zip(&clusters[j].sig) {
+                        *a = (*a).min(*b);
+                    }
+                    s
+                };
+                next[target].versions.extend_from_slice(&clusters[j].versions);
+                next[target].records = records;
+                next[target].sig = sig;
+            }
+        }
+        clusters = next;
+    }
+
+    let mut assignment = vec![0usize; bipartite.num_versions()];
+    for (pid, c) in clusters.iter().enumerate() {
+        for &v in &c.versions {
+            assignment[v.idx()] = pid;
+        }
+    }
+    Partitioning::from_assignment(assignment)
+}
+
+/// Binary search on the capacity `BC` to meet a storage budget γ
+/// (how the paper tunes Agglo for Problem 5.1).
+pub fn agglo_for_budget(bipartite: &Bipartite, gamma: u64, base: AggloParams) -> Partitioning {
+    let mut lo = bipartite.num_edges() / bipartite.num_versions().max(1) as u64;
+    let mut hi = bipartite.num_records().max(lo + 1);
+    let mut best: Option<(u64, Partitioning)> = None;
+    for _ in 0..12 {
+        let mid = lo + (hi - lo) / 2;
+        let p = agglo_partition(
+            bipartite,
+            AggloParams {
+                capacity: mid,
+                ..base
+            },
+        );
+        let s = p.evaluate(bipartite);
+        if s.storage_records <= gamma {
+            // Feasible: larger capacity merges more, lowering storage but
+            // raising checkout cost; prefer the feasible result with the
+            // lowest checkout cost.
+            let c = s.checkout_total;
+            if best.as_ref().map(|(bc, _)| c < *bc).unwrap_or(true) {
+                best = Some((c, p));
+            }
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+        if lo >= hi {
+            break;
+        }
+    }
+    best.map(|(_, p)| p)
+        .unwrap_or_else(|| Partitioning::single(bipartite.num_versions()))
+}
+
+/// Parameters for [`kmeans_partition`].
+#[derive(Debug, Clone, Copy)]
+pub struct KmeansParams {
+    /// Number of partitions.
+    pub k: usize,
+    /// Maximum records per partition (`BC`); the paper uses ∞.
+    pub capacity: u64,
+    /// Improvement iterations (the paper uses 10).
+    pub iterations: usize,
+    pub seed: u64,
+}
+
+impl Default for KmeansParams {
+    fn default() -> Self {
+        KmeansParams {
+            k: 8,
+            capacity: u64::MAX,
+            iterations: 10,
+            seed: 42,
+        }
+    }
+}
+
+/// Per-partition record reference counts: how many member versions contain
+/// each record. Lets us compute storage deltas for moves exactly.
+struct RefCounted {
+    counts: HashMap<Rid, u32>,
+}
+
+impl RefCounted {
+    fn new() -> Self {
+        RefCounted {
+            counts: HashMap::new(),
+        }
+    }
+
+    fn add(&mut self, records: &[Rid]) {
+        for &r in records {
+            *self.counts.entry(r).or_insert(0) += 1;
+        }
+    }
+
+    fn remove(&mut self, records: &[Rid]) {
+        for &r in records {
+            if let Some(c) = self.counts.get_mut(&r) {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&r);
+                }
+            }
+        }
+    }
+
+    fn distinct(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Records the partition would gain by adding this version.
+    fn added_by(&self, records: &[Rid]) -> u64 {
+        records.iter().filter(|r| !self.counts.contains_key(r)).count() as u64
+    }
+
+    /// Records the partition would lose by removing this version
+    /// (those only it contributes).
+    fn freed_by(&self, records: &[Rid]) -> u64 {
+        records
+            .iter()
+            .filter(|r| self.counts.get(r).copied() == Some(1))
+            .count() as u64
+    }
+
+    /// |records ∩ partition| — the similarity used for initial assignment.
+    fn overlap(&self, records: &[Rid]) -> u64 {
+        records.iter().filter(|r| self.counts.contains_key(r)).count() as u64
+    }
+}
+
+/// K-means-style clustering: seed `k` partitions with random versions,
+/// assign the rest to the most-overlapping centroid, then iterate moves
+/// that reduce total storage, respecting the capacity constraint.
+pub fn kmeans_partition(bipartite: &Bipartite, params: KmeansParams) -> Partitioning {
+    let n = bipartite.num_versions();
+    let k = params.k.clamp(1, n.max(1));
+    let mut seed = params.seed;
+
+    // Seed partitions with k distinct random versions.
+    let mut seeds: Vec<usize> = Vec::new();
+    while seeds.len() < k {
+        let v = (splitmix64(&mut seed) % n as u64) as usize;
+        if !seeds.contains(&v) {
+            seeds.push(v);
+        }
+    }
+
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    let mut parts: Vec<RefCounted> = (0..k).map(|_| RefCounted::new()).collect();
+    for (pid, &v) in seeds.iter().enumerate() {
+        assignment[v] = Some(pid);
+        parts[pid].add(bipartite.records(Vid(v as u32)));
+    }
+
+    // Initial assignment: nearest centroid by record overlap.
+    for v in 0..n {
+        if assignment[v].is_some() {
+            continue;
+        }
+        let records = bipartite.records(Vid(v as u32));
+        let best = (0..k)
+            .max_by_key(|&p| (parts[p].overlap(records), std::cmp::Reverse(p)))
+            .unwrap();
+        assignment[v] = Some(best);
+        parts[best].add(records);
+    }
+
+    // Improvement iterations: move versions to minimize total storage.
+    for _ in 0..params.iterations {
+        let mut moved = false;
+        for v in 0..n {
+            let records = bipartite.records(Vid(v as u32));
+            let cur = assignment[v].unwrap();
+            let freed = parts[cur].freed_by(records);
+            let mut best: Option<(usize, i64)> = None; // (target, storage delta)
+            for p in 0..k {
+                if p == cur {
+                    continue;
+                }
+                let added = parts[p].added_by(records);
+                if parts[p].distinct() + added > params.capacity {
+                    continue;
+                }
+                let delta = added as i64 - freed as i64;
+                if best.map(|(_, d)| delta < d).unwrap_or(true) {
+                    best = Some((p, delta));
+                }
+            }
+            if let Some((target, delta)) = best {
+                if delta < 0 {
+                    parts[cur].remove(records);
+                    parts[target].add(records);
+                    assignment[v] = Some(target);
+                    moved = true;
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    Partitioning::from_assignment(assignment.into_iter().map(Option::unwrap).collect())
+}
+
+/// Binary search on `k` to meet a storage budget γ (how the paper tunes
+/// KMeans for Problem 5.1): larger `k` ⇒ more partitions ⇒ more storage,
+/// less checkout cost.
+pub fn kmeans_for_budget(bipartite: &Bipartite, gamma: u64, base: KmeansParams) -> Partitioning {
+    let n = bipartite.num_versions();
+    let (mut lo, mut hi) = (1usize, n.max(1));
+    let mut best: Option<(u64, Partitioning)> = None;
+    for _ in 0..10 {
+        if lo > hi {
+            break;
+        }
+        let mid = (lo + hi) / 2;
+        let p = kmeans_partition(bipartite, KmeansParams { k: mid, ..base });
+        let s = p.evaluate(bipartite);
+        if s.storage_records <= gamma {
+            let c = s.checkout_total;
+            if best.as_ref().map(|(bc, _)| c < *bc).unwrap_or(true) {
+                best = Some((c, p));
+            }
+            lo = mid + 1;
+        } else {
+            hi = mid.saturating_sub(1);
+        }
+    }
+    best.map(|(_, p)| p)
+        .unwrap_or_else(|| Partitioning::single(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two obvious clusters of versions sharing records.
+    fn clustered_bipartite() -> Bipartite {
+        let mut b = Bipartite::new(0);
+        // Cluster A: versions over records 0..100 with small shifts.
+        for shift in 0..5u64 {
+            b.push_version((shift..100 + shift).map(Rid).collect());
+        }
+        // Cluster B: versions over records 1000..1100.
+        for shift in 0..5u64 {
+            b.push_version((1000 + shift..1100 + shift).map(Rid).collect());
+        }
+        b
+    }
+
+    #[test]
+    fn agglo_groups_similar_versions() {
+        let b = clustered_bipartite();
+        let p = agglo_partition(&b, AggloParams::default());
+        // All of cluster A should share a partition, likewise cluster B,
+        // and the two clusters should not mix.
+        for v in 1..5u32 {
+            assert_eq!(p.partition_of(Vid(0)), p.partition_of(Vid(v)));
+            assert_eq!(p.partition_of(Vid(5)), p.partition_of(Vid(5 + v)));
+        }
+        assert_ne!(p.partition_of(Vid(0)), p.partition_of(Vid(5)));
+    }
+
+    #[test]
+    fn agglo_respects_capacity() {
+        let b = clustered_bipartite();
+        let p = agglo_partition(
+            &b,
+            AggloParams {
+                capacity: 103,
+                ..AggloParams::default()
+            },
+        );
+        for stats in p.evaluate(&b).per_partition {
+            assert!(stats.records <= 103);
+        }
+    }
+
+    #[test]
+    fn kmeans_two_clusters() {
+        let b = clustered_bipartite();
+        let p = kmeans_partition(
+            &b,
+            KmeansParams {
+                k: 2,
+                ..KmeansParams::default()
+            },
+        );
+        let s = p.evaluate(&b);
+        assert_eq!(s.num_partitions, 2);
+        // Total storage should be near the two cluster unions (~104+104),
+        // far below the no-dedup extreme (10 × 100).
+        assert!(s.storage_records < 400, "storage = {}", s.storage_records);
+    }
+
+    #[test]
+    fn kmeans_k_bounds() {
+        let b = clustered_bipartite();
+        let p = kmeans_partition(
+            &b,
+            KmeansParams {
+                k: 100, // clamped to n
+                ..KmeansParams::default()
+            },
+        );
+        assert!(p.num_partitions() <= 10);
+    }
+
+    #[test]
+    fn budget_searches_feasible() {
+        let b = clustered_bipartite();
+        let r = {
+            let all: Vec<Vid> = (0..10).map(Vid).collect();
+            b.union_size(&all)
+        };
+        let gamma = r * 2;
+        let pa = agglo_for_budget(&b, gamma, AggloParams::default());
+        assert!(pa.evaluate(&b).storage_records <= gamma);
+        let pk = kmeans_for_budget(&b, gamma, KmeansParams::default());
+        assert!(pk.evaluate(&b).storage_records <= gamma);
+    }
+}

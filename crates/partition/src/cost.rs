@@ -1,0 +1,202 @@
+//! Partitionings and their storage / checkout costs (Eq. 5.1–5.2).
+
+use crate::graph::{Bipartite, Vid};
+
+/// An assignment of every version to exactly one partition. Records are
+/// implicitly duplicated into every partition containing a version that
+/// holds them (§5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    assignment: Vec<usize>,
+    num_partitions: usize,
+}
+
+impl Partitioning {
+    /// Build from a per-version partition id vector. Ids are compacted to
+    /// `0..num_partitions`.
+    pub fn from_assignment(mut assignment: Vec<usize>) -> Self {
+        let mut remap = std::collections::HashMap::new();
+        for a in assignment.iter_mut() {
+            let next = remap.len();
+            *a = *remap.entry(*a).or_insert(next);
+        }
+        Partitioning {
+            num_partitions: remap.len(),
+            assignment,
+        }
+    }
+
+    /// The trivial partitioning: everything in one partition.
+    pub fn single(num_versions: usize) -> Self {
+        Partitioning {
+            assignment: vec![0; num_versions],
+            num_partitions: if num_versions == 0 { 0 } else { 1 },
+        }
+    }
+
+    /// One partition per version (the a-table-per-version extreme).
+    pub fn singletons(num_versions: usize) -> Self {
+        Partitioning {
+            assignment: (0..num_versions).collect(),
+            num_partitions: num_versions,
+        }
+    }
+
+    pub fn num_versions(&self) -> usize {
+        self.assignment.len()
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// Partition id of a version.
+    pub fn partition_of(&self, v: Vid) -> usize {
+        self.assignment[v.idx()]
+    }
+
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Versions grouped by partition.
+    pub fn groups(&self) -> Vec<Vec<Vid>> {
+        let mut groups = vec![Vec::new(); self.num_partitions];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            groups[p].push(Vid(v as u32));
+        }
+        groups
+    }
+
+    /// Exact cost evaluation against the bipartite graph: per-partition
+    /// record counts come from the actual union of record sets.
+    pub fn evaluate(&self, bipartite: &Bipartite) -> CostSummary {
+        assert_eq!(self.assignment.len(), bipartite.num_versions());
+        let groups = self.groups();
+        let mut per_partition = Vec::with_capacity(groups.len());
+        let mut storage = 0u64;
+        let mut checkout_total = 0u64;
+        for g in &groups {
+            let records = bipartite.union_size(g);
+            storage += records;
+            checkout_total += records * g.len() as u64;
+            per_partition.push(PartitionStats {
+                versions: g.len(),
+                records,
+            });
+        }
+        let n = self.assignment.len().max(1) as f64;
+        CostSummary {
+            num_partitions: groups.len(),
+            storage_records: storage,
+            checkout_total,
+            checkout_avg: checkout_total as f64 / n,
+            per_partition,
+        }
+    }
+
+    /// Weighted checkout cost `Cw = Σ fi·Ci / Σ fi` (§5.3.2), with exact
+    /// per-partition record counts.
+    pub fn weighted_checkout(&self, bipartite: &Bipartite, freqs: &[u64]) -> f64 {
+        assert_eq!(freqs.len(), self.assignment.len());
+        let groups = self.groups();
+        let sizes: Vec<u64> = groups.iter().map(|g| bipartite.union_size(g)).collect();
+        let mut num = 0u128;
+        let mut den = 0u128;
+        for (v, &p) in self.assignment.iter().enumerate() {
+            num += (freqs[v] as u128) * (sizes[p] as u128);
+            den += freqs[v] as u128;
+        }
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    }
+}
+
+/// Per-partition statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionStats {
+    pub versions: usize,
+    pub records: u64,
+}
+
+/// The two optimization metrics of §5.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostSummary {
+    pub num_partitions: usize,
+    /// `S = Σ |Rk|` (Eq. 5.1), in records.
+    pub storage_records: u64,
+    /// `Σ Ci = Σ |Vk||Rk|`, in records.
+    pub checkout_total: u64,
+    /// `Cavg = Σ|Vk||Rk| / n` (Eq. 5.2), in records.
+    pub checkout_avg: f64,
+    pub per_partition: Vec<PartitionStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Rid;
+
+    fn bipartite() -> Bipartite {
+        let mut b = Bipartite::new(0);
+        b.push_version(vec![Rid(1), Rid(2), Rid(3)]);
+        b.push_version(vec![Rid(2), Rid(3), Rid(4)]);
+        b.push_version(vec![Rid(3), Rid(5), Rid(6), Rid(7)]);
+        b.push_version(vec![Rid(2), Rid(3), Rid(4), Rid(5), Rid(6), Rid(7)]);
+        b
+    }
+
+    #[test]
+    fn single_partition_minimizes_storage() {
+        // Observation 5.2: S = |R| with one partition.
+        let b = bipartite();
+        let s = Partitioning::single(4).evaluate(&b);
+        assert_eq!(s.storage_records, 7);
+        assert_eq!(s.checkout_avg, 7.0);
+    }
+
+    #[test]
+    fn singletons_minimize_checkout() {
+        // Observation 5.1: Cavg = |E|/|V| with one partition per version.
+        let b = bipartite();
+        let s = Partitioning::singletons(4).evaluate(&b);
+        assert_eq!(s.storage_records, b.num_edges());
+        assert!((s.checkout_avg - b.num_edges() as f64 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig_5_1_example_partitioning() {
+        // Fig. 5.1(b): P1 = {v1, v2}, P2 = {v3, v4}; r2,r3,r4 duplicated.
+        let b = bipartite();
+        let p = Partitioning::from_assignment(vec![0, 0, 1, 1]);
+        let s = p.evaluate(&b);
+        assert_eq!(s.num_partitions, 2);
+        assert_eq!(s.per_partition[0].records, 4); // {r1,r2,r3,r4}
+        assert_eq!(s.per_partition[1].records, 6); // {r2..r7}
+        assert_eq!(s.storage_records, 10);
+        assert_eq!(s.checkout_total, 2 * 4 + 2 * 6);
+    }
+
+    #[test]
+    fn assignment_compaction() {
+        let p = Partitioning::from_assignment(vec![7, 7, 3, 9]);
+        assert_eq!(p.num_partitions(), 3);
+        assert_eq!(p.partition_of(Vid(0)), p.partition_of(Vid(1)));
+        assert_ne!(p.partition_of(Vid(0)), p.partition_of(Vid(2)));
+    }
+
+    #[test]
+    fn weighted_checkout_favours_hot_versions() {
+        let b = bipartite();
+        let p = Partitioning::from_assignment(vec![0, 0, 1, 1]);
+        // All weight on v1 (partition 0, 4 records).
+        let cw = p.weighted_checkout(&b, &[100, 0, 0, 0]);
+        assert!((cw - 4.0).abs() < 1e-9);
+        // All weight on v4 (partition 1, 6 records).
+        let cw = p.weighted_checkout(&b, &[0, 0, 0, 100]);
+        assert!((cw - 6.0).abs() < 1e-9);
+    }
+}

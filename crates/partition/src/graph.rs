@@ -1,0 +1,454 @@
+//! Version graphs, version trees, and the version–record bipartite graph.
+//!
+//! These are the shared vocabulary types of Chapters 3–5: a **version
+//! graph** `G = (V, E)` records how versions were derived from each other
+//! (a DAG when merges occur), with each edge `(vi, vj)` weighted by the
+//! number of records the two versions share; the **bipartite graph**
+//! `G = (V, R, E)` records which records each version contains.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A version id. Versions are numbered densely from 0 within a CVD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vid(pub u32);
+
+impl Vid {
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Vid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A record id. Records are immutable within a CVD; any modification
+/// produces a new record with a fresh rid (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid(pub u64);
+
+impl Rid {
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The version derivation graph with edge weights.
+///
+/// Nodes are `Vid(0)..Vid(n-1)`. `size[v]` is `|R(v)|`, the number of
+/// records in version `v`; `weight(vi, vj)` is `w(vi, vj)`, the number of
+/// records shared between a parent `vi` and child `vj`.
+#[derive(Debug, Clone, Default)]
+pub struct VersionGraph {
+    parents: Vec<Vec<Vid>>,
+    children: Vec<Vec<Vid>>,
+    sizes: Vec<u64>,
+    weights: HashMap<(Vid, Vid), u64>,
+}
+
+impl VersionGraph {
+    pub fn new() -> Self {
+        VersionGraph::default()
+    }
+
+    /// Add a version with `size` records and the given parent edges
+    /// (`(parent, shared_records)`), returning its id. Parents must already
+    /// exist (versions arrive in topological order, as commits do).
+    pub fn add_version(&mut self, size: u64, parent_edges: &[(Vid, u64)]) -> Vid {
+        let vid = Vid(self.sizes.len() as u32);
+        self.sizes.push(size);
+        self.parents.push(Vec::new());
+        self.children.push(Vec::new());
+        for &(p, w) in parent_edges {
+            assert!(p.idx() < vid.idx(), "parent {p} must precede child {vid}");
+            self.parents[vid.idx()].push(p);
+            self.children[p.idx()].push(vid);
+            self.weights.insert((p, vid), w);
+        }
+        vid
+    }
+
+    pub fn num_versions(&self) -> usize {
+        self.sizes.len()
+    }
+
+    pub fn size(&self, v: Vid) -> u64 {
+        self.sizes[v.idx()]
+    }
+
+    pub fn parents(&self, v: Vid) -> &[Vid] {
+        &self.parents[v.idx()]
+    }
+
+    pub fn children(&self, v: Vid) -> &[Vid] {
+        &self.children[v.idx()]
+    }
+
+    pub fn weight(&self, parent: Vid, child: Vid) -> u64 {
+        self.weights.get(&(parent, child)).copied().unwrap_or(0)
+    }
+
+    pub fn versions(&self) -> impl Iterator<Item = Vid> + '_ {
+        (0..self.num_versions() as u32).map(Vid)
+    }
+
+    /// Whether any version has more than one parent (i.e. the graph has
+    /// merges and is a DAG rather than a tree).
+    pub fn has_merges(&self) -> bool {
+        self.parents.iter().any(|p| p.len() > 1)
+    }
+
+    /// `|E|` of the bipartite graph: the total number of (version, record)
+    /// memberships, `Σ |R(v)|`.
+    pub fn bipartite_edges(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+
+    /// Depth of each version in a topological sort (root = 1), as in §4.3.
+    pub fn levels(&self) -> Vec<u32> {
+        let n = self.num_versions();
+        let mut level = vec![1u32; n];
+        for v in 0..n {
+            for &p in &self.parents[v] {
+                level[v] = level[v].max(level[p.idx()] + 1);
+            }
+        }
+        level
+    }
+
+    /// All ancestors of `v` (transitive parents), unordered.
+    pub fn ancestors(&self, v: Vid) -> Vec<Vid> {
+        let mut seen = vec![false; self.num_versions()];
+        let mut stack = self.parents[v.idx()].clone();
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            if !seen[u.idx()] {
+                seen[u.idx()] = true;
+                out.push(u);
+                stack.extend_from_slice(&self.parents[u.idx()]);
+            }
+        }
+        out
+    }
+
+    /// All descendants of `v` (transitive children), unordered.
+    pub fn descendants(&self, v: Vid) -> Vec<Vid> {
+        let mut seen = vec![false; self.num_versions()];
+        let mut stack = self.children[v.idx()].clone();
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            if !seen[u.idx()] {
+                seen[u.idx()] = true;
+                out.push(u);
+                stack.extend_from_slice(&self.children[u.idx()]);
+            }
+        }
+        out
+    }
+
+    /// Transform the (possibly DAG) version graph into a version tree
+    /// (§5.3.1): for each merge node keep only the highest-weight incoming
+    /// edge. Records inherited from dropped parents are *conceptually*
+    /// duplicated; when the bipartite record sets are available
+    /// ([`Bipartite`]), the exact duplicated-record count `|R̂|` is computed,
+    /// otherwise it is upper-bounded by `|R(v)| − w(kept, v)`.
+    pub fn to_tree(&self, bipartite: Option<&Bipartite>) -> VersionTree {
+        let n = self.num_versions();
+        let mut parent = vec![None; n];
+        let mut edge_weight = vec![0u64; n];
+        let mut rhat = 0u64;
+        for v in 0..n {
+            let ps = &self.parents[v];
+            if ps.is_empty() {
+                continue;
+            }
+            let kept = *ps
+                .iter()
+                .max_by_key(|&&p| (self.weight(p, Vid(v as u32)), std::cmp::Reverse(p)))
+                .unwrap();
+            parent[v] = Some(kept);
+            let w = self.weight(kept, Vid(v as u32));
+            edge_weight[v] = w;
+            if ps.len() > 1 {
+                rhat += match bipartite {
+                    Some(b) => {
+                        // Exact: records of v present in some dropped parent
+                        // but not in the kept parent.
+                        let vset = b.records(Vid(v as u32));
+                        let kept_set = b.records(kept);
+                        let mut dup = 0u64;
+                        for r in vset {
+                            if kept_set.binary_search(r).is_err()
+                                && ps.iter().any(|&p| {
+                                    p != kept && b.records(p).binary_search(r).is_ok()
+                                })
+                            {
+                                dup += 1;
+                            }
+                        }
+                        dup
+                    }
+                    None => self.sizes[v].saturating_sub(w),
+                };
+            }
+        }
+        VersionTree {
+            parent,
+            edge_weight,
+            sizes: self.sizes.clone(),
+            rhat,
+        }
+    }
+}
+
+/// A version tree: the input representation of LyreSplit (Algorithm 5.1).
+#[derive(Debug, Clone)]
+pub struct VersionTree {
+    /// Tree parent of each version (None for roots).
+    pub parent: Vec<Option<Vid>>,
+    /// `w(parent(v), v)` for each non-root `v`.
+    pub edge_weight: Vec<u64>,
+    /// `|R(v)|` for each version.
+    pub sizes: Vec<u64>,
+    /// `|R̂|`: records duplicated by the DAG→tree transform (0 for trees).
+    pub rhat: u64,
+}
+
+impl VersionTree {
+    /// Build directly from parent/weight/size arrays (tree datasets).
+    pub fn from_parts(parent: Vec<Option<Vid>>, edge_weight: Vec<u64>, sizes: Vec<u64>) -> Self {
+        assert_eq!(parent.len(), sizes.len());
+        assert_eq!(edge_weight.len(), sizes.len());
+        VersionTree {
+            parent,
+            edge_weight,
+            sizes,
+            rhat: 0,
+        }
+    }
+
+    pub fn num_versions(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// `Σ |R(v)|` — the bipartite edge count `|E|` (unchanged by the
+    /// DAG→tree transform, §5.3.1).
+    pub fn bipartite_edges(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+
+    /// `|R| (+ |R̂|)`: distinct records under the no-cross-version-diff rule,
+    /// via Eq. 5.4: `|R| = Σ|R(v)| − Σ w(v, p(v))`.
+    pub fn num_records(&self) -> u64 {
+        let total: u64 = self.sizes.iter().sum();
+        let shared: u64 = self
+            .parent
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(v, _)| self.edge_weight[v])
+            .sum();
+        total - shared
+    }
+
+    /// Children adjacency (computed on demand).
+    pub fn children(&self) -> Vec<Vec<Vid>> {
+        let mut ch = vec![Vec::new(); self.num_versions()];
+        for (v, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch[p.idx()].push(Vid(v as u32));
+            }
+        }
+        ch
+    }
+}
+
+/// The version–record bipartite graph: which records each version contains.
+/// Record lists are kept sorted for O(log n) membership and linear merges.
+#[derive(Debug, Clone, Default)]
+pub struct Bipartite {
+    version_records: Vec<Vec<Rid>>,
+    distinct: std::collections::HashSet<Rid>,
+}
+
+impl Bipartite {
+    /// `expected_records` is a capacity hint for the distinct-record set.
+    pub fn new(expected_records: u64) -> Self {
+        Bipartite {
+            version_records: Vec::new(),
+            distinct: std::collections::HashSet::with_capacity(expected_records as usize),
+        }
+    }
+
+    /// Add a version's record list (must be sorted, deduplicated).
+    pub fn push_version(&mut self, records: Vec<Rid>) -> Vid {
+        debug_assert!(records.windows(2).all(|w| w[0] < w[1]));
+        let vid = Vid(self.version_records.len() as u32);
+        self.distinct.extend(records.iter().copied());
+        self.version_records.push(records);
+        vid
+    }
+
+    pub fn num_versions(&self) -> usize {
+        self.version_records.len()
+    }
+
+    /// `|R|`: the number of distinct records across all versions.
+    pub fn num_records(&self) -> u64 {
+        self.distinct.len() as u64
+    }
+
+    /// `|E|`: total membership count.
+    pub fn num_edges(&self) -> u64 {
+        self.version_records.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Sorted record list of a version.
+    pub fn records(&self, v: Vid) -> &[Rid] {
+        &self.version_records[v.idx()]
+    }
+
+    /// `|R(vi) ∩ R(vj)|` via linear merge.
+    pub fn common_records(&self, a: Vid, b: Vid) -> u64 {
+        intersect_count(self.records(a), self.records(b))
+    }
+
+    /// Number of distinct records in the union of the given versions.
+    pub fn union_size(&self, versions: &[Vid]) -> u64 {
+        let mut all: Vec<Rid> = versions
+            .iter()
+            .flat_map(|&v| self.records(v).iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len() as u64
+    }
+
+    /// Distinct records in the union of the given versions, sorted.
+    pub fn union(&self, versions: &[Vid]) -> Vec<Rid> {
+        let mut all: Vec<Rid> = versions
+            .iter()
+            .flat_map(|&v| self.records(v).iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+}
+
+/// Count of common elements between two sorted slices.
+pub fn intersect_count(a: &[Rid], b: &[Rid]) -> u64 {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of Fig. 4.2 / Fig. 5.5: v1 → {v2, v3} → v4.
+    fn paper_graph() -> (VersionGraph, Bipartite) {
+        let mut b = Bipartite::new(0);
+        // Fig 3.2: v1={r1,r2,r3}, v2={r2,r3,r4}, v3={r3,r5,r6,r7},
+        // v4={r2,r3,r4,r5,r6,r7}
+        let v1 = b.push_version(vec![Rid(1), Rid(2), Rid(3)]);
+        let v2 = b.push_version(vec![Rid(2), Rid(3), Rid(4)]);
+        let v3 = b.push_version(vec![Rid(3), Rid(5), Rid(6), Rid(7)]);
+        let v4 = b.push_version(vec![Rid(2), Rid(3), Rid(4), Rid(5), Rid(6), Rid(7)]);
+
+        let mut g = VersionGraph::new();
+        let g1 = g.add_version(3, &[]);
+        let g2 = g.add_version(3, &[(g1, 2)]);
+        let g3 = g.add_version(4, &[(g1, 1)]);
+        let g4 = g.add_version(6, &[(g2, 3), (g3, 4)]);
+        assert_eq!((g1, g2, g3, g4), (v1, v2, v3, v4));
+        (g, b)
+    }
+
+    #[test]
+    fn graph_structure() {
+        let (g, _) = paper_graph();
+        assert_eq!(g.num_versions(), 4);
+        assert!(g.has_merges());
+        assert_eq!(g.parents(Vid(3)), &[Vid(1), Vid(2)]);
+        assert_eq!(g.children(Vid(0)), &[Vid(1), Vid(2)]);
+        assert_eq!(g.weight(Vid(2), Vid(3)), 4);
+        assert_eq!(g.bipartite_edges(), 16);
+        assert_eq!(g.levels(), vec![1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn ancestors_descendants() {
+        let (g, _) = paper_graph();
+        let mut anc = g.ancestors(Vid(3));
+        anc.sort();
+        assert_eq!(anc, vec![Vid(0), Vid(1), Vid(2)]);
+        let mut desc = g.descendants(Vid(0));
+        desc.sort();
+        assert_eq!(desc, vec![Vid(1), Vid(2), Vid(3)]);
+        assert!(g.ancestors(Vid(0)).is_empty());
+    }
+
+    #[test]
+    fn dag_to_tree_keeps_heaviest_edge() {
+        // §5.3.1's example: v4 keeps parent v3 (w=4 > 3), |R̂| = 2 ({r2,r4}).
+        let (g, b) = paper_graph();
+        let t = g.to_tree(Some(&b));
+        assert_eq!(t.parent[3], Some(Vid(2)));
+        assert_eq!(t.edge_weight[3], 4);
+        assert_eq!(t.rhat, 2);
+        // Without record sets, the upper bound |R(v4)| − 4 = 2 happens to match.
+        assert_eq!(g.to_tree(None).rhat, 2);
+    }
+
+    #[test]
+    fn tree_num_records_eq_5_4() {
+        // Tree part only: build a pure tree and check Eq. 5.4.
+        let t = VersionTree::from_parts(
+            vec![None, Some(Vid(0)), Some(Vid(0))],
+            vec![0, 2, 1],
+            vec![3, 3, 4],
+        );
+        // |R| = (3+3+4) − (2+1) = 7
+        assert_eq!(t.num_records(), 7);
+        assert_eq!(t.bipartite_edges(), 10);
+    }
+
+    #[test]
+    fn bipartite_ops() {
+        let (_, b) = paper_graph();
+        assert_eq!(b.num_edges(), 16);
+        assert_eq!(b.common_records(Vid(0), Vid(1)), 2);
+        assert_eq!(b.common_records(Vid(1), Vid(2)), 1);
+        assert_eq!(b.union_size(&[Vid(0), Vid(3)]), 7);
+        assert_eq!(b.union(&[Vid(0), Vid(1)]).len(), 4);
+    }
+
+    #[test]
+    fn intersect_count_basic() {
+        let a: Vec<Rid> = [1u64, 3, 5, 7].iter().map(|&x| Rid(x)).collect();
+        let b: Vec<Rid> = [2u64, 3, 4, 5].iter().map(|&x| Rid(x)).collect();
+        assert_eq!(intersect_count(&a, &b), 2);
+        assert_eq!(intersect_count(&a, &[]), 0);
+    }
+}

@@ -1,0 +1,562 @@
+//! LyreSplit (Algorithm 5.1) and its generalizations.
+//!
+//! LyreSplit partitions a version tree by recursively cutting low-weight
+//! edges: if a component's storage/version/membership counts satisfy
+//! `|R|·|V| < |E|/δ` it is kept whole; otherwise some edge with weight
+//! `≤ δ·|R|` must exist (Lemma 5.1) and is cut. The result is a
+//! `((1+δ)^ℓ, 1/δ)`-approximation (Theorem 5.2). It runs on the version
+//! *tree* alone — node sizes `|R(v)|` and parent-edge weights — which is why
+//! it is orders of magnitude faster than the bipartite-graph baselines.
+
+use crate::cost::Partitioning;
+use crate::graph::{VersionTree, Vid};
+
+/// Output of a LyreSplit run.
+#[derive(Debug, Clone)]
+pub struct LyreSplitResult {
+    pub partitioning: Partitioning,
+    /// The δ parameter the run used.
+    pub delta: f64,
+    /// ℓ: the deepest recursion level at which a split occurred.
+    pub levels: usize,
+    /// Estimated `S = Σ|Rk|` from the tree formula (Eq. 5.4 per component).
+    pub est_storage: u64,
+    /// Estimated `Cavg` from the tree formula.
+    pub est_checkout_avg: f64,
+    /// Number of binary-search iterations (1 for a direct run).
+    pub search_iterations: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Component {
+    nodes: Vec<u32>,
+    level: usize,
+}
+
+struct TreeView<'a> {
+    tree: &'a VersionTree,
+    children: Vec<Vec<Vid>>,
+}
+
+/// Statistics of a connected component of the version tree.
+#[derive(Debug, Clone, Copy)]
+struct CompStats {
+    versions: u64,
+    edges: u64,   // |E| = Σ|R(v)|
+    records: u64, // |R| = Σ|R(v)| − Σ w(in-component edges)
+}
+
+/// Run LyreSplit with a fixed δ. `δ ∈ (0, 1]`; smaller δ means fewer, larger
+/// partitions.
+pub fn lyresplit(tree: &VersionTree, delta: f64) -> LyreSplitResult {
+    assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0, 1]");
+    let n = tree.num_versions();
+    let view = TreeView {
+        tree,
+        children: tree.children(),
+    };
+    let mut assignment = vec![0usize; n];
+    let mut next_pid = 0usize;
+    let mut max_level = 0usize;
+
+    // Initial components: one per tree root (a single root in practice).
+    let mut stack: Vec<Component> = Vec::new();
+    {
+        let mut seen = vec![false; n];
+        for v in 0..n {
+            if tree.parent[v].is_none() && !seen[v] {
+                let nodes = collect_subtree(&view, v as u32);
+                for &u in &nodes {
+                    seen[u as usize] = true;
+                }
+                stack.push(Component { nodes, level: 0 });
+            }
+        }
+    }
+
+    let mut finals: Vec<(Vec<u32>, CompStats)> = Vec::new();
+    while let Some(comp) = stack.pop() {
+        let stats = comp_stats(tree, &comp.nodes);
+        let terminate = comp.nodes.len() == 1
+            || (stats.records as f64) * (stats.versions as f64) < stats.edges as f64 / delta;
+        if terminate {
+            finals.push((comp.nodes, stats));
+            continue;
+        }
+        match pick_edge(&view, &comp.nodes, stats, delta) {
+            None => finals.push((comp.nodes, stats)),
+            Some(cut_child) => {
+                max_level = max_level.max(comp.level + 1);
+                let in_comp: std::collections::HashSet<u32> =
+                    comp.nodes.iter().copied().collect();
+                let child_side = collect_subtree_within(&view, cut_child, &in_comp);
+                let child_set: std::collections::HashSet<u32> =
+                    child_side.iter().copied().collect();
+                let parent_side: Vec<u32> = comp
+                    .nodes
+                    .iter()
+                    .copied()
+                    .filter(|u| !child_set.contains(u))
+                    .collect();
+                stack.push(Component {
+                    nodes: child_side,
+                    level: comp.level + 1,
+                });
+                stack.push(Component {
+                    nodes: parent_side,
+                    level: comp.level + 1,
+                });
+            }
+        }
+    }
+
+    let mut est_storage = 0u64;
+    let mut checkout_total = 0u128;
+    for (nodes, stats) in &finals {
+        let pid = next_pid;
+        next_pid += 1;
+        for &u in nodes {
+            assignment[u as usize] = pid;
+        }
+        est_storage += stats.records;
+        checkout_total += stats.records as u128 * stats.versions as u128;
+    }
+
+    LyreSplitResult {
+        partitioning: Partitioning::from_assignment(assignment),
+        delta,
+        levels: max_level,
+        est_storage,
+        est_checkout_avg: checkout_total as f64 / n.max(1) as f64,
+        search_iterations: 1,
+    }
+}
+
+/// Solve Problem 5.1: minimize checkout cost subject to `S ≤ γ` (in
+/// records), via binary search on δ (§5.2, "Analysis of δ"). Returns the
+/// best feasible result found; if even a single partition exceeds γ the
+/// single-partition solution is returned (γ below |R| is infeasible).
+pub fn lyresplit_for_budget(tree: &VersionTree, gamma: u64) -> LyreSplitResult {
+    // The theoretical single-partition point is δ = |E|/(|R||V|); we search
+    // from 0 so that tight budgets (γ ≈ |R|) still find the single-partition
+    // solution.
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+
+    // δ = hi fully splits wherever possible; if that fits the budget, done.
+    let full = lyresplit(tree, hi);
+    if full.est_storage <= gamma {
+        return LyreSplitResult {
+            search_iterations: 1,
+            ..full
+        };
+    }
+
+    let mut best: Option<LyreSplitResult> = None;
+    let mut iters = 0usize;
+    for _ in 0..40 {
+        iters += 1;
+        let mid = (lo + hi) / 2.0;
+        let res = lyresplit(tree, mid.clamp(f64::MIN_POSITIVE, 1.0));
+        let s = res.est_storage;
+        if s <= gamma {
+            // Feasible: larger δ would split more (superset property),
+            // lowering checkout cost — search upward.
+            let better = best
+                .as_ref()
+                .map(|b| res.est_checkout_avg < b.est_checkout_avg)
+                .unwrap_or(true);
+            if better {
+                best = Some(res);
+            }
+            if s as f64 >= 0.99 * gamma as f64 {
+                break;
+            }
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo).abs() < 1e-12 {
+            break;
+        }
+    }
+
+    // If nothing feasible was found (γ < |R|, which is infeasible for any
+    // partitioning), fall back to the storage-minimal single partition.
+    let mut out = best.unwrap_or_else(|| lyresplit(tree, 1e-12));
+    out.search_iterations = iters.max(1);
+    out
+}
+
+/// The weighted-frequency generalization of §5.3.2: version `vi` is checked
+/// out with frequency `freqs[i]`. Builds the expanded tree T′ (each version
+/// duplicated `fi` times along a chain of full-overlap edges), runs
+/// LyreSplit on it, and post-processes so all copies of a version land in
+/// one partition.
+pub fn lyresplit_weighted(tree: &VersionTree, freqs: &[u64], delta: f64) -> LyreSplitResult {
+    assert_eq!(freqs.len(), tree.num_versions());
+    let n = tree.num_versions();
+    // Expanded tree: copies of version i occupy a contiguous id range.
+    let mut offsets = Vec::with_capacity(n);
+    let mut total = 0usize;
+    for &f in freqs {
+        offsets.push(total);
+        total += f.max(1) as usize;
+    }
+    let mut parent = vec![None; total];
+    let mut weight = vec![0u64; total];
+    let mut sizes = vec![0u64; total];
+    for v in 0..n {
+        let f = freqs[v].max(1) as usize;
+        let base = offsets[v];
+        for j in 0..f {
+            sizes[base + j] = tree.sizes[v];
+            if j > 0 {
+                // Chain edge between copies: they share every record.
+                parent[base + j] = Some(Vid((base + j - 1) as u32));
+                weight[base + j] = tree.sizes[v];
+            }
+        }
+        if let Some(p) = tree.parent[v] {
+            // Cross edge from the last copy of the parent to the first copy
+            // of the child, carrying the original weight.
+            let p_last = offsets[p.idx()] + freqs[p.idx()].max(1) as usize - 1;
+            parent[base] = Some(Vid(p_last as u32));
+            weight[base] = tree.edge_weight[v];
+        }
+    }
+    let expanded = VersionTree::from_parts(parent, weight, sizes);
+    let res = lyresplit(&expanded, delta);
+
+    // Post-process: assign each original version to the partition (among
+    // its copies' partitions) with the fewest estimated records.
+    let groups = res.partitioning.groups();
+    let part_records: Vec<u64> = groups
+        .iter()
+        .map(|g| {
+            let nodes: Vec<u32> = g.iter().map(|v| v.0).collect();
+            comp_stats(&expanded, &nodes).records
+        })
+        .collect();
+    let mut assignment = vec![0usize; n];
+    for v in 0..n {
+        let f = freqs[v].max(1) as usize;
+        let base = offsets[v];
+        let best = (0..f)
+            .map(|j| res.partitioning.partition_of(Vid((base + j) as u32)))
+            .min_by_key(|&p| part_records[p])
+            .unwrap();
+        assignment[v] = best;
+    }
+    LyreSplitResult {
+        partitioning: Partitioning::from_assignment(assignment),
+        delta,
+        levels: res.levels,
+        est_storage: res.est_storage,
+        est_checkout_avg: res.est_checkout_avg,
+        search_iterations: 1,
+    }
+}
+
+/// Schema-change-aware splitting (§5.3.3): express node sizes and edge
+/// weights in *cells* (records × attributes) so that the candidate-edge
+/// test becomes `a(vi,vj)·w(vi,vj) ≤ δ·|A||R|`. Run [`lyresplit`] on the
+/// returned tree.
+pub fn schema_weighted_tree(
+    tree: &VersionTree,
+    attrs_per_version: &[u64],
+    common_attrs_per_edge: &[u64],
+) -> VersionTree {
+    assert_eq!(attrs_per_version.len(), tree.num_versions());
+    assert_eq!(common_attrs_per_edge.len(), tree.num_versions());
+    let sizes = tree
+        .sizes
+        .iter()
+        .zip(attrs_per_version)
+        .map(|(&r, &a)| r * a)
+        .collect();
+    let weights = tree
+        .edge_weight
+        .iter()
+        .zip(common_attrs_per_edge)
+        .map(|(&w, &a)| w * a)
+        .collect();
+    VersionTree::from_parts(tree.parent.clone(), weights, sizes)
+}
+
+// ---------------------------------------------------------------------------
+// Internals
+// ---------------------------------------------------------------------------
+
+fn collect_subtree(view: &TreeView<'_>, root: u32) -> Vec<u32> {
+    let mut out = vec![root];
+    let mut stack = vec![root];
+    while let Some(u) = stack.pop() {
+        for &c in &view.children[u as usize] {
+            out.push(c.0);
+            stack.push(c.0);
+        }
+    }
+    out
+}
+
+fn collect_subtree_within(
+    view: &TreeView<'_>,
+    root: u32,
+    within: &std::collections::HashSet<u32>,
+) -> Vec<u32> {
+    let mut out = vec![root];
+    let mut stack = vec![root];
+    while let Some(u) = stack.pop() {
+        for &c in &view.children[u as usize] {
+            if within.contains(&c.0) {
+                out.push(c.0);
+                stack.push(c.0);
+            }
+        }
+    }
+    out
+}
+
+fn comp_stats(tree: &VersionTree, nodes: &[u32]) -> CompStats {
+    let in_comp: std::collections::HashSet<u32> = nodes.iter().copied().collect();
+    let mut edges = 0u64;
+    let mut shared = 0u64;
+    for &u in nodes {
+        edges += tree.sizes[u as usize];
+        if let Some(p) = tree.parent[u as usize] {
+            if in_comp.contains(&p.0) {
+                shared += tree.edge_weight[u as usize];
+            }
+        }
+    }
+    CompStats {
+        versions: nodes.len() as u64,
+        edges,
+        records: edges - shared,
+    }
+}
+
+/// Pick the edge to cut within a component: among edges with
+/// `w ≤ δ·|R_comp|`, choose the one minimizing the version-count imbalance
+/// of the two sides, breaking ties on record imbalance (§5.2). Returns the
+/// child endpoint of the edge, or `None` if no candidate exists.
+fn pick_edge(view: &TreeView<'_>, nodes: &[u32], stats: CompStats, delta: f64) -> Option<u32> {
+    let in_comp: std::collections::HashSet<u32> = nodes.iter().copied().collect();
+    let threshold = delta * stats.records as f64;
+
+    // One DFS from the component root computes per-node subtree aggregates.
+    let root = *nodes
+        .iter()
+        .find(|&&u| match view.tree.parent[u as usize] {
+            None => true,
+            Some(p) => !in_comp.contains(&p.0),
+        })?;
+
+    // Iterative post-order accumulation.
+    let mut sub_v: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let mut sub_e: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let mut sub_w: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let mut order = Vec::with_capacity(nodes.len());
+    let mut stack = vec![root];
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &c in &view.children[u as usize] {
+            if in_comp.contains(&c.0) {
+                stack.push(c.0);
+            }
+        }
+    }
+    for &u in order.iter().rev() {
+        let mut v = 1u64;
+        let mut e = view.tree.sizes[u as usize];
+        let mut w = 0u64;
+        for &c in &view.children[u as usize] {
+            if in_comp.contains(&c.0) {
+                v += sub_v[&c.0];
+                e += sub_e[&c.0];
+                // Internal weight of c's subtree plus the edge (u, c) itself.
+                w += sub_w[&c.0] + view.tree.edge_weight[c.idx()];
+            }
+        }
+        sub_v.insert(u, v);
+        sub_e.insert(u, e);
+        sub_w.insert(u, w);
+    }
+
+    let mut best: Option<(u32, u64, u64)> = None; // (child, v_imbalance, r_imbalance)
+    for &u in nodes {
+        if u == root {
+            continue;
+        }
+        let Some(p) = view.tree.parent[u as usize] else {
+            continue;
+        };
+        if !in_comp.contains(&p.0) {
+            continue;
+        }
+        let w = view.tree.edge_weight[u as usize];
+        if (w as f64) > threshold {
+            continue;
+        }
+        let v_child = sub_v[&u];
+        let e_child = sub_e[&u];
+        let r_child = e_child - sub_w[&u];
+        let v_parent = stats.versions - v_child;
+        // Parent-side internal weight excludes the child subtree and the cut
+        // edge itself.
+        let w_parent = sub_w[&root] - sub_w[&u] - w;
+        let r_parent = (stats.edges - e_child) - w_parent;
+        let v_imb = v_parent.abs_diff(v_child);
+        let r_imb = r_parent.abs_diff(r_child);
+        let better = match &best {
+            None => true,
+            Some((_, bv, br)) => (v_imb, r_imb) < (*bv, *br),
+        };
+        if better {
+            best = Some((u, v_imb, r_imb));
+        }
+    }
+    best.map(|(u, _, _)| u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 7-version tree of Fig. 5.4 (δ = 0.5 example).
+    ///
+    /// v1 (30) ── v2 (12, w=10) ── v4 (6, w=6) , v5 (8, w=7)
+    ///        └── v3 (10, w=7)  ── v6 (8, w=8) , v7 (7, w=6)
+    /// (sizes/weights chosen to exercise splitting; not the paper's exact
+    /// numbers, which it does not fully specify.)
+    fn example_tree() -> VersionTree {
+        VersionTree::from_parts(
+            vec![
+                None,
+                Some(Vid(0)),
+                Some(Vid(0)),
+                Some(Vid(1)),
+                Some(Vid(1)),
+                Some(Vid(2)),
+                Some(Vid(2)),
+            ],
+            vec![0, 10, 7, 6, 7, 8, 6],
+            vec![30, 12, 10, 6, 8, 8, 7],
+        )
+    }
+
+    #[test]
+    fn single_partition_when_delta_small() {
+        let t = example_tree();
+        // |R| = 81−44 = 37, |V| = 7, |E| = 81. Termination needs
+        // 37·7 = 259 < 81/δ, i.e. δ < 0.313.
+        let res = lyresplit(&t, 0.05);
+        assert_eq!(res.partitioning.num_partitions(), 1);
+        assert_eq!(res.est_storage, t.num_records());
+        assert_eq!(res.levels, 0);
+    }
+
+    #[test]
+    fn splits_with_larger_delta() {
+        let t = example_tree();
+        let res = lyresplit(&t, 0.9);
+        assert!(res.partitioning.num_partitions() > 1);
+        // Storage grows with splits but never exceeds |E|.
+        assert!(res.est_storage >= t.num_records());
+        assert!(res.est_storage <= t.bipartite_edges());
+        assert!(res.levels >= 1);
+    }
+
+    #[test]
+    fn theorem_5_2_bounds_hold() {
+        let t = example_tree();
+        let r = t.num_records() as f64;
+        let lower_c = t.bipartite_edges() as f64 / t.num_versions() as f64;
+        for delta in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let res = lyresplit(&t, delta);
+            // Storage ≤ (1+δ)^ℓ · |R|.
+            assert!(
+                res.est_storage as f64 <= (1.0 + delta).powi(res.levels as i32) * r + 1e-9,
+                "storage bound violated at delta={delta}"
+            );
+            // Checkout ≤ (1/δ) · |E|/|V|.
+            assert!(
+                res.est_checkout_avg <= lower_c / delta + 1e-9,
+                "checkout bound violated at delta={delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_search_respects_gamma() {
+        let t = example_tree();
+        let r = t.num_records();
+        for gamma in [r, r * 3 / 2, r * 2, t.bipartite_edges()] {
+            let res = lyresplit_for_budget(&t, gamma);
+            assert!(
+                res.est_storage <= gamma,
+                "estimated storage {} exceeds gamma {gamma}",
+                res.est_storage
+            );
+        }
+    }
+
+    #[test]
+    fn budget_monotone_checkout() {
+        // More storage budget ⇒ no worse checkout cost.
+        let t = example_tree();
+        let r = t.num_records();
+        let tight = lyresplit_for_budget(&t, r);
+        let loose = lyresplit_for_budget(&t, r * 2);
+        assert!(loose.est_checkout_avg <= tight.est_checkout_avg + 1e-9);
+    }
+
+    #[test]
+    fn weighted_all_equal_freqs_behaves_like_unweighted_cost() {
+        let t = example_tree();
+        let freqs = vec![1u64; 7];
+        let res = lyresplit_weighted(&t, &freqs, 0.9);
+        // Every version assigned somewhere; valid partitioning.
+        assert_eq!(res.partitioning.num_versions(), 7);
+    }
+
+    #[test]
+    fn weighted_hot_version_isolated_with_high_delta() {
+        let t = example_tree();
+        let mut freqs = vec![1u64; 7];
+        freqs[4] = 50; // v5 checked out constantly
+        let res = lyresplit_weighted(&t, &freqs, 1.0);
+        assert_eq!(res.partitioning.num_versions(), 7);
+        assert!(res.partitioning.num_partitions() >= 2);
+    }
+
+    #[test]
+    fn schema_weighted_tree_scales_cells() {
+        let t = example_tree();
+        let attrs = vec![5u64; 7];
+        let common = vec![5u64; 7];
+        let st = schema_weighted_tree(&t, &attrs, &common);
+        assert_eq!(st.sizes[0], 150);
+        assert_eq!(st.edge_weight[1], 50);
+        // With uniform attributes the partitioning is the same as unweighted.
+        let a = lyresplit(&t, 0.5).partitioning;
+        let b = lyresplit(&st, 0.5).partitioning;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chain_tree_splits_balanced() {
+        // A chain of 8 versions, each sharing little with its parent:
+        // LyreSplit should cut it into several pieces at δ=1.
+        let n = 8;
+        let parent: Vec<Option<Vid>> = (0..n)
+            .map(|v| if v == 0 { None } else { Some(Vid(v as u32 - 1)) })
+            .collect();
+        let weights = vec![1u64; n];
+        let sizes = vec![100u64; n];
+        let t = VersionTree::from_parts(parent, weights, sizes);
+        let res = lyresplit(&t, 1.0);
+        assert!(res.partitioning.num_partitions() >= 4);
+    }
+}

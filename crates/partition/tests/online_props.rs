@@ -1,0 +1,100 @@
+//! Property-based tests for the online maintainer and the migration
+//! engine: arbitrary commit streams keep the invariants of §5.4.
+
+use partition::{OnlineConfig, OnlineEvent, OnlineMaintainer, Rid, Vid};
+use proptest::prelude::*;
+
+/// A random commit: (parent selector, overlap fraction ‰, new records).
+type Commit = (usize, u16, u8);
+
+fn run_stream(commits: &[Commit], config: OnlineConfig) -> (OnlineMaintainer, usize) {
+    let mut m = OnlineMaintainer::new(config);
+    let mut next = 0u64;
+    let mut fresh = |n: u64| -> Vec<Rid> {
+        let out: Vec<Rid> = (next..next + n).map(Rid).collect();
+        next += n;
+        out
+    };
+    // Root version.
+    m.commit(fresh(100), &[]);
+    let mut version_records: Vec<Vec<Rid>> = vec![m.bipartite().records(Vid(0)).to_vec()];
+    let mut migrations = 0usize;
+    for &(psel, keep_permille, adds) in commits {
+        let parent = Vid((psel % version_records.len()) as u32);
+        let base = &version_records[parent.idx()];
+        let keep = (base.len() as u64 * (keep_permille % 1000) as u64 / 1000) as usize;
+        let mut records: Vec<Rid> = base.iter().take(keep).copied().collect();
+        records.extend(fresh(adds as u64 + 1));
+        records.sort_unstable();
+        let events = m.commit(records.clone(), &[parent]);
+        migrations += events
+            .iter()
+            .filter(|e| matches!(e, OnlineEvent::Migrated { .. }))
+            .count();
+        version_records.push(records);
+    }
+    (m, migrations)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// After every commit-time check, Cavg ≤ µ·C*avg; every version is
+    /// assigned; per-partition record sets cover their versions.
+    #[test]
+    fn online_invariants(commits in prop::collection::vec(
+        (any::<usize>(), any::<u16>(), any::<u8>()), 1..40)) {
+        let config = OnlineConfig {
+            gamma_factor: 2.0,
+            mu: 1.5,
+            delta_star: 0.1,
+            check_every: 1,
+        };
+        let (m, _) = run_stream(&commits, config);
+        prop_assert_eq!(m.num_versions(), commits.len() + 1);
+        prop_assert!(
+            m.checkout_avg() <= 1.5 * m.best_checkout_avg() + 1e-6,
+            "Cavg {} exceeds µ·C* {}", m.checkout_avg(), 1.5 * m.best_checkout_avg()
+        );
+        // The partitioning covers every version and its storage matches the
+        // maintainer's bookkeeping.
+        let p = m.partitioning();
+        prop_assert_eq!(p.num_versions(), m.num_versions());
+        let eval = p.evaluate(m.bipartite());
+        prop_assert_eq!(eval.storage_records, m.storage_records());
+    }
+
+    /// The intelligent migration never costs more than naive rebuilding.
+    #[test]
+    fn migration_never_worse_than_naive(commits in prop::collection::vec(
+        (any::<usize>(), any::<u16>(), any::<u8>()), 5..30)) {
+        let config = OnlineConfig {
+            gamma_factor: 2.0,
+            mu: 1.2,
+            delta_star: 0.05,
+            check_every: 3,
+        };
+        let mut m = OnlineMaintainer::new(config);
+        let mut next = 0u64;
+        m.commit((0..150).map(Rid).collect(), &[]);
+        next += 150;
+        let mut plans = Vec::new();
+        for &(psel, keep, adds) in &commits {
+            let parent = Vid((psel % m.num_versions()) as u32);
+            let base: Vec<Rid> = m.bipartite().records(parent).to_vec();
+            let k = (base.len() as u64 * (keep % 1000) as u64 / 1000) as usize;
+            let mut records: Vec<Rid> = base.into_iter().take(k).collect();
+            records.extend((next..next + adds as u64 + 1).map(Rid));
+            next += adds as u64 + 1;
+            records.sort_unstable();
+            for e in m.commit(records, &[parent]) {
+                if let OnlineEvent::Migrated { plan, .. } = e {
+                    plans.push(plan);
+                }
+            }
+        }
+        for plan in plans {
+            prop_assert!(plan.intelligent_cost <= plan.naive_cost);
+        }
+    }
+}

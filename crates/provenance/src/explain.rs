@@ -1,0 +1,252 @@
+//! Structural explanations (§8.5): classify what operation most plausibly
+//! derived one artifact from another.
+
+use crate::repo::Artifact;
+use std::collections::{HashMap, HashSet};
+
+/// Data-science operations the explainer recognizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Same rows, byte-identical (a copy).
+    Copy,
+    /// Same row count and key set; one or more columns added
+    /// (feature engineering).
+    ColumnAddition,
+    /// Same row count and key set; columns removed.
+    Projection,
+    /// Same row count and key set; same columns, values transformed
+    /// (normalization/cleaning) — the canonical row-preserving operation.
+    RowPreservingTransform,
+    /// Target's keys are a strict subset (selection/filter).
+    Filter,
+    /// Target's keys are a strict superset (append/ingest).
+    Append,
+    /// Same keys mostly, some rows changed and some added/removed (edits).
+    Update,
+    /// No structural pattern matched.
+    Unknown,
+}
+
+impl Operation {
+    pub fn name(self) -> &'static str {
+        match self {
+            Operation::Copy => "copy",
+            Operation::ColumnAddition => "column-addition",
+            Operation::Projection => "projection",
+            Operation::RowPreservingTransform => "row-preserving-transform",
+            Operation::Filter => "filter",
+            Operation::Append => "append",
+            Operation::Update => "update",
+            Operation::Unknown => "unknown",
+        }
+    }
+}
+
+/// The best shared candidate-key column pair between two artifacts: the
+/// pair of (source column, target column) whose value sets overlap most.
+pub fn shared_key(src: &Artifact, dst: &Artifact) -> Option<(usize, usize, f64)> {
+    let mut best: Option<(usize, usize, f64)> = None;
+    for &sc in &src.candidate_keys() {
+        let s_set = src.key_set(sc);
+        if s_set.is_empty() {
+            continue;
+        }
+        for &dc in &dst.candidate_keys() {
+            let d_set = dst.key_set(dc);
+            let inter = s_set.intersection(&d_set).count() as f64;
+            let union = (s_set.len() + d_set.len()) as f64 - inter;
+            if union == 0.0 {
+                continue;
+            }
+            let j = inter / union;
+            if best.map(|(_, _, b)| j > b).unwrap_or(true) {
+                best = Some((sc, dc, j));
+            }
+        }
+    }
+    best
+}
+
+/// Classify the derivation `src → dst`.
+pub fn explain_edge(src: &Artifact, dst: &Artifact) -> Operation {
+    // Identical contents (any column order difference counts as transform).
+    if src.columns == dst.columns && src.rows == dst.rows {
+        return Operation::Copy;
+    }
+
+    let src_cols: HashSet<&String> = src.columns.iter().collect();
+    let dst_cols: HashSet<&String> = dst.columns.iter().collect();
+
+    let Some((sk, dk, key_jaccard)) = shared_key(src, dst) else {
+        return Operation::Unknown;
+    };
+    if key_jaccard < 0.05 {
+        return Operation::Unknown;
+    }
+    let s_keys = src.key_set(sk);
+    let d_keys = dst.key_set(dk);
+
+    if s_keys == d_keys {
+        // Row-preserving family: distinguish by schema.
+        if dst_cols.is_superset(&src_cols) && dst_cols.len() > src_cols.len() {
+            return Operation::ColumnAddition;
+        }
+        if dst_cols.is_subset(&src_cols) && dst_cols.len() < src_cols.len() {
+            return Operation::Projection;
+        }
+        if src.columns == dst.columns {
+            return Operation::RowPreservingTransform;
+        }
+        // Renamed columns etc.
+        return Operation::RowPreservingTransform;
+    }
+    if d_keys.is_subset(&s_keys) {
+        return Operation::Filter;
+    }
+    if d_keys.is_superset(&s_keys) {
+        return Operation::Append;
+    }
+    // Mixed adds/removes on a largely shared key set.
+    if key_jaccard > 0.5 {
+        return Operation::Update;
+    }
+    Operation::Unknown
+}
+
+/// Fraction of `dst` rows whose key exists in `src` with identical
+/// non-key values (used by the inference scorer to distinguish
+/// updates from transforms).
+pub fn unchanged_row_fraction(src: &Artifact, dst: &Artifact) -> f64 {
+    let Some((sk, dk, _)) = shared_key(src, dst) else {
+        return 0.0;
+    };
+    let by_key: HashMap<i64, &Vec<i64>> = src.rows.iter().map(|r| (r[sk], r)).collect();
+    if dst.rows.is_empty() {
+        return 0.0;
+    }
+    let shared_cols: Vec<(usize, usize)> = dst
+        .columns
+        .iter()
+        .enumerate()
+        .filter_map(|(dc, name)| src.column_index(name).map(|sc| (sc, dc)))
+        .collect();
+    let mut unchanged = 0usize;
+    for row in &dst.rows {
+        if let Some(srow) = by_key.get(&row[dk]) {
+            if shared_cols.iter().all(|&(sc, dc)| srow[sc] == row[dc]) {
+                unchanged += 1;
+            }
+        }
+    }
+    unchanged as f64 / dst.rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Artifact {
+        Artifact::new(
+            "base",
+            vec!["id".into(), "x".into()],
+            (0..50).map(|i| vec![i, i * 10]).collect(),
+            0,
+        )
+    }
+
+    #[test]
+    fn classify_copy() {
+        let a = base();
+        let mut b = base();
+        b.name = "copy".into();
+        assert_eq!(explain_edge(&a, &b), Operation::Copy);
+    }
+
+    #[test]
+    fn classify_column_addition() {
+        let a = base();
+        let b = Artifact::new(
+            "plus",
+            vec!["id".into(), "x".into(), "norm".into()],
+            (0..50).map(|i| vec![i, i * 10, i]).collect(),
+            1,
+        );
+        assert_eq!(explain_edge(&a, &b), Operation::ColumnAddition);
+    }
+
+    #[test]
+    fn classify_projection() {
+        let a = base();
+        let b = Artifact::new(
+            "proj",
+            vec!["id".into()],
+            (0..50).map(|i| vec![i]).collect(),
+            1,
+        );
+        assert_eq!(explain_edge(&a, &b), Operation::Projection);
+    }
+
+    #[test]
+    fn classify_row_preserving_transform() {
+        let a = base();
+        let b = Artifact::new(
+            "norm",
+            vec!["id".into(), "x".into()],
+            (0..50).map(|i| vec![i, i]).collect(), // x normalized
+            1,
+        );
+        assert_eq!(explain_edge(&a, &b), Operation::RowPreservingTransform);
+    }
+
+    #[test]
+    fn classify_filter_and_append() {
+        let a = base();
+        let filtered = Artifact::new(
+            "f",
+            a.columns.clone(),
+            (0..25).map(|i| vec![i, i * 10]).collect(),
+            1,
+        );
+        assert_eq!(explain_edge(&a, &filtered), Operation::Filter);
+        let appended = Artifact::new(
+            "g",
+            a.columns.clone(),
+            (0..60).map(|i| vec![i, i * 10]).collect(),
+            1,
+        );
+        assert_eq!(explain_edge(&a, &appended), Operation::Append);
+    }
+
+    #[test]
+    fn classify_update() {
+        let a = base();
+        // Drop 5 keys, add 5 new ones, keep the bulk.
+        let rows: Vec<Vec<i64>> = (5..55).map(|i| vec![i, i * 10]).collect();
+        let b = Artifact::new("u", a.columns.clone(), rows, 1);
+        assert_eq!(explain_edge(&a, &b), Operation::Update);
+    }
+
+    #[test]
+    fn unrelated_is_unknown() {
+        let a = base();
+        let b = Artifact::new(
+            "other",
+            vec!["k".into(), "v".into()],
+            (5000..5050).map(|i| vec![i, i]).collect(),
+            1,
+        );
+        assert_eq!(explain_edge(&a, &b), Operation::Unknown);
+    }
+
+    #[test]
+    fn unchanged_fraction() {
+        let a = base();
+        let mut rows: Vec<Vec<i64>> = (0..50).map(|i| vec![i, i * 10]).collect();
+        for row in rows.iter_mut().take(10) {
+            row[1] = -1; // 10 of 50 changed
+        }
+        let b = Artifact::new("u", a.columns.clone(), rows, 1);
+        let f = unchanged_row_fraction(&a, &b);
+        assert!((f - 0.8).abs() < 1e-9);
+    }
+}

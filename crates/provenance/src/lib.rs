@@ -1,0 +1,34 @@
+//! # provenance — the generalized provenance manager (Chapter 8)
+//!
+//! OrpheusDB's "from-scratch" assumption requires users to register every
+//! version with full derivation metadata. This crate removes it: given an
+//! **untracked repository** — a pile of dataset files with no metadata
+//! beyond modification timestamps — it infers the lineage relationships
+//! among them:
+//!
+//! 1. **Candidate pruning** ([`sketch`]): min-hash sketches of row and
+//!    column sets prune the O(n²) pair space (§8.6, accelerating the
+//!    workflow);
+//! 2. **Edge inference** ([`infer`]): surviving pairs are scored by
+//!    row/key/column overlap and oriented by timestamp; a maximum-likelihood
+//!    lineage forest is the maximum spanning arborescence of the score
+//!    graph (§8.4);
+//! 3. **Structural explanation** ([`explain`]): each inferred edge is
+//!    classified as the data-science operation that most plausibly produced
+//!    it — row-preserving transforms (column addition/normalization),
+//!    filters, appends, updates, projections (§8.5);
+//! 4. **Evaluation** ([`metrics`]): precision/recall against ground truth,
+//!    with [`synth`] generating workloads of known lineage (§8.8).
+
+pub mod explain;
+pub mod infer;
+pub mod metrics;
+pub mod repo;
+pub mod sketch;
+pub mod synth;
+
+pub use explain::{explain_edge, Operation};
+pub use infer::{infer_lineage, InferConfig, InferredEdge, LineageGraph};
+pub use metrics::{score_edges, PrecisionRecall};
+pub use repo::{Artifact, UntrackedRepository};
+pub use synth::{synthesize, SynthConfig};

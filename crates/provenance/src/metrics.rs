@@ -1,0 +1,109 @@
+//! Precision/recall scoring of inferred lineage against ground truth
+//! (§8.8).
+
+use crate::explain::Operation;
+use crate::infer::LineageGraph;
+use std::collections::HashMap;
+
+/// Evaluation scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// Fraction of inferred edges that are true edges.
+    pub precision: f64,
+    /// Fraction of true edges that were inferred.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+    /// Among correctly inferred edges, the fraction whose operation label
+    /// matches the ground truth.
+    pub operation_accuracy: f64,
+    pub inferred: usize,
+    pub truth: usize,
+}
+
+/// Score an inferred lineage graph against `(parent, child, op)` truth.
+pub fn score_edges(inferred: &LineageGraph, truth: &[(usize, usize, Operation)]) -> PrecisionRecall {
+    let truth_map: HashMap<(usize, usize), Operation> =
+        truth.iter().map(|&(p, c, op)| ((p, c), op)).collect();
+    let mut correct = 0usize;
+    let mut op_correct = 0usize;
+    for e in &inferred.edges {
+        if let Some(&op) = truth_map.get(&(e.from, e.to)) {
+            correct += 1;
+            if e.operation == op {
+                op_correct += 1;
+            }
+        }
+    }
+    let precision = if inferred.edges.is_empty() {
+        0.0
+    } else {
+        correct as f64 / inferred.edges.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        0.0
+    } else {
+        correct as f64 / truth.len() as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PrecisionRecall {
+        precision,
+        recall,
+        f1,
+        operation_accuracy: if correct == 0 {
+            0.0
+        } else {
+            op_correct as f64 / correct as f64
+        },
+        inferred: inferred.edges.len(),
+        truth: truth.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::{infer_lineage, InferConfig};
+    use crate::synth::{synthesize, SynthConfig};
+
+    #[test]
+    fn end_to_end_inference_quality() {
+        // The §8.8-style experiment: on linear-ish synthetic workloads the
+        // inferred lineage should recover most true edges.
+        let mut total_f1 = 0.0;
+        let mut total_op = 0.0;
+        let runs = 5;
+        for seed in 0..runs {
+            let w = synthesize(SynthConfig {
+                derivations: 25,
+                seed,
+                ..SynthConfig::default()
+            });
+            let g = infer_lineage(&w.repo, InferConfig::default());
+            let s = score_edges(&g, &w.truth);
+            total_f1 += s.f1;
+            total_op += s.operation_accuracy;
+        }
+        let avg_f1 = total_f1 / runs as f64;
+        let avg_op = total_op / runs as f64;
+        assert!(avg_f1 > 0.6, "average F1 too low: {avg_f1}");
+        assert!(avg_op > 0.6, "operation accuracy too low: {avg_op}");
+    }
+
+    #[test]
+    fn perfect_and_empty_scores() {
+        let w = synthesize(SynthConfig {
+            derivations: 5,
+            ..SynthConfig::default()
+        });
+        let empty = LineageGraph::default();
+        let s = score_edges(&empty, &w.truth);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+}

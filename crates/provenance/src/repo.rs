@@ -1,0 +1,141 @@
+//! Untracked repositories: artifacts with data but no lineage metadata.
+
+use std::collections::HashSet;
+
+/// A dataset artifact found in a shared folder: a table with named columns,
+/// integer cells, and only a filesystem timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    pub name: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<i64>>,
+    /// Filesystem modification time (seconds); the only metadata available.
+    pub timestamp: i64,
+}
+
+impl Artifact {
+    pub fn new(name: impl Into<String>, columns: Vec<String>, rows: Vec<Vec<i64>>, timestamp: i64) -> Self {
+        let a = Artifact {
+            name: name.into(),
+            columns,
+            rows,
+            timestamp,
+        };
+        debug_assert!(a.rows.iter().all(|r| r.len() == a.columns.len()));
+        a
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Values of one column.
+    pub fn column_values(&self, idx: usize) -> Vec<i64> {
+        self.rows.iter().map(|r| r[idx]).collect()
+    }
+
+    /// Columns whose values are all distinct — candidate keys (§8.4 infers
+    /// row-preserving derivations by matching key sets).
+    pub fn candidate_keys(&self) -> Vec<usize> {
+        (0..self.num_cols())
+            .filter(|&c| {
+                let mut seen = HashSet::with_capacity(self.rows.len());
+                self.rows.iter().all(|r| seen.insert(r[c]))
+            })
+            .collect()
+    }
+
+    /// The set of values of a column (for key-set comparison).
+    pub fn key_set(&self, col: usize) -> HashSet<i64> {
+        self.rows.iter().map(|r| r[col]).collect()
+    }
+
+    /// Row fingerprints: hash of the full row (order-insensitive multiset
+    /// comparisons between artifacts).
+    pub fn row_hashes(&self) -> Vec<u64> {
+        self.rows.iter().map(|r| hash_row(r)).collect()
+    }
+}
+
+/// Deterministic row hash.
+pub fn hash_row(row: &[i64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &v in row {
+        h ^= v as u64;
+        h = h.wrapping_mul(0x100000001b3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+/// A collection of artifacts with unknown lineage.
+#[derive(Debug, Clone, Default)]
+pub struct UntrackedRepository {
+    pub artifacts: Vec<Artifact>,
+}
+
+impl UntrackedRepository {
+    pub fn new() -> Self {
+        UntrackedRepository::default()
+    }
+
+    pub fn add(&mut self, artifact: Artifact) -> usize {
+        self.artifacts.push(artifact);
+        self.artifacts.len() - 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.artifacts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.artifacts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Artifact {
+        Artifact::new(
+            "t",
+            vec!["id".into(), "x".into()],
+            vec![vec![1, 10], vec![2, 10], vec![3, 30]],
+            100,
+        )
+    }
+
+    #[test]
+    fn candidate_keys_detects_unique_columns() {
+        let a = table();
+        assert_eq!(a.candidate_keys(), vec![0]);
+    }
+
+    #[test]
+    fn key_set_and_hashes() {
+        let a = table();
+        assert_eq!(a.key_set(0), [1, 2, 3].into_iter().collect());
+        let h = a.row_hashes();
+        assert_eq!(h.len(), 3);
+        assert_ne!(h[0], h[1]);
+        // Hash is deterministic.
+        assert_eq!(h, table().row_hashes());
+    }
+
+    #[test]
+    fn repository_add() {
+        let mut r = UntrackedRepository::new();
+        assert!(r.is_empty());
+        r.add(table());
+        assert_eq!(r.len(), 1);
+    }
+}

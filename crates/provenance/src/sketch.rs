@@ -1,0 +1,141 @@
+//! Min-hash sketches for candidate-pair pruning (§8.6).
+//!
+//! Computing exact overlaps between all `O(n²)` artifact pairs is the
+//! workflow bottleneck; a small min-hash signature per artifact estimates
+//! Jaccard similarity in `O(k)` per pair, and only pairs above a similarity
+//! floor proceed to exact scoring.
+
+use crate::repo::Artifact;
+
+/// Number of hash functions in a sketch.
+pub const SKETCH_SIZE: usize = 32;
+
+/// A min-hash signature over an artifact's row-hash set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sketch {
+    sig: [u64; SKETCH_SIZE],
+}
+
+fn mix(x: u64, salt: u64) -> u64 {
+    let mut z = x ^ salt;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Sketch {
+    /// Sketch of an artifact's rows.
+    pub fn of_rows(artifact: &Artifact) -> Sketch {
+        Self::of_items(artifact.row_hashes().into_iter())
+    }
+
+    /// Sketch of arbitrary item hashes.
+    pub fn of_items(items: impl Iterator<Item = u64>) -> Sketch {
+        let mut sig = [u64::MAX; SKETCH_SIZE];
+        for item in items {
+            for (i, s) in sig.iter_mut().enumerate() {
+                let h = mix(item, 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+                if h < *s {
+                    *s = h;
+                }
+            }
+        }
+        Sketch { sig }
+    }
+
+    /// Estimated Jaccard similarity: fraction of matching signature slots.
+    pub fn jaccard(&self, other: &Sketch) -> f64 {
+        let matches = self
+            .sig
+            .iter()
+            .zip(&other.sig)
+            .filter(|(a, b)| a == b)
+            .count();
+        matches as f64 / SKETCH_SIZE as f64
+    }
+}
+
+impl Sketch {
+    /// Sketch of an artifact's distinct cell values. Row-preserving
+    /// transforms rewrite rows but keep key values, so value sketches keep
+    /// those pairs alive through pruning.
+    pub fn of_values(artifact: &Artifact) -> Sketch {
+        let mut values: Vec<u64> = artifact
+            .rows
+            .iter()
+            .flat_map(|r| r.iter().map(|&v| v as u64 ^ 0xA5A5_5A5A_DEAD_BEEF))
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        Self::of_items(values.into_iter())
+    }
+}
+
+/// Candidate pairs whose estimated row *or* value similarity exceeds
+/// `floor`, from all `n·(n−1)/2` pairs. Returns `(i, j)` with `i < j`.
+pub fn candidate_pairs(artifacts: &[Artifact], floor: f64) -> Vec<(usize, usize)> {
+    let rows: Vec<Sketch> = artifacts.iter().map(Sketch::of_rows).collect();
+    let values: Vec<Sketch> = artifacts.iter().map(Sketch::of_values).collect();
+    let mut out = Vec::new();
+    for i in 0..artifacts.len() {
+        for j in (i + 1)..artifacts.len() {
+            let sim = rows[i]
+                .jaccard(&rows[j])
+                .max(values[i].jaccard(&values[j]));
+            if sim >= floor {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(name: &str, rows: Vec<Vec<i64>>) -> Artifact {
+        Artifact::new(name, vec!["id".into(), "x".into()], rows, 0)
+    }
+
+    #[test]
+    fn identical_artifacts_have_similarity_one() {
+        let rows: Vec<Vec<i64>> = (0..100).map(|i| vec![i, i * 2]).collect();
+        let a = artifact("a", rows.clone());
+        let b = artifact("b", rows);
+        assert_eq!(
+            Sketch::of_rows(&a).jaccard(&Sketch::of_rows(&b)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn disjoint_artifacts_have_low_similarity() {
+        let a = artifact("a", (0..100).map(|i| vec![i, i]).collect());
+        let b = artifact("b", (1000..1100).map(|i| vec![i, i]).collect());
+        assert!(Sketch::of_rows(&a).jaccard(&Sketch::of_rows(&b)) < 0.2);
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        // 80% overlap → estimate near 0.8 (min-hash is unbiased).
+        let a = artifact("a", (0..100).map(|i| vec![i, i]).collect());
+        let b = artifact("b", (20..120).map(|i| vec![i, i]).collect());
+        // True Jaccard = 80 / 120 ≈ 0.667.
+        let est = Sketch::of_rows(&a).jaccard(&Sketch::of_rows(&b));
+        assert!((est - 0.667).abs() < 0.25, "estimate {est}");
+    }
+
+    #[test]
+    fn pruning_keeps_similar_pairs() {
+        let arts = vec![
+            artifact("a", (0..100).map(|i| vec![i, i]).collect()),
+            artifact("b", (5..105).map(|i| vec![i, i]).collect()),
+            artifact("c", (9000..9100).map(|i| vec![i, i]).collect()),
+        ];
+        let pairs = candidate_pairs(&arts, 0.3);
+        assert!(pairs.contains(&(0, 1)));
+        assert!(!pairs.contains(&(0, 2)));
+        assert!(!pairs.contains(&(1, 2)));
+    }
+}

@@ -1,0 +1,132 @@
+//! A named catalog of tables.
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// An in-memory database: a catalog of named tables.
+///
+/// OrpheusDB keeps its CVD data tables, versioning tables, metadata tables,
+/// and the temporary staging area (checked-out tables) all in one database,
+/// as the original does with a single PostgreSQL schema.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<&mut Table> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(Error::TableExists(name));
+        }
+        let table = Table::new(name.clone(), schema);
+        Ok(self.tables.entry(name).or_insert(table))
+    }
+
+    /// Register an already-built table (e.g. one that was bulk-loaded and
+    /// clustered before being attached to the catalog).
+    pub fn attach_table(&mut self, table: Table) -> Result<()> {
+        if self.tables.contains_key(table.name()) {
+            return Err(Error::TableExists(table.name().to_owned()));
+        }
+        self.tables.insert(table.name().to_owned(), table);
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> Result<Table> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| Error::TableNotFound(name.to_owned()))
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::TableNotFound(name.to_owned()))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::TableNotFound(name.to_owned()))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Names of tables with the given prefix (partitions of a CVD share a
+    /// common prefix).
+    pub fn tables_with_prefix(&self, prefix: &str) -> Vec<&str> {
+        self.tables
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Total storage footprint across all tables, in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.tables.values().map(Table::storage_bytes).sum()
+    }
+
+    /// Storage footprint of tables matching a prefix.
+    pub fn storage_bytes_with_prefix(&self, prefix: &str) -> usize {
+        self.tables_with_prefix(prefix)
+            .iter()
+            .map(|n| self.tables[*n].storage_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::{DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("x", DataType::Int64)])
+    }
+
+    #[test]
+    fn create_drop_lookup() {
+        let mut db = Database::new();
+        db.create_table("t", schema()).unwrap();
+        assert!(db.create_table("t", schema()).is_err());
+        assert!(db.has_table("t"));
+        db.table_mut("t").unwrap().insert(vec![Value::Int64(1)]).unwrap();
+        assert_eq!(db.table("t").unwrap().live_row_count(), 1);
+        db.drop_table("t").unwrap();
+        assert!(db.table("t").is_err());
+    }
+
+    #[test]
+    fn prefix_listing() {
+        let mut db = Database::new();
+        for n in ["cvd_p1", "cvd_p2", "other", "cvd_meta"] {
+            db.create_table(n, schema()).unwrap();
+        }
+        assert_eq!(db.tables_with_prefix("cvd_"), vec!["cvd_meta", "cvd_p1", "cvd_p2"]);
+    }
+
+    #[test]
+    fn attach_prebuilt_table() {
+        let mut db = Database::new();
+        let mut t = Table::new("pre", schema());
+        t.insert(vec![Value::Int64(9)]).unwrap();
+        db.attach_table(t).unwrap();
+        assert_eq!(db.table("pre").unwrap().live_row_count(), 1);
+    }
+}

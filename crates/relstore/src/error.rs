@@ -1,0 +1,48 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A table with this name already exists.
+    TableExists(String),
+    /// No table with this name exists.
+    TableNotFound(String),
+    /// No column with this name exists in the schema.
+    ColumnNotFound(String),
+    /// A row's arity or value types do not match the table schema.
+    SchemaMismatch(String),
+    /// A uniqueness constraint (primary key) was violated.
+    DuplicateKey(String),
+    /// An expression was evaluated against an incompatible value.
+    TypeError(String),
+    /// A referenced index does not exist.
+    IndexNotFound(String),
+    /// A row id does not refer to a live row.
+    RowNotFound(u64),
+    /// The operation's inputs violate its preconditions (e.g. merge join on
+    /// unsorted input).
+    InvalidOperation(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TableExists(n) => write!(f, "table already exists: {n}"),
+            Error::TableNotFound(n) => write!(f, "table not found: {n}"),
+            Error::ColumnNotFound(n) => write!(f, "column not found: {n}"),
+            Error::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            Error::DuplicateKey(m) => write!(f, "duplicate key: {m}"),
+            Error::TypeError(m) => write!(f, "type error: {m}"),
+            Error::IndexNotFound(n) => write!(f, "index not found: {n}"),
+            Error::RowNotFound(id) => write!(f, "row not found: {id}"),
+            Error::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,984 @@
+//! Volcano-style query executor.
+//!
+//! Operators pull rows from their children through [`Executor::next`],
+//! charging I/O and CPU costs to the [`ExecContext`]'s tracker. The three
+//! join strategies analysed in §5.5.5 (hash join, merge join,
+//! index-nested-loop join) are implemented with the cost behaviour the paper
+//! observes:
+//!
+//! * **hash join** builds a hash table on the build side then streams the
+//!   probe side sequentially — linear in the probe side regardless of
+//!   physical layout;
+//! * **merge join** sorts both inputs (quick when already sorted) and merges;
+//! * **index-nested-loop join** performs one index probe plus one heap fetch
+//!   per outer row — each fetch is a random page unless the inner table is
+//!   clustered on the join column.
+
+use crate::cost::{CostModel, CostTracker};
+use crate::error::{Error, Result};
+use crate::expr::{AggFunc, Expr};
+use crate::schema::{Column, Schema};
+use crate::table::{Row, Table};
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+
+/// Mutable state threaded through an execution.
+#[derive(Debug, Default)]
+pub struct ExecContext {
+    pub tracker: CostTracker,
+    pub model: CostModel,
+}
+
+impl ExecContext {
+    pub fn new() -> Self {
+        ExecContext {
+            tracker: CostTracker::new(),
+            model: CostModel::default(),
+        }
+    }
+}
+
+/// A pull-based operator.
+pub trait Executor {
+    fn schema(&self) -> &Schema;
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>>;
+
+    /// Drain the operator into a vector.
+    fn collect(&mut self, ctx: &mut ExecContext) -> Result<Vec<Row>>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::new();
+        while let Some(row) = self.next(ctx)? {
+            out.push(row);
+        }
+        Ok(out)
+    }
+}
+
+/// Boxed executor with a borrow lifetime (scans borrow their tables).
+pub type BoxExec<'a> = Box<dyn Executor + 'a>;
+
+/// Drain any boxed executor.
+pub fn collect(exec: &mut dyn Executor, ctx: &mut ExecContext) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(row) = exec.next(ctx)? {
+        out.push(row);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Leaf operators
+// ---------------------------------------------------------------------------
+
+/// Full sequential scan of a table.
+pub struct SeqScan<'a> {
+    table: &'a Table,
+    pos: usize,
+    charged: bool,
+}
+
+impl<'a> SeqScan<'a> {
+    pub fn new(table: &'a Table) -> Self {
+        SeqScan {
+            table,
+            pos: 0,
+            charged: false,
+        }
+    }
+}
+
+impl Executor for SeqScan<'_> {
+    fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        if !self.charged {
+            // Charge the whole heap up front: a seq scan reads every page.
+            ctx.tracker
+                .seq_scan(self.table.heap_size() as u64, &ctx.model);
+            self.charged = true;
+        }
+        while self.pos < self.table.heap_size() {
+            let id = self.pos as u64;
+            self.pos += 1;
+            if let Some(row) = self.table.get(id) {
+                return Ok(Some(row.clone()));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// A literal row set (e.g. an `rlist` unnested outside the engine).
+pub struct Values {
+    schema: Schema,
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl Values {
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
+        Values {
+            schema,
+            rows: rows.into_iter(),
+        }
+    }
+
+    /// Single-int-column convenience used for id lists.
+    pub fn ints(name: &str, vals: impl IntoIterator<Item = i64>) -> Self {
+        Values::new(
+            Schema::new(vec![Column::new(name, DataType::Int64)]),
+            vals.into_iter().map(|v| vec![Value::Int64(v)]).collect(),
+        )
+    }
+}
+
+impl Executor for Values {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        match self.rows.next() {
+            Some(r) => {
+                ctx.tracker.emit(1);
+                Ok(Some(r))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unary operators
+// ---------------------------------------------------------------------------
+
+/// Filters rows by a predicate.
+pub struct Filter<'a> {
+    child: BoxExec<'a>,
+    predicate: Expr,
+}
+
+impl<'a> Filter<'a> {
+    pub fn new(child: BoxExec<'a>, predicate: Expr) -> Self {
+        Filter { child, predicate }
+    }
+}
+
+impl Executor for Filter<'_> {
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        while let Some(row) = self.child.next(ctx)? {
+            if self.predicate.matches(&row, &mut ctx.tracker)? {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Computes a list of expressions per input row.
+pub struct Project<'a> {
+    child: BoxExec<'a>,
+    exprs: Vec<Expr>,
+    schema: Schema,
+}
+
+impl<'a> Project<'a> {
+    pub fn new(child: BoxExec<'a>, exprs: Vec<(String, Expr, DataType)>) -> Self {
+        let schema = Schema::new(
+            exprs
+                .iter()
+                .map(|(n, _, dt)| Column::nullable(n.clone(), *dt))
+                .collect(),
+        );
+        Project {
+            child,
+            exprs: exprs.into_iter().map(|(_, e, _)| e).collect(),
+            schema,
+        }
+    }
+
+    /// Project by column ordinals.
+    pub fn columns(child: BoxExec<'a>, indices: &[usize]) -> Self {
+        let schema = child.schema().project(indices);
+        Project {
+            exprs: indices.iter().map(|&i| Expr::Col(i)).collect(),
+            child,
+            schema,
+        }
+    }
+}
+
+impl Executor for Project<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        match self.child.next(ctx)? {
+            Some(row) => {
+                let out = self
+                    .exprs
+                    .iter()
+                    .map(|e| e.eval(&row, &mut ctx.tracker))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Some(out))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Sorts its input by the given columns (ascending, total order).
+pub struct Sort<'a> {
+    child: BoxExec<'a>,
+    keys: Vec<usize>,
+    sorted: Option<std::vec::IntoIter<Row>>,
+}
+
+impl<'a> Sort<'a> {
+    pub fn new(child: BoxExec<'a>, keys: Vec<usize>) -> Self {
+        Sort {
+            child,
+            keys,
+            sorted: None,
+        }
+    }
+}
+
+impl Executor for Sort<'_> {
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        if self.sorted.is_none() {
+            let mut rows = collect(self.child.as_mut(), ctx)?;
+            let n = rows.len().max(1) as u64;
+            // n log n comparison charges.
+            ctx.tracker.ops(n * (64 - n.leading_zeros() as u64).max(1));
+            let keys = self.keys.clone();
+            rows.sort_by(|a, b| {
+                keys.iter()
+                    .map(|&k| a[k].total_cmp(&b[k]))
+                    .find(|o| *o != std::cmp::Ordering::Equal)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            self.sorted = Some(rows.into_iter());
+        }
+        Ok(self.sorted.as_mut().unwrap().next())
+    }
+}
+
+/// Emits at most `n` rows.
+pub struct Limit<'a> {
+    child: BoxExec<'a>,
+    remaining: usize,
+}
+
+impl<'a> Limit<'a> {
+    pub fn new(child: BoxExec<'a>, n: usize) -> Self {
+        Limit {
+            child,
+            remaining: n,
+        }
+    }
+}
+
+impl Executor for Limit<'_> {
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.child.next(ctx)? {
+            Some(r) => {
+                self.remaining -= 1;
+                Ok(Some(r))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Expands an int-array column into one row per element (PostgreSQL
+/// `unnest`) — how split-by-rlist turns a version's `rlist` into join keys.
+pub struct Unnest<'a> {
+    child: BoxExec<'a>,
+    array_col: usize,
+    schema: Schema,
+    pending: Vec<Row>,
+}
+
+impl<'a> Unnest<'a> {
+    pub fn new(child: BoxExec<'a>, array_col: usize) -> Result<Self> {
+        let in_schema = child.schema();
+        let col = in_schema
+            .column(array_col)
+            .ok_or_else(|| Error::ColumnNotFound(format!("ordinal {array_col}")))?;
+        if col.dtype != DataType::IntArray {
+            return Err(Error::TypeError(format!(
+                "unnest expects an int[] column, got {}",
+                col.dtype
+            )));
+        }
+        let mut cols: Vec<Column> = in_schema.columns().to_vec();
+        cols[array_col] = Column::new(col.name.clone(), DataType::Int64);
+        Ok(Unnest {
+            child,
+            array_col,
+            schema: Schema::new(cols),
+            pending: Vec::new(),
+        })
+    }
+}
+
+impl Executor for Unnest<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        loop {
+            if let Some(row) = self.pending.pop() {
+                ctx.tracker.emit(1);
+                return Ok(Some(row));
+            }
+            match self.child.next(ctx)? {
+                None => return Ok(None),
+                Some(row) => {
+                    let elems = row[self.array_col]
+                        .as_int_array()
+                        .ok_or_else(|| Error::TypeError("unnest on non-array".into()))?
+                        .to_vec();
+                    ctx.tracker.ops(elems.len() as u64);
+                    for e in elems.into_iter().rev() {
+                        let mut out = row.clone();
+                        out[self.array_col] = Value::Int64(e);
+                        self.pending.push(out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+fn join_key(row: &Row, col: usize) -> Result<Option<i64>> {
+    match &row[col] {
+        Value::Int64(v) => Ok(Some(*v)),
+        Value::Null => Ok(None),
+        other => Err(Error::TypeError(format!(
+            "join keys must be Int64, got {other}"
+        ))),
+    }
+}
+
+/// Hash join: builds on the left child, probes with the right child.
+/// Output schema is `left ⨝ right`.
+pub struct HashJoin<'a> {
+    left: BoxExec<'a>,
+    right: BoxExec<'a>,
+    left_key: usize,
+    right_key: usize,
+    schema: Schema,
+    built: Option<HashMap<i64, Vec<Row>>>,
+    pending: Vec<Row>,
+}
+
+impl<'a> HashJoin<'a> {
+    pub fn new(left: BoxExec<'a>, right: BoxExec<'a>, left_key: usize, right_key: usize) -> Self {
+        let schema = left.schema().join(right.schema());
+        HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            schema,
+            built: None,
+            pending: Vec::new(),
+        }
+    }
+}
+
+impl Executor for HashJoin<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        if self.built.is_none() {
+            let mut map: HashMap<i64, Vec<Row>> = HashMap::new();
+            while let Some(row) = self.left.next(ctx)? {
+                ctx.tracker.ops(1); // hash insert
+                if let Some(k) = join_key(&row, self.left_key)? {
+                    map.entry(k).or_default().push(row);
+                }
+            }
+            self.built = Some(map);
+        }
+        loop {
+            if let Some(row) = self.pending.pop() {
+                ctx.tracker.emit(1);
+                return Ok(Some(row));
+            }
+            match self.right.next(ctx)? {
+                None => return Ok(None),
+                Some(right_row) => {
+                    ctx.tracker.ops(1); // hash probe
+                    if let Some(k) = join_key(&right_row, self.right_key)? {
+                        if let Some(matches) = self.built.as_ref().unwrap().get(&k) {
+                            for l in matches {
+                                let mut out = l.clone();
+                                out.extend(right_row.iter().cloned());
+                                self.pending.push(out);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Merge join: sorts both inputs on their keys, then merges.
+pub struct MergeJoin<'a> {
+    left: Option<BoxExec<'a>>,
+    right: Option<BoxExec<'a>>,
+    left_key: usize,
+    right_key: usize,
+    schema: Schema,
+    merged: Option<std::vec::IntoIter<Row>>,
+}
+
+impl<'a> MergeJoin<'a> {
+    pub fn new(left: BoxExec<'a>, right: BoxExec<'a>, left_key: usize, right_key: usize) -> Self {
+        let schema = left.schema().join(right.schema());
+        MergeJoin {
+            left: Some(left),
+            right: Some(right),
+            left_key,
+            right_key,
+            schema,
+            merged: None,
+        }
+    }
+
+    fn materialize(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        let mut l = collect(self.left.take().unwrap().as_mut(), ctx)?;
+        let mut r = collect(self.right.take().unwrap().as_mut(), ctx)?;
+        let (lk, rk) = (self.left_key, self.right_key);
+        // Sorting an already-sorted run is cheap in practice (timsort-like
+        // behaviour); charge comparisons only.
+        ctx.tracker.ops((l.len() + r.len()) as u64);
+        l.sort_by(|a, b| a[lk].total_cmp(&b[lk]));
+        r.sort_by(|a, b| a[rk].total_cmp(&b[rk]));
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < l.len() && j < r.len() {
+            ctx.tracker.ops(1);
+            let (a, b) = (&l[i][lk], &r[j][rk]);
+            match a.total_cmp(b) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if a.is_null() {
+                        i += 1;
+                        j += 1;
+                        continue;
+                    }
+                    // Emit the cross product of the equal runs.
+                    let i_end = (i..l.len()).take_while(|&x| l[x][lk] == *a).count() + i;
+                    let j_end = (j..r.len()).take_while(|&x| r[x][rk] == *a).count() + j;
+                    for li in i..i_end {
+                        for rj in j..j_end {
+                            let mut row = l[li].clone();
+                            row.extend(r[rj].iter().cloned());
+                            ctx.tracker.emit(1);
+                            out.push(row);
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        self.merged = Some(out.into_iter());
+        Ok(())
+    }
+}
+
+impl Executor for MergeJoin<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        if self.merged.is_none() {
+            self.materialize(ctx)?;
+        }
+        Ok(self.merged.as_mut().unwrap().next())
+    }
+}
+
+/// Index-nested-loop join: for each outer row, probe `inner` through the
+/// named index and fetch matching heap rows. Fetch cost depends on whether
+/// the inner table is clustered on the index column — exactly the contrast
+/// in Fig. 5.7(c) vs 5.7(f).
+pub struct IndexNestedLoopJoin<'a> {
+    outer: BoxExec<'a>,
+    inner: &'a Table,
+    index: String,
+    index_col: usize,
+    outer_key: usize,
+    schema: Schema,
+    pending: Vec<Row>,
+    last_page: Option<u64>,
+}
+
+impl<'a> IndexNestedLoopJoin<'a> {
+    pub fn new(
+        outer: BoxExec<'a>,
+        inner: &'a Table,
+        index: impl Into<String>,
+        outer_key: usize,
+    ) -> Result<Self> {
+        let index = index.into();
+        let index_col = inner.index_column(&index)?;
+        let schema = outer.schema().join(inner.schema());
+        Ok(IndexNestedLoopJoin {
+            outer,
+            inner,
+            index,
+            index_col,
+            outer_key,
+            schema,
+            pending: Vec::new(),
+            last_page: None,
+        })
+    }
+}
+
+impl Executor for IndexNestedLoopJoin<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        loop {
+            if let Some(row) = self.pending.pop() {
+                ctx.tracker.emit(1);
+                return Ok(Some(row));
+            }
+            match self.outer.next(ctx)? {
+                None => return Ok(None),
+                Some(outer_row) => {
+                    let Some(k) = join_key(&outer_row, self.outer_key)? else {
+                        continue;
+                    };
+                    let ids = self.inner.index_lookup(&self.index, k, &mut ctx.tracker)?;
+                    let rows = self.inner.fetch_with_state(
+                        &ids,
+                        Some(self.index_col),
+                        &mut ctx.tracker,
+                        &ctx.model,
+                        &mut self.last_page,
+                    );
+                    for inner_row in rows {
+                        let mut out = outer_row.clone();
+                        out.extend(inner_row);
+                        self.pending.push(out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct AggState {
+    count: u64,
+    sum_i: i64,
+    sum_f: f64,
+    is_float: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState {
+            count: 0,
+            sum_i: 0,
+            sum_f: 0.0,
+            is_float: false,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn update(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        match v {
+            Value::Int64(x) => self.sum_i = self.sum_i.wrapping_add(*x),
+            Value::Float64(x) => {
+                self.is_float = true;
+                self.sum_f += x;
+            }
+            _ => {}
+        }
+        let replace_min = self
+            .min
+            .as_ref()
+            .map(|m| v.total_cmp(m) == std::cmp::Ordering::Less)
+            .unwrap_or(true);
+        if replace_min {
+            self.min = Some(v.clone());
+        }
+        let replace_max = self
+            .max
+            .as_ref()
+            .map(|m| v.total_cmp(m) == std::cmp::Ordering::Greater)
+            .unwrap_or(true);
+        if replace_max {
+            self.max = Some(v.clone());
+        }
+    }
+
+    fn finish(&self, f: AggFunc) -> Value {
+        match f {
+            AggFunc::Count => Value::Int64(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.is_float {
+                    Value::Float64(self.sum_f + self.sum_i as f64)
+                } else {
+                    Value::Int64(self.sum_i)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64((self.sum_f + self.sum_i as f64) / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Hash aggregation with grouping. Output rows are
+/// `group columns… , aggregate results…`, grouped rows in arbitrary order.
+pub struct HashAggregate<'a> {
+    child: BoxExec<'a>,
+    group_cols: Vec<usize>,
+    aggs: Vec<(AggFunc, usize)>,
+    schema: Schema,
+    results: Option<std::vec::IntoIter<Row>>,
+}
+
+impl<'a> HashAggregate<'a> {
+    pub fn new(child: BoxExec<'a>, group_cols: Vec<usize>, aggs: Vec<(AggFunc, usize)>) -> Self {
+        let in_schema = child.schema();
+        let mut cols: Vec<Column> = group_cols
+            .iter()
+            .filter_map(|&i| in_schema.column(i).cloned())
+            .collect();
+        for (f, c) in &aggs {
+            let name = format!(
+                "{}_{}",
+                match f {
+                    AggFunc::Count => "count",
+                    AggFunc::Sum => "sum",
+                    AggFunc::Avg => "avg",
+                    AggFunc::Min => "min",
+                    AggFunc::Max => "max",
+                },
+                in_schema.column(*c).map(|c| c.name.as_str()).unwrap_or("?")
+            );
+            let dtype = match f {
+                AggFunc::Count => DataType::Int64,
+                AggFunc::Avg => DataType::Float64,
+                _ => in_schema
+                    .column(*c)
+                    .map(|c| c.dtype)
+                    .unwrap_or(DataType::Int64),
+            };
+            cols.push(Column::nullable(name, dtype));
+        }
+        HashAggregate {
+            child,
+            group_cols,
+            aggs,
+            schema: Schema::new(cols),
+            results: None,
+        }
+    }
+}
+
+impl Executor for HashAggregate<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        if self.results.is_none() {
+            // Group keys are rendered to a string key: values of the engine
+            // are not hashable (floats), and group cardinalities here are
+            // modest (versions, not records).
+            let mut groups: HashMap<String, (Row, Vec<AggState>)> = HashMap::new();
+            while let Some(row) = self.child.next(ctx)? {
+                ctx.tracker.ops(1);
+                let key: String = self
+                    .group_cols
+                    .iter()
+                    .map(|&c| row[c].to_string())
+                    .collect::<Vec<_>>()
+                    .join("\u{1f}");
+                let entry = groups.entry(key).or_insert_with(|| {
+                    (
+                        self.group_cols.iter().map(|&c| row[c].clone()).collect(),
+                        vec![AggState::new(); self.aggs.len()],
+                    )
+                });
+                for (state, (_, col)) in entry.1.iter_mut().zip(&self.aggs) {
+                    state.update(&row[*col]);
+                }
+            }
+            let mut out: Vec<Row> = groups
+                .into_values()
+                .map(|(mut keys, states)| {
+                    for (state, (f, _)) in states.iter().zip(&self.aggs) {
+                        keys.push(state.finish(*f));
+                    }
+                    keys
+                })
+                .collect();
+            // Deterministic output order for tests and experiments.
+            out.sort_by(|a, b| {
+                a.iter()
+                    .zip(b.iter())
+                    .map(|(x, y)| x.total_cmp(y))
+                    .find(|o| *o != std::cmp::Ordering::Equal)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            ctx.tracker.emit(out.len() as u64);
+            self.results = Some(out.into_iter());
+        }
+        Ok(self.results.as_mut().unwrap().next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+
+    fn data_table(n: i64) -> Table {
+        let mut t = Table::new(
+            "data",
+            Schema::new(vec![
+                Column::new("rid", DataType::Int64),
+                Column::new("v", DataType::Int64),
+            ]),
+        );
+        for i in 0..n {
+            t.insert(vec![Value::Int64(i), Value::Int64(i * 10)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn seqscan_filter_project() {
+        let t = data_table(10);
+        let mut ctx = ExecContext::new();
+        let scan = Box::new(SeqScan::new(&t));
+        let filt = Box::new(Filter::new(scan, Expr::col(1).gt(Expr::lit(50i64))));
+        let mut proj = Project::columns(filt, &[0]);
+        let rows = proj.collect(&mut ctx).unwrap();
+        assert_eq!(rows.len(), 4); // v in {60,70,80,90}
+        assert_eq!(rows[0], vec![Value::Int64(6)]);
+        assert!(ctx.tracker.seq_pages >= 1);
+    }
+
+    #[test]
+    fn hash_join_matches() {
+        let t = data_table(100);
+        let mut ctx = ExecContext::new();
+        let probe = Box::new(SeqScan::new(&t));
+        let build = Box::new(Values::ints("rid", vec![3, 5, 97]));
+        let mut join = HashJoin::new(build, probe, 0, 0);
+        let rows = join.collect(&mut ctx).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Output schema: build cols then probe cols.
+        assert_eq!(join.schema().len(), 3);
+    }
+
+    #[test]
+    fn merge_join_handles_duplicates() {
+        let left = Box::new(Values::ints("k", vec![1, 2, 2, 3]));
+        let right = Box::new(Values::ints("k", vec![2, 2, 3, 4]));
+        let mut join = MergeJoin::new(left, right, 0, 0);
+        let mut ctx = ExecContext::new();
+        let rows = join.collect(&mut ctx).unwrap();
+        // 2x2 for key 2, 1x1 for key 3.
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn index_nested_loop_join() {
+        let mut t = data_table(1000);
+        t.create_index("rid_ix", "rid", true, IndexKind::BTree).unwrap();
+        let outer = Box::new(Values::ints("rid", vec![10, 20, 30]));
+        let mut join = IndexNestedLoopJoin::new(outer, &t, "rid_ix", 0).unwrap();
+        let mut ctx = ExecContext::new();
+        let rows = join.collect(&mut ctx).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Without clustering on rid... table is insertion-ordered which IS
+        // rid order here, but clustering is Clustering::None → random pages.
+        assert_eq!(ctx.tracker.random_pages, 3);
+    }
+
+    #[test]
+    fn inl_join_clustered_fetch_cheaper() {
+        let mut t = data_table(5000);
+        t.cluster_on("rid").unwrap();
+        t.create_index("rid_ix", "rid", true, IndexKind::BTree).unwrap();
+        let keys: Vec<i64> = (0..2000).collect();
+        let outer = Box::new(Values::ints("rid", keys.clone()));
+        let mut join = IndexNestedLoopJoin::new(outer, &t, "rid_ix", 0).unwrap();
+        let mut clustered_ctx = ExecContext::new();
+        join.collect(&mut clustered_ctx).unwrap();
+
+        // Same join against a PK-clustered copy (cluster on v, not rid).
+        let mut t2 = data_table(5000);
+        t2.cluster_on("v").unwrap();
+        t2.create_index("rid_ix", "rid", true, IndexKind::BTree).unwrap();
+        let outer = Box::new(Values::ints("rid", keys));
+        let mut join2 = IndexNestedLoopJoin::new(outer, &t2, "rid_ix", 0).unwrap();
+        let mut random_ctx = ExecContext::new();
+        join2.collect(&mut random_ctx).unwrap();
+
+        let m = CostModel::default();
+        assert!(clustered_ctx.tracker.total(&m) < random_ctx.tracker.total(&m));
+    }
+
+    #[test]
+    fn unnest_expands_arrays() {
+        let schema = Schema::new(vec![
+            Column::new("vid", DataType::Int64),
+            Column::new("rlist", DataType::IntArray),
+        ]);
+        let rows = vec![
+            vec![Value::Int64(1), Value::IntArray(vec![10, 11])],
+            vec![Value::Int64(2), Value::IntArray(vec![20])],
+        ];
+        let child = Box::new(Values::new(schema, rows));
+        let mut u = Unnest::new(child, 1).unwrap();
+        let mut ctx = ExecContext::new();
+        let out = u.collect(&mut ctx).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], vec![Value::Int64(1), Value::Int64(10)]);
+        assert_eq!(out[1], vec![Value::Int64(1), Value::Int64(11)]);
+        assert_eq!(u.schema().column(1).unwrap().dtype, DataType::Int64);
+    }
+
+    #[test]
+    fn unnest_rejects_scalar_column() {
+        let child = Box::new(Values::ints("x", vec![1]));
+        assert!(Unnest::new(child, 0).is_err());
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let schema = Schema::new(vec![
+            Column::new("g", DataType::Int64),
+            Column::new("x", DataType::Int64),
+        ]);
+        let rows = vec![
+            vec![Value::Int64(1), Value::Int64(10)],
+            vec![Value::Int64(1), Value::Int64(20)],
+            vec![Value::Int64(2), Value::Int64(5)],
+        ];
+        let child = Box::new(Values::new(schema, rows));
+        let mut agg = HashAggregate::new(
+            child,
+            vec![0],
+            vec![(AggFunc::Count, 1), (AggFunc::Sum, 1), (AggFunc::Avg, 1)],
+        );
+        let mut ctx = ExecContext::new();
+        let out = agg.collect(&mut ctx).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out[0],
+            vec![
+                Value::Int64(1),
+                Value::Int64(2),
+                Value::Int64(30),
+                Value::Float64(15.0)
+            ]
+        );
+        assert_eq!(out[1][0], Value::Int64(2));
+    }
+
+    #[test]
+    fn global_aggregate_no_groups() {
+        let child = Box::new(Values::ints("x", vec![3, 1, 2]));
+        let mut agg = HashAggregate::new(
+            child,
+            vec![],
+            vec![(AggFunc::Min, 0), (AggFunc::Max, 0)],
+        );
+        let mut ctx = ExecContext::new();
+        let out = agg.collect(&mut ctx).unwrap();
+        assert_eq!(out, vec![vec![Value::Int64(1), Value::Int64(3)]]);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let child = Box::new(Values::ints("x", vec![3, 1, 2]));
+        let sort = Box::new(Sort::new(child, vec![0]));
+        let mut lim = Limit::new(sort, 2);
+        let mut ctx = ExecContext::new();
+        let out = lim.collect(&mut ctx).unwrap();
+        assert_eq!(out, vec![vec![Value::Int64(1)], vec![Value::Int64(2)]]);
+    }
+
+    #[test]
+    fn hash_join_skips_null_keys() {
+        let schema = Schema::new(vec![Column::nullable("k", DataType::Int64)]);
+        let left = Box::new(Values::new(
+            schema.clone(),
+            vec![vec![Value::Null], vec![Value::Int64(1)]],
+        ));
+        let right = Box::new(Values::new(
+            schema,
+            vec![vec![Value::Null], vec![Value::Int64(1)]],
+        ));
+        let mut join = HashJoin::new(left, right, 0, 0);
+        let mut ctx = ExecContext::new();
+        assert_eq!(join.collect(&mut ctx).unwrap().len(), 1);
+    }
+}

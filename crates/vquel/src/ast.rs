@@ -1,0 +1,151 @@
+//! VQuel abstract syntax.
+
+/// A full VQuel program: range declarations interleaved with retrieves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub statements: Vec<Statement>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `range of X is <set>`
+    Range { var: String, set: SetExpr },
+    /// `retrieve [into T] [unique] <targets> [where e] [sort by …]`
+    Retrieve(Retrieve),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retrieve {
+    pub into: Option<String>,
+    pub unique: bool,
+    pub targets: Vec<Target>,
+    pub where_clause: Option<Expr>,
+    pub sort_by: Vec<(Expr, bool)>, // (expr, ascending)
+}
+
+/// A projection target, optionally named via `as`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Target {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+/// The root of a set expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetRoot {
+    /// A class name: `Version`, or a derived relation created by
+    /// `retrieve into`.
+    Class(String),
+    /// A previously declared iterator variable.
+    Var(String),
+}
+
+/// One navigation step: `.Relations(name = "Employee")`, `.Tuples`,
+/// `.parents`, `.P(2)`, …
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    pub name: String,
+    /// Inline filter predicate (bare field names resolve against the
+    /// candidate element).
+    pub predicate: Option<Expr>,
+    /// Numeric arguments (hop counts for P/D/N).
+    pub args: Vec<i64>,
+}
+
+/// `range`-clause set expression: a root plus navigation steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetExpr {
+    pub root: SetRoot,
+    /// Filter on the root elements (`Version(id = "v01")`).
+    pub root_predicate: Option<Box<Expr>>,
+    pub steps: Vec<Step>,
+}
+
+/// Aggregate functions; `_all` variants use explicit `group by`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Any,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `V.author.name` — a variable (or bare field) with field navigation.
+    Path { var: String, fields: Vec<String> },
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    Abs(Box<Expr>),
+    /// `count(E.x group by R, V where p)`; `all` selects the `_all`
+    /// variant with explicit grouping (§6.3.3).
+    Agg {
+        kind: AggKind,
+        all: bool,
+        arg: Box<Expr>,
+        group_by: Vec<String>,
+        filter: Option<Box<Expr>>,
+    },
+    /// `Version(S)` — the version containing the entity bound to `S`
+    /// ("up" navigation, §6.3.3).
+    ContainerVersion(String),
+}
+
+impl Expr {
+    /// The outermost iterator variable this expression ranges over, if any
+    /// (used to infer implicit aggregate grouping).
+    pub fn root_var(&self) -> Option<&str> {
+        match self {
+            Expr::Path { var, .. } => Some(var),
+            Expr::Cmp(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(_, l, r) => {
+                l.root_var().or_else(|| r.root_var())
+            }
+            Expr::Not(e) | Expr::Abs(e) => e.root_var(),
+            Expr::Agg { arg, .. } => arg.root_var(),
+            Expr::ContainerVersion(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this expression contains an aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Cmp(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(_, l, r) => {
+                l.has_aggregate() || r.has_aggregate()
+            }
+            Expr::Not(e) | Expr::Abs(e) => e.has_aggregate(),
+            _ => false,
+        }
+    }
+}

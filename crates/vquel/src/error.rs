@@ -1,0 +1,33 @@
+//! VQuel errors.
+
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexer error: unexpected character.
+    Lex(String),
+    /// Parser error.
+    Parse(String),
+    /// Unknown iterator, attribute, or function at evaluation time.
+    Unknown(String),
+    /// Type mismatch during evaluation.
+    Type(String),
+    /// Aggregates with inconsistent grouping in one retrieve.
+    Grouping(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex(m) => write!(f, "lex error: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Unknown(m) => write!(f, "unknown name: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Grouping(m) => write!(f, "grouping error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

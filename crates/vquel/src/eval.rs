@@ -1,0 +1,1013 @@
+//! VQuel evaluation: nested iterators over the conceptual data model, with
+//! Quel-style aggregates (implicit grouping by ancestor iterators; `_all`
+//! variants with explicit `group by`), graph traversal, and
+//! `retrieve into` derived relations.
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::model::Repository;
+use crate::parser::parse;
+use relstore::Value;
+use std::collections::HashMap;
+
+/// A reference to an entity of the conceptual model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ref {
+    Version(usize),
+    Relation(usize),
+    File(usize),
+    /// A record together with the relation instance it was reached
+    /// through (records are shared across versions; `Version(S)` needs the
+    /// navigation context).
+    Record(usize, usize),
+    Author(usize),
+    /// A row of a `retrieve into` derived relation.
+    Derived(usize, usize),
+}
+
+/// Result of one retrieve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+#[derive(Debug, Clone)]
+struct DerivedTable {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Execute a program, returning the result of every retrieve in order.
+pub fn execute_program(repo: &Repository, source: &str) -> Result<Vec<ResultSet>> {
+    let program = parse(source)?;
+    let mut env = Env {
+        repo,
+        ranges: Vec::new(),
+        derived: Vec::new(),
+        derived_names: HashMap::new(),
+    };
+    let mut results = Vec::new();
+    for stmt in &program.statements {
+        match stmt {
+            Statement::Range { var, set } => {
+                env.ranges.push((var.clone(), set.clone()));
+            }
+            Statement::Retrieve(r) => {
+                let rs = env.run_retrieve(r)?;
+                if let Some(name) = &r.into {
+                    let id = env.derived.len();
+                    env.derived.push(DerivedTable {
+                        columns: rs.columns.clone(),
+                        rows: rs.rows.clone(),
+                    });
+                    env.derived_names.insert(name.clone(), id);
+                    // `retrieve into T (…)` also declares T as an iterable.
+                }
+                results.push(rs);
+            }
+        }
+    }
+    Ok(results)
+}
+
+/// Execute a program and return the final retrieve's result.
+pub fn execute(repo: &Repository, source: &str) -> Result<ResultSet> {
+    execute_program(repo, source)?
+        .pop()
+        .ok_or_else(|| Error::Parse("program has no retrieve".into()))
+}
+
+struct Env<'a> {
+    repo: &'a Repository,
+    ranges: Vec<(String, SetExpr)>,
+    derived: Vec<DerivedTable>,
+    derived_names: HashMap<String, usize>,
+}
+
+type Binding = HashMap<String, Ref>;
+
+/// Set-step names (used to detect set-valued paths inside aggregates).
+const SET_STEPS: [&str; 8] = [
+    "Relations", "Files", "Tuples", "parents", "children", "P", "D", "N",
+];
+
+impl Env<'_> {
+    fn range_expr(&self, var: &str) -> Option<&SetExpr> {
+        self.ranges
+            .iter()
+            .rev()
+            .find(|(v, _)| v == var)
+            .map(|(_, s)| s)
+    }
+
+    /// Direct dependencies of an iterator (the var at its set root).
+    fn deps_of(&self, var: &str) -> Vec<String> {
+        match self.range_expr(var) {
+            Some(set) => match &set.root {
+                SetRoot::Class(name) | SetRoot::Var(name) => {
+                    if self.range_expr(name).is_some() {
+                        vec![name.clone()]
+                    } else {
+                        Vec::new()
+                    }
+                }
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// Transitive ancestor iterators of `var` (excluding itself).
+    fn ancestors_of(&self, var: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = self.deps_of(var);
+        while let Some(d) = cur.pop() {
+            if !out.contains(&d) {
+                cur.extend(self.deps_of(&d));
+                out.push(d);
+            }
+        }
+        out
+    }
+
+    /// All iterator vars an expression mentions.
+    fn vars_in(&self, e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::Path { var, .. } => {
+                let name = var
+                    .strip_prefix("\u{1}version_of:")
+                    .unwrap_or(var.as_str());
+                if self.range_expr(name).is_some() && !out.contains(&name.to_string()) {
+                    out.push(name.to_owned());
+                }
+            }
+            Expr::ContainerVersion(v)
+                if self.range_expr(v).is_some() && !out.contains(v) => {
+                    out.push(v.clone());
+                }
+            Expr::Cmp(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(_, l, r) => {
+                self.vars_in(l, out);
+                self.vars_in(r, out);
+            }
+            Expr::Not(x) | Expr::Abs(x) => self.vars_in(x, out),
+            Expr::Agg {
+                arg,
+                filter,
+                group_by,
+                ..
+            } => {
+                self.vars_in(arg, out);
+                if let Some(f) = filter {
+                    self.vars_in(f, out);
+                }
+                for g in group_by {
+                    if self.range_expr(g).is_some() && !out.contains(g) {
+                        out.push(g.clone());
+                    }
+                }
+                // Implicit grouping pulls in ancestor iterators.
+                if let Some(root) = arg.root_var() {
+                    for a in self.ancestors_of(root) {
+                        if !out.contains(&a) {
+                            out.push(a);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The iterators a retrieve needs, in declaration order.
+    fn relevant_vars(&self, r: &Retrieve) -> Vec<String> {
+        let mut mentioned = Vec::new();
+        for t in &r.targets {
+            self.vars_in(&t.expr, &mut mentioned);
+        }
+        if let Some(w) = &r.where_clause {
+            self.vars_in(w, &mut mentioned);
+        }
+        for (e, _) in &r.sort_by {
+            self.vars_in(e, &mut mentioned);
+        }
+        // Close over dependencies.
+        let mut all = Vec::new();
+        let mut stack = mentioned;
+        while let Some(v) = stack.pop() {
+            if !all.contains(&v) {
+                stack.extend(self.deps_of(&v));
+                all.push(v);
+            }
+        }
+        // Declaration order.
+        let mut ordered = Vec::new();
+        for (v, _) in &self.ranges {
+            if all.contains(v) && !ordered.contains(v) {
+                ordered.push(v.clone());
+            }
+        }
+        ordered
+    }
+
+    /// Enumerate all bindings of the given iterators.
+    fn bindings(&self, vars: &[String]) -> Result<Vec<Binding>> {
+        let mut out: Vec<Binding> = vec![HashMap::new()];
+        for var in vars {
+            let set = self
+                .range_expr(var)
+                .ok_or_else(|| Error::Unknown(format!("iterator {var}")))?
+                .clone();
+            let mut next = Vec::new();
+            for binding in &out {
+                for r in self.eval_set(binding, &set)? {
+                    let mut b = binding.clone();
+                    b.insert(var.clone(), r);
+                    next.push(b);
+                }
+            }
+            out = next;
+        }
+        Ok(out)
+    }
+
+    // -- set evaluation -------------------------------------------------------
+
+    fn eval_set(&self, binding: &Binding, set: &SetExpr) -> Result<Vec<Ref>> {
+        let root_name = match &set.root {
+            SetRoot::Class(n) | SetRoot::Var(n) => n.as_str(),
+        };
+        let mut refs: Vec<Ref> = if let Some(&r) = binding.get(root_name) {
+            vec![r]
+        } else if root_name == "Version" {
+            (0..self.repo.versions.len()).map(Ref::Version).collect()
+        } else if let Some(&t) = self.derived_names.get(root_name) {
+            (0..self.derived[t].rows.len())
+                .map(|i| Ref::Derived(t, i))
+                .collect()
+        } else {
+            return Err(Error::Unknown(format!("set root {root_name}")));
+        };
+        if let Some(pred) = &set.root_predicate {
+            refs = self.filter_refs(binding, refs, pred)?;
+        }
+        for step in &set.steps {
+            refs = self.eval_step(binding, refs, step)?;
+        }
+        Ok(refs)
+    }
+
+    fn filter_refs(&self, binding: &Binding, refs: Vec<Ref>, pred: &Expr) -> Result<Vec<Ref>> {
+        let mut out = Vec::new();
+        for r in refs {
+            let v = self.eval_expr(binding, Some(r), pred, None)?;
+            if matches!(v, Out::Scalar(Value::Bool(true))) {
+                out.push(r);
+            }
+        }
+        Ok(out)
+    }
+
+    fn eval_step(&self, binding: &Binding, refs: Vec<Ref>, step: &Step) -> Result<Vec<Ref>> {
+        let mut out = Vec::new();
+        for r in refs {
+            out.extend(self.step_refs(r, step)?);
+        }
+        if let Some(pred) = &step.predicate {
+            out = self.filter_refs(binding, out, pred)?;
+        }
+        Ok(out)
+    }
+
+    fn step_refs(&self, r: Ref, step: &Step) -> Result<Vec<Ref>> {
+        let repo = self.repo;
+        let hops = step.args.first().map(|&h| h.max(0) as usize);
+        Ok(match (r, step.name.as_str()) {
+            (Ref::Version(v), "Relations") => repo.versions[v]
+                .relations
+                .iter()
+                .map(|&x| Ref::Relation(x))
+                .collect(),
+            (Ref::Version(v), "Files") => repo.versions[v]
+                .files
+                .iter()
+                .map(|&x| Ref::File(x))
+                .collect(),
+            (Ref::Version(v), "Tuples") => repo.versions[v]
+                .relations
+                .iter()
+                .flat_map(|&rel| {
+                    repo.relations[rel]
+                        .records
+                        .iter()
+                        .map(move |&rec| Ref::Record(rec, rel))
+                })
+                .collect(),
+            (Ref::Version(v), "parents") => repo.versions[v]
+                .parents
+                .iter()
+                .map(|&x| Ref::Version(x))
+                .collect(),
+            (Ref::Version(v), "children") => repo.versions[v]
+                .children
+                .iter()
+                .map(|&x| Ref::Version(x))
+                .collect(),
+            (Ref::Version(v), "P") => repo
+                .version_ancestors(v, hops)
+                .into_iter()
+                .map(Ref::Version)
+                .collect(),
+            (Ref::Version(v), "D") => repo
+                .version_descendants(v, hops)
+                .into_iter()
+                .map(Ref::Version)
+                .collect(),
+            (Ref::Version(v), "N") => repo
+                .version_neighbourhood(v, hops.unwrap_or(1))
+                .into_iter()
+                .map(Ref::Version)
+                .collect(),
+            (Ref::Relation(rel), "Tuples") => repo.relations[rel]
+                .records
+                .iter()
+                .map(|&x| Ref::Record(x, rel))
+                .collect(),
+            (Ref::Record(rec, _), "parents") => repo.records[rec]
+                .parents
+                .iter()
+                .map(|&x| Ref::Record(x, repo.records[x].relation))
+                .collect(),
+            (Ref::Record(rec, _), "children") => repo.records[rec]
+                .children
+                .iter()
+                .map(|&x| Ref::Record(x, repo.records[x].relation))
+                .collect(),
+            _ => {
+                return Err(Error::Unknown(format!(
+                    "step {} on {:?}",
+                    step.name, r
+                )))
+            }
+        })
+    }
+
+    // -- scalar evaluation ----------------------------------------------------
+
+    fn field_of(&self, r: Ref, field: &str) -> Result<Out> {
+        let repo = self.repo;
+        Ok(match r {
+            Ref::Version(v) => {
+                let ver = &repo.versions[v];
+                match field {
+                    "id" | "commit_id" => Out::Scalar(Value::from(ver.commit_id.clone())),
+                    "commit_msg" | "commit_message" | "msg" => {
+                        Out::Scalar(Value::from(ver.commit_msg.clone()))
+                    }
+                    "creation_ts" | "commit_ts" => Out::Scalar(Value::Int64(ver.creation_ts)),
+                    "author" => Out::Ref(Ref::Author(ver.author)),
+                    "all" => Out::Scalar(Value::from(format!(
+                        "{}|{}|{}",
+                        ver.commit_id, ver.commit_msg, ver.creation_ts
+                    ))),
+                    _ => return Err(Error::Unknown(format!("Version.{field}"))),
+                }
+            }
+            Ref::Relation(x) => {
+                let rel = &repo.relations[x];
+                match field {
+                    "name" => Out::Scalar(Value::from(rel.name.clone())),
+                    "changed" => Out::Scalar(Value::Bool(rel.changed)),
+                    "version" => Out::Ref(Ref::Version(rel.version)),
+                    _ => return Err(Error::Unknown(format!("Relation.{field}"))),
+                }
+            }
+            Ref::File(x) => {
+                let f = &repo.files[x];
+                match field {
+                    "name" => Out::Scalar(Value::from(f.name.clone())),
+                    "full_path" => Out::Scalar(Value::from(f.full_path.clone())),
+                    "changed" => Out::Scalar(Value::Bool(f.changed)),
+                    "version" => Out::Ref(Ref::Version(f.version)),
+                    _ => return Err(Error::Unknown(format!("File.{field}"))),
+                }
+            }
+            Ref::Record(x, _) => {
+                let rec = &repo.records[x];
+                match field {
+                    "id" => Out::Scalar(Value::Int64(x as i64)),
+                    "all" => Out::Scalar(Value::from(
+                        rec.values
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join("|"),
+                    )),
+                    // Fig. 6.1: Record fields are conceptually the union of
+                    // all fields across records — absent fields are NULL.
+                    _ => match repo.record_field(x, field) {
+                        Some(v) => Out::Scalar(v.clone()),
+                        None => Out::Scalar(Value::Null),
+                    },
+                }
+            }
+            Ref::Author(x) => {
+                let a = &repo.authors[x];
+                match field {
+                    "name" => Out::Scalar(Value::from(a.name.clone())),
+                    "email" => Out::Scalar(Value::from(a.email.clone())),
+                    _ => return Err(Error::Unknown(format!("Author.{field}"))),
+                }
+            }
+            Ref::Derived(t, row) => {
+                let table = &self.derived[t];
+                match table.columns.iter().position(|c| c == field) {
+                    Some(i) => Out::Scalar(table.rows[row][i].clone()),
+                    None => return Err(Error::Unknown(format!("derived column {field}"))),
+                }
+            }
+        })
+    }
+
+    /// The version containing an entity (`Version(S)` navigation).
+    fn container_version(&self, r: Ref) -> Result<Ref> {
+        Ok(match r {
+            Ref::Version(_) => r,
+            Ref::Relation(x) => Ref::Version(self.repo.relations[x].version),
+            Ref::File(x) => Ref::Version(self.repo.files[x].version),
+            Ref::Record(_, rel) => Ref::Version(self.repo.relations[rel].version),
+            other => return Err(Error::Type(format!("Version() of {other:?}"))),
+        })
+    }
+
+    /// Evaluate an expression. `self_ref` is the candidate element for bare
+    /// field names in inline predicates; `aggs` provides pre-computed
+    /// aggregate values for the current binding.
+    fn eval_expr(
+        &self,
+        binding: &Binding,
+        self_ref: Option<Ref>,
+        e: &Expr,
+        aggs: Option<&AggValues>,
+    ) -> Result<Out> {
+        match e {
+            Expr::Str(s) => Ok(Out::Scalar(Value::from(s.clone()))),
+            Expr::Int(i) => Ok(Out::Scalar(Value::Int64(*i))),
+            Expr::Float(f) => Ok(Out::Scalar(Value::Float64(*f))),
+            Expr::Bool(b) => Ok(Out::Scalar(Value::Bool(*b))),
+            Expr::Path { var, fields } => {
+                // Version(S).field pseudo-path.
+                if let Some(inner) = var.strip_prefix("\u{1}version_of:") {
+                    let base = binding
+                        .get(inner)
+                        .copied()
+                        .ok_or_else(|| Error::Unknown(format!("iterator {inner}")))?;
+                    let mut cur = Out::Ref(self.container_version(base)?);
+                    for f in fields {
+                        cur = self.navigate(cur, f)?;
+                    }
+                    return Ok(cur);
+                }
+                let start: Out = if let Some(&r) = binding.get(var.as_str()) {
+                    Out::Ref(r)
+                } else if let Some(r) = self_ref {
+                    // Bare field name against the inline-predicate element.
+                    let mut cur = self.field_of(r, var)?;
+                    for f in fields {
+                        cur = self.navigate(cur, f)?;
+                    }
+                    return Ok(cur);
+                } else {
+                    return Err(Error::Unknown(format!("name {var}")));
+                };
+                let mut cur = start;
+                for f in fields {
+                    cur = self.navigate(cur, f)?;
+                }
+                Ok(cur)
+            }
+            Expr::ContainerVersion(v) => {
+                let r = binding
+                    .get(v)
+                    .copied()
+                    .ok_or_else(|| Error::Unknown(format!("iterator {v}")))?;
+                Ok(Out::Ref(self.container_version(r)?))
+            }
+            Expr::Cmp(op, l, r) => {
+                let lv = self.eval_expr(binding, self_ref, l, aggs)?;
+                let rv = self.eval_expr(binding, self_ref, r, aggs)?;
+                compare(*op, &lv, &rv)
+            }
+            Expr::And(l, r) => {
+                let lv = self.eval_expr(binding, self_ref, l, aggs)?;
+                if !truthy(&lv) {
+                    return Ok(Out::Scalar(Value::Bool(false)));
+                }
+                self.eval_expr(binding, self_ref, r, aggs)
+            }
+            Expr::Or(l, r) => {
+                let lv = self.eval_expr(binding, self_ref, l, aggs)?;
+                if truthy(&lv) {
+                    return Ok(Out::Scalar(Value::Bool(true)));
+                }
+                self.eval_expr(binding, self_ref, r, aggs)
+            }
+            Expr::Not(x) => {
+                let v = self.eval_expr(binding, self_ref, x, aggs)?;
+                Ok(Out::Scalar(Value::Bool(!truthy(&v))))
+            }
+            Expr::Arith(op, l, r) => {
+                let lv = self.eval_expr(binding, self_ref, l, aggs)?.scalar()?;
+                let rv = self.eval_expr(binding, self_ref, r, aggs)?.scalar()?;
+                arith(*op, &lv, &rv)
+            }
+            Expr::Abs(x) => {
+                let v = self.eval_expr(binding, self_ref, x, aggs)?.scalar()?;
+                match v {
+                    Value::Int64(i) => Ok(Out::Scalar(Value::Int64(i.abs()))),
+                    Value::Float64(f) => Ok(Out::Scalar(Value::Float64(f.abs()))),
+                    other => Err(Error::Type(format!("abs of {other}"))),
+                }
+            }
+            Expr::Agg { .. } => {
+                // Set-valued aggregates evaluate inline; iterator aggregates
+                // come from the precomputed table.
+                if let Some(out) = self.eval_inline_agg(binding, self_ref, e)? {
+                    return Ok(out);
+                }
+                match aggs {
+                    Some(table) => table.lookup(self, binding, e),
+                    None => Err(Error::Grouping(
+                        "iterator aggregate in a context without grouping".into(),
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Navigate one field from an evaluated value (GEM-style references and
+    /// set counting inside aggregates).
+    fn navigate(&self, cur: Out, field: &str) -> Result<Out> {
+        match cur {
+            Out::Ref(r) => {
+                if SET_STEPS.contains(&field) {
+                    let refs = self.step_refs(
+                        r,
+                        &Step {
+                            name: field.to_owned(),
+                            predicate: None,
+                            args: Vec::new(),
+                        },
+                    )?;
+                    Ok(Out::Set(refs))
+                } else {
+                    self.field_of(r, field)
+                }
+            }
+            Out::Set(refs) => {
+                // Flat-map set navigation (V.Relations.Tuples).
+                if SET_STEPS.contains(&field) {
+                    let mut out = Vec::new();
+                    for r in refs {
+                        out.extend(self.step_refs(
+                            r,
+                            &Step {
+                                name: field.to_owned(),
+                                predicate: None,
+                                args: Vec::new(),
+                            },
+                        )?);
+                    }
+                    Ok(Out::Set(out))
+                } else {
+                    Err(Error::Type(format!("scalar field {field} of a set")))
+                }
+            }
+            Out::Scalar(v) => Err(Error::Type(format!("field {field} of scalar {v}"))),
+        }
+    }
+
+    /// Inline (set-valued) aggregate: `count(V.Relations.Tuples)` — the
+    /// argument is a set navigation from a bound iterator, so it evaluates
+    /// per binding without grouping. Returns `None` when the argument is an
+    /// iterator reference needing group-based evaluation.
+    fn eval_inline_agg(
+        &self,
+        binding: &Binding,
+        self_ref: Option<Ref>,
+        e: &Expr,
+    ) -> Result<Option<Out>> {
+        let Expr::Agg { kind, arg, filter, .. } = e else {
+            return Ok(None);
+        };
+        // Only paths with set-valued navigation are inline.
+        let Expr::Path { var, fields } = arg.as_ref() else {
+            return Ok(None);
+        };
+        if !fields.iter().any(|f| SET_STEPS.contains(&f.as_str())) {
+            return Ok(None);
+        }
+        let out = self.eval_expr(binding, self_ref, arg, None)?;
+        let Out::Set(refs) = out else {
+            return Ok(None);
+        };
+        if filter.is_some() {
+            return Err(Error::Grouping(
+                "inline set aggregates do not support where; use an iterator".into(),
+            ));
+        }
+        let _ = var;
+        Ok(Some(match kind {
+            AggKind::Count => Out::Scalar(Value::Int64(refs.len() as i64)),
+            AggKind::Any => Out::Scalar(Value::Bool(!refs.is_empty())),
+            _ => {
+                return Err(Error::Type(
+                    "sum/avg/min/max need a scalar argument".into(),
+                ))
+            }
+        }))
+    }
+
+    // -- retrieve ------------------------------------------------------------
+
+    fn run_retrieve(&self, r: &Retrieve) -> Result<ResultSet> {
+        let vars = self.relevant_vars(r);
+        let bindings = self.bindings(&vars)?;
+
+        // Gather iterator-based aggregates from targets + where + sort.
+        let mut agg_exprs: Vec<Expr> = Vec::new();
+        let collect =
+            |e: &Expr, me: &Env<'_>, aggs: &mut Vec<Expr>| me.collect_iter_aggs(e, aggs);
+        for t in &r.targets {
+            collect(&t.expr, self, &mut agg_exprs);
+        }
+        if let Some(w) = &r.where_clause {
+            collect(w, self, &mut agg_exprs);
+        }
+        for (e, _) in &r.sort_by {
+            collect(e, self, &mut agg_exprs);
+        }
+        let aggs = self.compute_aggs(&agg_exprs, &bindings)?;
+        let has_agg = !agg_exprs.is_empty();
+
+        // Column names.
+        let columns: Vec<String> = r
+            .targets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                t.alias.clone().unwrap_or_else(|| match &t.expr {
+                    Expr::Path { var, fields } => fields
+                        .last()
+                        .cloned()
+                        .unwrap_or_else(|| var.clone()),
+                    _ => format!("col{i}"),
+                })
+            })
+            .collect();
+
+        let mut rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (row, sort key)
+        for binding in &bindings {
+            if let Some(w) = &r.where_clause {
+                let ok = self.eval_expr(binding, None, w, Some(&aggs))?;
+                if !truthy(&ok) {
+                    continue;
+                }
+            }
+            let mut row = Vec::with_capacity(r.targets.len());
+            for t in &r.targets {
+                let v = self.eval_expr(binding, None, &t.expr, Some(&aggs))?;
+                row.push(out_to_value(self, v)?);
+            }
+            let mut key = Vec::with_capacity(r.sort_by.len());
+            for (e, asc) in &r.sort_by {
+                let v = self.eval_expr(binding, None, e, Some(&aggs))?;
+                key.push((out_to_value(self, v)?, *asc));
+            }
+            rows.push((row, key.into_iter().map(|(v, _)| v).collect()));
+        }
+
+        // Aggregated retrieves collapse duplicate rows (one per group), and
+        // `unique` does so explicitly.
+        if has_agg || r.unique {
+            let mut seen = std::collections::HashSet::new();
+            rows.retain(|(row, _)| {
+                seen.insert(
+                    row.iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join("\u{1f}"),
+                )
+            });
+        }
+
+        if !r.sort_by.is_empty() {
+            let dirs: Vec<bool> = r.sort_by.iter().map(|(_, asc)| *asc).collect();
+            rows.sort_by(|(_, ka), (_, kb)| {
+                for (i, asc) in dirs.iter().enumerate() {
+                    let ord = ka[i].total_cmp(&kb[i]);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        Ok(ResultSet {
+            columns,
+            rows: rows.into_iter().map(|(r, _)| r).collect(),
+        })
+    }
+
+    fn collect_iter_aggs(&self, e: &Expr, out: &mut Vec<Expr>) {
+        match e {
+            Expr::Agg { arg, .. } => {
+                // Inline set aggregates are not collected.
+                let inline = matches!(arg.as_ref(), Expr::Path { fields, .. }
+                    if fields.iter().any(|f| SET_STEPS.contains(&f.as_str())));
+                if !inline && !out.contains(e) {
+                    out.push(e.clone());
+                }
+            }
+            Expr::Cmp(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(_, l, r) => {
+                self.collect_iter_aggs(l, out);
+                self.collect_iter_aggs(r, out);
+            }
+            Expr::Not(x) | Expr::Abs(x) => self.collect_iter_aggs(x, out),
+            _ => {}
+        }
+    }
+
+    /// Group variables of an aggregate: explicit `group by` for `_all`,
+    /// ancestor iterators of the argument's root otherwise.
+    fn group_vars(&self, e: &Expr) -> Result<Vec<String>> {
+        let Expr::Agg {
+            all,
+            arg,
+            group_by,
+            ..
+        } = e
+        else {
+            return Err(Error::Grouping("not an aggregate".into()));
+        };
+        if *all {
+            return Ok(group_by.clone());
+        }
+        let root = arg
+            .root_var()
+            .ok_or_else(|| Error::Grouping("aggregate argument has no iterator".into()))?;
+        Ok(self.ancestors_of(root))
+    }
+
+    fn compute_aggs(&self, exprs: &[Expr], bindings: &[Binding]) -> Result<AggValues> {
+        let mut table = AggValues {
+            entries: Vec::new(),
+        };
+        for e in exprs {
+            let Expr::Agg {
+                kind, arg, filter, ..
+            } = e
+            else {
+                continue;
+            };
+            let group_vars = self.group_vars(e)?;
+            let root = arg
+                .root_var()
+                .ok_or_else(|| Error::Grouping("aggregate argument has no iterator".into()))?
+                .to_owned();
+            let mut groups: HashMap<Vec<Ref>, AggState> = HashMap::new();
+            let mut seen: std::collections::HashSet<(Vec<Ref>, Ref)> = Default::default();
+            for b in bindings {
+                let Some(&root_ref) = b.get(&root) else {
+                    continue;
+                };
+                let key: Vec<Ref> = group_vars
+                    .iter()
+                    .filter_map(|v| b.get(v).copied())
+                    .collect();
+                if !seen.insert((key.clone(), root_ref)) {
+                    continue; // one contribution per distinct root element
+                }
+                if let Some(f) = filter {
+                    let ok = self.eval_expr(b, None, f, None)?;
+                    if !truthy(&ok) {
+                        continue;
+                    }
+                }
+                let val = match arg.as_ref() {
+                    Expr::Path { fields, .. } if fields.is_empty() => Value::Int64(1),
+                    other => {
+                        let out = self.eval_expr(b, None, other, None)?;
+                        out_to_value(self, out)?
+                    }
+                };
+                groups.entry(key).or_default().update(&val);
+            }
+            table.entries.push(AggEntry {
+                expr: e.clone(),
+                group_vars,
+                kind: *kind,
+                groups,
+            });
+        }
+        Ok(table)
+    }
+}
+
+// -- aggregate machinery -----------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct AggState {
+    count: i64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+    int_only: bool,
+}
+
+impl AggState {
+    fn update(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        if self.count == 0 {
+            self.int_only = matches!(v, Value::Int64(_));
+        } else if !matches!(v, Value::Int64(_)) {
+            self.int_only = false;
+        }
+        self.count += 1;
+        if let Some(f) = v.as_f64() {
+            self.sum += f;
+        }
+        if self
+            .min
+            .as_ref()
+            .map(|m| v.total_cmp(m) == std::cmp::Ordering::Less)
+            .unwrap_or(true)
+        {
+            self.min = Some(v.clone());
+        }
+        if self
+            .max
+            .as_ref()
+            .map(|m| v.total_cmp(m) == std::cmp::Ordering::Greater)
+            .unwrap_or(true)
+        {
+            self.max = Some(v.clone());
+        }
+    }
+
+    fn finish(&self, kind: AggKind) -> Value {
+        match kind {
+            AggKind::Count => Value::Int64(self.count),
+            AggKind::Any => Value::Bool(self.count > 0),
+            AggKind::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.int_only {
+                    Value::Int64(self.sum as i64)
+                } else {
+                    Value::Float64(self.sum)
+                }
+            }
+            AggKind::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(self.sum / self.count as f64)
+                }
+            }
+            AggKind::Min => self.min.clone().unwrap_or(Value::Null),
+            AggKind::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct AggEntry {
+    expr: Expr,
+    group_vars: Vec<String>,
+    kind: AggKind,
+    groups: HashMap<Vec<Ref>, AggState>,
+}
+
+#[derive(Debug)]
+struct AggValues {
+    entries: Vec<AggEntry>,
+}
+
+impl AggValues {
+    fn lookup(&self, _env: &Env<'_>, binding: &Binding, e: &Expr) -> Result<Out> {
+        for entry in &self.entries {
+            if &entry.expr == e {
+                let key: Vec<Ref> = entry
+                    .group_vars
+                    .iter()
+                    .filter_map(|v| binding.get(v).copied())
+                    .collect();
+                let v = entry
+                    .groups
+                    .get(&key)
+                    .map(|s| s.finish(entry.kind))
+                    .unwrap_or_else(|| AggState::default().finish(entry.kind));
+                return Ok(Out::Scalar(v));
+            }
+        }
+        Err(Error::Grouping("aggregate was not precomputed".into()))
+    }
+}
+
+// -- value plumbing ------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Out {
+    Scalar(Value),
+    Ref(Ref),
+    Set(Vec<Ref>),
+}
+
+impl Out {
+    fn scalar(self) -> Result<Value> {
+        match self {
+            Out::Scalar(v) => Ok(v),
+            other => Err(Error::Type(format!("expected scalar, got {other:?}"))),
+        }
+    }
+}
+
+fn truthy(o: &Out) -> bool {
+    matches!(o, Out::Scalar(Value::Bool(true)))
+}
+
+fn compare(op: CmpOp, l: &Out, r: &Out) -> Result<Out> {
+    use std::cmp::Ordering::*;
+    let ord = match (l, r) {
+        (Out::Scalar(a), Out::Scalar(b)) => match a.compare(b) {
+            Some(o) => o,
+            None => return Ok(Out::Scalar(Value::Bool(false))),
+        },
+        (Out::Ref(a), Out::Ref(b)) => {
+            let eq = a == b;
+            return Ok(Out::Scalar(Value::Bool(match op {
+                CmpOp::Eq => eq,
+                CmpOp::Ne => !eq,
+                _ => return Err(Error::Type("ordering comparison of references".into())),
+            })));
+        }
+        _ => return Err(Error::Type("comparison of incompatible values".into())),
+    };
+    let b = match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    };
+    Ok(Out::Scalar(Value::Bool(b)))
+}
+
+fn arith(op: ArithOp, l: &Value, r: &Value) -> Result<Out> {
+    if let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) {
+        let v = match op {
+            ArithOp::Add => a.wrapping_add(b),
+            ArithOp::Sub => a.wrapping_sub(b),
+            ArithOp::Mul => a.wrapping_mul(b),
+            ArithOp::Div => {
+                if b == 0 {
+                    return Err(Error::Type("division by zero".into()));
+                }
+                a / b
+            }
+        };
+        return Ok(Out::Scalar(Value::Int64(v)));
+    }
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => {
+            let v = match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => a / b,
+            };
+            Ok(Out::Scalar(Value::Float64(v)))
+        }
+        _ => Err(Error::Type(format!("arithmetic on {l} and {r}"))),
+    }
+}
+
+fn out_to_value(env: &Env<'_>, o: Out) -> Result<Value> {
+    Ok(match o {
+        Out::Scalar(v) => v,
+        Out::Ref(r) => match r {
+            Ref::Version(v) => Value::from(env.repo.versions[v].commit_id.clone()),
+            Ref::Author(a) => Value::from(env.repo.authors[a].name.clone()),
+            Ref::Relation(x) => Value::from(env.repo.relations[x].name.clone()),
+            Ref::File(x) => Value::from(env.repo.files[x].name.clone()),
+            Ref::Record(x, _) => Value::Int64(x as i64),
+            Ref::Derived(..) => return Err(Error::Type("cannot project a derived row".into())),
+        },
+        Out::Set(refs) => Value::Int64(refs.len() as i64),
+    })
+}

@@ -1,0 +1,237 @@
+//! VQuel lexer.
+
+use crate::error::{Error, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    // punctuation
+    Dot,
+    Comma,
+    LParen,
+    RParen,
+    // operators
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+}
+
+impl Token {
+    /// Keyword check (keywords are case-insensitive identifiers).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a VQuel program. Strings use double quotes; `#` starts a
+/// line comment.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                for c2 in chars.by_ref() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(c2) => s.push(c2),
+                        None => return Err(Error::Lex("unterminated string".into())),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '.' => {
+                chars.next();
+                out.push(Token::Dot);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '+' => {
+                chars.next();
+                out.push(Token::Plus);
+            }
+            '-' => {
+                chars.next();
+                out.push(Token::Minus);
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            '/' => {
+                chars.next();
+                out.push(Token::Slash);
+            }
+            '=' => {
+                chars.next();
+                out.push(Token::Eq);
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Ne);
+                } else {
+                    return Err(Error::Lex("expected != ".into()));
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Le);
+                } else if chars.peek() == Some(&'>') {
+                    chars.next();
+                    out.push(Token::Ne);
+                } else {
+                    out.push(Token::Lt);
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Ge);
+                } else {
+                    out.push(Token::Gt);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                let mut is_float = false;
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_digit() {
+                        s.push(c2);
+                        chars.next();
+                    } else if c2 == '.' {
+                        // Lookahead: digit after the dot means a float;
+                        // otherwise it's path navigation after a number
+                        // (which would be a parse error anyway).
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        if ahead.peek().map(|d| d.is_ascii_digit()).unwrap_or(false) {
+                            is_float = true;
+                            s.push('.');
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    out.push(Token::Float(s.parse().map_err(|_| {
+                        Error::Lex(format!("bad float literal {s}"))
+                    })?));
+                } else {
+                    out.push(Token::Int(s.parse().map_err(|_| {
+                        Error::Lex(format!("bad int literal {s}"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' {
+                        s.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => return Err(Error::Lex(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_range_statement() {
+        let toks = lex(r#"range of V is Version(id = "v01")"#).unwrap();
+        assert_eq!(toks.len(), 10);
+        assert!(toks[0].is_kw("range"));
+        assert_eq!(toks[6], Token::Ident("id".into()));
+        assert_eq!(toks[8], Token::Str("v01".into()));
+    }
+
+    #[test]
+    fn lex_operators_and_numbers() {
+        let toks = lex("a >= 10 != 2.5 <> x").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Ge,
+                Token::Int(10),
+                Token::Ne,
+                Token::Float(2.5),
+                Token::Ne,
+                Token::Ident("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_dot_vs_float() {
+        let toks = lex("V.P(2)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("V".into()),
+                Token::Dot,
+                Token::Ident("P".into()),
+                Token::LParen,
+                Token::Int(2),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_errors() {
+        let toks = lex("a # comment\n b").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert!(lex("\"open").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("§").is_err());
+    }
+}

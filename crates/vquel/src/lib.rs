@@ -1,0 +1,39 @@
+//! # vquel — the generalized versioning query language (Chapter 6)
+//!
+//! VQuel queries dataset versions, version-level provenance (the version
+//! graph), record data, and record-level provenance in one language. It
+//! generalizes Quel's tuple variables into **nested iterators** over the
+//! conceptual data model of Fig. 6.1 (Version / Relation / Record /
+//! Author), adds GEM-style tuple-reference attributes (`V.author.name`),
+//! inline set predicates (`Version(id = "v01")`), aggregates with implicit
+//! and explicit grouping (`count`, `count_all … group by …`), and
+//! version-graph traversal primitives `P()`, `D()`, `N()`.
+//!
+//! ```
+//! use vquel::{Repository, execute};
+//!
+//! let mut repo = Repository::new();
+//! let alice = repo.add_author("alice", "alice@lab.org");
+//! let v0 = repo.add_version("v00", "init", 100, alice, &[]);
+//! let rel = repo.add_relation(v0, "Employee", &["employee_id", "name"], true);
+//! repo.add_record(rel, vec!["e01".into(), "Ada".into()], &[]);
+//!
+//! let result = execute(&repo, r#"
+//!     range of V is Version
+//!     retrieve V.commit_id
+//!     where V.author.name = "alice"
+//! "#).unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod model;
+pub mod parser;
+
+pub use error::{Error, Result};
+pub use eval::{execute, execute_program, ResultSet};
+pub use model::{AuthorId, RecordId, RelationId, Repository, VersionId};
+pub use parser::parse;

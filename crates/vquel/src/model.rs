@@ -1,0 +1,372 @@
+//! The conceptual data model of Fig. 6.1: Versions contain Relations and
+//! Files; Relations contain Records; Records carry tuple-level provenance
+//! (`parents`/`children`); Versions carry version-level provenance
+//! (`parents`/`children` in the version graph).
+
+use relstore::Value;
+
+pub type VersionId = usize;
+pub type RelationId = usize;
+pub type FileId = usize;
+pub type RecordId = usize;
+pub type AuthorId = usize;
+
+/// An author (Fig. 6.1a).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Author {
+    pub name: String,
+    pub email: String,
+}
+
+/// A version: a semantically grouped collection of relations and files
+/// (like a git commit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Version {
+    pub commit_id: String,
+    pub commit_msg: String,
+    pub creation_ts: i64,
+    pub author: AuthorId,
+    pub relations: Vec<RelationId>,
+    pub files: Vec<FileId>,
+    pub parents: Vec<VersionId>,
+    pub children: Vec<VersionId>,
+}
+
+/// A relation instance inside one version, with a fixed schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    pub name: String,
+    pub columns: Vec<String>,
+    pub records: Vec<RecordId>,
+    /// Whether this relation changed from the parent version (the derived
+    /// `changed` attribute of §6.2).
+    pub changed: bool,
+    pub version: VersionId,
+}
+
+/// An unstructured file inside a version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct File {
+    pub name: String,
+    pub full_path: String,
+    pub changed: bool,
+    pub version: VersionId,
+}
+
+/// A record (tuple) with optional tuple-level provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    pub values: Vec<Value>,
+    pub relation: RelationId,
+    pub parents: Vec<RecordId>,
+    pub children: Vec<RecordId>,
+}
+
+/// The queryable repository.
+#[derive(Debug, Clone, Default)]
+pub struct Repository {
+    pub versions: Vec<Version>,
+    pub relations: Vec<Relation>,
+    pub files: Vec<File>,
+    pub records: Vec<Record>,
+    pub authors: Vec<Author>,
+}
+
+impl Repository {
+    pub fn new() -> Self {
+        Repository::default()
+    }
+
+    pub fn add_author(&mut self, name: &str, email: &str) -> AuthorId {
+        self.authors.push(Author {
+            name: name.to_owned(),
+            email: email.to_owned(),
+        });
+        self.authors.len() - 1
+    }
+
+    pub fn add_version(
+        &mut self,
+        commit_id: &str,
+        commit_msg: &str,
+        creation_ts: i64,
+        author: AuthorId,
+        parents: &[VersionId],
+    ) -> VersionId {
+        let id = self.versions.len();
+        for &p in parents {
+            self.versions[p].children.push(id);
+        }
+        self.versions.push(Version {
+            commit_id: commit_id.to_owned(),
+            commit_msg: commit_msg.to_owned(),
+            creation_ts,
+            author,
+            relations: Vec::new(),
+            files: Vec::new(),
+            parents: parents.to_vec(),
+            children: Vec::new(),
+        });
+        id
+    }
+
+    pub fn add_relation(
+        &mut self,
+        version: VersionId,
+        name: &str,
+        columns: &[&str],
+        changed: bool,
+    ) -> RelationId {
+        let id = self.relations.len();
+        self.relations.push(Relation {
+            name: name.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            records: Vec::new(),
+            changed,
+            version,
+        });
+        self.versions[version].relations.push(id);
+        id
+    }
+
+    pub fn add_file(&mut self, version: VersionId, name: &str, path: &str, changed: bool) -> FileId {
+        let id = self.files.len();
+        self.files.push(File {
+            name: name.to_owned(),
+            full_path: path.to_owned(),
+            changed,
+            version,
+        });
+        self.versions[version].files.push(id);
+        id
+    }
+
+    /// Add a record to a relation, with optional tuple-level provenance
+    /// (parents in earlier versions).
+    pub fn add_record(
+        &mut self,
+        relation: RelationId,
+        values: Vec<Value>,
+        parents: &[RecordId],
+    ) -> RecordId {
+        assert_eq!(
+            values.len(),
+            self.relations[relation].columns.len(),
+            "record arity must match relation schema"
+        );
+        let id = self.records.len();
+        for &p in parents {
+            self.records[p].children.push(id);
+        }
+        self.records.push(Record {
+            values,
+            relation,
+            parents: parents.to_vec(),
+            children: Vec::new(),
+        });
+        self.relations[relation].records.push(id);
+        id
+    }
+
+    /// Share an existing record into another relation instance (unchanged
+    /// records carried across versions).
+    pub fn share_record(&mut self, relation: RelationId, record: RecordId) {
+        self.relations[relation].records.push(record);
+    }
+
+    /// Field value of a record by column name (resolved through the
+    /// record's own relation schema).
+    pub fn record_field(&self, record: RecordId, field: &str) -> Option<&Value> {
+        let rec = &self.records[record];
+        let rel = &self.relations[rec.relation];
+        let idx = rel.columns.iter().position(|c| c == field)?;
+        rec.values.get(idx)
+    }
+
+    /// Ancestors of a version within `hops` (unbounded when `None`),
+    /// deduplicated — the `P()` primitive.
+    pub fn version_ancestors(&self, v: VersionId, hops: Option<usize>) -> Vec<VersionId> {
+        self.walk(v, hops, |v| &self.versions[v].parents)
+    }
+
+    /// Descendants — the `D()` primitive.
+    pub fn version_descendants(&self, v: VersionId, hops: Option<usize>) -> Vec<VersionId> {
+        self.walk(v, hops, |v| &self.versions[v].children)
+    }
+
+    /// Versions within exactly ≤ `hops` in either direction — `N()`.
+    pub fn version_neighbourhood(&self, v: VersionId, hops: usize) -> Vec<VersionId> {
+        let mut seen = vec![false; self.versions.len()];
+        seen[v] = true;
+        let mut frontier = vec![v];
+        let mut out = Vec::new();
+        for _ in 0..hops {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &w in self.versions[u]
+                    .parents
+                    .iter()
+                    .chain(&self.versions[u].children)
+                {
+                    if !seen[w] {
+                        seen[w] = true;
+                        out.push(w);
+                        next.push(w);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn walk<'a, F>(&'a self, v: VersionId, hops: Option<usize>, next: F) -> Vec<VersionId>
+    where
+        F: Fn(VersionId) -> &'a [VersionId],
+    {
+        let mut seen = vec![false; self.versions.len()];
+        seen[v] = true;
+        let mut frontier = vec![v];
+        let mut out = Vec::new();
+        let mut depth = 0usize;
+        while !frontier.is_empty() && hops.map(|h| depth < h).unwrap_or(true) {
+            depth += 1;
+            let mut nf = Vec::new();
+            for &u in &frontier {
+                for &w in next(u) {
+                    if !seen[w] {
+                        seen[w] = true;
+                        out.push(w);
+                        nf.push(w);
+                    }
+                }
+            }
+            frontier = nf;
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Build the two-relation employee repository used by the thesis examples
+/// (Fig. 6.1b): v01 with Employee{e1,e2,e3} and Department{d1,d2}; v02 adds
+/// a record to each; v03 modifies an employee.
+pub fn example_repository() -> Repository {
+    let mut repo = Repository::new();
+    let alice = repo.add_author("Alice", "alice@lab.org");
+    let bob = repo.add_author("Bob", "bob@lab.org");
+
+    let v1 = repo.add_version("v01", "initial load", 1_000, alice, &[]);
+    let emp1 = repo.add_relation(v1, "Employee", &["employee_id", "last_name", "age", "dept"], true);
+    let e1 = repo.add_record(
+        emp1,
+        vec!["e01".into(), Value::from("Smith"), Value::Int64(34), "d01".into()],
+        &[],
+    );
+    let e2 = repo.add_record(
+        emp1,
+        vec!["e02".into(), Value::from("Jones"), Value::Int64(51), "d01".into()],
+        &[],
+    );
+    let e3 = repo.add_record(
+        emp1,
+        vec!["e03".into(), Value::from("Smith"), Value::Int64(42), "d02".into()],
+        &[],
+    );
+    let dep1 = repo.add_relation(v1, "Department", &["dept_id", "dept_name"], true);
+    let d1 = repo.add_record(dep1, vec!["d01".into(), "Biology".into()], &[]);
+    let d2 = repo.add_record(dep1, vec!["d02".into(), "Physics".into()], &[]);
+
+    let v2 = repo.add_version("v02", "new hires", 2_000, bob, &[v1]);
+    let emp2 = repo.add_relation(v2, "Employee", &["employee_id", "last_name", "age", "dept"], true);
+    for &r in &[e1, e2, e3] {
+        repo.share_record(emp2, r);
+    }
+    repo.add_record(
+        emp2,
+        vec!["e04".into(), Value::from("Chu"), Value::Int64(29), "d02".into()],
+        &[],
+    );
+    let dep2 = repo.add_relation(v2, "Department", &["dept_id", "dept_name"], true);
+    for &r in &[d1, d2] {
+        repo.share_record(dep2, r);
+    }
+    repo.add_record(dep2, vec!["d03".into(), "Chemistry".into()], &[]);
+    repo.add_file(v2, "Forms.csv", "/data/Forms.csv", true);
+
+    let v3 = repo.add_version("v03", "fix e01 age", 3_000, alice, &[v2]);
+    let emp3 = repo.add_relation(v3, "Employee", &["employee_id", "last_name", "age", "dept"], true);
+    // e01 corrected: a new record with provenance pointing at e1.
+    repo.add_record(
+        emp3,
+        vec!["e01".into(), Value::from("Smith"), Value::Int64(35), "d01".into()],
+        &[e1],
+    );
+    for &r in &[e2, e3] {
+        repo.share_record(emp3, r);
+    }
+    let dep3 = repo.add_relation(v3, "Department", &["dept_id", "dept_name"], false);
+    for &r in &[d1, d2] {
+        repo.share_record(dep3, r);
+    }
+
+    repo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_structure() {
+        let repo = example_repository();
+        assert_eq!(repo.versions.len(), 3);
+        assert_eq!(repo.versions[1].parents, vec![0]);
+        assert_eq!(repo.versions[0].children, vec![1]);
+        assert_eq!(repo.versions[1].files.len(), 1);
+        // Employee in v02 has 4 records (3 shared + 1 new).
+        let emp2 = repo.versions[1]
+            .relations
+            .iter()
+            .map(|&r| &repo.relations[r])
+            .find(|r| r.name == "Employee")
+            .unwrap();
+        assert_eq!(emp2.records.len(), 4);
+    }
+
+    #[test]
+    fn graph_traversal() {
+        let repo = example_repository();
+        assert_eq!(repo.version_ancestors(2, None), vec![0, 1]);
+        assert_eq!(repo.version_ancestors(2, Some(1)), vec![1]);
+        assert_eq!(repo.version_descendants(0, None), vec![1, 2]);
+        assert_eq!(repo.version_neighbourhood(1, 1), vec![0, 2]);
+    }
+
+    #[test]
+    fn record_provenance_links() {
+        let repo = example_repository();
+        // The corrected e01 in v03 has the original as parent.
+        let fixed = repo
+            .records
+            .iter()
+            .position(|r| {
+                r.values.first() == Some(&Value::from("e01")) && r.values[2] == Value::Int64(35)
+            })
+            .unwrap();
+        assert_eq!(repo.records[fixed].parents.len(), 1);
+        let orig = repo.records[fixed].parents[0];
+        assert_eq!(repo.records[orig].children, vec![fixed]);
+    }
+
+    #[test]
+    fn record_field_lookup() {
+        let repo = example_repository();
+        assert_eq!(
+            repo.record_field(0, "last_name"),
+            Some(&Value::from("Smith"))
+        );
+        assert_eq!(repo.record_field(0, "nope"), None);
+    }
+}

@@ -1,0 +1,621 @@
+//! VQuel recursive-descent parser.
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::lexer::{lex, Token};
+
+/// Parse a full VQuel program.
+pub fn parse(input: &str) -> Result<Program> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut statements = Vec::new();
+    while !p.at_end() {
+        if p.peek_kw("range") {
+            statements.push(p.parse_range()?);
+        } else if p.peek_kw("retrieve") {
+            statements.push(p.parse_retrieve()?);
+        } else {
+            return Err(Error::Parse(format!(
+                "expected 'range' or 'retrieve', got {:?}",
+                p.peek()
+            )));
+        }
+    }
+    if statements.is_empty() {
+        return Err(Error::Parse("empty program".into()));
+    }
+    Ok(Program { statements })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+const AGG_NAMES: [(&str, AggKind, bool); 12] = [
+    ("count", AggKind::Count, false),
+    ("sum", AggKind::Sum, false),
+    ("avg", AggKind::Avg, false),
+    ("min", AggKind::Min, false),
+    ("max", AggKind::Max, false),
+    ("any", AggKind::Any, false),
+    ("count_all", AggKind::Count, true),
+    ("sum_all", AggKind::Sum, true),
+    ("avg_all", AggKind::Avg, true),
+    ("min_all", AggKind::Min, true),
+    ("max_all", AggKind::Max, true),
+    ("any_all", AggKind::Any, true),
+];
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().map(|t| t.is_kw(kw)).unwrap_or(false)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(t) if t.is_kw(kw) => Ok(()),
+            other => Err(Error::Parse(format!("expected '{kw}', got {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<()> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(Error::Parse(format!("expected {tok:?}, got {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(Error::Parse(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn parse_range(&mut self) -> Result<Statement> {
+        self.expect_kw("range")?;
+        self.expect_kw("of")?;
+        let var = self.ident()?;
+        self.expect_kw("is")?;
+        let set = self.parse_set_expr()?;
+        Ok(Statement::Range { var, set })
+    }
+
+    fn parse_set_expr(&mut self) -> Result<SetExpr> {
+        let name = self.ident()?;
+        // Root predicate: `Version(id = "v01")` — but `V.P(2)` style roots
+        // are vars with steps; disambiguate below by the uppercase-class
+        // convention being unnecessary: a root with a predicate must be a
+        // class or var either way, and the predicate applies to elements.
+        let root_predicate = if self.peek() == Some(&Token::LParen) {
+            self.expect(Token::LParen)?;
+            let e = self.parse_expr()?;
+            self.expect(Token::RParen)?;
+            Some(Box::new(e))
+        } else {
+            None
+        };
+        let root = SetRoot::Class(name.clone());
+        let mut set = SetExpr {
+            root,
+            root_predicate,
+            steps: Vec::new(),
+        };
+        // The evaluator resolves whether the root name is a class, derived
+        // relation, or variable; mark as Var-rooted lazily there. We keep
+        // Class here and let eval decide.
+        let _ = SetRoot::Var(name);
+        while self.eat(&Token::Dot) {
+            let step_name = self.ident()?;
+            let mut predicate = None;
+            let mut args = Vec::new();
+            if self.eat(&Token::LParen) {
+                if self.eat(&Token::RParen) {
+                    // empty args: P()
+                } else {
+                    // Either numeric args or a predicate.
+                    if let Some(Token::Int(_)) = self.peek() {
+                        loop {
+                            match self.next() {
+                                Some(Token::Int(i)) => args.push(i),
+                                other => {
+                                    return Err(Error::Parse(format!(
+                                        "expected integer argument, got {other:?}"
+                                    )))
+                                }
+                            }
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                    } else {
+                        predicate = Some(self.parse_expr()?);
+                    }
+                    self.expect(Token::RParen)?;
+                }
+            }
+            set.steps.push(Step {
+                name: step_name,
+                predicate,
+                args,
+            });
+        }
+        Ok(set)
+    }
+
+    fn parse_retrieve(&mut self) -> Result<Statement> {
+        self.expect_kw("retrieve")?;
+        let mut into = None;
+        if self.eat_kw("into") {
+            into = Some(self.ident()?);
+        }
+        let unique = self.eat_kw("unique");
+        // Targets may be parenthesized (Query 6.11 style).
+        let parenthesized = self.eat(&Token::LParen);
+        let mut targets = vec![self.parse_target()?];
+        while self.eat(&Token::Comma) {
+            targets.push(self.parse_target()?);
+        }
+        if parenthesized {
+            self.expect(Token::RParen)?;
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut sort_by = Vec::new();
+        if self.eat_kw("sort") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.parse_primary()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                sort_by.push((e, asc));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(Statement::Retrieve(Retrieve {
+            into,
+            unique,
+            targets,
+            where_clause,
+            sort_by,
+        }))
+    }
+
+    fn parse_target(&mut self) -> Result<Target> {
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(Target { expr, alias })
+    }
+
+    // -- expressions ---------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let e = self.parse_not()?;
+            return Ok(Expr::Not(Box::new(e)));
+        }
+        self.parse_cmp()
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr> {
+        let left = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(CmpOp::Eq),
+            Some(Token::Ne) => Some(CmpOp::Ne),
+            Some(Token::Lt) => Some(CmpOp::Lt),
+            Some(Token::Le) => Some(CmpOp::Le),
+            Some(Token::Gt) => Some(CmpOp::Gt),
+            Some(Token::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let right = self.parse_add()?;
+                Ok(Expr::Cmp(op, Box::new(left), Box::new(right)))
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn parse_add(&mut self) -> Result<Expr> {
+        let mut left = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => ArithOp::Add,
+                Some(Token::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_mul()?;
+            left = Expr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr> {
+        let mut left = self.parse_primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => ArithOp::Mul,
+                Some(Token::Slash) => ArithOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_primary()?;
+            left = Expr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::Int(i)) => Ok(Expr::Int(i)),
+            Some(Token::Float(f)) => Ok(Expr::Float(f)),
+            Some(Token::Minus) => {
+                let e = self.parse_primary()?;
+                Ok(Expr::Arith(
+                    ArithOp::Sub,
+                    Box::new(Expr::Int(0)),
+                    Box::new(e),
+                ))
+            }
+            Some(Token::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => self.parse_ident_expr(name),
+            other => Err(Error::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn parse_ident_expr(&mut self, name: String) -> Result<Expr> {
+        let lower = name.to_ascii_lowercase();
+        if lower == "true" {
+            return Ok(Expr::Bool(true));
+        }
+        if lower == "false" {
+            return Ok(Expr::Bool(false));
+        }
+        // Aggregate call?
+        if let Some(&(_, kind, all)) = AGG_NAMES.iter().find(|(n, _, _)| *n == lower) {
+            if self.peek() == Some(&Token::LParen) {
+                return self.parse_agg(kind, all);
+            }
+        }
+        // abs(…)?
+        if lower == "abs" && self.peek() == Some(&Token::LParen) {
+            self.expect(Token::LParen)?;
+            let e = self.parse_expr()?;
+            self.expect(Token::RParen)?;
+            return Ok(Expr::Abs(Box::new(e)));
+        }
+        // Version(S) — container navigation.
+        if name == "Version" && self.peek() == Some(&Token::LParen) {
+            if let Some(Token::Ident(_)) = self.peek2() {
+                // Only treat as container navigation when the parens hold a
+                // single bare identifier.
+                if self.tokens.get(self.pos + 2) == Some(&Token::RParen) {
+                    self.expect(Token::LParen)?;
+                    let var = self.ident()?;
+                    self.expect(Token::RParen)?;
+                    let mut fields = Vec::new();
+                    while self.eat(&Token::Dot) {
+                        fields.push(self.ident()?);
+                    }
+                    if fields.is_empty() {
+                        return Ok(Expr::ContainerVersion(var));
+                    }
+                    // Version(S).id etc: wrap in a path via a pseudo field.
+                    return Ok(Expr::Path {
+                        var: format!("\u{1}version_of:{var}"),
+                        fields,
+                    });
+                }
+            }
+        }
+        // Plain path.
+        let mut fields = Vec::new();
+        while self.eat(&Token::Dot) {
+            fields.push(self.ident()?);
+        }
+        Ok(Expr::Path { var: name, fields })
+    }
+
+    fn parse_agg(&mut self, kind: AggKind, all: bool) -> Result<Expr> {
+        self.expect(Token::LParen)?;
+        let arg = self.parse_expr()?;
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.ident()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.ident()?);
+            }
+        }
+        let filter = if self.eat_kw("where") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect(Token::RParen)?;
+        Ok(Expr::Agg {
+            kind,
+            all,
+            arg: Box::new(arg),
+            group_by,
+            filter,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_query_6_1() {
+        let p = parse(
+            r#"
+            range of V is Version
+            retrieve V.author.name
+            where V.id = "v01"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.statements.len(), 2);
+        match &p.statements[0] {
+            Statement::Range { var, set } => {
+                assert_eq!(var, "V");
+                assert_eq!(set.root, SetRoot::Class("Version".into()));
+                assert!(set.steps.is_empty());
+            }
+            _ => panic!(),
+        }
+        match &p.statements[1] {
+            Statement::Retrieve(r) => {
+                assert_eq!(
+                    r.targets[0].expr,
+                    Expr::Path {
+                        var: "V".into(),
+                        fields: vec!["author".into(), "name".into()]
+                    }
+                );
+                assert!(r.where_clause.is_some());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_inline_predicates_and_chains() {
+        let p = parse(
+            r#"
+            range of E1 is Version(id = "v01").Relations(name = "Employee").Tuples
+            retrieve E1.all
+            "#,
+        )
+        .unwrap();
+        match &p.statements[0] {
+            Statement::Range { set, .. } => {
+                assert!(set.root_predicate.is_some());
+                assert_eq!(set.steps.len(), 2);
+                assert_eq!(set.steps[0].name, "Relations");
+                assert!(set.steps[0].predicate.is_some());
+                assert_eq!(set.steps[1].name, "Tuples");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_aggregates() {
+        let p = parse(
+            r#"
+            range of V is Version
+            range of E is V.Relations(name = "Employee").Tuples
+            retrieve V.commit_id
+            where count(E.employee_id where E.last_name = "Smith") = 100
+            "#,
+        )
+        .unwrap();
+        match &p.statements[2] {
+            Statement::Retrieve(r) => {
+                assert!(r.where_clause.as_ref().unwrap().has_aggregate());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_count_all_with_group_by() {
+        let p = parse(
+            r#"
+            range of V is Version
+            retrieve V.commit_id
+            where count_all(E.employee_id group by R, V where E.last_name = "Smith") = 100
+            "#,
+        )
+        .unwrap();
+        match &p.statements[1] {
+            Statement::Retrieve(r) => match r.where_clause.as_ref().unwrap() {
+                Expr::Cmp(_, l, _) => match l.as_ref() {
+                    Expr::Agg { all, group_by, .. } => {
+                        assert!(*all);
+                        assert_eq!(group_by, &["R", "V"]);
+                    }
+                    _ => panic!("expected aggregate"),
+                },
+                _ => panic!("expected comparison"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_graph_traversal_and_sort() {
+        let p = parse(
+            r#"
+            range of V is Version(id = "v01")
+            range of N is V.N(2)
+            retrieve N.commit_id, N.creation_ts
+            sort by N.creation_ts desc
+            "#,
+        )
+        .unwrap();
+        match &p.statements[1] {
+            Statement::Range { set, .. } => {
+                assert_eq!(set.steps[0].name, "N");
+                assert_eq!(set.steps[0].args, vec![2]);
+            }
+            _ => panic!(),
+        }
+        match &p.statements[2] {
+            Statement::Retrieve(r) => {
+                assert_eq!(r.sort_by.len(), 1);
+                assert!(!r.sort_by[0].1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_retrieve_into_with_aliases() {
+        let p = parse(
+            r#"
+            range of V is Version
+            retrieve into T (V.id as id, count(V) as c)
+            retrieve T.id
+            where T.c = max(T.c)
+            "#,
+        )
+        .unwrap();
+        match &p.statements[1] {
+            Statement::Retrieve(r) => {
+                assert_eq!(r.into.as_deref(), Some("T"));
+                assert_eq!(r.targets[0].alias.as_deref(), Some("id"));
+                assert_eq!(r.targets[1].alias.as_deref(), Some("c"));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_container_version() {
+        let p = parse(
+            r#"
+            range of S is Version.Relations.Tuples
+            retrieve S.id
+            where Version(S) = Version(S)
+            "#,
+        )
+        .unwrap();
+        match &p.statements[1] {
+            Statement::Retrieve(r) => match r.where_clause.as_ref().unwrap() {
+                Expr::Cmp(_, l, _) => assert_eq!(**l, Expr::ContainerVersion("S".into())),
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_abs_and_arithmetic() {
+        let p = parse(
+            r#"
+            range of V is Version
+            retrieve unique V.all
+            where abs(count(V.Relations) - 2) > 1 + 1
+            "#,
+        )
+        .unwrap();
+        match &p.statements[1] {
+            Statement::Retrieve(r) => assert!(r.unique),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("range V is Version").is_err());
+        assert!(parse("retrieve").is_err());
+        assert!(parse("range of V is Version retrieve V.id where").is_err());
+    }
+}

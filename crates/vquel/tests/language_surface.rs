@@ -1,0 +1,175 @@
+//! Additional language-surface coverage beyond the thesis's numbered
+//! queries: `any`/`min`/`sum` aggregates, unique semantics, multi-key
+//! sorts, derived-relation chaining, and version-graph combinations.
+
+use relstore::Value;
+use vquel::model::example_repository;
+use vquel::{execute, execute_program};
+
+#[test]
+fn any_aggregate_detects_existence() {
+    let repo = example_repository();
+    // Versions containing at least one employee in Chemistry-free depts…
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of E is V.Relations(name = "Employee").Tuples
+        retrieve V.commit_id
+        where any(E.id where E.age > 50) = true
+        "#,
+    )
+    .unwrap();
+    // Jones (51) is in every version.
+    assert_eq!(rs.rows.len(), 3);
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of E is V.Relations(name = "Employee").Tuples
+        retrieve V.commit_id
+        where any(E.id where E.age > 100) = true
+        "#,
+    )
+    .unwrap();
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn sum_and_min_aggregates() {
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of E is V.Relations(name = "Employee").Tuples
+        retrieve V.commit_id, sum(E.age), min(E.age)
+        sort by V.commit_id
+        "#,
+    )
+    .unwrap();
+    // v01: 34+51+42 = 127, min 34; v03: 35+51+42 = 128.
+    assert_eq!(rs.rows[0][1], Value::Int64(127));
+    assert_eq!(rs.rows[0][2], Value::Int64(34));
+    assert_eq!(rs.rows[2][1], Value::Int64(128));
+}
+
+#[test]
+fn unique_deduplicates_projections() {
+    let repo = example_repository();
+    // Last names across all versions/relations: Smith appears many times.
+    let with_dupes = execute(
+        &repo,
+        r#"
+        range of E is Version.Relations(name = "Employee").Tuples
+        retrieve E.last_name
+        "#,
+    )
+    .unwrap();
+    let unique = execute(
+        &repo,
+        r#"
+        range of E is Version.Relations(name = "Employee").Tuples
+        retrieve unique E.last_name
+        "#,
+    )
+    .unwrap();
+    assert!(with_dupes.rows.len() > unique.rows.len());
+    assert_eq!(unique.rows.len(), 3); // Smith, Jones, Chu
+}
+
+#[test]
+fn multi_key_sort_orders_lexicographically() {
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of E is Version(id = "v02").Relations(name = "Employee").Tuples
+        retrieve E.last_name, E.age
+        sort by E.last_name, E.age desc
+        "#,
+    )
+    .unwrap();
+    // Chu, Jones, Smith(42), Smith(34): names ascending, ages descending.
+    assert_eq!(rs.rows[0][0], Value::from("Chu"));
+    assert_eq!(rs.rows[2][0], Value::from("Smith"));
+    assert_eq!(rs.rows[2][1], Value::Int64(42));
+    assert_eq!(rs.rows[3][1], Value::Int64(34));
+}
+
+#[test]
+fn derived_relations_chain() {
+    let repo = example_repository();
+    // Two chained `retrieve into`s: per-version counts, then the spread.
+    let results = execute_program(
+        &repo,
+        r#"
+        range of V is Version
+        range of E is V.Relations(name = "Employee").Tuples
+        retrieve into Counts (V.commit_id as cid, count(E) as n)
+        range of C is Counts
+        retrieve into Spread (max(C.n) as hi, min(C.n) as lo)
+        range of S is Spread
+        retrieve S.hi - S.lo
+        "#,
+    )
+    .unwrap();
+    // Counts: 3, 4, 3 → spread = 1.
+    assert_eq!(results.last().unwrap().rows, vec![vec![Value::Int64(1)]]);
+}
+
+#[test]
+fn parents_and_descendants_compose_with_predicates() {
+    let repo = example_repository();
+    // Descendants of v01 authored by Alice.
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version(id = "v01")
+        range of D is V.D()
+        retrieve D.commit_id
+        where D.author.name = "Alice"
+        "#,
+    )
+    .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::from("v03")]]);
+}
+
+#[test]
+fn arithmetic_in_targets() {
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of E is Version(id = "v01").Relations(name = "Employee").Tuples
+        retrieve E.employee_id, E.age * 2 + 1
+        where E.employee_id = "e01"
+        "#,
+    )
+    .unwrap();
+    assert_eq!(rs.rows[0][1], Value::Int64(69));
+}
+
+#[test]
+fn type_errors_are_reported_not_panicked() {
+    let repo = example_repository();
+    // Ordering comparison between references is a type error.
+    let err = execute(
+        &repo,
+        r#"
+        range of S is Version.Relations.Tuples
+        retrieve S.id
+        where Version(S) < Version(S)
+        "#,
+    );
+    assert!(err.is_err());
+    // Aggregating text with sum is a type error surfaced cleanly.
+    let err = execute(
+        &repo,
+        r#"
+        range of V is Version
+        retrieve sum(V.Relations)
+        "#,
+    );
+    assert!(err.is_err());
+}

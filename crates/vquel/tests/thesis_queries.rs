@@ -1,0 +1,402 @@
+//! End-to-end evaluation of the thesis's example queries (§6.3) against the
+//! employee repository of Fig. 6.1b.
+
+use relstore::Value;
+use vquel::model::example_repository;
+use vquel::{execute, execute_program};
+
+#[test]
+fn query_6_1_author_of_version() {
+    // Who is the author of version "v01"?
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        retrieve V.author.name
+        where V.id = "v01"
+        "#,
+    )
+    .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::from("Alice")]]);
+}
+
+#[test]
+fn query_6_2_commits_by_author_after_time() {
+    // What commits did Alice make after t = 1500?
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        retrieve V.commit_id
+        where V.author.name = "Alice" and V.creation_ts >= 1500
+        "#,
+    )
+    .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::from("v03")]]);
+}
+
+#[test]
+fn query_6_3_versions_containing_relation() {
+    // Commit timestamps of versions containing the Employee relation.
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of R is V.Relations
+        retrieve V.creation_ts
+        where R.name = "Employee"
+        "#,
+    )
+    .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+}
+
+#[test]
+fn query_6_4_commit_history_reverse_chronological() {
+    // Commit history of Employee in reverse chronological order.
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of R is V.Relations
+        retrieve V.creation_ts, V.author.name, V.commit_msg
+        where R.name = "Employee" and R.changed = true
+        sort by V.creation_ts desc
+        "#,
+    )
+    .unwrap();
+    // All three Employee instances are marked changed in the example repo.
+    assert_eq!(rs.rows.len(), 3);
+    assert_eq!(rs.rows[0][0], Value::Int64(3000));
+    assert_eq!(rs.rows[2][0], Value::Int64(1000));
+}
+
+#[test]
+fn query_6_5_history_of_a_tuple() {
+    // History of employee e01 across versions, chronologically.
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of R is V.Relations
+        range of E is R.Tuples
+        retrieve E.age, V.commit_id, V.creation_ts
+        where E.employee_id = "e01" and R.name = "Employee"
+        sort by V.creation_ts
+        "#,
+    )
+    .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+    // Age 34 in v01 and v02, corrected to 35 in v03.
+    assert_eq!(rs.rows[0][0], Value::Int64(34));
+    assert_eq!(rs.rows[2][0], Value::Int64(35));
+    assert_eq!(rs.rows[2][1], Value::from("v03"));
+}
+
+#[test]
+fn query_6_6_tuples_differing_between_versions() {
+    // Employee tuples in v01 whose counterpart differs in v03.
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of E1 is Version(id = "v01").Relations(name = "Employee").Tuples
+        range of E2 is Version(id = "v03").Relations(name = "Employee").Tuples
+        retrieve E1.employee_id
+        where E1.employee_id = E2.employee_id and E1.all != E2.all
+        "#,
+    )
+    .unwrap();
+    // Only e01 changed between v01 and v03.
+    assert_eq!(rs.rows, vec![vec![Value::from("e01")]]);
+}
+
+#[test]
+fn query_6_7_count_relations_per_version() {
+    // For each version, count the relations inside it.
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of R is V.Relations
+        retrieve V.id, count(R)
+        "#,
+    )
+    .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+    for row in &rs.rows {
+        assert_eq!(row[1], Value::Int64(2));
+    }
+}
+
+#[test]
+fn query_6_8_versions_with_exact_count() {
+    // Versions containing exactly 2 employees named Smith.
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of E is V.Relations(name = "Employee").Tuples
+        retrieve V.commit_id
+        where count(E.employee_id where E.last_name = "Smith") = 2
+        "#,
+    )
+    .unwrap();
+    // Smith appears twice in every version (e01 + e03).
+    assert_eq!(rs.rows.len(), 3);
+}
+
+#[test]
+fn query_6_9_count_all_with_explicit_grouping() {
+    // The count_all formulation with `group by R, V` is equivalent.
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of R is V.Relations(name = "Employee")
+        range of E is R.Tuples
+        retrieve V.commit_id
+        where count_all(E.employee_id group by R, V where E.last_name = "Smith") = 2
+        "#,
+    )
+    .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+}
+
+#[test]
+fn query_6_10_total_tuples_per_version() {
+    // Versions whose relations hold exactly 6 tuples in total.
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of R is V.Relations
+        range of T is R.Tuples
+        retrieve V.commit_id
+        where count_all(T group by V) = 6
+        "#,
+    )
+    .unwrap();
+    // v02 has 4 employees + 3 departments = 7; v01 has 5; v03 has 5.
+    assert_eq!(rs.rows.len(), 0);
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of R is V.Relations
+        range of T is R.Tuples
+        retrieve V.commit_id
+        where count_all(T group by V) = 7
+        "#,
+    )
+    .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::from("v02")]]);
+}
+
+#[test]
+fn query_6_11_version_with_most_matches() {
+    // Which version contains the most employees above age 40?
+    let repo = example_repository();
+    let results = execute_program(
+        &repo,
+        r#"
+        range of V is Version
+        range of E is V.Relations(name = "Employee").Tuples
+        retrieve into T (V.id as id, count(E.id where E.age > 40) as c)
+        range of S is T
+        retrieve S.id
+        where S.c = max(S.c)
+        "#,
+    )
+    .unwrap();
+    let last = results.last().unwrap();
+    // Every version has 2 employees over 40 (Jones 51, Smith 42), so all
+    // three versions tie at the max.
+    assert_eq!(last.rows.len(), 3);
+
+    // Narrow the predicate so one version wins: age > 50 → only Jones; all
+    // tie again. Use > 34: v01 has 2 (51, 42), v02 has 2, v03 has 3 (35!).
+    let results = execute_program(
+        &repo,
+        r#"
+        range of V is Version
+        range of E is V.Relations(name = "Employee").Tuples
+        retrieve into T (V.id as id, count(E.id where E.age > 34) as c)
+        range of S is T
+        retrieve S.id
+        where S.c = max(S.c)
+        "#,
+    )
+    .unwrap();
+    assert_eq!(results.last().unwrap().rows, vec![vec![Value::from("v03")]]);
+}
+
+#[test]
+fn query_6_13_neighbourhood_with_size_filter() {
+    // Versions within 2 commits of v01 that have fewer than 4 employees.
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version(id = "v01")
+        range of N is V.N(2)
+        range of E is N.Relations(name = "Employee").Tuples
+        retrieve N.commit_id
+        where count(E.id) < 4
+        "#,
+    )
+    .unwrap();
+    // v02 has 4 employees, v03 has 3 → only v03 qualifies.
+    assert_eq!(rs.rows, vec![vec![Value::from("v03")]]);
+}
+
+#[test]
+fn query_6_14_large_deltas() {
+    // Versions whose tuple-count delta vs their parent exceeds 1.
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of P is V.P(1)
+        retrieve unique V.commit_id
+        where abs(count(V.Relations.Tuples) - count(P.Relations.Tuples)) > 1
+        "#,
+    )
+    .unwrap();
+    // v01→v02 adds 2 tuples (5 → 7); v02→v03 drops back to 5 (the
+    // corrected e01 replaces the original and d03 is gone): both deltas
+    // exceed 1. v03 also compares against grandparent v01 (delta 0) but
+    // P(1) restricts to direct parents.
+    assert_eq!(
+        rs.rows,
+        vec![vec![Value::from("v02")], vec![Value::from("v03")]]
+    );
+}
+
+#[test]
+fn query_6_15_first_parent_version_of_each_tuple() {
+    // For employee tuples of v03, find ancestor versions holding a tuple
+    // with the same employee_id (walking up the version graph).
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version(id = "v03")
+        range of E is V.Relations(name = "Employee").Tuples
+        range of P is V.P()
+        range of PE is P.Relations(name = "Employee").Tuples
+        retrieve unique E.employee_id, P.commit_id
+        where E.employee_id = PE.employee_id and P.creation_ts = min(P.creation_ts)
+        "#,
+    )
+    .unwrap();
+    // Every employee of v03 (e01, e02, e03) first appeared in v01.
+    assert_eq!(rs.rows.len(), 3);
+    for row in &rs.rows {
+        assert_eq!(row[1], Value::from("v01"));
+    }
+}
+
+#[test]
+fn query_6_16_tuple_level_provenance() {
+    // For v03 tuples satisfying a predicate, find parent tuples they
+    // depend on.
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of E is Version(id = "v03").Relations(name = "Employee").Tuples
+        range of P is E.parents
+        retrieve E.employee_id, P.id
+        where E.age = 35
+        "#,
+    )
+    .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::from("e01"));
+    // The parent record id is the original e01 (record 0).
+    assert_eq!(rs.rows[0][1], Value::Int64(0));
+}
+
+#[test]
+fn query_6_12_container_version_join() {
+    // Tuples of S and T joined within the same version (Version(S) =
+    // Version(T) upward navigation).
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of S is Version.Relations(name = "Employee").Tuples
+        range of T is Version.Relations(name = "Department").Tuples
+        retrieve unique S.employee_id, T.dept_name
+        where S.dept = T.dept_id and Version(S) = Version(T)
+        "#,
+    )
+    .unwrap();
+    // e01 → Biology, e02 → Biology, e03 → Physics, e04 → Physics (v02),
+    // plus the corrected e01 → Biology (same projected row).
+    assert!(rs.rows.len() >= 4);
+    assert!(rs
+        .rows
+        .iter()
+        .any(|r| r[0] == Value::from("e04") && r[1] == Value::from("Physics")));
+}
+
+#[test]
+fn files_and_changed_flags() {
+    // Files are first-class: find versions that added a file.
+    let repo = example_repository();
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of F is V.Files
+        retrieve V.commit_id, F.name
+        where F.changed = F.changed
+        "#,
+    )
+    .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::from("v02"), Value::from("Forms.csv")]]);
+}
+
+#[test]
+fn sort_by_multiple_keys_and_into_columns() {
+    let repo = example_repository();
+    let results = execute_program(
+        &repo,
+        r#"
+        range of V is Version
+        retrieve into Summary (V.commit_id as cid, V.creation_ts as ts)
+        range of S is Summary
+        retrieve S.cid, S.ts
+        sort by S.ts desc
+        "#,
+    )
+    .unwrap();
+    let last = results.last().unwrap();
+    assert_eq!(last.columns, vec!["cid", "ts"]);
+    assert_eq!(last.rows[0][0], Value::from("v03"));
+    assert_eq!(last.rows[2][0], Value::from("v01"));
+}
+
+#[test]
+fn evaluation_errors_are_reported() {
+    let repo = example_repository();
+    assert!(execute(&repo, "range of V is Nope retrieve V.id").is_err());
+    assert!(execute(
+        &repo,
+        "range of V is Version retrieve V.nonexistent_field"
+    )
+    .is_err());
+    assert!(execute(&repo, "range of V is Version retrieve X.id").is_err());
+}

@@ -1,0 +1,157 @@
+//! The genome-assembly collaboration scenario of §6.1: a team tries
+//! multiple tools and parameters, producing a branched repository of
+//! intermediate results, then uses VQuel to reason about versions,
+//! metadata, version-graph structure, and tuple-level provenance.
+//!
+//! Run with: `cargo run --example genomics_pipeline`
+
+use orpheusdb::relstore::Value;
+use orpheusdb::vquel::{execute, Repository};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build the repository: reads → error correction → k-mer analysis →
+    // two assembly tools → evaluation, with a correction re-run on a branch.
+    let mut repo = Repository::new();
+    let maría = repo.add_author("Maria", "maria@genomics.lab");
+    let wei = repo.add_author("Wei", "wei@genomics.lab");
+
+    let v_reads = repo.add_version("v01-reads", "ingest FastQ reads", 100, maría, &[]);
+    let reads = repo.add_relation(v_reads, "Reads", &["read_id", "length", "quality"], true);
+    let mut read_records = Vec::new();
+    for i in 0..40i64 {
+        read_records.push(repo.add_record(
+            reads,
+            vec![
+                Value::Int64(i),
+                Value::Int64(100 + i % 50),
+                Value::Int64(20 + (i * 7) % 20),
+            ],
+            &[],
+        ));
+    }
+
+    // Error correction (Quake): row-preserving transform with provenance.
+    let v_quake = repo.add_version("v02-quake", "error-correct with Quake", 200, wei, &[v_reads]);
+    let corrected = repo.add_relation(v_quake, "Reads", &["read_id", "length", "quality"], true);
+    for (i, &orig) in read_records.iter().enumerate() {
+        let vals = repo.records[orig].values.clone();
+        let q = vals[2].as_i64().unwrap() + 5; // corrected quality
+        repo.add_record(
+            corrected,
+            vec![vals[0].clone(), vals[1].clone(), Value::Int64(q)],
+            &[orig],
+        );
+        let _ = i;
+    }
+
+    // K-mer analysis adds a table.
+    let v_kmer = repo.add_version("v03-kmer", "KmerGenie analysis", 300, wei, &[v_quake]);
+    let kmers = repo.add_relation(v_kmer, "Kmers", &["k", "abundance"], true);
+    for k in [21i64, 31, 41, 51] {
+        repo.add_record(kmers, vec![Value::Int64(k), Value::Int64(1000 - k * 3)], &[]);
+    }
+
+    // Two assemblies branch from the k-mer analysis.
+    let v_soap = repo.add_version("v04-soap", "SOAPdenovo assembly", 400, maría, &[v_kmer]);
+    let soap = repo.add_relation(v_soap, "Contigs", &["contig_id", "length", "n50"], true);
+    for i in 0..8i64 {
+        repo.add_record(
+            soap,
+            vec![Value::Int64(i), Value::Int64(5_000 + i * 900), Value::Int64(14_000)],
+            &[],
+        );
+    }
+    let v_abyss = repo.add_version("v05-abyss", "ABySS assembly", 410, wei, &[v_kmer]);
+    let abyss = repo.add_relation(v_abyss, "Contigs", &["contig_id", "length", "n50"], true);
+    for i in 0..11i64 {
+        repo.add_record(
+            abyss,
+            vec![Value::Int64(i), Value::Int64(4_200 + i * 700), Value::Int64(11_500)],
+            &[],
+        );
+    }
+
+    // QUAST evaluation merges both assemblies' stats.
+    let v_eval = repo.add_version("v06-quast", "QUAST evaluation", 500, maría, &[v_soap, v_abyss]);
+    let eval = repo.add_relation(v_eval, "Evaluation", &["tool", "n50"], true);
+    repo.add_record(eval, vec![Value::Int64(1), Value::Int64(14_000)], &[]);
+    repo.add_record(eval, vec![Value::Int64(2), Value::Int64(11_500)], &[]);
+
+    // -- VQuel queries over the pipeline ------------------------------------
+
+    println!("Who worked on assemblies (versions containing Contigs)?");
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of R is V.Relations(name = "Contigs")
+        retrieve V.commit_id, V.author.name
+        where R.changed = true
+        sort by V.creation_ts
+        "#,
+    )?;
+    for r in &rs.rows {
+        println!("  {} by {}", r[0], r[1]);
+    }
+
+    println!("\nWhich assembly produced the most contigs? (retrieve into + max)");
+    let results = orpheusdb::vquel::execute_program(
+        &repo,
+        r#"
+        range of V is Version
+        range of C is V.Relations(name = "Contigs").Tuples
+        retrieve into T (V.commit_id as cid, count(C.contig_id) as contigs)
+        range of S is T
+        retrieve S.cid, S.contigs
+        where S.contigs = max(S.contigs)
+        "#,
+    )?;
+    for r in &results.last().unwrap().rows {
+        println!("  {} with {} contigs", r[0], r[1]);
+    }
+
+    println!("\nVersions within 1 hop of the k-mer analysis:");
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version(commit_id = "v03-kmer")
+        range of N is V.N(1)
+        retrieve N.commit_id, N.commit_msg
+        "#,
+    )?;
+    for r in &rs.rows {
+        println!("  {}: {}", r[0], r[1]);
+    }
+
+    println!("\nTuple-level provenance: where do corrected reads come from?");
+    let rs = execute(
+        &repo,
+        r#"
+        range of E is Version(commit_id = "v02-quake").Relations(name = "Reads").Tuples
+        range of P is E.parents
+        retrieve E.read_id, E.quality, P.quality
+        where E.read_id < 3
+        sort by E.read_id
+        "#,
+    )?;
+    for r in &rs.rows {
+        println!(
+            "  read {}: quality {} (was {} before correction)",
+            r[0], r[1], r[2]
+        );
+    }
+
+    println!("\nAverage contig length per assembly:");
+    let rs = execute(
+        &repo,
+        r#"
+        range of V is Version
+        range of C is V.Relations(name = "Contigs").Tuples
+        retrieve V.commit_id, avg(C.length)
+        "#,
+    )?;
+    for r in &rs.rows {
+        println!("  {}: {}", r[0], r[1]);
+    }
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! The OrpheusDB command-line interface (§3.3): an interactive shell over
+//! the middleware, in the spirit of the SIGMOD'17 demo.
+//!
+//! ```text
+//! cargo run --release
+//! orpheus> create_user alice
+//! orpheus> config alice
+//! orpheus> init mydata -f data.csv -s id:int,name:text,score:int -k id
+//! orpheus> checkout mydata -v 0 -t work
+//! orpheus> commit -t work -m first pass
+//! orpheus> run SELECT vid, count(*) FROM CVD mydata GROUP BY vid
+//! orpheus> optimize mydata -g 2.0
+//! ```
+
+use orpheusdb::orpheus::{commands, CommandOutput, OrpheusDb};
+use std::io::{BufRead, Write};
+
+fn print_table(t: &orpheusdb::orpheus::query::QueryResult) {
+    let names: Vec<&str> = t.schema.columns().iter().map(|c| c.name.as_str()).collect();
+    println!("{}", names.join(" | "));
+    println!("{}", "-".repeat(names.join(" | ").len().max(8)));
+    for row in t.rows.iter().take(50) {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join(" | "));
+    }
+    if t.rows.len() > 50 {
+        println!("… ({} rows total)", t.rows.len());
+    }
+}
+
+fn show(out: CommandOutput) {
+    match out {
+        CommandOutput::Message(m) => println!("{m}"),
+        CommandOutput::Version(v) => println!("committed {v}"),
+        CommandOutput::Listing(l) => {
+            for item in l {
+                println!("{item}");
+            }
+        }
+        CommandOutput::Table(t) => print_table(&t),
+        CommandOutput::Csv(c) => print!("{c}"),
+    }
+}
+
+/// `init <cvd> -f <path.csv> -s <schema-spec> -k <pk[,pk…]>` — the one
+/// command that touches the filesystem, handled in the CLI rather than the
+/// library.
+fn handle_init(db: &mut OrpheusDb, line: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<&str> = line.split_whitespace().collect();
+    let name = args.get(1).ok_or("usage: init <cvd> -f <csv> -s <schema> -k <pk>")?;
+    let flag = |f: &str| -> Option<&str> {
+        args.iter().position(|&a| a == f).and_then(|i| args.get(i + 1).copied())
+    };
+    let path = flag("-f").ok_or("init needs -f <csv path>")?;
+    let spec = flag("-s").ok_or("init needs -s <schema spec>")?;
+    let pk: Vec<String> = flag("-k")
+        .map(|s| s.split(',').map(str::to_owned).collect())
+        .unwrap_or_default();
+    let schema = commands::parse_schema_spec(spec)?;
+    let csv = std::fs::read_to_string(path)?;
+    let rows = commands::from_csv(&schema, &csv)?;
+    let v0 = db.init_cvd(name, schema, pk, rows)?;
+    println!("initialized {name} at {v0} ({path})");
+    Ok(())
+}
+
+fn help() {
+    println!(
+        "commands:\n  \
+         create_user <name> | config <name> | whoami\n  \
+         init <cvd> -f <csv> -s <name:type,…> [-k pk,…]\n  \
+         checkout <cvd> -v <vid…> -t <table>\n  \
+         commit -t <table> -m <message…>\n  \
+         diff <cvd> -v <a> <b>\n  \
+         run <SELECT … FROM VERSION i OF CVD c | SELECT vid, agg(col) FROM CVD c GROUP BY vid>\n  \
+         optimize <cvd> [-g <gamma>]\n  \
+         log <cvd> | ls | drop <cvd> | help | quit"
+    );
+}
+
+fn main() {
+    let mut db = OrpheusDb::new();
+    println!("OrpheusDB shell — type 'help' for commands, 'quit' to exit.");
+    let stdin = std::io::stdin();
+    loop {
+        print!("orpheus> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line.split_whitespace().next() {
+            Some("quit") | Some("exit") => break,
+            Some("help") => help(),
+            Some("init") => {
+                if let Err(e) = handle_init(&mut db, line) {
+                    eprintln!("error: {e}");
+                }
+            }
+            _ => match db.execute(line) {
+                Ok(out) => show(out),
+                Err(e) => eprintln!("error: {e}"),
+            },
+        }
+    }
+}
