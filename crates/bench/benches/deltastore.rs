@@ -22,7 +22,9 @@ fn bench_solvers(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("deltastore_solvers");
     group.sample_size(10);
-    group.bench_function("p1_arborescence", |b| b.iter(|| black_box(p1_min_storage(&g))));
+    group.bench_function("p1_arborescence", |b| {
+        b.iter(|| black_box(p1_min_storage(&g)))
+    });
     group.bench_function("p2_spt", |b| b.iter(|| black_box(p2_min_recreation(&g))));
     let beta = mst.storage_cost() * 2;
     group.bench_function("p3_lmg", |b| {

@@ -6,8 +6,8 @@ use benchgen::{generate, DatasetSpec};
 use criterion::{criterion_group, criterion_main, Criterion};
 use orpheus_core::partitioned::PartitionedStore;
 use partition::{
-    agglo_partition, kmeans_partition, lyresplit, lyresplit_for_budget, AggloParams,
-    KmeansParams, Vid,
+    agglo_partition, kmeans_partition, lyresplit, lyresplit_for_budget, AggloParams, KmeansParams,
+    Vid,
 };
 use relstore::ExecContext;
 use std::hint::black_box;

@@ -22,7 +22,9 @@ fn bench_models(c: &mut Criterion) {
     let res = cvd.commit(&[latest], rows, "bench", "b").unwrap();
     let new_rids: Vec<Rid> = {
         let total = cvd.num_records();
-        ((total - res.new_records)..total).map(|i| Rid(i as u64)).collect()
+        ((total - res.new_records)..total)
+            .map(|i| Rid(i as u64))
+            .collect()
     };
 
     let mut checkout = c.benchmark_group("checkout");
@@ -61,14 +63,26 @@ fn bench_models(c: &mut Criterion) {
                             .filter(|r| seen.insert(*r))
                             .collect();
                         model
-                            .apply_commit(&mut db, &cvd, v, &fresh, &mut relstore::CostTracker::new())
+                            .apply_commit(
+                                &mut db,
+                                &cvd,
+                                v,
+                                &fresh,
+                                &mut relstore::CostTracker::new(),
+                            )
                             .unwrap();
                     }
                     (db, model)
                 },
                 |(mut db, mut model)| {
                     model
-                        .apply_commit(&mut db, &cvd, res.vid, &new_rids, &mut relstore::CostTracker::new())
+                        .apply_commit(
+                            &mut db,
+                            &cvd,
+                            res.vid,
+                            &new_rids,
+                            &mut relstore::CostTracker::new(),
+                        )
                         .unwrap();
                     // Return the store so its drop is not timed.
                     black_box((db, model))

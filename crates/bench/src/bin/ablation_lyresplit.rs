@@ -24,7 +24,9 @@ fn main() {
     let bipartite = &d.bipartite;
     // Recent 10% of versions are checked out 50× as often.
     let n = d.num_versions();
-    let freqs: Vec<u64> = (0..n).map(|i| if i >= n * 9 / 10 { 50 } else { 1 }).collect();
+    let freqs: Vec<u64> = (0..n)
+        .map(|i| if i >= n * 9 / 10 { 50 } else { 1 })
+        .collect();
     println!("--- weighted frequencies (hot recent versions, 50×) ---");
     bench::header(&["variant", "δ", "S (records)", "Cw (records)"]);
     for delta in [0.05f64, 0.2, 0.5] {
@@ -82,9 +84,8 @@ fn main() {
                 let shared: u64 = g
                     .iter()
                     .filter_map(|v| {
-                        cell_tree.parent[v.idx()].and_then(|p| {
-                            g.contains(&p).then_some(cell_tree.edge_weight[v.idx()])
-                        })
+                        cell_tree.parent[v.idx()]
+                            .and_then(|p| g.contains(&p).then_some(cell_tree.edge_weight[v.idx()]))
                     })
                     .sum();
                 let part_cells = total - shared;

@@ -80,7 +80,13 @@ fn main() {
             let mut commit_tracker = relstore::CostTracker::new();
             let (_, commit_t) = time(|| {
                 model
-                    .apply_commit(&mut db, &cvd, commit_res.vid, &new_rids, &mut commit_tracker)
+                    .apply_commit(
+                        &mut db,
+                        &cvd,
+                        commit_res.vid,
+                        &new_rids,
+                        &mut commit_tracker,
+                    )
                     .unwrap()
             });
             // Checkout the (pre-commit) latest version.

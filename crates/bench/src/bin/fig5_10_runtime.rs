@@ -45,7 +45,10 @@ fn main() {
                 "{:.2}",
                 t.as_secs_f64() * 1e3 / res.search_iterations.max(1) as f64
             ),
-            res.partitioning.evaluate(bipartite).storage_records.to_string(),
+            res.partitioning
+                .evaluate(bipartite)
+                .storage_records
+                .to_string(),
         ]);
 
         let (p, t) = time(|| agglo_for_budget(bipartite, gamma, AggloParams::default()));

@@ -63,8 +63,7 @@ fn main() {
             let gamma = (factor * cvd.num_records() as f64) as u64;
             let res = lyresplit_for_budget(&tree, gamma);
             let mut pdb = relstore::Database::new();
-            let store =
-                PartitionedStore::build(&mut pdb, &cvd, res.partitioning).expect("build");
+            let store = PartitionedStore::build(&mut pdb, &cvd, res.partitioning).expect("build");
             let (_, t) = time(|| {
                 for &v in &samples {
                     let mut ctx = ExecContext::new();

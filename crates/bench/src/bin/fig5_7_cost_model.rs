@@ -28,11 +28,17 @@ fn build_table(rk: usize, cluster_on_rid: bool) -> Table {
     // pk ordering is a pseudo-random permutation of rid.
     for rid in 0..rk as i64 {
         let pk = (rid.wrapping_mul(2654435761)) % (rk as i64);
-        t.insert(vec![Value::Int64(rid), Value::Int64(pk), Value::Int64(rid % 97)])
-            .unwrap();
+        t.insert(vec![
+            Value::Int64(rid),
+            Value::Int64(pk),
+            Value::Int64(rid % 97),
+        ])
+        .unwrap();
     }
-    t.cluster_on(if cluster_on_rid { "rid" } else { "pk" }).unwrap();
-    t.create_index("rid_ix", "rid", false, IndexKind::BTree).unwrap();
+    t.cluster_on(if cluster_on_rid { "rid" } else { "pk" })
+        .unwrap();
+    t.create_index("rid_ix", "rid", false, IndexKind::BTree)
+        .unwrap();
     t
 }
 
@@ -82,7 +88,11 @@ fn main() {
     for clustered in [true, false] {
         println!(
             "--- data table clustered on {} ---",
-            if clustered { "rid (a,b,c)" } else { "PK (d,e,f)" }
+            if clustered {
+                "rid (a,b,c)"
+            } else {
+                "PK (d,e,f)"
+            }
         );
         bench::header(&["|Rk|", "|rlist|", "hash ms", "merge ms", "inl ms"]);
         for &rk in &rks {

@@ -35,8 +35,7 @@ fn main() {
 
         let theta = spt.sum_recreation() * 3 / 2;
         let exact = solve_exact(&g, ExactProblem::MinStorageSumRecreation { theta }).unwrap();
-        let p5_gap = lmg_min_storage(&g, theta).storage_cost() as f64
-            / exact.storage_cost() as f64;
+        let p5_gap = lmg_min_storage(&g, theta).storage_cost() as f64 / exact.storage_cost() as f64;
 
         let beta = mst.storage_cost() * 3 / 2;
         let exact = solve_exact(&g, ExactProblem::MinSumRecreationStorage { beta }).unwrap();
@@ -45,8 +44,8 @@ fn main() {
 
         let theta = spt.max_recreation() * 2;
         let exact = solve_exact(&g, ExactProblem::MinStorageMaxRecreation { theta }).unwrap();
-        let p6_gap = mp_min_storage(&g, theta).unwrap().storage_cost() as f64
-            / exact.storage_cost() as f64;
+        let p6_gap =
+            mp_min_storage(&g, theta).unwrap().storage_cost() as f64 / exact.storage_cost() as f64;
 
         for (i, gap) in [p5_gap, p3_gap, p6_gap].into_iter().enumerate() {
             worst[i] = worst[i].max(gap);

@@ -8,7 +8,7 @@ use benchgen::VersionedDataset;
 use orpheus_core::cvd::Cvd;
 use orpheus_core::models::{load_cvd, ModelKind, VersioningModel};
 use partition::Vid;
-use relstore::{Column, Database, DataType, Schema, Value};
+use relstore::{Column, DataType, Database, Schema, Value};
 use std::time::{Duration, Instant};
 
 /// Time a closure.
@@ -67,9 +67,7 @@ pub fn load_model(kind: ModelKind, cvd: &Cvd) -> (Database, Box<dyn VersioningMo
 /// per dataset for checkout timing).
 pub fn sample_versions(num_versions: usize, n: usize) -> Vec<Vid> {
     let n = n.min(num_versions).max(1);
-    (0..n)
-        .map(|i| Vid((i * num_versions / n) as u32))
-        .collect()
+    (0..n).map(|i| Vid((i * num_versions / n) as u32)).collect()
 }
 
 /// Print a row of fixed-width columns.

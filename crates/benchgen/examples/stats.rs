@@ -3,6 +3,9 @@ fn main() {
         let d = benchgen::generate(&spec);
         let s = d.stats();
         let ratio = s.rhat as f64 / s.records as f64 * 100.0;
-        println!("{s}   rhat/R = {ratio:.1}%   E/V = {:.0}", s.edges as f64 / s.versions as f64);
+        println!(
+            "{s}   rhat/R = {ratio:.1}%   E/V = {:.0}",
+            s.edges as f64 / s.versions as f64
+        );
     }
 }

@@ -122,8 +122,13 @@ impl fmt::Display for DatasetStats {
         write!(
             f,
             "{:<10} |V|={:<6} |R|={:<9} |E|={:<10} B={:<5} I={:<5} |R̂|={}",
-            self.name, self.versions, self.records, self.edges, self.branches,
-            self.mods_per_commit, self.rhat
+            self.name,
+            self.versions,
+            self.records,
+            self.edges,
+            self.branches,
+            self.mods_per_commit,
+            self.rhat
         )
     }
 }

@@ -7,10 +7,10 @@ use proptest::prelude::*;
 fn spec_strategy() -> impl Strategy<Value = DatasetSpec> {
     (
         prop_oneof![Just(Workload::Sci), Just(Workload::Cur)],
-        10usize..120,  // versions
-        2usize..12,    // branches
-        2usize..30,    // mods per commit
-        0u64..1000,    // seed
+        10usize..120, // versions
+        2usize..12,   // branches
+        2usize..30,   // mods per commit
+        0u64..1000,   // seed
     )
         .prop_map(|(w, v, b, i, seed)| {
             let spec = match w {

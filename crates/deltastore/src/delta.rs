@@ -147,14 +147,28 @@ pub fn graph_from_contents(
     let n = contents.len();
     let mut g = StorageGraph::new(n, false);
     for (i, c) in contents.iter().enumerate() {
-        g.add_materialization(i + 1, c.materialized_bytes().max(1), c.materialized_bytes().max(1));
+        g.add_materialization(
+            i + 1,
+            c.materialized_bytes().max(1),
+            c.materialized_bytes().max(1),
+        );
     }
     for &(a, b) in revealed_pairs {
         assert!(a >= 1 && a <= n && b >= 1 && b <= n && a != b);
         let fwd = Delta::between(&contents[a - 1], &contents[b - 1]);
-        g.add_delta(a, b, fwd.storage_bytes().max(1), fwd.recreation_cost().max(1));
+        g.add_delta(
+            a,
+            b,
+            fwd.storage_bytes().max(1),
+            fwd.recreation_cost().max(1),
+        );
         let rev = fwd.reversed();
-        g.add_delta(b, a, rev.storage_bytes().max(1), rev.recreation_cost().max(1));
+        g.add_delta(
+            b,
+            a,
+            rev.storage_bytes().max(1),
+            rev.recreation_cost().max(1),
+        );
     }
     g
 }

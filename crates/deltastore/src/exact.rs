@@ -146,8 +146,7 @@ mod tests {
         for seed in [1, 2, 3] {
             let g = small(seed);
             let exact =
-                solve_exact(&g, ExactProblem::MinSumRecreationStorage { beta: u64::MAX })
-                    .unwrap();
+                solve_exact(&g, ExactProblem::MinSumRecreationStorage { beta: u64::MAX }).unwrap();
             let spt = dijkstra_spt(&g);
             assert_eq!(exact.sum_recreation(), spt.sum_recreation(), "seed {seed}");
         }
@@ -166,24 +165,21 @@ mod tests {
 
             // P5 with θ = 1.5× SPT total.
             let theta = spt.sum_recreation() * 3 / 2;
-            let exact =
-                solve_exact(&g, ExactProblem::MinStorageSumRecreation { theta }).unwrap();
+            let exact = solve_exact(&g, ExactProblem::MinStorageSumRecreation { theta }).unwrap();
             let h = lmg_min_storage(&g, theta);
             assert!(h.sum_recreation() <= theta);
             lmg5_gap = lmg5_gap.max(h.storage_cost() as f64 / exact.storage_cost() as f64);
 
             // P3 with β = 1.5× MST storage.
             let beta = mst.storage_cost() * 3 / 2;
-            let exact =
-                solve_exact(&g, ExactProblem::MinSumRecreationStorage { beta }).unwrap();
+            let exact = solve_exact(&g, ExactProblem::MinSumRecreationStorage { beta }).unwrap();
             let h = lmg_min_sum_recreation(&g, beta);
             assert!(h.storage_cost() <= beta);
             lmg3_gap = lmg3_gap.max(h.sum_recreation() as f64 / exact.sum_recreation() as f64);
 
             // P6 with θ = 2× SPT max.
             let theta = spt.max_recreation() * 2;
-            let exact =
-                solve_exact(&g, ExactProblem::MinStorageMaxRecreation { theta }).unwrap();
+            let exact = solve_exact(&g, ExactProblem::MinStorageMaxRecreation { theta }).unwrap();
             let h = mp_min_storage(&g, theta).unwrap();
             assert!(h.max_recreation() <= theta);
             mp_gap = mp_gap.max(h.storage_cost() as f64 / exact.storage_cost() as f64);

@@ -129,13 +129,13 @@ impl GenConfig {
         // Reveal: derivation edges + random extra pairs.
         let mut revealed: HashSet<(usize, usize)> = HashSet::new();
         let reveal = |g: &mut StorageGraph,
-                          rng: &mut StdRng,
-                          revealed: &mut HashSet<(usize, usize)>,
-                          a: usize,
-                          b: usize,
-                          sets: &[Vec<u64>],
-                          directed: bool,
-                          decouple: bool| {
+                      rng: &mut StdRng,
+                      revealed: &mut HashSet<(usize, usize)>,
+                      a: usize,
+                      b: usize,
+                      sets: &[Vec<u64>],
+                      directed: bool,
+                      decouple: bool| {
             if a == b || !revealed.insert((a, b)) {
                 return;
             }
@@ -273,7 +273,10 @@ mod tests {
         }
         .build();
         let sum_ratio = |g: &StorageGraph| {
-            g.edges().iter().map(|e| e.phi as f64 / e.delta as f64).sum::<f64>()
+            g.edges()
+                .iter()
+                .map(|e| e.phi as f64 / e.delta as f64)
+                .sum::<f64>()
                 / g.num_edges() as f64
         };
         assert!(sum_ratio(&dec) > sum_ratio(&base));

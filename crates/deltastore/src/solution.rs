@@ -92,7 +92,11 @@ impl StorageSolution {
 
     /// `maxᵢ Rᵢ` — the max-recreation objective of Problems 7.4/7.6.
     pub fn max_recreation(&self) -> u64 {
-        self.recreation_costs()[1..].iter().copied().max().unwrap_or(0)
+        self.recreation_costs()[1..]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of materialized versions.

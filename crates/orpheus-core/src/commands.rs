@@ -12,9 +12,9 @@ use crate::cvd::{CommitResult, Cvd};
 use crate::error::{Error, Result};
 use crate::models::{load_cvd, SplitByRlist, VersioningModel};
 use crate::partitioned::PartitionedStore;
-use crate::query::{parse_query, predicate_expr, QueryResult, VersionedQuery, VQuery};
+use crate::query::{parse_query, predicate_expr, QueryResult, VQuery, VersionedQuery};
 use partition::{lyresplit_for_budget, Vid};
-use relstore::{Column, Database, DataType, ExecContext, Row, Schema, Value};
+use relstore::{Column, DataType, Database, ExecContext, Row, Schema, Value};
 use std::collections::HashMap;
 
 /// A CVD registered in the system, with its physical representation.
@@ -101,6 +101,41 @@ impl OrpheusDb {
         self.current_user
             .as_deref()
             .ok_or_else(|| Error::UserError("no user logged in".into()))
+    }
+
+    // -- buffer-pool statistics (`stats`) -----------------------------------
+
+    /// Buffer-pool I/O counters accumulated since the last reset.
+    pub fn io_stats(&self) -> relstore::IoStats {
+        self.db.io_stats()
+    }
+
+    /// Zero the buffer-pool I/O counters (`stats reset`).
+    pub fn reset_io_stats(&self) {
+        self.db.reset_io_stats()
+    }
+
+    /// Render the shared pool's counters for the `stats` shell command.
+    pub fn stats_report(&self) -> String {
+        let s = self.db.io_stats();
+        format!(
+            "buffer pool: {} frames × {} B pages\n\
+             logical reads : {}\n\
+             buffer hits   : {} ({:.1}% hit rate)\n\
+             physical reads: {}\n\
+             evictions     : {}\n\
+             pages written : {} ({} eviction write-backs, {} flushed)",
+            self.db.pool().capacity(),
+            relstore::PAGE_SIZE,
+            s.logical_reads,
+            s.hits(),
+            s.hit_rate() * 100.0,
+            s.physical_reads,
+            s.evictions,
+            s.pages_written(),
+            s.write_backs,
+            s.flushed_writes,
+        )
     }
 
     // -- cvd lifecycle ------------------------------------------------------
@@ -326,10 +361,7 @@ impl OrpheusDb {
         let created_at = self.tick();
         let handle = self.handle(cvd_name)?;
         let rows = handle.cvd.checkout_rows(versions)?;
-        let csv = to_csv(
-            handle.cvd.schema(),
-            rows.iter().map(|(_, r)| r.as_slice()),
-        );
+        let csv = to_csv(handle.cvd.schema(), rows.iter().map(|(_, r)| r.as_slice()));
         self.staging.insert(
             file.to_owned(),
             StagingInfo {
@@ -556,6 +588,14 @@ impl OrpheusDb {
             "run" => {
                 let sql = line[cmd.len()..].trim();
                 Ok(CommandOutput::Table(self.run(sql)?))
+            }
+            "stats" => {
+                if args.get(1) == Some(&"reset") {
+                    self.reset_io_stats();
+                    Ok(CommandOutput::Message("buffer-pool counters reset".into()))
+                } else {
+                    Ok(CommandOutput::Message(self.stats_report()))
+                }
             }
             other => Err(Error::Parse(format!("unknown command: {other}"))),
         }
@@ -811,12 +851,8 @@ mod tests {
         odb.checkout("Interaction", &[Vid(0)], "w").unwrap();
         {
             let t = odb.staging_table_mut("w").unwrap();
-            t.insert(vec![
-                Value::from("G"),
-                Value::from("H"),
-                Value::Int64(99),
-            ])
-            .unwrap();
+            t.insert(vec![Value::from("G"), Value::from("H"), Value::Int64(99)])
+                .unwrap();
         }
         odb.commit("w", "insert GH").unwrap();
         let result = odb
@@ -896,7 +932,9 @@ mod tests {
             t.update(id, row).unwrap();
         }
         odb.commit("w", "change one").unwrap();
-        let diff = odb.run("SELECT * FROM V_DIFF(1, 0) OF CVD Interaction").unwrap();
+        let diff = odb
+            .run("SELECT * FROM V_DIFF(1, 0) OF CVD Interaction")
+            .unwrap();
         assert_eq!(diff.rows.len(), 1);
         assert_eq!(diff.rows[0][3], Value::Int64(1234));
         let common = odb
@@ -951,7 +989,9 @@ mod tests {
         let mut odb = setup();
         odb.execute("drop Interaction").unwrap();
         assert!(odb.cvd("Interaction").is_err());
-        assert!(odb.run("SELECT * FROM VERSION 0 OF CVD Interaction").is_err());
+        assert!(odb
+            .run("SELECT * FROM VERSION 0 OF CVD Interaction")
+            .is_err());
     }
 
     #[test]
@@ -976,5 +1016,22 @@ mod tests {
         assert_eq!(s.column(2).unwrap().dtype, DataType::Float64);
         assert!(parse_schema_spec("nope").is_err());
         assert!(parse_schema_spec("x:blob").is_err());
+    }
+
+    #[test]
+    fn stats_command_reports_and_resets_pool_counters() {
+        let mut odb = setup();
+        odb.checkout("Interaction", &[Vid(0)], "work").unwrap();
+        assert!(odb.io_stats().logical_reads > 0);
+        let out = odb.execute("stats").unwrap();
+        match out {
+            CommandOutput::Message(m) => {
+                assert!(m.contains("hit rate"), "report missing hit rate: {m}");
+                assert!(m.contains("physical reads"), "report missing reads: {m}");
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+        odb.execute("stats reset").unwrap();
+        assert_eq!(odb.io_stats(), relstore::IoStats::default());
     }
 }

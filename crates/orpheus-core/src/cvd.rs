@@ -209,9 +209,7 @@ impl Cvd {
     }
 
     pub fn meta(&self, v: Vid) -> Result<&VersionMeta> {
-        self.metas
-            .get(v.idx())
-            .ok_or(Error::VersionNotFound(v.0))
+        self.metas.get(v.idx()).ok_or(Error::VersionNotFound(v.0))
     }
 
     pub fn metas(&self) -> &[VersionMeta] {
@@ -289,12 +287,7 @@ impl Cvd {
                     out.push((rid, row.clone()));
                     continue;
                 }
-                let key = encode_row(
-                    &pk_cols
-                        .iter()
-                        .map(|&c| row[c].clone())
-                        .collect::<Vec<_>>(),
-                );
+                let key = encode_row(&pk_cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>());
                 if seen_pk.insert(key) {
                     out.push((rid, row.clone()));
                 }
@@ -602,7 +595,9 @@ mod tests {
             .collect();
         // Modify one record's coexpression (an update), keep the rest.
         rows[0][4] = Value::Int64(83);
-        let res = cvd.commit(&[v0], rows, "updated coexpression", "bob").unwrap();
+        let res = cvd
+            .commit(&[v0], rows, "updated coexpression", "bob")
+            .unwrap();
         assert_eq!(res.new_records, 1);
         assert_eq!(res.reused_records, 2);
         assert_eq!(cvd.num_records(), 4); // immutable records: one new rid
@@ -621,7 +616,10 @@ mod tests {
             .collect();
         let res = cvd.commit(&[v0], rows, "no-op", "bob").unwrap();
         assert_eq!(res.new_records, 0);
-        assert_eq!(cvd.version_records(res.vid).unwrap(), cvd.version_records(v0).unwrap());
+        assert_eq!(
+            cvd.version_records(res.vid).unwrap(),
+            cvd.version_records(v0).unwrap()
+        );
     }
 
     #[test]
@@ -650,10 +648,7 @@ mod tests {
     fn pk_enforced_within_version_not_across() {
         let (mut cvd, v0) = init_cvd();
         // Same pk twice in one commit → error.
-        let dup = vec![
-            row("A", "B", 1, 1, 1),
-            row("A", "B", 2, 2, 2),
-        ];
+        let dup = vec![row("A", "B", 1, 1, 1), row("A", "B", 2, 2, 2)];
         assert!(matches!(
             cvd.commit(&[v0], dup, "dup", "bob"),
             Err(Error::PrimaryKeyViolation(_))

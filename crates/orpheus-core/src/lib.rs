@@ -39,5 +39,5 @@ pub use models::{
     ATablePerVersion, CombinedTable, DeltaBased, ModelKind, SplitByRlist, SplitByVlist,
     VersioningModel,
 };
-pub use partitioned::PartitionedStore;
 pub use partition::{Rid, Vid};
+pub use partitioned::PartitionedStore;

@@ -10,7 +10,7 @@ use crate::cvd::Cvd;
 use crate::error::Result;
 use partition::{Rid, Vid};
 use relstore::{
-    Column, Database, DataType, ExecContext, Executor, Expr, Filter, IndexKind, Project, Row,
+    Column, DataType, Database, ExecContext, Executor, Expr, Filter, IndexKind, Project, Row,
     SeqScan, Value,
 };
 
@@ -136,12 +136,12 @@ mod tests {
         // 5 distinct records in the running example.
         assert_eq!(t.live_row_count(), 5);
         // Record r1 ("C","D") is in all four versions.
-        let vlists: Vec<&[i64]> = t
+        let vlists: Vec<Vec<i64>> = t
             .iter()
             .filter(|(_, r)| r[0] == Value::Int64(1))
-            .map(|(_, r)| r[1].as_int_array().unwrap())
+            .map(|(_, r)| r[1].as_int_array().unwrap().to_vec())
             .collect();
-        assert_eq!(vlists, vec![&[0i64, 1, 2, 3][..]]);
+        assert_eq!(vlists, vec![vec![0i64, 1, 2, 3]]);
     }
 
     #[test]

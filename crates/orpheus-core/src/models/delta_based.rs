@@ -11,7 +11,7 @@ use super::{align_row_to_schema, data_row, data_schema, ModelKind, VersioningMod
 use crate::cvd::Cvd;
 use crate::error::{Error, Result};
 use partition::{Rid, Vid};
-use relstore::{Column, Database, DataType, ExecContext, Row, Value};
+use relstore::{Column, DataType, Database, ExecContext, Row, Value};
 use std::collections::HashMap;
 
 /// Per-version delta tables `{cvd}__delta_v{vid}` `[rid, tombstone, attrs…]`
@@ -235,7 +235,9 @@ mod tests {
         }
         let (db, model) = loaded(ModelKind::DeltaBased, &cvd);
         let mut ctx_root = ExecContext::new();
-        model.checkout(&db, &cvd, partition::Vid(0), &mut ctx_root).unwrap();
+        model
+            .checkout(&db, &cvd, partition::Vid(0), &mut ctx_root)
+            .unwrap();
         let mut ctx_tip = ExecContext::new();
         let got = model.checkout(&db, &cvd, tip, &mut ctx_tip).unwrap();
         assert_eq!(got.len(), 50);

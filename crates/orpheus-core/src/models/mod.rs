@@ -28,7 +28,7 @@ pub use split_by_vlist::SplitByVlist;
 use crate::cvd::Cvd;
 use crate::error::Result;
 use partition::{Rid, Vid};
-use relstore::{Column, Database, DataType, ExecContext, Row, Schema, Value};
+use relstore::{Column, DataType, Database, ExecContext, Row, Schema, Value};
 
 /// Which physical model a store uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -99,8 +99,13 @@ pub trait VersioningModel {
 
     /// Materialize a version's records as `[rid, attrs…]` rows, charging
     /// executor costs to `ctx`.
-    fn checkout(&self, db: &Database, cvd: &Cvd, vid: Vid, ctx: &mut ExecContext)
-        -> Result<Vec<Row>>;
+    fn checkout(
+        &self,
+        db: &Database,
+        cvd: &Cvd,
+        vid: Vid,
+        ctx: &mut ExecContext,
+    ) -> Result<Vec<Row>>;
 
     /// Total physical storage in bytes.
     fn storage_bytes(&self, db: &Database) -> usize;
@@ -294,9 +299,7 @@ mod tests {
             sizes[&ModelKind::ATablePerVersion] > sizes[&ModelKind::SplitByRlist],
             "a-table-per-version should dominate storage"
         );
-        assert!(
-            sizes[&ModelKind::ATablePerVersion] > sizes[&ModelKind::SplitByVlist]
-        );
+        assert!(sizes[&ModelKind::ATablePerVersion] > sizes[&ModelKind::SplitByVlist]);
     }
 
     #[test]
@@ -333,7 +336,13 @@ mod tests {
         };
         for (kind, db, model) in &mut stores {
             model
-                .apply_commit(db, &cvd, res.vid, &new_rids, &mut relstore::CostTracker::new())
+                .apply_commit(
+                    db,
+                    &cvd,
+                    res.vid,
+                    &new_rids,
+                    &mut relstore::CostTracker::new(),
+                )
                 .unwrap();
             assert_checkout_matches(*kind, db, model.as_ref(), &cvd, res.vid);
         }

@@ -11,8 +11,8 @@ use crate::cvd::Cvd;
 use crate::error::Result;
 use partition::{Rid, Vid};
 use relstore::{
-    Column, Database, DataType, ExecContext, Executor, HashJoin, IndexKind, Project, Row,
-    Schema, SeqScan, Value, Values,
+    Column, DataType, Database, ExecContext, Executor, HashJoin, IndexKind, Project, Row, Schema,
+    SeqScan, Value, Values,
 };
 
 /// `{cvd}__sbr_data` `[rid, attrs…]` + `{cvd}__sbr_vtab` `[vid, rlist]`.
@@ -107,7 +107,7 @@ impl VersioningModel for SplitByRlist {
             .ok_or(crate::error::Error::VersionNotFound(vid.0))?;
         let rlist: Vec<i64> = row[1].as_int_array().unwrap_or(&[]).to_vec();
         ctx.tracker.ops(rlist.len() as u64); // unnest(rlist)
-        // Hash join: build on the unnested rlist, probe the data table.
+                                             // Hash join: build on the unnested rlist, probe the data table.
         let build = Box::new(Values::ints("rid", rlist));
         let probe = Box::new(SeqScan::new(data));
         let join = Box::new(HashJoin::new(build, probe, 0, 0));
@@ -159,7 +159,13 @@ mod tests {
             .collect();
         let res = cvd.commit(&[vids[3]], rows, "noop", "eve").unwrap();
         model
-            .apply_commit(&mut db, &cvd, res.vid, &[], &mut relstore::CostTracker::new())
+            .apply_commit(
+                &mut db,
+                &cvd,
+                res.vid,
+                &[],
+                &mut relstore::CostTracker::new(),
+            )
             .unwrap();
         let data = db.table(&format!("{}__sbr_data", cvd.name())).unwrap();
         assert_eq!(data.live_row_count(), before);

@@ -11,8 +11,8 @@ use crate::cvd::Cvd;
 use crate::error::Result;
 use partition::{Rid, Vid};
 use relstore::{
-    Column, Database, DataType, ExecContext, Executor, Expr, Filter, HashJoin, IndexKind,
-    Project, Row, Schema, SeqScan, Value,
+    Column, DataType, Database, ExecContext, Executor, Expr, Filter, HashJoin, IndexKind, Project,
+    Row, Schema, SeqScan, Value,
 };
 
 /// `{cvd}__svl_data` `[rid, attrs…]` + `{cvd}__svl_vmap` `[rid, vlist]`.

@@ -11,8 +11,8 @@ use crate::error::{Error, Result};
 use crate::models::{data_row, data_schema};
 use partition::{Partitioning, Rid, Vid};
 use relstore::{
-    Column, Database, DataType, ExecContext, Executor, HashJoin, IndexKind, Project, Row,
-    Schema, SeqScan, Value, Values,
+    Column, DataType, Database, ExecContext, Executor, HashJoin, IndexKind, Project, Row, Schema,
+    SeqScan, Value, Values,
 };
 
 /// A partitioned physical representation of a CVD.
@@ -67,11 +67,7 @@ impl PartitionedStore {
         )?;
         vtab.create_index("vid_pk", "vid", true, IndexKind::BTree)?;
         for v in cvd.graph().versions() {
-            let rlist: Vec<i64> = cvd
-                .version_records(v)?
-                .iter()
-                .map(|r| r.0 as i64)
-                .collect();
+            let rlist: Vec<i64> = cvd.version_records(v)?.iter().map(|r| r.0 as i64).collect();
             vtab.insert(vec![
                 Value::Int64(v.0 as i64),
                 Value::Int64(store.partitioning.partition_of(v) as i64),
@@ -96,12 +92,7 @@ impl PartitionedStore {
 
     /// Checkout: one versioning-tuple lookup, then a hash join against the
     /// version's partition only.
-    pub fn checkout(
-        &self,
-        db: &Database,
-        vid: Vid,
-        ctx: &mut ExecContext,
-    ) -> Result<Vec<Row>> {
+    pub fn checkout(&self, db: &Database, vid: Vid, ctx: &mut ExecContext) -> Result<Vec<Row>> {
         let vtab = db.table(&self.vtab_name())?;
         let ids = vtab.index_lookup("vid_pk", vid.0 as i64, &mut ctx.tracker)?;
         let rows = vtab.fetch(&ids, Some(0), &mut ctx.tracker, &ctx.model);
@@ -241,8 +232,7 @@ mod tests {
         single.checkout(&db, vids[0], &mut ctx_single).unwrap();
 
         let mut db2 = Database::new();
-        let split =
-            PartitionedStore::build(&mut db2, &cvd, Partitioning::singletons(4)).unwrap();
+        let split = PartitionedStore::build(&mut db2, &cvd, Partitioning::singletons(4)).unwrap();
         let mut ctx_split = ExecContext::new();
         split.checkout(&db2, vids[0], &mut ctx_split).unwrap();
         // Fully split: the v0 checkout scans 3 records instead of all 5.

@@ -20,8 +20,8 @@ use crate::error::{Error, Result};
 use crate::models::SplitByRlist;
 use partition::Vid;
 use relstore::{
-    AggFunc, BinOp, Database, ExecContext, Executor, Expr, Filter, HashJoin, Limit, Project,
-    Row, Schema, SeqScan, Value, Values,
+    AggFunc, BinOp, Database, ExecContext, Executor, Expr, Filter, HashJoin, Limit, Project, Row,
+    Schema, SeqScan, Value, Values,
 };
 
 /// A query result: a schema plus rows.
@@ -114,7 +114,10 @@ impl<'a> VersionedQuery<'a> {
             plan = Box::new(Filter::new(plan, shift_columns(&pred, 2)));
         }
         // Joined schema: [vid, rid, rid, attrs…]; star column i sits at i+2.
-        let agg_idx = 2 + self.star_schema().index_of(agg_col).map_err(Error::Storage)?;
+        let agg_idx = 2 + self
+            .star_schema()
+            .index_of(agg_col)
+            .map_err(Error::Storage)?;
         let mut aggregate = relstore::HashAggregate::new(plan, vec![0], vec![(agg, agg_idx)]);
         let schema = aggregate.schema().clone();
         let rows = aggregate.collect(ctx)?;

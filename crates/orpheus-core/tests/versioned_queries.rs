@@ -6,7 +6,7 @@ use orpheus_core::cvd::Cvd;
 use orpheus_core::models::{load_cvd, SplitByRlist};
 use orpheus_core::query::{predicate_expr, VersionedQuery};
 use orpheus_core::Vid;
-use relstore::{AggFunc, BinOp, Column, Database, DataType, ExecContext, Schema, Value};
+use relstore::{AggFunc, BinOp, Column, DataType, Database, ExecContext, Schema, Value};
 
 fn row(p1: &str, p2: &str, coex: i64) -> Vec<Value> {
     vec![Value::from(p1), Value::from(p2), Value::Int64(coex)]

@@ -1,0 +1,50 @@
+//! Error type shared by pagers, the buffer pool, and heap files.
+
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[derive(Debug)]
+pub enum Error {
+    /// A page id beyond the pager's allocated range.
+    PageOutOfBounds(u32),
+    /// Every buffer-pool frame is pinned; nothing can be evicted.
+    PoolExhausted { capacity: usize },
+    /// A tuple address that does not point at a live tuple.
+    BadAddress(String),
+    /// Underlying file I/O failure (file-backed pager only).
+    Io(std::io::Error),
+    /// A persisted file whose size is not a whole number of pages.
+    CorruptFile { len: u64 },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PageOutOfBounds(id) => write!(f, "page {id} is out of bounds"),
+            Error::PoolExhausted { capacity } => {
+                write!(f, "all {capacity} buffer frames are pinned")
+            }
+            Error::BadAddress(what) => write!(f, "bad tuple address: {what}"),
+            Error::Io(e) => write!(f, "pager I/O error: {e}"),
+            Error::CorruptFile { len } => {
+                write!(f, "file length {len} is not a multiple of the page size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}

@@ -1,0 +1,433 @@
+//! Heap files: unordered tuple storage over the buffer pool.
+//!
+//! A heap file owns an ordered list of data pages (the scan order) plus a
+//! free list of recycled pages. Every tuple has exactly one inline cell on
+//! a data page, addressed by [`TupleAddr`]; the first byte of the cell is
+//! a tag:
+//!
+//! * `TAG_INLINE` — the remaining cell bytes are the tuple itself.
+//! * `TAG_OVERFLOW` — the cell holds the [`PageId`] of the head of an
+//!   overflow chain (TOAST-style): single-slot pages linked through the
+//!   page header's `next_page` field, whose chunks concatenate to the
+//!   tuple bytes. Sequential scans still visit one small stub per
+//!   oversized tuple, so page-count accounting stays honest.
+//!
+//! Inserts are append-only: a tuple goes on the last data page if it fits,
+//! otherwise on a recycled or freshly allocated page. [`HeapFile::clear`]
+//! recycles every page, which is how `relstore` rebuilds a table when
+//! re-clustering it.
+
+use crate::buffer::BufferPool;
+use crate::error::{Error, Result};
+use crate::page::{PageId, MAX_INLINE_TUPLE};
+
+const TAG_INLINE: u8 = 0;
+const TAG_OVERFLOW: u8 = 1;
+
+/// Payload bytes per overflow-chain page (one slot, no tag).
+const OVERFLOW_CHUNK: usize = MAX_INLINE_TUPLE;
+
+/// Largest tuple stored inline; larger tuples overflow.
+pub const INLINE_LIMIT: usize = MAX_INLINE_TUPLE - 1;
+
+/// Stable address of a tuple: ordinal of its data page within the heap
+/// file's scan order, plus the slot holding its (tagged) inline cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TupleAddr {
+    pub page_ord: u32,
+    pub slot: u16,
+}
+
+/// An unordered collection of tuples stored on slotted pages.
+#[derive(Debug, Default)]
+pub struct HeapFile {
+    /// Data pages in scan order. `TupleAddr::page_ord` indexes this list.
+    pages: Vec<PageId>,
+    /// Recycled pages (cleared data pages, freed overflow pages).
+    free_pages: Vec<PageId>,
+}
+
+impl HeapFile {
+    pub fn new() -> Self {
+        HeapFile::default()
+    }
+
+    /// Number of data pages (excludes overflow and free pages).
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Data pages in scan order.
+    pub fn page_ids(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Take a page off the free list, or allocate one. The returned page
+    /// is pinned, empty, and dirty; it is NOT yet a data page.
+    fn fresh_page(&mut self, pool: &BufferPool) -> Result<PageId> {
+        if let Some(id) = self.free_pages.pop() {
+            pool.reset_pinned(id)?;
+            Ok(id)
+        } else {
+            let (id, _) = pool.allocate_pinned()?;
+            Ok(id)
+        }
+    }
+
+    /// Store `bytes` and return the tuple's address.
+    pub fn insert(&mut self, pool: &BufferPool, bytes: &[u8]) -> Result<TupleAddr> {
+        let cell = if bytes.len() <= INLINE_LIMIT {
+            let mut cell = Vec::with_capacity(bytes.len() + 1);
+            cell.push(TAG_INLINE);
+            cell.extend_from_slice(bytes);
+            cell
+        } else {
+            let head = self.write_chain(pool, bytes)?;
+            let mut cell = vec![TAG_OVERFLOW];
+            cell.extend_from_slice(&head.to_le_bytes());
+            cell
+        };
+        self.place_cell(pool, &cell)
+    }
+
+    /// Put a prepared cell on the last data page, or a new one.
+    fn place_cell(&mut self, pool: &BufferPool, cell: &[u8]) -> Result<TupleAddr> {
+        if let Some(&last) = self.pages.last() {
+            let mut page = pool.fetch_mut(last)?;
+            if let Some(slot) = page.insert(cell) {
+                return Ok(TupleAddr {
+                    page_ord: (self.pages.len() - 1) as u32,
+                    slot,
+                });
+            }
+        }
+        let id = self.fresh_page(pool)?;
+        let mut page = pool.fetch_mut(id)?;
+        let slot = page
+            .insert(cell)
+            .expect("fresh page must fit an inline cell");
+        drop(page);
+        self.pages.push(id);
+        Ok(TupleAddr {
+            page_ord: (self.pages.len() - 1) as u32,
+            slot,
+        })
+    }
+
+    /// Write an overflow chain holding `bytes`; returns the head page.
+    fn write_chain(&mut self, pool: &BufferPool, bytes: &[u8]) -> Result<PageId> {
+        let mut head: Option<PageId> = None;
+        let mut prev: Option<PageId> = None;
+        for chunk in bytes.chunks(OVERFLOW_CHUNK) {
+            let id = self.fresh_page(pool)?;
+            {
+                let mut page = pool.fetch_mut(id)?;
+                page.insert(chunk).expect("fresh page must fit a chunk");
+            }
+            if let Some(prev_id) = prev {
+                pool.fetch_mut(prev_id)?.set_next_page(Some(id));
+            } else {
+                head = Some(id);
+            }
+            prev = Some(id);
+        }
+        head.ok_or_else(|| Error::BadAddress("empty overflow chain".into()))
+    }
+
+    fn resolve(&self, addr: TupleAddr) -> Result<PageId> {
+        self.pages
+            .get(addr.page_ord as usize)
+            .copied()
+            .ok_or_else(|| Error::BadAddress(format!("{addr:?} is out of range")))
+    }
+
+    /// Read the tuple at `addr`.
+    pub fn get(&self, pool: &BufferPool, addr: TupleAddr) -> Result<Vec<u8>> {
+        let page_id = self.resolve(addr)?;
+        let head;
+        {
+            let page = pool.fetch(page_id)?;
+            let cell = page
+                .get(addr.slot)
+                .ok_or_else(|| Error::BadAddress(format!("{addr:?} is dead")))?;
+            match cell_kind(cell)? {
+                CellKind::Inline(tuple) => return Ok(tuple.to_vec()),
+                CellKind::Overflow(h) => head = h,
+            }
+        }
+        self.read_chain(pool, head)
+    }
+
+    fn read_chain(&self, pool: &BufferPool, head: PageId) -> Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        let mut next = Some(head);
+        while let Some(id) = next {
+            let page = pool.fetch(id)?;
+            let chunk = page
+                .get(0)
+                .ok_or_else(|| Error::BadAddress(format!("overflow page {id} has no chunk")))?;
+            bytes.extend_from_slice(chunk);
+            next = page.next_page();
+        }
+        Ok(bytes)
+    }
+
+    /// Replace the tuple at `addr`, preferring in-place update; relocates
+    /// if the page cannot hold the new size. Returns the (possibly new)
+    /// address.
+    pub fn update(
+        &mut self,
+        pool: &BufferPool,
+        addr: TupleAddr,
+        bytes: &[u8],
+    ) -> Result<TupleAddr> {
+        let page_id = self.resolve(addr)?;
+        // Free an old overflow chain before writing the replacement.
+        let old_head = {
+            let page = pool.fetch(page_id)?;
+            let cell = page
+                .get(addr.slot)
+                .ok_or_else(|| Error::BadAddress(format!("{addr:?} is dead")))?;
+            match cell_kind(cell)? {
+                CellKind::Inline(_) => None,
+                CellKind::Overflow(head) => Some(head),
+            }
+        };
+        if let Some(head) = old_head {
+            self.free_chain(pool, head)?;
+        }
+        let cell = if bytes.len() <= INLINE_LIMIT {
+            let mut cell = Vec::with_capacity(bytes.len() + 1);
+            cell.push(TAG_INLINE);
+            cell.extend_from_slice(bytes);
+            cell
+        } else {
+            let head = self.write_chain(pool, bytes)?;
+            let mut cell = vec![TAG_OVERFLOW];
+            cell.extend_from_slice(&head.to_le_bytes());
+            cell
+        };
+        {
+            let mut page = pool.fetch_mut(page_id)?;
+            if page.update(addr.slot, &cell)? {
+                return Ok(addr);
+            }
+            // No fit: tombstone here, relocate to another page.
+            page.delete(addr.slot)?;
+        }
+        self.place_cell(pool, &cell)
+    }
+
+    /// Remove the tuple at `addr`, recycling any overflow chain.
+    pub fn delete(&mut self, pool: &BufferPool, addr: TupleAddr) -> Result<()> {
+        let page_id = self.resolve(addr)?;
+        let head = {
+            let page = pool.fetch(page_id)?;
+            let cell = page
+                .get(addr.slot)
+                .ok_or_else(|| Error::BadAddress(format!("{addr:?} is dead")))?;
+            match cell_kind(cell)? {
+                CellKind::Inline(_) => None,
+                CellKind::Overflow(head) => Some(head),
+            }
+        };
+        if let Some(head) = head {
+            self.free_chain(pool, head)?;
+        }
+        pool.fetch_mut(page_id)?.delete(addr.slot)?;
+        Ok(())
+    }
+
+    /// Push every page of a chain onto the free list.
+    fn free_chain(&mut self, pool: &BufferPool, head: PageId) -> Result<()> {
+        let mut next = Some(head);
+        while let Some(id) = next {
+            next = pool.fetch(id)?.next_page();
+            self.free_pages.push(id);
+        }
+        Ok(())
+    }
+
+    /// All live `(addr, tuple)` pairs on data page `page_ord`, resolving
+    /// overflow chains. The unit of a sequential scan.
+    pub fn tuples_on_page(
+        &self,
+        pool: &BufferPool,
+        page_ord: usize,
+    ) -> Result<Vec<(TupleAddr, Vec<u8>)>> {
+        let page_id = *self
+            .pages
+            .get(page_ord)
+            .ok_or_else(|| Error::BadAddress(format!("page ordinal {page_ord} out of range")))?;
+        let mut out = Vec::new();
+        let mut chains: Vec<(usize, PageId)> = Vec::new();
+        {
+            let page = pool.fetch(page_id)?;
+            for (slot, cell) in page.live_tuples() {
+                let addr = TupleAddr {
+                    page_ord: page_ord as u32,
+                    slot,
+                };
+                match cell_kind(cell)? {
+                    CellKind::Inline(tuple) => out.push((addr, tuple.to_vec())),
+                    CellKind::Overflow(head) => {
+                        out.push((addr, Vec::new()));
+                        chains.push((out.len() - 1, head));
+                    }
+                }
+            }
+        }
+        for (idx, head) in chains {
+            out[idx].1 = self.read_chain(pool, head)?;
+        }
+        Ok(out)
+    }
+
+    /// Recycle every page (data and overflow) onto the free list, leaving
+    /// an empty heap. Used when a table is rebuilt in a new physical order.
+    pub fn clear(&mut self, pool: &BufferPool) -> Result<()> {
+        let pages = std::mem::take(&mut self.pages);
+        for id in pages {
+            // Overflow chains are reachable only through cells on the data
+            // page; collect their heads before recycling it.
+            let mut heads = Vec::new();
+            {
+                let page = pool.fetch(id)?;
+                for (_, cell) in page.live_tuples() {
+                    if let CellKind::Overflow(head) = cell_kind(cell)? {
+                        heads.push(head);
+                    }
+                }
+            }
+            for head in heads {
+                self.free_chain(pool, head)?;
+            }
+            self.free_pages.push(id);
+        }
+        Ok(())
+    }
+
+    /// Total live tuples, by scanning every data page.
+    pub fn live_count(&self, pool: &BufferPool) -> Result<usize> {
+        let mut n = 0;
+        for &id in &self.pages {
+            n += pool.fetch(id)?.live_count();
+        }
+        Ok(n)
+    }
+}
+
+enum CellKind<'a> {
+    Inline(&'a [u8]),
+    Overflow(PageId),
+}
+
+fn cell_kind(cell: &[u8]) -> Result<CellKind<'_>> {
+    match cell.split_first() {
+        Some((&TAG_INLINE, tuple)) => Ok(CellKind::Inline(tuple)),
+        Some((&TAG_OVERFLOW, rest)) if rest.len() == 4 => Ok(CellKind::Overflow(
+            PageId::from_le_bytes(rest.try_into().unwrap()),
+        )),
+        _ => Err(Error::BadAddress("malformed heap cell".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_update_delete() {
+        let pool = BufferPool::in_memory(4);
+        let mut heap = HeapFile::new();
+        let a = heap.insert(&pool, b"alpha").unwrap();
+        let b = heap.insert(&pool, b"beta").unwrap();
+        assert_eq!(heap.get(&pool, a).unwrap(), b"alpha");
+        assert_eq!(heap.get(&pool, b).unwrap(), b"beta");
+        let a2 = heap.update(&pool, a, b"ALPHA PRIME").unwrap();
+        assert_eq!(heap.get(&pool, a2).unwrap(), b"ALPHA PRIME");
+        heap.delete(&pool, b).unwrap();
+        assert!(heap.get(&pool, b).is_err());
+        assert_eq!(heap.live_count(&pool).unwrap(), 1);
+    }
+
+    #[test]
+    fn spills_across_pages() {
+        let pool = BufferPool::in_memory(3);
+        let mut heap = HeapFile::new();
+        let tuple = [42u8; 1000];
+        let addrs: Vec<_> = (0..40)
+            .map(|_| heap.insert(&pool, &tuple).unwrap())
+            .collect();
+        assert!(
+            heap.num_pages() >= 5,
+            "40 KiB of tuples needs >= 5 pages, got {}",
+            heap.num_pages()
+        );
+        assert!(
+            heap.num_pages() > pool.capacity(),
+            "test must exceed pool capacity"
+        );
+        for addr in &addrs {
+            assert_eq!(heap.get(&pool, *addr).unwrap(), &tuple);
+        }
+        let s = pool.stats();
+        assert!(s.physical_reads > 0, "reads beyond capacity must miss");
+        assert!(s.evictions > 0);
+    }
+
+    #[test]
+    fn overflow_tuples_roundtrip() {
+        let pool = BufferPool::in_memory(4);
+        let mut heap = HeapFile::new();
+        let big: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        let small = b"tiny";
+        let a = heap.insert(&pool, &big).unwrap();
+        let b = heap.insert(&pool, small).unwrap();
+        assert_eq!(heap.get(&pool, a).unwrap(), big);
+        assert_eq!(heap.get(&pool, b).unwrap(), small);
+        // The stub and the small tuple share data pages; the chain doesn't
+        // appear in the scan order.
+        assert_eq!(heap.num_pages(), 1);
+        let rows = heap.tuples_on_page(&pool, 0).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1, big);
+        assert_eq!(rows[1].1, small);
+        // Deleting the big tuple recycles its chain: the next big insert
+        // allocates no new pages.
+        let before = pool.num_pages();
+        heap.delete(&pool, a).unwrap();
+        let a2 = heap.insert(&pool, &big).unwrap();
+        assert_eq!(pool.num_pages(), before);
+        assert_eq!(heap.get(&pool, a2).unwrap(), big);
+    }
+
+    #[test]
+    fn update_relocates_when_page_full() {
+        let pool = BufferPool::in_memory(4);
+        let mut heap = HeapFile::new();
+        // Two ~4000-byte tuples fill a page; growing one must relocate it.
+        let a = heap.insert(&pool, &[1u8; 4000]).unwrap();
+        let b = heap.insert(&pool, &[2u8; 4000]).unwrap();
+        let a2 = heap.update(&pool, a, &[3u8; 5000]).unwrap();
+        assert_ne!(a.page_ord, a2.page_ord);
+        assert_eq!(heap.get(&pool, a2).unwrap(), &[3u8; 5000]);
+        assert_eq!(heap.get(&pool, b).unwrap(), &[2u8; 4000]);
+    }
+
+    #[test]
+    fn clear_recycles_pages() {
+        let pool = BufferPool::in_memory(4);
+        let mut heap = HeapFile::new();
+        for i in 0..30u32 {
+            heap.insert(&pool, &i.to_le_bytes().repeat(200)).unwrap();
+        }
+        let allocated = pool.num_pages();
+        heap.clear(&pool).unwrap();
+        assert_eq!(heap.num_pages(), 0);
+        for i in 0..30u32 {
+            heap.insert(&pool, &i.to_le_bytes().repeat(200)).unwrap();
+        }
+        assert_eq!(pool.num_pages(), allocated, "rebuild reuses cleared pages");
+    }
+}

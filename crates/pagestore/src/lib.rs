@@ -1,0 +1,28 @@
+//! # pagestore — paged storage with real I/O accounting
+//!
+//! A small storage engine in the PostgreSQL mould, built for the
+//! OrpheusDB reproduction so that `relstore`'s *estimated* I/O costs can
+//! be checked against *measured* page traffic:
+//!
+//! * [`Page`] — fixed 8 KiB slotted pages for variable-width tuples.
+//! * [`Pager`] — page-granular backends: [`MemPager`], [`FilePager`].
+//! * [`BufferPool`] — fixed-capacity cache with clock (second-chance)
+//!   eviction, RAII pin guards, dirty tracking, and explicit checkpoint.
+//! * [`HeapFile`] — unordered tuple storage with TOAST-style overflow
+//!   chains for oversized tuples.
+//! * [`IoStats`] — logical/physical reads, evictions, and write-backs,
+//!   snapshot-and-diff style.
+
+mod buffer;
+mod error;
+mod heap;
+mod page;
+mod pager;
+mod stats;
+
+pub use buffer::{BufferPool, PageMut, PageRef};
+pub use error::{Error, Result};
+pub use heap::{HeapFile, TupleAddr, INLINE_LIMIT};
+pub use page::{Page, PageId, MAX_INLINE_TUPLE, PAGE_SIZE};
+pub use pager::{FilePager, MemPager, Pager};
+pub use stats::IoStats;

@@ -1,0 +1,389 @@
+//! Fixed-size slotted pages for variable-width tuples.
+//!
+//! Layout (offsets in bytes, little-endian):
+//!
+//! ```text
+//! 0..2    slot_count   number of slot entries (live + dead)
+//! 2..4    free_end     offset of the lowest cell byte (cells grow downward)
+//! 4..8    next_page    PageId + 1 of the next page in an overflow chain, 0 = none
+//! 8..     slot array   4 bytes per slot: cell offset u16, cell length u16
+//! ...     free space
+//! ...8192 cell area    tuple bytes, allocated from the end of the page
+//! ```
+//!
+//! A dead slot has `offset == 0` (no cell can start inside the header, so 0
+//! is never a valid cell offset). Slot ids are stable across deletes and
+//! in-page relocation — external row directories point at `(page, slot)` —
+//! and dead slots are reused by later inserts. When the contiguous gap
+//! between the slot array and the cell area is too small but the page's
+//! total free space suffices, the page compacts itself in place.
+
+use crate::error::{Error, Result};
+
+/// Size of every page, on disk and in memory: 8 KiB, PostgreSQL's default.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Page number within a pager's address space.
+pub type PageId = u32;
+
+const HEADER: usize = 8;
+const SLOT: usize = 4;
+
+/// Largest tuple that fits inline in a fresh page (one slot entry).
+pub const MAX_INLINE_TUPLE: usize = PAGE_SIZE - HEADER - SLOT;
+
+/// One 8 KiB slotted page.
+pub struct Page {
+    data: [u8; PAGE_SIZE],
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page::new()
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("slot_count", &self.slot_count())
+            .field("free_space", &self.free_space())
+            .field("next_page", &self.next_page())
+            .finish()
+    }
+}
+
+impl Page {
+    /// A fresh, empty page.
+    pub fn new() -> Self {
+        let mut page = Page {
+            data: [0; PAGE_SIZE],
+        };
+        page.set_free_end(PAGE_SIZE as u16);
+        page
+    }
+
+    /// Reset to the empty state (reused frames and recycled pages).
+    pub fn reset(&mut self) {
+        self.data = [0; PAGE_SIZE];
+        self.set_free_end(PAGE_SIZE as u16);
+    }
+
+    /// Raw bytes, for pager I/O.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Raw bytes, for pager I/O. Callers must keep the layout consistent.
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
+    fn u16_at(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.data[off], self.data[off + 1]])
+    }
+
+    fn set_u16_at(&mut self, off: usize, v: u16) {
+        self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Number of slot entries, including dead ones.
+    pub fn slot_count(&self) -> u16 {
+        self.u16_at(0)
+    }
+
+    fn set_slot_count(&mut self, v: u16) {
+        self.set_u16_at(0, v);
+    }
+
+    fn free_end(&self) -> u16 {
+        self.u16_at(2)
+    }
+
+    fn set_free_end(&mut self, v: u16) {
+        self.set_u16_at(2, v);
+    }
+
+    /// Next page in an overflow chain, if any.
+    pub fn next_page(&self) -> Option<PageId> {
+        let raw = u32::from_le_bytes(self.data[4..8].try_into().unwrap());
+        raw.checked_sub(1)
+    }
+
+    pub fn set_next_page(&mut self, next: Option<PageId>) {
+        let raw = next.map_or(0, |p| p + 1);
+        self.data[4..8].copy_from_slice(&raw.to_le_bytes());
+    }
+
+    fn slot(&self, id: u16) -> Option<(u16, u16)> {
+        if id >= self.slot_count() {
+            return None;
+        }
+        let off = HEADER + id as usize * SLOT;
+        Some((self.u16_at(off), self.u16_at(off + 2)))
+    }
+
+    fn set_slot(&mut self, id: u16, cell_off: u16, len: u16) {
+        let off = HEADER + id as usize * SLOT;
+        self.set_u16_at(off, cell_off);
+        self.set_u16_at(off + 2, len);
+    }
+
+    /// The tuple stored in `slot`, if live.
+    pub fn get(&self, slot: u16) -> Option<&[u8]> {
+        let (off, len) = self.slot(slot)?;
+        if off == 0 {
+            return None;
+        }
+        Some(&self.data[off as usize..off as usize + len as usize])
+    }
+
+    /// Contiguous gap between the slot array and the cell area.
+    fn gap(&self) -> usize {
+        self.free_end() as usize - (HEADER + self.slot_count() as usize * SLOT)
+    }
+
+    /// Free bytes available to a new tuple after compaction, assuming it
+    /// needs a fresh slot entry. (If a dead slot can be reused, `SLOT`
+    /// fewer bytes are needed; `insert` accounts for that.)
+    pub fn free_space(&self) -> usize {
+        (self.gap() + self.dead_cell_bytes()).saturating_sub(SLOT)
+    }
+
+    /// Cell bytes below `free_end` not referenced by any live slot
+    /// (created by deletes and shrinking updates; reclaimed by compaction).
+    fn dead_cell_bytes(&self) -> usize {
+        let live: usize = (0..self.slot_count())
+            .filter_map(|i| self.slot(i))
+            .filter(|(off, _)| *off != 0)
+            .map(|(_, len)| len as usize)
+            .sum();
+        (PAGE_SIZE - self.free_end() as usize) - live
+    }
+
+    /// Whether `insert` of a tuple of `len` bytes would succeed.
+    pub fn fits(&self, len: usize) -> bool {
+        if len > MAX_INLINE_TUPLE {
+            return false;
+        }
+        let slot_cost = if self.first_dead_slot().is_some() {
+            0
+        } else {
+            SLOT
+        };
+        self.gap() + self.dead_cell_bytes() >= len + slot_cost
+    }
+
+    fn first_dead_slot(&self) -> Option<u16> {
+        (0..self.slot_count()).find(|&i| matches!(self.slot(i), Some((0, _))))
+    }
+
+    /// Insert a tuple, compacting if fragmented. Returns its slot id, or
+    /// `None` if the page cannot hold it.
+    pub fn insert(&mut self, bytes: &[u8]) -> Option<u16> {
+        if !self.fits(bytes.len()) {
+            return None;
+        }
+        let reuse = self.first_dead_slot();
+        let slot_cost = if reuse.is_some() { 0 } else { SLOT };
+        if self.gap() < bytes.len() + slot_cost {
+            self.compact();
+        }
+        debug_assert!(self.gap() >= bytes.len() + slot_cost);
+        let cell_off = self.free_end() - bytes.len() as u16;
+        self.data[cell_off as usize..cell_off as usize + bytes.len()].copy_from_slice(bytes);
+        self.set_free_end(cell_off);
+        let slot = match reuse {
+            Some(s) => s,
+            None => {
+                let s = self.slot_count();
+                self.set_slot_count(s + 1);
+                s
+            }
+        };
+        self.set_slot(slot, cell_off, bytes.len() as u16);
+        Some(slot)
+    }
+
+    /// Tombstone a slot. The cell bytes are reclaimed lazily by compaction.
+    pub fn delete(&mut self, slot: u16) -> Result<()> {
+        match self.slot(slot) {
+            Some((off, _)) if off != 0 => {
+                self.set_slot(slot, 0, 0);
+                Ok(())
+            }
+            _ => Err(Error::BadAddress(format!("delete of dead slot {slot}"))),
+        }
+    }
+
+    /// Replace the tuple in `slot`, keeping the slot id stable. Returns
+    /// `false` if the page cannot hold the new tuple (caller relocates).
+    pub fn update(&mut self, slot: u16, bytes: &[u8]) -> Result<bool> {
+        let (off, len) = match self.slot(slot) {
+            Some((off, len)) if off != 0 => (off, len),
+            _ => return Err(Error::BadAddress(format!("update of dead slot {slot}"))),
+        };
+        if bytes.len() <= len as usize {
+            // Shrink in place; trailing bytes of the old cell go dead.
+            let start = off as usize;
+            self.data[start..start + bytes.len()].copy_from_slice(bytes);
+            self.set_slot(slot, off, bytes.len() as u16);
+            return Ok(true);
+        }
+        if bytes.len() > MAX_INLINE_TUPLE {
+            return Ok(false);
+        }
+        // Grow: drop the old cell, then place the new one (same slot id).
+        self.set_slot(slot, 0, 0);
+        if self.gap() + self.dead_cell_bytes() < bytes.len() {
+            // Undo: restore the old cell reference and report no-fit.
+            self.set_slot(slot, off, len);
+            return Ok(false);
+        }
+        if self.gap() < bytes.len() {
+            self.compact();
+        }
+        let cell_off = self.free_end() - bytes.len() as u16;
+        self.data[cell_off as usize..cell_off as usize + bytes.len()].copy_from_slice(bytes);
+        self.set_free_end(cell_off);
+        self.set_slot(slot, cell_off, bytes.len() as u16);
+        Ok(true)
+    }
+
+    /// Live `(slot, tuple)` pairs in slot order.
+    pub fn live_tuples(&self) -> impl Iterator<Item = (u16, &[u8])> {
+        (0..self.slot_count()).filter_map(|i| self.get(i).map(|t| (i, t)))
+    }
+
+    /// Number of live tuples.
+    pub fn live_count(&self) -> usize {
+        (0..self.slot_count())
+            .filter(|&i| matches!(self.slot(i), Some((off, _)) if off != 0))
+            .count()
+    }
+
+    /// Rewrite the cell area so live cells are contiguous at the page end.
+    fn compact(&mut self) {
+        let live: Vec<(u16, Vec<u8>)> = (0..self.slot_count())
+            .filter_map(|i| self.get(i).map(|t| (i, t.to_vec())))
+            .collect();
+        let mut free_end = PAGE_SIZE as u16;
+        for (slot, cell) in live {
+            free_end -= cell.len() as u16;
+            self.data[free_end as usize..free_end as usize + cell.len()].copy_from_slice(&cell);
+            self.set_slot(slot, free_end, cell.len() as u16);
+        }
+        self.set_free_end(free_end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = Page::new();
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a).unwrap(), b"hello");
+        assert_eq!(p.get(b).unwrap(), b"world!");
+        assert_eq!(p.live_count(), 2);
+    }
+
+    #[test]
+    fn delete_frees_slot_for_reuse() {
+        let mut p = Page::new();
+        let a = p.insert(b"aaaa").unwrap();
+        let _b = p.insert(b"bbbb").unwrap();
+        p.delete(a).unwrap();
+        assert!(p.get(a).is_none());
+        assert!(p.delete(a).is_err());
+        let c = p.insert(b"cccc").unwrap();
+        assert_eq!(c, a, "dead slot should be reused");
+        assert_eq!(p.get(c).unwrap(), b"cccc");
+    }
+
+    #[test]
+    fn fills_up_and_compacts() {
+        let mut p = Page::new();
+        let tuple = [7u8; 100];
+        let mut slots = Vec::new();
+        while let Some(s) = p.insert(&tuple) {
+            slots.push(s);
+        }
+        let n = slots.len();
+        assert!(n >= 70, "expected ~78 tuples of 100B+slot, got {n}");
+        // Delete every other tuple, then insert larger tuples into the
+        // fragmented space: forces compaction.
+        for s in slots.iter().step_by(2) {
+            p.delete(*s).unwrap();
+        }
+        let big = [9u8; 150];
+        let mut inserted = 0;
+        while p.insert(&big).is_some() {
+            inserted += 1;
+        }
+        assert!(inserted > 10, "compaction should reclaim deleted space");
+        for s in slots.iter().skip(1).step_by(2) {
+            assert_eq!(
+                p.get(*s).unwrap(),
+                &tuple,
+                "survivors intact after compaction"
+            );
+        }
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut p = Page::new();
+        let s = p.insert(&[1u8; 64]).unwrap();
+        assert!(p.update(s, &[2u8; 32]).unwrap());
+        assert_eq!(p.get(s).unwrap(), &[2u8; 32]);
+        assert!(p.update(s, &[3u8; 128]).unwrap());
+        assert_eq!(p.get(s).unwrap(), &[3u8; 128]);
+    }
+
+    #[test]
+    fn update_no_fit_reports_false_and_preserves_tuple() {
+        let mut p = Page::new();
+        let filler = p.insert(&[0u8; 4000]).unwrap();
+        let s = p.insert(&[1u8; 4000]).unwrap();
+        // Growing s to 5000 cannot fit next to the 4000-byte filler.
+        assert!(!p.update(s, &[2u8; 5000]).unwrap());
+        assert_eq!(p.get(s).unwrap(), &[1u8; 4000]);
+        assert_eq!(p.get(filler).unwrap(), &[0u8; 4000]);
+    }
+
+    #[test]
+    fn max_inline_tuple_fits_exactly() {
+        let mut p = Page::new();
+        let s = p.insert(&vec![5u8; MAX_INLINE_TUPLE]).unwrap();
+        assert_eq!(p.get(s).unwrap().len(), MAX_INLINE_TUPLE);
+        assert!(p.insert(b"x").is_none());
+        let mut q = Page::new();
+        assert!(q.insert(&vec![5u8; MAX_INLINE_TUPLE + 1]).is_none());
+    }
+
+    #[test]
+    fn next_page_link() {
+        let mut p = Page::new();
+        assert_eq!(p.next_page(), None);
+        p.set_next_page(Some(0));
+        assert_eq!(p.next_page(), Some(0));
+        p.set_next_page(Some(41));
+        assert_eq!(p.next_page(), Some(41));
+        p.set_next_page(None);
+        assert_eq!(p.next_page(), None);
+    }
+
+    #[test]
+    fn empty_tuples_are_representable() {
+        let mut p = Page::new();
+        let s = p.insert(b"").unwrap();
+        // Empty cell at free_end boundary: offset is non-zero, so it's live.
+        assert_eq!(p.get(s).unwrap(), b"");
+        p.delete(s).unwrap();
+        assert!(p.get(s).is_none());
+    }
+}

@@ -1,0 +1,109 @@
+//! Buffer-pool I/O accounting.
+//!
+//! Every experiment in the reproduction compares storage models and join
+//! strategies by their *I/O behaviour*; [`IoStats`] is the measured
+//! counterpart to `relstore`'s estimated cost model. Counters accumulate
+//! monotonically; callers snapshot and diff with [`IoStats::since`].
+
+use std::fmt;
+
+/// A snapshot of buffer-pool traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page requests served through the pool (hits + misses).
+    pub logical_reads: u64,
+    /// Page requests that went to the pager (buffer misses).
+    pub physical_reads: u64,
+    /// Resident pages displaced to make room for another page.
+    pub evictions: u64,
+    /// Dirty pages written back to the pager during eviction.
+    pub write_backs: u64,
+    /// Dirty pages written by explicit flush/checkpoint calls.
+    pub flushed_writes: u64,
+}
+
+impl IoStats {
+    pub fn new() -> Self {
+        IoStats::default()
+    }
+
+    /// Requests served from memory.
+    pub fn hits(&self) -> u64 {
+        self.logical_reads - self.physical_reads
+    }
+
+    /// Fraction of logical reads served from memory (1.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.logical_reads == 0 {
+            1.0
+        } else {
+            self.hits() as f64 / self.logical_reads as f64
+        }
+    }
+
+    /// Total pages written to the pager, for any reason.
+    pub fn pages_written(&self) -> u64 {
+        self.write_backs + self.flushed_writes
+    }
+
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            evictions: self.evictions - earlier.evictions,
+            write_backs: self.write_backs - earlier.write_backs,
+            flushed_writes: self.flushed_writes - earlier.flushed_writes,
+        }
+    }
+
+    /// Merge another snapshot's counters into this one.
+    pub fn absorb(&mut self, other: &IoStats) {
+        self.logical_reads += other.logical_reads;
+        self.physical_reads += other.physical_reads;
+        self.evictions += other.evictions;
+        self.write_backs += other.write_backs;
+        self.flushed_writes += other.flushed_writes;
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "logical {} | physical {} | hit rate {:.1}% | evictions {} | written {}",
+            self.logical_reads,
+            self.physical_reads,
+            self.hit_rate() * 100.0,
+            self.evictions,
+            self.pages_written(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_since() {
+        let mut s = IoStats::new();
+        assert_eq!(s.hit_rate(), 1.0);
+        s.logical_reads = 10;
+        s.physical_reads = 2;
+        assert_eq!(s.hits(), 8);
+        assert!((s.hit_rate() - 0.8).abs() < 1e-12);
+        let snap = s;
+        s.logical_reads = 15;
+        s.physical_reads = 3;
+        s.evictions = 1;
+        let d = s.since(&snap);
+        assert_eq!(d.logical_reads, 5);
+        assert_eq!(d.physical_reads, 1);
+        assert_eq!(d.evictions, 1);
+        let mut acc = IoStats::new();
+        acc.absorb(&d);
+        acc.absorb(&d);
+        assert_eq!(acc.logical_reads, 10);
+    }
+}

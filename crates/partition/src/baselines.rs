@@ -178,7 +178,9 @@ pub fn agglo_partition(bipartite: &Bipartite, params: AggloParams) -> Partitioni
                     }
                     s
                 };
-                next[target].versions.extend_from_slice(&clusters[j].versions);
+                next[target]
+                    .versions
+                    .extend_from_slice(&clusters[j].versions);
                 next[target].records = records;
                 next[target].sig = sig;
             }
@@ -290,7 +292,10 @@ impl RefCounted {
 
     /// Records the partition would gain by adding this version.
     fn added_by(&self, records: &[Rid]) -> u64 {
-        records.iter().filter(|r| !self.counts.contains_key(r)).count() as u64
+        records
+            .iter()
+            .filter(|r| !self.counts.contains_key(r))
+            .count() as u64
     }
 
     /// Records the partition would lose by removing this version
@@ -304,7 +309,10 @@ impl RefCounted {
 
     /// |records ∩ partition| — the similarity used for initial assignment.
     fn overlap(&self, records: &[Rid]) -> u64 {
-        records.iter().filter(|r| self.counts.contains_key(r)).count() as u64
+        records
+            .iter()
+            .filter(|r| self.counts.contains_key(r))
+            .count() as u64
     }
 }
 

@@ -188,9 +188,9 @@ impl VersionGraph {
                         let mut dup = 0u64;
                         for r in vset {
                             if kept_set.binary_search(r).is_err()
-                                && ps.iter().any(|&p| {
-                                    p != kept && b.records(p).binary_search(r).is_ok()
-                                })
+                                && ps
+                                    .iter()
+                                    .any(|&p| p != kept && b.records(p).binary_search(r).is_ok())
                             {
                                 dup += 1;
                             }

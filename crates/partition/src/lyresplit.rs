@@ -87,8 +87,7 @@ pub fn lyresplit(tree: &VersionTree, delta: f64) -> LyreSplitResult {
             None => finals.push((comp.nodes, stats)),
             Some(cut_child) => {
                 max_level = max_level.max(comp.level + 1);
-                let in_comp: std::collections::HashSet<u32> =
-                    comp.nodes.iter().copied().collect();
+                let in_comp: std::collections::HashSet<u32> = comp.nodes.iter().copied().collect();
                 let child_side = collect_subtree_within(&view, cut_child, &in_comp);
                 let child_set: std::collections::HashSet<u32> =
                     child_side.iter().copied().collect();
@@ -551,7 +550,13 @@ mod tests {
         // LyreSplit should cut it into several pieces at δ=1.
         let n = 8;
         let parent: Vec<Option<Vid>> = (0..n)
-            .map(|v| if v == 0 { None } else { Some(Vid(v as u32 - 1)) })
+            .map(|v| {
+                if v == 0 {
+                    None
+                } else {
+                    Some(Vid(v as u32 - 1))
+                }
+            })
             .collect();
         let weights = vec![1u64; n];
         let sizes = vec![100u64; n];

@@ -22,7 +22,10 @@ pub struct PrecisionRecall {
 }
 
 /// Score an inferred lineage graph against `(parent, child, op)` truth.
-pub fn score_edges(inferred: &LineageGraph, truth: &[(usize, usize, Operation)]) -> PrecisionRecall {
+pub fn score_edges(
+    inferred: &LineageGraph,
+    truth: &[(usize, usize, Operation)],
+) -> PrecisionRecall {
     let truth_map: HashMap<(usize, usize), Operation> =
         truth.iter().map(|&(p, c, op)| ((p, c), op)).collect();
     let mut correct = 0usize;
@@ -76,7 +79,9 @@ mod tests {
         // inferred lineage should recover most true edges.
         let mut total_f1 = 0.0;
         let mut total_op = 0.0;
-        let runs = 5;
+        // Per-seed F1 varies roughly 0.48..0.84; average enough runs that
+        // the gate tests inference quality rather than PRNG-stream luck.
+        let runs = 10;
         for seed in 0..runs {
             let w = synthesize(SynthConfig {
                 derivations: 25,

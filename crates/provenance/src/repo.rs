@@ -14,7 +14,12 @@ pub struct Artifact {
 }
 
 impl Artifact {
-    pub fn new(name: impl Into<String>, columns: Vec<String>, rows: Vec<Vec<i64>>, timestamp: i64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<String>,
+        rows: Vec<Vec<i64>>,
+        timestamp: i64,
+    ) -> Self {
         let a = Artifact {
             name: name.into(),
             columns,

@@ -79,9 +79,7 @@ pub fn candidate_pairs(artifacts: &[Artifact], floor: f64) -> Vec<(usize, usize)
     let mut out = Vec::new();
     for i in 0..artifacts.len() {
         for j in (i + 1)..artifacts.len() {
-            let sim = rows[i]
-                .jaccard(&rows[j])
-                .max(values[i].jaccard(&values[j]));
+            let sim = rows[i].jaccard(&rows[j]).max(values[i].jaccard(&values[j]));
             if sim >= floor {
                 out.push((i, j));
             }
@@ -103,10 +101,7 @@ mod tests {
         let rows: Vec<Vec<i64>> = (0..100).map(|i| vec![i, i * 2]).collect();
         let a = artifact("a", rows.clone());
         let b = artifact("b", rows);
-        assert_eq!(
-            Sketch::of_rows(&a).jaccard(&Sketch::of_rows(&b)),
-            1.0
-        );
+        assert_eq!(Sketch::of_rows(&a).jaccard(&Sketch::of_rows(&b)), 1.0);
     }
 
     #[test]

@@ -189,14 +189,16 @@ mod tests {
             seed: 99,
             ..SynthConfig::default()
         });
-        assert!(a.truth != c.truth || a.repo.artifacts.len() != c.repo.artifacts.len() || {
-            // Different seeds may coincidentally match in ops but the data
-            // should differ somewhere.
-            a.repo
-                .artifacts
-                .iter()
-                .zip(&c.repo.artifacts)
-                .any(|(x, y)| x != y)
-        });
+        assert!(
+            a.truth != c.truth || a.repo.artifacts.len() != c.repo.artifacts.len() || {
+                // Different seeds may coincidentally match in ops but the data
+                // should differ somewhere.
+                a.repo
+                    .artifacts
+                    .iter()
+                    .zip(&c.repo.artifacts)
+                    .any(|(x, y)| x != y)
+            }
+        );
     }
 }

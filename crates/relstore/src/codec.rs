@@ -1,0 +1,190 @@
+//! On-page tuple encoding.
+//!
+//! Tables store rows as byte tuples in `pagestore` heap files. A tuple is
+//! self-describing so that a physical page scan can reconstruct rows
+//! without consulting the table's in-memory directory:
+//!
+//! ```text
+//! row_id   u64 LE     heap row id (stable until re-clustering)
+//! count    u16 LE     number of values
+//! values   count ×    tag u8, then tag-specific payload
+//! ```
+//!
+//! Value payloads (all little-endian):
+//!
+//! | tag | type     | payload                      |
+//! |-----|----------|------------------------------|
+//! | 0   | Null     | none                         |
+//! | 1   | Int64    | 8 bytes                      |
+//! | 2   | Float64  | 8 bytes (IEEE-754 bits)      |
+//! | 3   | Text     | u32 length + UTF-8 bytes     |
+//! | 4   | Bool     | 1 byte (0/1)                 |
+//! | 5   | IntArray | u32 count + count × 8 bytes  |
+
+use crate::error::{Error, Result};
+use crate::table::{Row, RowId};
+use crate::value::Value;
+
+const TAG_NULL: u8 = 0;
+const TAG_INT64: u8 = 1;
+const TAG_FLOAT64: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_BOOL: u8 = 4;
+const TAG_INT_ARRAY: u8 = 5;
+
+/// Serialize a row for heap storage.
+pub fn encode_row(id: RowId, row: &Row) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10 + row.len() * 9);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&(row.len() as u16).to_le_bytes());
+    for v in row {
+        match v {
+            Value::Null => out.push(TAG_NULL),
+            Value::Int64(x) => {
+                out.push(TAG_INT64);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::Float64(x) => {
+                out.push(TAG_FLOAT64);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::Text(s) => {
+                out.push(TAG_TEXT);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                out.push(TAG_BOOL);
+                out.push(*b as u8);
+            }
+            Value::IntArray(a) => {
+                out.push(TAG_INT_ARRAY);
+                out.extend_from_slice(&(a.len() as u32).to_le_bytes());
+                for x in a {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos + n;
+        if end > self.bytes.len() {
+            return Err(Error::Storage("truncated tuple".into()));
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Deserialize a heap tuple back into `(row_id, row)`.
+pub fn decode_row(bytes: &[u8]) -> Result<(RowId, Row)> {
+    let mut r = Reader { bytes, pos: 0 };
+    let id = r.u64()?;
+    let count = r.u16()? as usize;
+    let mut row = Vec::with_capacity(count);
+    for _ in 0..count {
+        let v = match r.u8()? {
+            TAG_NULL => Value::Null,
+            TAG_INT64 => Value::Int64(r.i64()?),
+            TAG_FLOAT64 => Value::Float64(f64::from_le_bytes(r.take(8)?.try_into().unwrap())),
+            TAG_TEXT => {
+                let len = r.u32()? as usize;
+                let s = std::str::from_utf8(r.take(len)?)
+                    .map_err(|_| Error::Storage("tuple text is not UTF-8".into()))?;
+                Value::Text(s.to_owned())
+            }
+            TAG_BOOL => Value::Bool(r.u8()? != 0),
+            TAG_INT_ARRAY => {
+                let n = r.u32()? as usize;
+                let mut a = Vec::with_capacity(n);
+                for _ in 0..n {
+                    a.push(r.i64()?);
+                }
+                Value::IntArray(a)
+            }
+            tag => return Err(Error::Storage(format!("unknown value tag {tag}"))),
+        };
+        row.push(v);
+    }
+    if r.pos != bytes.len() {
+        return Err(Error::Storage("trailing bytes after tuple".into()));
+    }
+    Ok((id, row))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_type() {
+        let row: Row = vec![
+            Value::Int64(-7),
+            Value::Float64(2.5),
+            Value::Text("héllo, wörld".into()),
+            Value::Bool(true),
+            Value::IntArray(vec![1, -2, i64::MAX]),
+            Value::Null,
+            Value::Text(String::new()),
+            Value::IntArray(vec![]),
+        ];
+        let bytes = encode_row(42, &row);
+        let (id, back) = decode_row(&bytes).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_are_errors() {
+        let bytes = encode_row(1, &vec![Value::Int64(5)]);
+        assert!(decode_row(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad = bytes.clone();
+        bad[10] = 99; // first value tag
+        assert!(decode_row(&bad).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(decode_row(&trailing).is_err());
+    }
+
+    #[test]
+    fn float_bits_roundtrip_exactly() {
+        for f in [0.0, -0.0, f64::MIN_POSITIVE, f64::NAN, 1.0 / 3.0] {
+            let bytes = encode_row(0, &vec![Value::Float64(f)]);
+            let (_, row) = decode_row(&bytes).unwrap();
+            match row[0] {
+                Value::Float64(g) => assert_eq!(f.to_bits(), g.to_bits()),
+                _ => panic!("wrong type"),
+            }
+        }
+    }
+}

@@ -8,6 +8,14 @@
 //! equivalent of a full sequential scan. We reproduce those relationships by
 //! charging each operator with PostgreSQL's default cost constants and
 //! reporting accumulated cost units alongside wall-clock time.
+//!
+//! Since the heap moved onto `pagestore`'s buffer pool, every tracker also
+//! carries a [`measured`](CostTracker::measured) snapshot of *actual* page
+//! traffic (logical reads, buffer misses, evictions, write-backs) diffed
+//! from the pool around each table access — the estimated and measured
+//! sides of the same operator can be compared directly.
+
+use pagestore::IoStats;
 
 /// Cost-model constants (PostgreSQL defaults).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +68,9 @@ pub struct CostTracker {
     pub index_tuples: u64,
     /// Scalar operator evaluations (comparisons, hash probes, array ops).
     pub operator_evals: u64,
+    /// Measured buffer-pool traffic for the operations charged above
+    /// (filled in by `Table` heap accesses; zero for purely estimated use).
+    pub measured: IoStats,
 }
 
 impl CostTracker {
@@ -116,6 +127,12 @@ impl CostTracker {
         self.total(model) * RC_PER_COST_UNIT
     }
 
+    /// Estimated pages read (sequential + random), for comparison against
+    /// `measured.logical_reads`.
+    pub fn estimated_pages(&self) -> u64 {
+        self.seq_pages + self.random_pages
+    }
+
     /// Merge another tracker's counters into this one.
     pub fn absorb(&mut self, other: &CostTracker) {
         self.seq_pages += other.seq_pages;
@@ -123,6 +140,7 @@ impl CostTracker {
         self.tuples += other.tuples;
         self.index_tuples += other.index_tuples;
         self.operator_evals += other.operator_evals;
+        self.measured.absorb(&other.measured);
     }
 
     /// Difference since an earlier snapshot.
@@ -133,6 +151,7 @@ impl CostTracker {
             tuples: self.tuples - earlier.tuples,
             index_tuples: self.index_tuples - earlier.index_tuples,
             operator_evals: self.operator_evals - earlier.operator_evals,
+            measured: self.measured.since(&earlier.measured),
         }
     }
 }

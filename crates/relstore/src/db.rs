@@ -1,23 +1,57 @@
-//! A named catalog of tables.
+//! A named catalog of tables over one shared buffer pool.
 
 use crate::error::{Error, Result};
 use crate::schema::Schema;
-use crate::table::Table;
+use crate::table::{Table, DEFAULT_POOL_PAGES};
+use pagestore::{BufferPool, IoStats};
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
-/// An in-memory database: a catalog of named tables.
+/// A database: a catalog of named tables sharing one buffer pool.
 ///
 /// OrpheusDB keeps its CVD data tables, versioning tables, metadata tables,
 /// and the temporary staging area (checked-out tables) all in one database,
-/// as the original does with a single PostgreSQL schema.
-#[derive(Debug, Default)]
+/// as the original does with a single PostgreSQL schema — and, like
+/// PostgreSQL's `shared_buffers`, every table created through the catalog
+/// competes for the same pool of page frames.
+#[derive(Debug)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    pool: Rc<BufferPool>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
 }
 
 impl Database {
     pub fn new() -> Self {
-        Database::default()
+        Database::with_pool_capacity(DEFAULT_POOL_PAGES)
+    }
+
+    /// A database whose shared pool holds `pages` 8 KiB frames.
+    pub fn with_pool_capacity(pages: usize) -> Self {
+        Database {
+            tables: BTreeMap::new(),
+            pool: Rc::new(BufferPool::in_memory(pages)),
+        }
+    }
+
+    /// The buffer pool shared by tables created through this catalog.
+    pub fn pool(&self) -> &Rc<BufferPool> {
+        &self.pool
+    }
+
+    /// Cumulative I/O counters of the shared pool.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Zero the shared pool's I/O counters (e.g. between experiments).
+    pub fn reset_io_stats(&self) {
+        self.pool.reset_stats()
     }
 
     pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<&mut Table> {
@@ -25,7 +59,7 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(Error::TableExists(name));
         }
-        let table = Table::new(name.clone(), schema);
+        let table = Table::with_pool(name.clone(), schema, Rc::clone(&self.pool));
         Ok(self.tables.entry(name).or_insert(table))
     }
 
@@ -106,7 +140,10 @@ mod tests {
         db.create_table("t", schema()).unwrap();
         assert!(db.create_table("t", schema()).is_err());
         assert!(db.has_table("t"));
-        db.table_mut("t").unwrap().insert(vec![Value::Int64(1)]).unwrap();
+        db.table_mut("t")
+            .unwrap()
+            .insert(vec![Value::Int64(1)])
+            .unwrap();
         assert_eq!(db.table("t").unwrap().live_row_count(), 1);
         db.drop_table("t").unwrap();
         assert!(db.table("t").is_err());
@@ -118,7 +155,10 @@ mod tests {
         for n in ["cvd_p1", "cvd_p2", "other", "cvd_meta"] {
             db.create_table(n, schema()).unwrap();
         }
-        assert_eq!(db.tables_with_prefix("cvd_"), vec!["cvd_meta", "cvd_p1", "cvd_p2"]);
+        assert_eq!(
+            db.tables_with_prefix("cvd_"),
+            vec!["cvd_meta", "cvd_p1", "cvd_p2"]
+        );
     }
 
     #[test]
@@ -128,5 +168,27 @@ mod tests {
         t.insert(vec![Value::Int64(9)]).unwrap();
         db.attach_table(t).unwrap();
         assert_eq!(db.table("pre").unwrap().live_row_count(), 1);
+    }
+
+    #[test]
+    fn tables_share_the_catalog_pool() {
+        let mut db = Database::with_pool_capacity(8);
+        db.create_table("a", schema()).unwrap();
+        db.create_table("b", schema()).unwrap();
+        db.table_mut("a")
+            .unwrap()
+            .insert(vec![Value::Int64(1)])
+            .unwrap();
+        db.table_mut("b")
+            .unwrap()
+            .insert(vec![Value::Int64(2)])
+            .unwrap();
+        assert!(std::rc::Rc::ptr_eq(
+            db.table("a").unwrap().pool(),
+            db.pool()
+        ));
+        assert!(db.io_stats().logical_reads > 0);
+        db.reset_io_stats();
+        assert_eq!(db.io_stats(), pagestore::IoStats::default());
     }
 }

@@ -27,6 +27,8 @@ pub enum Error {
     /// The operation's inputs violate its preconditions (e.g. merge join on
     /// unsorted input).
     InvalidOperation(String),
+    /// The paged storage layer failed (bad address, pool exhausted, I/O).
+    Storage(String),
 }
 
 impl fmt::Display for Error {
@@ -41,8 +43,15 @@ impl fmt::Display for Error {
             Error::IndexNotFound(n) => write!(f, "index not found: {n}"),
             Error::RowNotFound(id) => write!(f, "row not found: {id}"),
             Error::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<pagestore::Error> for Error {
+    fn from(e: pagestore::Error) -> Self {
+        Error::Storage(e.to_string())
+    }
+}

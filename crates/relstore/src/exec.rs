@@ -20,7 +20,7 @@ use crate::expr::{AggFunc, Expr};
 use crate::schema::{Column, Schema};
 use crate::table::{Row, Table};
 use crate::value::{DataType, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Mutable state threaded through an execution.
 #[derive(Debug, Default)]
@@ -72,10 +72,15 @@ pub fn collect(exec: &mut dyn Executor, ctx: &mut ExecContext) -> Result<Vec<Row
 // Leaf operators
 // ---------------------------------------------------------------------------
 
-/// Full sequential scan of a table.
+/// Full sequential scan of a table, streamed one heap page at a time
+/// through the buffer pool. The estimated charge covers every heap slot up
+/// front; measured page traffic accrues in `tracker.measured` as pages are
+/// actually pulled, so scanning a table larger than the pool shows
+/// physical reads and evictions the estimate only models.
 pub struct SeqScan<'a> {
     table: &'a Table,
-    pos: usize,
+    page_ord: usize,
+    buf: VecDeque<Row>,
     charged: bool,
 }
 
@@ -83,7 +88,8 @@ impl<'a> SeqScan<'a> {
     pub fn new(table: &'a Table) -> Self {
         SeqScan {
             table,
-            pos: 0,
+            page_ord: 0,
+            buf: VecDeque::new(),
             charged: false,
         }
     }
@@ -101,14 +107,17 @@ impl Executor for SeqScan<'_> {
                 .seq_scan(self.table.heap_size() as u64, &ctx.model);
             self.charged = true;
         }
-        while self.pos < self.table.heap_size() {
-            let id = self.pos as u64;
-            self.pos += 1;
-            if let Some(row) = self.table.get(id) {
-                return Ok(Some(row.clone()));
+        loop {
+            if let Some(row) = self.buf.pop_front() {
+                return Ok(Some(row));
             }
+            if self.page_ord >= self.table.num_heap_pages() {
+                return Ok(None);
+            }
+            let rows = self.table.read_page_rows(self.page_ord, &mut ctx.tracker)?;
+            self.page_ord += 1;
+            self.buf.extend(rows.into_iter().map(|(_, r)| r));
         }
-        Ok(None)
     }
 }
 
@@ -805,7 +814,8 @@ mod tests {
             ]),
         );
         for i in 0..n {
-            t.insert(vec![Value::Int64(i), Value::Int64(i * 10)]).unwrap();
+            t.insert(vec![Value::Int64(i), Value::Int64(i * 10)])
+                .unwrap();
         }
         t
     }
@@ -821,6 +831,35 @@ mod tests {
         assert_eq!(rows.len(), 4); // v in {60,70,80,90}
         assert_eq!(rows[0], vec![Value::Int64(6)]);
         assert!(ctx.tracker.seq_pages >= 1);
+    }
+
+    #[test]
+    fn seqscan_larger_than_pool_is_correct_and_measured() {
+        use pagestore::BufferPool;
+        use std::rc::Rc;
+        let pool = Rc::new(BufferPool::in_memory(4));
+        let mut t = Table::with_pool(
+            "big",
+            Schema::new(vec![
+                Column::new("rid", DataType::Int64),
+                Column::new("payload", DataType::Text),
+            ]),
+            pool,
+        );
+        let n = 300i64;
+        for i in 0..n {
+            t.insert(vec![Value::Int64(i), Value::Text("p".repeat(256))])
+                .unwrap();
+        }
+        assert!(t.num_heap_pages() > t.pool().capacity());
+        let mut ctx = ExecContext::new();
+        let rows = SeqScan::new(&t).collect(&mut ctx).unwrap();
+        assert_eq!(rows.len(), n as usize);
+        let rids: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(rids, (0..n).collect::<Vec<_>>());
+        // More pages were faulted in than the pool can hold at once.
+        assert!(ctx.tracker.measured.physical_reads > t.pool().capacity() as u64);
+        assert!(t.io_stats().evictions > 0);
     }
 
     #[test]
@@ -850,7 +889,8 @@ mod tests {
     #[test]
     fn index_nested_loop_join() {
         let mut t = data_table(1000);
-        t.create_index("rid_ix", "rid", true, IndexKind::BTree).unwrap();
+        t.create_index("rid_ix", "rid", true, IndexKind::BTree)
+            .unwrap();
         let outer = Box::new(Values::ints("rid", vec![10, 20, 30]));
         let mut join = IndexNestedLoopJoin::new(outer, &t, "rid_ix", 0).unwrap();
         let mut ctx = ExecContext::new();
@@ -865,7 +905,8 @@ mod tests {
     fn inl_join_clustered_fetch_cheaper() {
         let mut t = data_table(5000);
         t.cluster_on("rid").unwrap();
-        t.create_index("rid_ix", "rid", true, IndexKind::BTree).unwrap();
+        t.create_index("rid_ix", "rid", true, IndexKind::BTree)
+            .unwrap();
         let keys: Vec<i64> = (0..2000).collect();
         let outer = Box::new(Values::ints("rid", keys.clone()));
         let mut join = IndexNestedLoopJoin::new(outer, &t, "rid_ix", 0).unwrap();
@@ -875,7 +916,8 @@ mod tests {
         // Same join against a PK-clustered copy (cluster on v, not rid).
         let mut t2 = data_table(5000);
         t2.cluster_on("v").unwrap();
-        t2.create_index("rid_ix", "rid", true, IndexKind::BTree).unwrap();
+        t2.create_index("rid_ix", "rid", true, IndexKind::BTree)
+            .unwrap();
         let outer = Box::new(Values::ints("rid", keys));
         let mut join2 = IndexNestedLoopJoin::new(outer, &t2, "rid_ix", 0).unwrap();
         let mut random_ctx = ExecContext::new();
@@ -946,11 +988,7 @@ mod tests {
     #[test]
     fn global_aggregate_no_groups() {
         let child = Box::new(Values::ints("x", vec![3, 1, 2]));
-        let mut agg = HashAggregate::new(
-            child,
-            vec![],
-            vec![(AggFunc::Min, 0), (AggFunc::Max, 0)],
-        );
+        let mut agg = HashAggregate::new(child, vec![], vec![(AggFunc::Min, 0), (AggFunc::Max, 0)]);
         let mut ctx = ExecContext::new();
         let out = agg.collect(&mut ctx).unwrap();
         assert_eq!(out, vec![vec![Value::Int64(1), Value::Int64(3)]]);

@@ -290,11 +290,7 @@ mod tests {
     #[test]
     fn arithmetic() {
         let row = [Value::Int64(6), Value::Float64(0.5)];
-        let e = Expr::Bin(
-            BinOp::Mul,
-            Box::new(Expr::col(0)),
-            Box::new(Expr::col(1)),
-        );
+        let e = Expr::Bin(BinOp::Mul, Box::new(Expr::col(0)), Box::new(Expr::col(1)));
         assert_eq!(e.eval(&row, &mut t()).unwrap(), Value::Float64(3.0));
     }
 

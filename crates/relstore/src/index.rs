@@ -78,7 +78,10 @@ impl Index {
     pub fn range(&self, lo: i64, hi: i64) -> Vec<RowId> {
         match self {
             Index::Hash(_) => Vec::new(),
-            Index::BTree(m) => m.range(lo..=hi).flat_map(|(_, v)| v.iter().copied()).collect(),
+            Index::BTree(m) => m
+                .range(lo..=hi)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect(),
         }
     }
 

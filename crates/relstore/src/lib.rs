@@ -17,12 +17,16 @@
 //!   representations rely on, and
 //! * a PostgreSQL-style **cost model** (`seq_page_cost`, `random_page_cost`,
 //!   `cpu_tuple_cost`, …) tracked per operation, so experiments can report
-//!   both wall-clock time and deterministic estimated cost.
+//!   both wall-clock time and deterministic estimated cost, and
+//! * real paged storage: heap tuples live on `pagestore`'s 8 KiB slotted
+//!   pages behind a shared **buffer pool**, so alongside the estimates the
+//!   tracker reports *measured* logical reads, buffer misses, evictions,
+//!   and write-backs ([`CostTracker::measured`](cost::CostTracker)).
 //!
-//! The engine is deliberately single-node and in-memory: every comparison in
-//! the paper is *relative* (between storage models, join strategies, or
-//! partitioning schemes), and those relationships are preserved by the
-//! operator implementations and the cost accounting.
+//! The engine is deliberately single-node: every comparison in the paper is
+//! *relative* (between storage models, join strategies, or partitioning
+//! schemes), and those relationships are preserved by the operator
+//! implementations, the cost accounting, and the page-level I/O counters.
 //!
 //! ## Quick example
 //!
@@ -45,6 +49,7 @@
 // (graph algorithms over parallel arrays).
 #![allow(clippy::needless_range_loop)]
 
+pub mod codec;
 pub mod cost;
 pub mod db;
 pub mod error;
@@ -60,12 +65,16 @@ pub use cost::{CostModel, CostTracker, RC_PER_COST_UNIT};
 pub use db::Database;
 pub use error::{Error, Result};
 pub use exec::{
-    collect, BoxExec, ExecContext, Executor, Filter, HashAggregate, HashJoin,
-    IndexNestedLoopJoin, Limit, MergeJoin, Project, SeqScan, Sort, Unnest, Values,
+    collect, BoxExec, ExecContext, Executor, Filter, HashAggregate, HashJoin, IndexNestedLoopJoin,
+    Limit, MergeJoin, Project, SeqScan, Sort, Unnest, Values,
 };
 pub use expr::{AggFunc, BinOp, Expr};
 pub use index::{Index, IndexKind};
 pub use plan::{choose_join, run_rid_join, JoinChoice};
 pub use schema::{Column, Schema};
-pub use table::{Clustering, Row, RowId, Table};
+pub use table::{Clustering, Row, RowId, Table, DEFAULT_POOL_PAGES};
 pub use value::{DataType, Value};
+
+// The paged storage layer underneath heap tables, re-exported so callers
+// can size pools and read I/O counters without a direct pagestore dep.
+pub use pagestore::{BufferPool, IoStats, PAGE_SIZE};

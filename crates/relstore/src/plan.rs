@@ -97,10 +97,12 @@ mod tests {
             ]),
         );
         for i in 0..n {
-            t.insert(vec![Value::Int64(i), Value::Int64(i * 3)]).unwrap();
+            t.insert(vec![Value::Int64(i), Value::Int64(i * 3)])
+                .unwrap();
         }
         t.cluster_on("rid").unwrap();
-        t.create_index("rid_ix", "rid", true, IndexKind::BTree).unwrap();
+        t.create_index("rid_ix", "rid", true, IndexKind::BTree)
+            .unwrap();
         t
     }
 

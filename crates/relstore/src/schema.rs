@@ -214,9 +214,7 @@ mod tests {
         let s = schema();
         assert!(s.check_row(&[Value::Int64(1), Value::Null]).is_ok());
         assert!(s.check_row(&[Value::Null, Value::Null]).is_err());
-        assert!(s
-            .check_row(&[Value::Int64(1), Value::Int64(2)])
-            .is_err());
+        assert!(s.check_row(&[Value::Int64(1), Value::Int64(2)]).is_err());
         assert!(s.check_row(&[Value::Int64(1)]).is_err());
     }
 

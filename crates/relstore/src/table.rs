@@ -1,12 +1,23 @@
 //! Heap tables with physical clustering, tombstoned deletion, and
 //! index maintenance.
+//!
+//! Row storage lives on `pagestore` slotted pages behind a shared buffer
+//! pool: every heap access goes through [`pagestore::BufferPool::fetch`],
+//! so tables report *measured* page traffic (logical reads, misses,
+//! evictions, write-backs) alongside the estimated cost model. An
+//! in-memory directory maps each [`RowId`] to its current
+//! [`TupleAddr`]; indexes likewise stay in memory, but the heap fetch an
+//! index probe triggers is charged to the pool like any other.
 
+use crate::codec;
 use crate::cost::{CostModel, CostTracker};
 use crate::error::{Error, Result};
 use crate::index::{Index, IndexKind};
 use crate::schema::{Column, Schema};
 use crate::value::{DataType, Value};
+use pagestore::{BufferPool, HeapFile, IoStats, TupleAddr};
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// A row is an ordered list of values matching a table's schema.
 pub type Row = Vec<Value>;
@@ -14,6 +25,14 @@ pub type Row = Vec<Value>;
 /// Identifies a row slot within a table's heap. Stable across deletes, but
 /// invalidated by [`Table::cluster_on`] (which physically reorders the heap).
 pub type RowId = u64;
+
+/// Buffer-pool frames given to a table created without an explicit pool
+/// (4 MiB of 8 KiB pages).
+pub const DEFAULT_POOL_PAGES: usize = 512;
+
+/// Per-row overhead charged by [`Table::storage_bytes`]
+/// (PostgreSQL's tuple header is 23 bytes).
+const ROW_HEADER: usize = 24;
 
 /// Physical row order of the heap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,26 +52,44 @@ struct IndexEntry {
     index: Index,
 }
 
-/// An in-memory heap table.
+/// A heap table stored on buffer-pooled slotted pages.
 #[derive(Debug)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: Vec<Row>,
-    live: Vec<bool>,
+    pool: Rc<BufferPool>,
+    heap: HeapFile,
+    /// `RowId` → current tuple address; `None` marks a deleted row.
+    directory: Vec<Option<TupleAddr>>,
     live_count: usize,
+    /// Payload bytes of live rows plus `ROW_HEADER` each, kept incrementally.
+    bytes_live: usize,
     clustering: Clustering,
     indexes: HashMap<String, IndexEntry>,
 }
 
 impl Table {
+    /// A table over its own private in-memory pool of
+    /// [`DEFAULT_POOL_PAGES`] frames.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table::with_pool(
+            name,
+            schema,
+            Rc::new(BufferPool::in_memory(DEFAULT_POOL_PAGES)),
+        )
+    }
+
+    /// A table whose pages live in `pool` (shared with other tables of the
+    /// same database).
+    pub fn with_pool(name: impl Into<String>, schema: Schema, pool: Rc<BufferPool>) -> Self {
         Table {
             name: name.into(),
             schema,
-            rows: Vec::new(),
-            live: Vec::new(),
+            pool,
+            heap: HeapFile::new(),
+            directory: Vec::new(),
             live_count: 0,
+            bytes_live: 0,
             clustering: Clustering::None,
             indexes: HashMap::new(),
         }
@@ -70,6 +107,18 @@ impl Table {
         self.clustering
     }
 
+    /// The buffer pool backing this table's heap.
+    pub fn pool(&self) -> &Rc<BufferPool> {
+        &self.pool
+    }
+
+    /// Cumulative I/O counters of the backing pool. Shared-pool tables see
+    /// traffic from every table on the pool; use [`CostTracker::measured`]
+    /// for per-operation attribution.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
     /// Number of live (non-deleted) rows.
     pub fn live_row_count(&self) -> usize {
         self.live_count
@@ -77,15 +126,38 @@ impl Table {
 
     /// Total heap slots including tombstones.
     pub fn heap_size(&self) -> usize {
-        self.rows.len()
+        self.directory.len()
+    }
+
+    /// Data pages currently in the heap file.
+    pub fn num_heap_pages(&self) -> usize {
+        self.heap.num_pages()
     }
 
     /// Approximate storage footprint in bytes (live rows + per-row header).
     pub fn storage_bytes(&self) -> usize {
-        const ROW_HEADER: usize = 24; // PostgreSQL tuple header is 23 bytes.
-        self.iter()
-            .map(|(_, r)| ROW_HEADER + r.iter().map(Value::byte_size).sum::<usize>())
-            .sum()
+        self.bytes_live
+    }
+
+    fn row_bytes(row: &Row) -> usize {
+        ROW_HEADER + row.iter().map(Value::byte_size).sum::<usize>()
+    }
+
+    fn addr_of(&self, id: RowId) -> Result<TupleAddr> {
+        self.directory
+            .get(id as usize)
+            .copied()
+            .flatten()
+            .ok_or(Error::RowNotFound(id))
+    }
+
+    /// Read and decode the live row at `id`.
+    fn read_row(&self, id: RowId) -> Result<Row> {
+        let addr = self.addr_of(id)?;
+        let bytes = self.heap.get(&self.pool, addr)?;
+        let (stored_id, row) = codec::decode_row(&bytes)?;
+        debug_assert_eq!(stored_id, id);
+        Ok(row)
     }
 
     /// Insert a row, maintaining all indexes. Returns the new row's id.
@@ -104,14 +176,15 @@ impl Table {
                 }
             }
         }
-        let id = self.rows.len() as RowId;
+        let id = self.directory.len() as RowId;
+        let addr = self.heap.insert(&self.pool, &codec::encode_row(id, &row))?;
         for entry in self.indexes.values_mut() {
             if let Some(key) = row[entry.column].as_i64() {
                 entry.index.insert(key, id);
             }
         }
-        self.rows.push(row);
-        self.live.push(true);
+        self.bytes_live += Self::row_bytes(&row);
+        self.directory.push(Some(addr));
         self.live_count += 1;
         Ok(id)
     }
@@ -125,18 +198,19 @@ impl Table {
         Ok(ids)
     }
 
-    /// Delete a row by id (tombstone).
+    /// Delete a row by id (tombstone in the directory, slot reclaimed on
+    /// the page).
     pub fn delete(&mut self, id: RowId) -> Result<()> {
-        let idx = id as usize;
-        if idx >= self.rows.len() || !self.live[idx] {
-            return Err(Error::RowNotFound(id));
-        }
+        let addr = self.addr_of(id)?;
+        let row = self.read_row(id)?;
         for entry in self.indexes.values_mut() {
-            if let Some(key) = self.rows[idx][entry.column].as_i64() {
+            if let Some(key) = row[entry.column].as_i64() {
                 entry.index.remove(key, id);
             }
         }
-        self.live[idx] = false;
+        self.heap.delete(&self.pool, addr)?;
+        self.directory[id as usize] = None;
+        self.bytes_live -= Self::row_bytes(&row);
         self.live_count -= 1;
         Ok(())
     }
@@ -145,16 +219,14 @@ impl Table {
     /// across *all* indexes before any index is mutated, so a failed update
     /// leaves the table untouched.
     pub fn update(&mut self, id: RowId, row: Row) -> Result<()> {
-        let idx = id as usize;
-        if idx >= self.rows.len() || !self.live[idx] {
-            return Err(Error::RowNotFound(id));
-        }
+        let addr = self.addr_of(id)?;
         self.schema.check_row(&row)?;
+        let old = self.read_row(id)?;
         for entry in self.indexes.values() {
-            let old = self.rows[idx][entry.column].as_i64();
-            let new = row[entry.column].as_i64();
-            if entry.unique && old != new {
-                if let Some(k) = new {
+            let old_key = old[entry.column].as_i64();
+            let new_key = row[entry.column].as_i64();
+            if entry.unique && old_key != new_key {
+                if let Some(k) = new_key {
                     if !entry.index.get(k).is_empty() {
                         return Err(Error::DuplicateKey(format!(
                             "{}: key {k} in column {}",
@@ -165,43 +237,67 @@ impl Table {
             }
         }
         for entry in self.indexes.values_mut() {
-            let old = self.rows[idx][entry.column].as_i64();
-            let new = row[entry.column].as_i64();
-            if old != new {
-                if let Some(k) = old {
+            let old_key = old[entry.column].as_i64();
+            let new_key = row[entry.column].as_i64();
+            if old_key != new_key {
+                if let Some(k) = old_key {
                     entry.index.remove(k, id);
                 }
-                if let Some(k) = new {
+                if let Some(k) = new_key {
                     entry.index.insert(k, id);
                 }
             }
         }
-        self.rows[idx] = row;
+        let new_addr = self
+            .heap
+            .update(&self.pool, addr, &codec::encode_row(id, &row))?;
+        self.directory[id as usize] = Some(new_addr);
+        self.bytes_live += Self::row_bytes(&row);
+        self.bytes_live -= Self::row_bytes(&old);
         Ok(())
     }
 
-    pub fn get(&self, id: RowId) -> Option<&Row> {
-        let idx = id as usize;
-        if idx < self.rows.len() && self.live[idx] {
-            Some(&self.rows[idx])
-        } else {
-            None
+    /// Fetch a live row by id (a buffer-pool page access).
+    pub fn get(&self, id: RowId) -> Option<Row> {
+        self.read_row(id).ok()
+    }
+
+    /// Iterate over live rows in physical (page) order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, Row)> + '_ {
+        (0..self.heap.num_pages()).flat_map(move |ord| {
+            self.heap
+                .tuples_on_page(&self.pool, ord)
+                .unwrap_or_default()
+                .into_iter()
+                .filter_map(|(_, bytes)| codec::decode_row(&bytes).ok())
+        })
+    }
+
+    /// Decode every live row on data page `page_ord`, attributing the
+    /// measured page traffic to `tracker`. The unit of a paged seq scan.
+    pub fn read_page_rows(
+        &self,
+        page_ord: usize,
+        tracker: &mut CostTracker,
+    ) -> Result<Vec<(RowId, Row)>> {
+        let before = self.pool.stats();
+        let tuples = self.heap.tuples_on_page(&self.pool, page_ord)?;
+        let mut out = Vec::with_capacity(tuples.len());
+        for (_, bytes) in tuples {
+            out.push(codec::decode_row(&bytes)?);
         }
+        tracker.measured.absorb(&self.pool.stats().since(&before));
+        Ok(out)
     }
 
-    /// Iterate over live rows in physical order.
-    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| self.live[*i])
-            .map(|(i, r)| (i as RowId, r))
-    }
-
-    /// Full sequential scan, charging I/O for every heap slot touched.
+    /// Full sequential scan: estimated I/O for every heap slot, measured
+    /// I/O for the pages actually pulled through the pool.
     pub fn scan_all(&self, tracker: &mut CostTracker, model: &CostModel) -> Vec<Row> {
-        tracker.seq_scan(self.rows.len() as u64, model);
-        self.iter().map(|(_, r)| r.clone()).collect()
+        tracker.seq_scan(self.heap_size() as u64, model);
+        let before = self.pool.stats();
+        let rows = self.iter().map(|(_, r)| r).collect();
+        tracker.measured.absorb(&self.pool.stats().since(&before));
+        rows
     }
 
     /// Create an index on `column`. The column must be `Int64`.
@@ -247,7 +343,12 @@ impl Table {
     }
 
     /// Look up row ids by key via an index, charging index-probe cost.
-    pub fn index_lookup(&self, index: &str, key: i64, tracker: &mut CostTracker) -> Result<Vec<RowId>> {
+    pub fn index_lookup(
+        &self,
+        index: &str,
+        key: i64,
+        tracker: &mut CostTracker,
+    ) -> Result<Vec<RowId>> {
         let entry = self
             .indexes
             .get(index)
@@ -274,6 +375,10 @@ impl Table {
     /// random page each, while dense probe sets degrade gracefully into a
     /// sequential scan. `last_page` carries the page-position state across
     /// calls (the index-nested-loop join probes one outer row at a time).
+    ///
+    /// The estimated charge models a cold read of every page; the measured
+    /// counters record what the pool actually did (repeat probes of a hot
+    /// page are buffer hits).
     pub fn fetch_with_state(
         &self,
         ids: &[RowId],
@@ -301,7 +406,10 @@ impl Table {
             }
         }
         tracker.tuples += ids.len() as u64;
-        ids.iter().filter_map(|&id| self.get(id).cloned()).collect()
+        let before = self.pool.stats();
+        let rows = ids.iter().filter_map(|&id| self.get(id)).collect();
+        tracker.measured.absorb(&self.pool.stats().since(&before));
+        rows
     }
 
     /// [`Table::fetch_with_state`] with fresh page state (batch fetches).
@@ -317,34 +425,54 @@ impl Table {
     }
 
     /// Physically re-sort the heap by `column` (PostgreSQL `CLUSTER`).
-    /// Compacts tombstones, invalidates old row ids, and rebuilds indexes.
+    /// Compacts tombstones, invalidates old row ids, rewrites every heap
+    /// page, and rebuilds indexes.
     pub fn cluster_on(&mut self, column: &str) -> Result<()> {
         let col = self.schema.index_of(column)?;
-        let mut live_rows: Vec<Row> = std::mem::take(&mut self.rows)
-            .into_iter()
-            .zip(std::mem::take(&mut self.live))
-            .filter_map(|(r, l)| l.then_some(r))
-            .collect();
+        let mut live_rows: Vec<Row> = self.iter().map(|(_, r)| r).collect();
         live_rows.sort_by(|a, b| a[col].total_cmp(&b[col]));
-        self.live = vec![true; live_rows.len()];
-        self.live_count = live_rows.len();
-        self.rows = live_rows;
-        self.clustering = Clustering::On(col);
-        self.rebuild_indexes()
-    }
-
-    fn rebuild_indexes(&mut self) -> Result<()> {
         let specs: Vec<(String, usize, bool, IndexKind)> = self
             .indexes
             .iter()
             .map(|(n, e)| (n.clone(), e.column, e.unique, e.index.kind()))
             .collect();
         self.indexes.clear();
+        self.heap.clear(&self.pool)?;
+        self.directory.clear();
+        self.live_count = 0;
+        self.bytes_live = 0;
+        for row in live_rows {
+            self.insert(row)?;
+        }
         for (name, col, unique, kind) in specs {
             let colname = self.schema.column(col).unwrap().name.clone();
             self.create_index(name, &colname, unique, kind)?;
         }
+        self.clustering = Clustering::On(col);
         Ok(())
+    }
+
+    /// Rewrite the live row at `id` with `f` applied, keeping the directory
+    /// and byte accounting consistent. Index keys must not change.
+    fn rewrite_row(&mut self, id: RowId, f: impl FnOnce(&mut Row)) -> Result<()> {
+        let addr = self.addr_of(id)?;
+        let mut row = self.read_row(id)?;
+        self.bytes_live -= Self::row_bytes(&row);
+        f(&mut row);
+        self.bytes_live += Self::row_bytes(&row);
+        let new_addr = self
+            .heap
+            .update(&self.pool, addr, &codec::encode_row(id, &row))?;
+        self.directory[id as usize] = Some(new_addr);
+        Ok(())
+    }
+
+    fn live_ids(&self) -> Vec<RowId> {
+        self.directory
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.map(|_| i as RowId))
+            .collect()
     }
 
     /// Add a column (schema evolution). Existing rows get `fill`.
@@ -356,8 +484,9 @@ impl Table {
             )));
         }
         self.schema.add_column(col)?;
-        for row in &mut self.rows {
-            row.push(fill.clone());
+        for id in self.live_ids() {
+            let fill = fill.clone();
+            self.rewrite_row(id, |row| row.push(fill))?;
         }
         Ok(())
     }
@@ -366,10 +495,12 @@ impl Table {
     pub fn widen_column(&mut self, name: &str, to: DataType) -> Result<()> {
         let col = self.schema.index_of(name)?;
         self.schema.widen_column(name, to)?;
-        for row in &mut self.rows {
-            if let Some(widened) = row[col].widen(to) {
-                row[col] = widened;
-            }
+        for id in self.live_ids() {
+            self.rewrite_row(id, |row| {
+                if let Some(widened) = row[col].widen(to) {
+                    row[col] = widened;
+                }
+            })?;
         }
         Ok(())
     }
@@ -415,7 +546,8 @@ mod tests {
         let mut t = tbl();
         t.create_index("ix", "x", false, IndexKind::Hash).unwrap();
         let id = t.insert(vec![Value::Int64(1), Value::Int64(10)]).unwrap();
-        t.update(id, vec![Value::Int64(1), Value::Int64(20)]).unwrap();
+        t.update(id, vec![Value::Int64(1), Value::Int64(20)])
+            .unwrap();
         let mut tr = CostTracker::new();
         assert!(t.index_lookup("ix", 10, &mut tr).unwrap().is_empty());
         assert_eq!(t.index_lookup("ix", 20, &mut tr).unwrap(), vec![id]);
@@ -425,7 +557,8 @@ mod tests {
     fn failed_update_leaves_all_indexes_intact() {
         let mut t = tbl();
         t.create_index("x_ix", "x", false, IndexKind::Hash).unwrap();
-        t.create_index("rid_pk", "rid", true, IndexKind::BTree).unwrap();
+        t.create_index("rid_pk", "rid", true, IndexKind::BTree)
+            .unwrap();
         t.insert(vec![Value::Int64(1), Value::Int64(10)]).unwrap();
         let id = t.insert(vec![Value::Int64(2), Value::Int64(20)]).unwrap();
         // Update would change x (non-unique) AND collide on rid (unique):
@@ -442,7 +575,8 @@ mod tests {
     fn cluster_sorts_physically() {
         let mut t = tbl();
         for v in [3i64, 1, 2] {
-            t.insert(vec![Value::Int64(v), Value::Int64(v * 10)]).unwrap();
+            t.insert(vec![Value::Int64(v), Value::Int64(v * 10)])
+                .unwrap();
         }
         t.delete(1).unwrap(); // remove rid=1
         t.cluster_on("rid").unwrap();
@@ -486,5 +620,46 @@ mod tests {
         let before = t.storage_bytes();
         t.delete(0).unwrap();
         assert!(t.storage_bytes() < before);
+    }
+
+    #[test]
+    fn rows_live_on_pages_and_charge_measured_io() {
+        // Wide rows over a tiny pool: the table must still behave like an
+        // in-memory heap while the pool churns underneath.
+        let mut t = Table::with_pool(
+            "big",
+            Schema::new(vec![
+                Column::new("rid", DataType::Int64),
+                Column::new("payload", DataType::Text),
+            ]),
+            Rc::new(BufferPool::in_memory(4)),
+        );
+        let n = 200i64;
+        for v in 0..n {
+            t.insert(vec![Value::Int64(v), Value::Text("x".repeat(512))])
+                .unwrap();
+        }
+        assert!(t.num_heap_pages() > t.pool().capacity());
+        let mut tr = CostTracker::new();
+        let rows = t.scan_all(&mut tr, &CostModel::default());
+        assert_eq!(rows.len(), n as usize);
+        // The scan touched more distinct pages than fit in the pool, so it
+        // must have gone to the pager for most of them.
+        assert!(tr.measured.logical_reads >= t.num_heap_pages() as u64);
+        assert!(tr.measured.physical_reads > t.pool().capacity() as u64);
+        assert!(t.io_stats().evictions > 0);
+    }
+
+    #[test]
+    fn repeated_gets_hit_the_buffer_pool() {
+        let mut t = tbl();
+        let id = t.insert(vec![Value::Int64(1), Value::Int64(10)]).unwrap();
+        let before = t.io_stats();
+        for _ in 0..10 {
+            t.get(id).unwrap();
+        }
+        let d = t.io_stats().since(&before);
+        assert_eq!(d.logical_reads, 10);
+        assert_eq!(d.physical_reads, 0, "resident page must not be re-read");
     }
 }

@@ -96,7 +96,10 @@ pub enum ArithOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// `V.author.name` — a variable (or bare field) with field navigation.
-    Path { var: String, fields: Vec<String> },
+    Path {
+        var: String,
+        fields: Vec<String>,
+    },
     Str(String),
     Int(i64),
     Float(f64),

@@ -89,7 +89,14 @@ type Binding = HashMap<String, Ref>;
 
 /// Set-step names (used to detect set-valued paths inside aggregates).
 const SET_STEPS: [&str; 8] = [
-    "Relations", "Files", "Tuples", "parents", "children", "P", "D", "N",
+    "Relations",
+    "Files",
+    "Tuples",
+    "parents",
+    "children",
+    "P",
+    "D",
+    "N",
 ];
 
 impl Env<'_> {
@@ -134,17 +141,14 @@ impl Env<'_> {
     fn vars_in(&self, e: &Expr, out: &mut Vec<String>) {
         match e {
             Expr::Path { var, .. } => {
-                let name = var
-                    .strip_prefix("\u{1}version_of:")
-                    .unwrap_or(var.as_str());
+                let name = var.strip_prefix("\u{1}version_of:").unwrap_or(var.as_str());
                 if self.range_expr(name).is_some() && !out.contains(&name.to_string()) {
                     out.push(name.to_owned());
                 }
             }
-            Expr::ContainerVersion(v)
-                if self.range_expr(v).is_some() && !out.contains(v) => {
-                    out.push(v.clone());
-                }
+            Expr::ContainerVersion(v) if self.range_expr(v).is_some() && !out.contains(v) => {
+                out.push(v.clone());
+            }
             Expr::Cmp(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(_, l, r) => {
                 self.vars_in(l, out);
                 self.vars_in(r, out);
@@ -342,12 +346,7 @@ impl Env<'_> {
                 .iter()
                 .map(|&x| Ref::Record(x, repo.records[x].relation))
                 .collect(),
-            _ => {
-                return Err(Error::Unknown(format!(
-                    "step {} on {:?}",
-                    step.name, r
-                )))
-            }
+            _ => return Err(Error::Unknown(format!("step {} on {:?}", step.name, r))),
         })
     }
 
@@ -596,7 +595,10 @@ impl Env<'_> {
         self_ref: Option<Ref>,
         e: &Expr,
     ) -> Result<Option<Out>> {
-        let Expr::Agg { kind, arg, filter, .. } = e else {
+        let Expr::Agg {
+            kind, arg, filter, ..
+        } = e
+        else {
             return Ok(None);
         };
         // Only paths with set-valued navigation are inline.
@@ -619,11 +621,7 @@ impl Env<'_> {
         Ok(Some(match kind {
             AggKind::Count => Out::Scalar(Value::Int64(refs.len() as i64)),
             AggKind::Any => Out::Scalar(Value::Bool(!refs.is_empty())),
-            _ => {
-                return Err(Error::Type(
-                    "sum/avg/min/max need a scalar argument".into(),
-                ))
-            }
+            _ => return Err(Error::Type("sum/avg/min/max need a scalar argument".into())),
         }))
     }
 
@@ -635,8 +633,7 @@ impl Env<'_> {
 
         // Gather iterator-based aggregates from targets + where + sort.
         let mut agg_exprs: Vec<Expr> = Vec::new();
-        let collect =
-            |e: &Expr, me: &Env<'_>, aggs: &mut Vec<Expr>| me.collect_iter_aggs(e, aggs);
+        let collect = |e: &Expr, me: &Env<'_>, aggs: &mut Vec<Expr>| me.collect_iter_aggs(e, aggs);
         for t in &r.targets {
             collect(&t.expr, self, &mut agg_exprs);
         }
@@ -656,10 +653,9 @@ impl Env<'_> {
             .enumerate()
             .map(|(i, t)| {
                 t.alias.clone().unwrap_or_else(|| match &t.expr {
-                    Expr::Path { var, fields } => fields
-                        .last()
-                        .cloned()
-                        .unwrap_or_else(|| var.clone()),
+                    Expr::Path { var, fields } => {
+                        fields.last().cloned().unwrap_or_else(|| var.clone())
+                    }
                     _ => format!("col{i}"),
                 })
             })
@@ -743,10 +739,7 @@ impl Env<'_> {
     /// ancestor iterators of the argument's root otherwise.
     fn group_vars(&self, e: &Expr) -> Result<Vec<String>> {
         let Expr::Agg {
-            all,
-            arg,
-            group_by,
-            ..
+            all, arg, group_by, ..
         } = e
         else {
             return Err(Error::Grouping("not an aggregate".into()));

@@ -153,13 +153,15 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     }
                 }
                 if is_float {
-                    out.push(Token::Float(s.parse().map_err(|_| {
-                        Error::Lex(format!("bad float literal {s}"))
-                    })?));
+                    out.push(Token::Float(
+                        s.parse()
+                            .map_err(|_| Error::Lex(format!("bad float literal {s}")))?,
+                    ));
                 } else {
-                    out.push(Token::Int(s.parse().map_err(|_| {
-                        Error::Lex(format!("bad int literal {s}"))
-                    })?));
+                    out.push(Token::Int(
+                        s.parse()
+                            .map_err(|_| Error::Lex(format!("bad int literal {s}")))?,
+                    ));
                 }
             }
             c if c.is_alphabetic() || c == '_' => {

@@ -129,7 +129,13 @@ impl Repository {
         id
     }
 
-    pub fn add_file(&mut self, version: VersionId, name: &str, path: &str, changed: bool) -> FileId {
+    pub fn add_file(
+        &mut self,
+        version: VersionId,
+        name: &str,
+        path: &str,
+        changed: bool,
+    ) -> FileId {
         let id = self.files.len();
         self.files.push(File {
             name: name.to_owned(),
@@ -258,20 +264,40 @@ pub fn example_repository() -> Repository {
     let bob = repo.add_author("Bob", "bob@lab.org");
 
     let v1 = repo.add_version("v01", "initial load", 1_000, alice, &[]);
-    let emp1 = repo.add_relation(v1, "Employee", &["employee_id", "last_name", "age", "dept"], true);
+    let emp1 = repo.add_relation(
+        v1,
+        "Employee",
+        &["employee_id", "last_name", "age", "dept"],
+        true,
+    );
     let e1 = repo.add_record(
         emp1,
-        vec!["e01".into(), Value::from("Smith"), Value::Int64(34), "d01".into()],
+        vec![
+            "e01".into(),
+            Value::from("Smith"),
+            Value::Int64(34),
+            "d01".into(),
+        ],
         &[],
     );
     let e2 = repo.add_record(
         emp1,
-        vec!["e02".into(), Value::from("Jones"), Value::Int64(51), "d01".into()],
+        vec![
+            "e02".into(),
+            Value::from("Jones"),
+            Value::Int64(51),
+            "d01".into(),
+        ],
         &[],
     );
     let e3 = repo.add_record(
         emp1,
-        vec!["e03".into(), Value::from("Smith"), Value::Int64(42), "d02".into()],
+        vec![
+            "e03".into(),
+            Value::from("Smith"),
+            Value::Int64(42),
+            "d02".into(),
+        ],
         &[],
     );
     let dep1 = repo.add_relation(v1, "Department", &["dept_id", "dept_name"], true);
@@ -279,13 +305,23 @@ pub fn example_repository() -> Repository {
     let d2 = repo.add_record(dep1, vec!["d02".into(), "Physics".into()], &[]);
 
     let v2 = repo.add_version("v02", "new hires", 2_000, bob, &[v1]);
-    let emp2 = repo.add_relation(v2, "Employee", &["employee_id", "last_name", "age", "dept"], true);
+    let emp2 = repo.add_relation(
+        v2,
+        "Employee",
+        &["employee_id", "last_name", "age", "dept"],
+        true,
+    );
     for &r in &[e1, e2, e3] {
         repo.share_record(emp2, r);
     }
     repo.add_record(
         emp2,
-        vec!["e04".into(), Value::from("Chu"), Value::Int64(29), "d02".into()],
+        vec![
+            "e04".into(),
+            Value::from("Chu"),
+            Value::Int64(29),
+            "d02".into(),
+        ],
         &[],
     );
     let dep2 = repo.add_relation(v2, "Department", &["dept_id", "dept_name"], true);
@@ -296,11 +332,21 @@ pub fn example_repository() -> Repository {
     repo.add_file(v2, "Forms.csv", "/data/Forms.csv", true);
 
     let v3 = repo.add_version("v03", "fix e01 age", 3_000, alice, &[v2]);
-    let emp3 = repo.add_relation(v3, "Employee", &["employee_id", "last_name", "age", "dept"], true);
+    let emp3 = repo.add_relation(
+        v3,
+        "Employee",
+        &["employee_id", "last_name", "age", "dept"],
+        true,
+    );
     // e01 corrected: a new record with provenance pointing at e1.
     repo.add_record(
         emp3,
-        vec!["e01".into(), Value::from("Smith"), Value::Int64(35), "d01".into()],
+        vec![
+            "e01".into(),
+            Value::from("Smith"),
+            Value::Int64(35),
+            "d01".into(),
+        ],
         &[e1],
     );
     for &r in &[e2, e3] {

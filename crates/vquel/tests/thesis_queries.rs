@@ -366,7 +366,10 @@ fn files_and_changed_flags() {
         "#,
     )
     .unwrap();
-    assert_eq!(rs.rows, vec![vec![Value::from("v02"), Value::from("Forms.csv")]]);
+    assert_eq!(
+        rs.rows,
+        vec![vec![Value::from("v02"), Value::from("Forms.csv")]]
+    );
 }
 
 #[test]
@@ -393,10 +396,6 @@ fn sort_by_multiple_keys_and_into_columns() {
 fn evaluation_errors_are_reported() {
     let repo = example_repository();
     assert!(execute(&repo, "range of V is Nope retrieve V.id").is_err());
-    assert!(execute(
-        &repo,
-        "range of V is Version retrieve V.nonexistent_field"
-    )
-    .is_err());
+    assert!(execute(&repo, "range of V is Version retrieve V.nonexistent_field").is_err());
     assert!(execute(&repo, "range of V is Version retrieve X.id").is_err());
 }

@@ -31,7 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Error correction (Quake): row-preserving transform with provenance.
-    let v_quake = repo.add_version("v02-quake", "error-correct with Quake", 200, wei, &[v_reads]);
+    let v_quake = repo.add_version(
+        "v02-quake",
+        "error-correct with Quake",
+        200,
+        wei,
+        &[v_reads],
+    );
     let corrected = repo.add_relation(v_quake, "Reads", &["read_id", "length", "quality"], true);
     for (i, &orig) in read_records.iter().enumerate() {
         let vals = repo.records[orig].values.clone();
@@ -48,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v_kmer = repo.add_version("v03-kmer", "KmerGenie analysis", 300, wei, &[v_quake]);
     let kmers = repo.add_relation(v_kmer, "Kmers", &["k", "abundance"], true);
     for k in [21i64, 31, 41, 51] {
-        repo.add_record(kmers, vec![Value::Int64(k), Value::Int64(1000 - k * 3)], &[]);
+        repo.add_record(
+            kmers,
+            vec![Value::Int64(k), Value::Int64(1000 - k * 3)],
+            &[],
+        );
     }
 
     // Two assemblies branch from the k-mer analysis.
@@ -57,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..8i64 {
         repo.add_record(
             soap,
-            vec![Value::Int64(i), Value::Int64(5_000 + i * 900), Value::Int64(14_000)],
+            vec![
+                Value::Int64(i),
+                Value::Int64(5_000 + i * 900),
+                Value::Int64(14_000),
+            ],
             &[],
         );
     }
@@ -66,13 +80,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..11i64 {
         repo.add_record(
             abyss,
-            vec![Value::Int64(i), Value::Int64(4_200 + i * 700), Value::Int64(11_500)],
+            vec![
+                Value::Int64(i),
+                Value::Int64(4_200 + i * 700),
+                Value::Int64(11_500),
+            ],
             &[],
         );
     }
 
     // QUAST evaluation merges both assemblies' stats.
-    let v_eval = repo.add_version("v06-quast", "QUAST evaluation", 500, maría, &[v_soap, v_abyss]);
+    let v_eval = repo.add_version(
+        "v06-quast",
+        "QUAST evaluation",
+        500,
+        maría,
+        &[v_soap, v_abyss],
+    );
     let eval = repo.add_relation(v_eval, "Evaluation", &["tool", "n50"], true);
     repo.add_record(eval, vec![Value::Int64(1), Value::Int64(14_000)], &[]);
     repo.add_record(eval, vec![Value::Int64(2), Value::Int64(11_500)], &[]);

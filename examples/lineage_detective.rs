@@ -4,8 +4,7 @@
 //! Run with: `cargo run --example lineage_detective`
 
 use orpheusdb::provenance::{
-    infer_lineage, score_edges, synthesize, Artifact, InferConfig, SynthConfig,
-    UntrackedRepository,
+    infer_lineage, score_edges, synthesize, Artifact, InferConfig, SynthConfig, UntrackedRepository,
 };
 
 fn main() {
@@ -15,18 +14,33 @@ fn main() {
         .map(|i| vec![i, (i * 13) % 500, (i * 7) % 100])
         .collect();
     let cols = vec!["patient_id".into(), "biomarker".into(), "age".into()];
-    let base = repo.add(Artifact::new("cohort_v1.csv", cols.clone(), base_rows.clone(), 100));
+    let base = repo.add(Artifact::new(
+        "cohort_v1.csv",
+        cols.clone(),
+        base_rows.clone(),
+        100,
+    ));
 
     // A filtered subset (age ≥ 50 at our encoding ≈ keep 100 rows).
     let filtered: Vec<Vec<i64>> = base_rows.iter().filter(|r| r[2] >= 50).cloned().collect();
-    let f = repo.add(Artifact::new("cohort_over50.csv", cols.clone(), filtered, 250));
+    let f = repo.add(Artifact::new(
+        "cohort_over50.csv",
+        cols.clone(),
+        filtered,
+        250,
+    ));
 
     // A normalized copy: every biomarker rescaled (row-preserving).
     let normalized: Vec<Vec<i64>> = base_rows
         .iter()
         .map(|r| vec![r[0], r[1] % 10, r[2]])
         .collect();
-    let n = repo.add(Artifact::new("cohort_normalized.csv", cols.clone(), normalized, 300));
+    let n = repo.add(Artifact::new(
+        "cohort_normalized.csv",
+        cols.clone(),
+        normalized,
+        300,
+    ));
 
     // A feature-engineered table derived from the normalized one.
     let mut wide_cols = cols.clone();
@@ -35,7 +49,12 @@ fn main() {
         .iter()
         .map(|r| vec![r[0], r[1] % 10, r[2], (r[1] % 10) * r[2]])
         .collect();
-    let w = repo.add(Artifact::new("cohort_features.csv", wide_cols, featured, 400));
+    let w = repo.add(Artifact::new(
+        "cohort_features.csv",
+        wide_cols,
+        featured,
+        400,
+    ));
 
     // An unrelated dataset that happens to live in the same folder.
     let other: Vec<Vec<i64>> = (5_000..5_100).map(|i| vec![i, i % 3]).collect();

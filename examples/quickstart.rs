@@ -89,9 +89,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Versioned SQL (§3.3.2) without materializing anything.
-    let result = db.run(
-        "SELECT * FROM VERSION 1, 2 OF CVD Interaction WHERE coexpression > 80 LIMIT 50",
-    )?;
+    let result =
+        db.run("SELECT * FROM VERSION 1, 2 OF CVD Interaction WHERE coexpression > 80 LIMIT 50")?;
     println!("\nhigh-coexpression rows in v1 ∪ v2:");
     for r in &result.rows {
         println!("  {} - {} (coexpression {})", r[1], r[2], r[5]);

@@ -26,7 +26,12 @@ fn show(out: &CommandOutput) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut db = OrpheusDb::new();
-    for cmd in ["create_user sofia", "create_user raj", "config sofia", "whoami"] {
+    for cmd in [
+        "create_user sofia",
+        "create_user raj",
+        "config sofia",
+        "whoami",
+    ] {
         println!("$ {cmd}");
         show(&db.execute(cmd)?);
     }

@@ -47,9 +47,13 @@ fn show(out: CommandOutput) {
 /// library.
 fn handle_init(db: &mut OrpheusDb, line: &str) -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<&str> = line.split_whitespace().collect();
-    let name = args.get(1).ok_or("usage: init <cvd> -f <csv> -s <schema> -k <pk>")?;
+    let name = args
+        .get(1)
+        .ok_or("usage: init <cvd> -f <csv> -s <schema> -k <pk>")?;
     let flag = |f: &str| -> Option<&str> {
-        args.iter().position(|&a| a == f).and_then(|i| args.get(i + 1).copied())
+        args.iter()
+            .position(|&a| a == f)
+            .and_then(|i| args.get(i + 1).copied())
     };
     let path = flag("-f").ok_or("init needs -f <csv path>")?;
     let spec = flag("-s").ok_or("init needs -s <schema spec>")?;
@@ -74,6 +78,7 @@ fn help() {
          diff <cvd> -v <a> <b>\n  \
          run <SELECT … FROM VERSION i OF CVD c | SELECT vid, agg(col) FROM CVD c GROUP BY vid>\n  \
          optimize <cvd> [-g <gamma>]\n  \
+         stats [reset]   (buffer-pool I/O counters)\n  \
          log <cvd> | ls | drop <cvd> | help | quit"
     );
 }
