@@ -73,6 +73,47 @@ impl OrpheusDb {
         }
     }
 
+    /// An OrpheusDB instance whose relational storage lives in `dir`
+    /// behind a write-ahead log: every `commit` ends with an atomic
+    /// checkpoint, and reopening after a crash replays the log. The
+    /// returned report says what recovery repaired. Version-graph and
+    /// catalog metadata are rebuilt per session (they are derived state);
+    /// the paged table data is what durability protects.
+    pub fn open_durable(
+        dir: impl AsRef<std::path::Path>,
+        pool_pages: usize,
+    ) -> Result<(Self, relstore::RecoveryReport)> {
+        let (db, report) = Database::open_durable(dir, pool_pages)?;
+        Ok((
+            OrpheusDb {
+                db,
+                cvds: HashMap::new(),
+                users: Vec::new(),
+                current_user: None,
+                staging: HashMap::new(),
+                clock: 0,
+            },
+            report,
+        ))
+    }
+
+    /// Whether the storage layer has a write-ahead log attached.
+    pub fn is_durable(&self) -> bool {
+        self.db.is_durable()
+    }
+
+    /// Force a durability point (`checkpoint`): flush every dirty page
+    /// under WAL protection. Returns `false` (doing nothing) on an
+    /// in-memory instance.
+    pub fn checkpoint(&self) -> Result<bool> {
+        Ok(self.db.checkpoint()?)
+    }
+
+    /// Replay the write-ahead log (`recover`), as after a crash.
+    pub fn recover(&self) -> Result<relstore::RecoveryReport> {
+        Ok(self.db.recover()?)
+    }
+
     fn tick(&mut self) -> u64 {
         self.clock += 1;
         self.clock
@@ -118,7 +159,7 @@ impl OrpheusDb {
     /// Render the shared pool's counters for the `stats` shell command.
     pub fn stats_report(&self) -> String {
         let s = self.db.io_stats();
-        format!(
+        let mut report = format!(
             "buffer pool: {} frames × {} B pages\n\
              logical reads : {}\n\
              buffer hits   : {} ({:.1}% hit rate)\n\
@@ -135,7 +176,14 @@ impl OrpheusDb {
             s.pages_written(),
             s.write_backs,
             s.flushed_writes,
-        )
+        );
+        if self.db.is_durable() {
+            report.push_str(&format!(
+                "\nwal           : {} records / {} B, {} checkpoint(s)",
+                s.wal_appends, s.wal_bytes, s.checkpoints
+            ));
+        }
+        report
     }
 
     // -- cvd lifecycle ------------------------------------------------------
@@ -351,6 +399,10 @@ impl OrpheusDb {
         // Cleanup: remove the staging table (§3.3.1).
         self.db.drop_table(table)?;
         self.staging.remove(table);
+        // Durability point: once the version graph and data tables hold
+        // the new version, checkpoint so a crash cannot lose it. On an
+        // in-memory instance this is a no-op.
+        self.db.checkpoint()?;
         Ok(result)
     }
 
@@ -596,6 +648,21 @@ impl OrpheusDb {
                 } else {
                     Ok(CommandOutput::Message(self.stats_report()))
                 }
+            }
+            "checkpoint" => {
+                if self.checkpoint()? {
+                    Ok(CommandOutput::Message("checkpoint complete".into()))
+                } else {
+                    Ok(CommandOutput::Message(
+                        "in-memory instance: nothing to checkpoint (open with a data \
+                         directory for durability)"
+                            .into(),
+                    ))
+                }
+            }
+            "recover" => {
+                let report = self.recover()?;
+                Ok(CommandOutput::Message(format!("recovery: {report}")))
             }
             other => Err(Error::Parse(format!("unknown command: {other}"))),
         }
@@ -1016,6 +1083,56 @@ mod tests {
         assert_eq!(s.column(2).unwrap().dtype, DataType::Float64);
         assert!(parse_schema_spec("nope").is_err());
         assert!(parse_schema_spec("x:blob").is_err());
+    }
+
+    #[test]
+    fn commit_checkpoints_a_durable_instance() {
+        let dir = std::env::temp_dir().join(format!("orpheus-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut odb, report) = OrpheusDb::open_durable(&dir, 64).unwrap();
+            assert!(!report.did_work());
+            assert!(odb.is_durable());
+            odb.create_user("alice").unwrap();
+            odb.login("alice").unwrap();
+            let schema = Schema::new(vec![Column::new("x", DataType::Int64)]);
+            odb.init_cvd("d", schema, vec!["x".into()], vec![vec![Value::Int64(1)]])
+                .unwrap();
+            odb.checkout("d", &[Vid(0)], "w").unwrap();
+            odb.staging_table_mut("w")
+                .unwrap()
+                .insert(vec![Value::Int64(2)])
+                .unwrap();
+            let before = odb.io_stats().checkpoints;
+            odb.commit("w", "add 2").unwrap();
+            assert!(
+                odb.io_stats().checkpoints > before,
+                "commit on a durable instance must end in a checkpoint"
+            );
+            // The shell surface: `checkpoint` and `recover` respond.
+            match odb.execute("checkpoint").unwrap() {
+                CommandOutput::Message(m) => assert!(m.contains("checkpoint complete"), "{m}"),
+                other => panic!("expected message, got {other:?}"),
+            }
+            match odb.execute("recover").unwrap() {
+                CommandOutput::Message(m) => assert!(m.contains("recovery:"), "{m}"),
+                other => panic!("expected message, got {other:?}"),
+            }
+        }
+        // Reopen: the committed pages survive process death.
+        let (odb, _) = OrpheusDb::open_durable(&dir, 64).unwrap();
+        assert!(odb.db.pool().num_pages() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_command_is_informative_in_memory() {
+        let mut odb = setup();
+        match odb.execute("checkpoint").unwrap() {
+            CommandOutput::Message(m) => assert!(m.contains("in-memory"), "{m}"),
+            other => panic!("expected message, got {other:?}"),
+        }
+        assert!(odb.execute("recover").is_err(), "recover needs a WAL");
     }
 
     #[test]

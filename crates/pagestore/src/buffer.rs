@@ -13,16 +13,32 @@
 //! All traffic is counted in an [`IoStats`] snapshot — the measured
 //! counterpart of `relstore`'s estimated cost model.
 //!
+//! ## Durability
+//!
+//! A pool may carry a write-ahead log ([`with_wal`](BufferPool::with_wal),
+//! [`open_durable`](BufferPool::open_durable)). With a WAL attached,
+//! [`flush_all`](BufferPool::flush_all) becomes an atomic checkpoint:
+//! page images + a commit record are appended and synced to the log
+//! *before* any page reaches the data file, and the log is truncated only
+//! after the data file is synced. The pool then runs **no-steal**: dirty
+//! frames are never evicted between checkpoints (an eviction write-back
+//! would put uncommitted bytes in the data file where a redo-only log
+//! cannot undo them), so a commit that dirties more pages than the pool
+//! holds fails with `PoolExhausted` instead of silently losing atomicity.
+//!
 //! The pool is single-threaded (interior mutability via `RefCell`/`Cell`),
 //! matching the rest of the engine.
 
 use crate::error::{Error, Result};
-use crate::page::{Page, PageId};
-use crate::pager::{MemPager, Pager};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::pager::{FilePager, MemPager, Pager};
+use crate::recovery::{self, RecoveryReport};
 use crate::stats::IoStats;
+use crate::wal::{Wal, RECORD_HEADER};
 use std::cell::{Cell, Ref, RefCell, RefMut};
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
+use std::path::Path;
 
 struct Frame {
     page_id: Cell<Option<PageId>>,
@@ -95,6 +111,7 @@ pub struct BufferPool {
     map: RefCell<HashMap<PageId, usize>>,
     hand: Cell<usize>,
     pager: RefCell<Box<dyn Pager>>,
+    wal: RefCell<Option<Wal>>,
     stats: RefCell<IoStats>,
 }
 
@@ -117,6 +134,7 @@ impl BufferPool {
             map: RefCell::new(HashMap::with_capacity(capacity)),
             hand: Cell::new(0),
             pager: RefCell::new(pager),
+            wal: RefCell::new(None),
             stats: RefCell::new(IoStats::new()),
         }
     }
@@ -124,6 +142,57 @@ impl BufferPool {
     /// A pool over a fresh in-memory pager.
     pub fn in_memory(capacity: usize) -> Self {
         BufferPool::new(Box::new(MemPager::new()), capacity)
+    }
+
+    /// A pool whose [`flush_all`](Self::flush_all) is a WAL-protected
+    /// atomic checkpoint. The caller is responsible for having run
+    /// recovery on `(pager, wal)` first — or use
+    /// [`open_durable`](Self::open_durable), which does.
+    pub fn with_wal(pager: Box<dyn Pager>, wal: Wal, capacity: usize) -> Self {
+        let pool = BufferPool::new(pager, capacity);
+        *pool.wal.borrow_mut() = Some(wal);
+        pool
+    }
+
+    /// Open (or create) a durable store in `dir`: a page file
+    /// (`pages.db`) plus a write-ahead log (`wal.log`). Runs crash
+    /// recovery before the pool comes up, so committed checkpoints that
+    /// never finished writing back are replayed and torn log tails are
+    /// repaired.
+    pub fn open_durable(dir: impl AsRef<Path>, capacity: usize) -> Result<(Self, RecoveryReport)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut pager = FilePager::open_recoverable(dir.join("pages.db"))?;
+        let mut wal = Wal::open_file(dir.join("wal.log"))?;
+        let report = recovery::recover(&mut pager, &mut wal)?;
+        Ok((BufferPool::with_wal(Box::new(pager), wal, capacity), report))
+    }
+
+    /// Whether a write-ahead log is attached (checkpoints are atomic).
+    pub fn is_durable(&self) -> bool {
+        self.wal.borrow().is_some()
+    }
+
+    /// Replay the attached WAL into the pager, as after a crash.
+    ///
+    /// Requires a quiesced pool: no outstanding pins. Every frame is
+    /// invalidated first — resident *dirty* pages are discarded, exactly
+    /// as a real crash would discard them, and subsequent fetches reread
+    /// the recovered images.
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        let mut wal_ref = self.wal.borrow_mut();
+        let wal = wal_ref.as_mut().ok_or(Error::NotDurable)?;
+        if let Some(f) = self.frames.iter().find(|f| f.pin.get() > 0) {
+            return Err(Error::PageBusy(f.page_id.get().unwrap_or(0)));
+        }
+        self.map.borrow_mut().clear();
+        for f in &self.frames {
+            f.page_id.set(None);
+            f.dirty.set(false);
+            f.referenced.set(false);
+        }
+        let mut pager = self.pager.borrow_mut();
+        recovery::recover(pager.as_mut(), wal)
     }
 
     /// Number of frames.
@@ -150,34 +219,57 @@ impl BufferPool {
         *self.stats.borrow_mut() = IoStats::new();
     }
 
-    /// Pin `id` for reading.
+    /// Pin `id` for reading. Fails with [`Error::PageBusy`] (instead of
+    /// panicking) if a mutable guard to the page is live.
     pub fn fetch(&self, id: PageId) -> Result<PageRef<'_>> {
         let idx = self.pin_frame(id)?;
         let frame = &self.frames[idx];
-        Ok(PageRef {
-            data: frame.data.borrow(),
-            pin: &frame.pin,
-        })
+        match frame.data.try_borrow() {
+            Ok(data) => Ok(PageRef {
+                data,
+                pin: &frame.pin,
+            }),
+            Err(_) => {
+                frame.pin.set(frame.pin.get() - 1);
+                Err(Error::PageBusy(id))
+            }
+        }
     }
 
-    /// Pin `id` for writing; the frame is marked dirty.
+    /// Pin `id` for writing; the frame is marked dirty once the exclusive
+    /// borrow succeeds. A page with any live guard fails with
+    /// [`Error::PageBusy`] — and stays clean, so a failed attempt never
+    /// causes a spurious write-back.
     pub fn fetch_mut(&self, id: PageId) -> Result<PageMut<'_>> {
         let idx = self.pin_frame(id)?;
         let frame = &self.frames[idx];
-        frame.dirty.set(true);
-        Ok(PageMut {
-            data: frame.data.borrow_mut(),
-            pin: &frame.pin,
-        })
+        match frame.data.try_borrow_mut() {
+            Ok(data) => {
+                frame.dirty.set(true);
+                Ok(PageMut {
+                    data,
+                    pin: &frame.pin,
+                })
+            }
+            Err(_) => {
+                frame.pin.set(frame.pin.get() - 1);
+                Err(Error::PageBusy(id))
+            }
+        }
     }
 
     /// Allocate a fresh page in the pager and pin it, initialized empty.
     /// Installing the new page charges no read (there is nothing to read).
+    ///
+    /// The victim frame is reserved *before* the pager allocates: on an
+    /// exhausted pool the allocation never happens, so no page id leaks
+    /// into the backing file unreachable.
     pub fn allocate_pinned(&self) -> Result<(PageId, PageMut<'_>)> {
-        let id = self.pager.borrow_mut().allocate()?;
         let idx = self.victim_frame()?;
+        let id = self.pager.borrow_mut().allocate()?;
         let frame = &self.frames[idx];
-        frame.data.borrow_mut().reset();
+        let mut data = frame.data.borrow_mut();
+        data.reset();
         frame.page_id.set(Some(id));
         frame.pin.set(1);
         frame.referenced.set(true);
@@ -186,7 +278,7 @@ impl BufferPool {
         Ok((
             id,
             PageMut {
-                data: frame.data.borrow_mut(),
+                data,
                 pin: &frame.pin,
             },
         ))
@@ -197,10 +289,12 @@ impl BufferPool {
     pub fn reset_pinned(&self, id: PageId) -> Result<PageMut<'_>> {
         if let Some(&idx) = self.map.borrow().get(&id) {
             let frame = &self.frames[idx];
+            let Ok(mut data) = frame.data.try_borrow_mut() else {
+                return Err(Error::PageBusy(id));
+            };
             frame.pin.set(frame.pin.get() + 1);
             frame.referenced.set(true);
             frame.dirty.set(true);
-            let mut data = frame.data.borrow_mut();
             data.reset();
             return Ok(PageMut {
                 data,
@@ -209,33 +303,79 @@ impl BufferPool {
         }
         let idx = self.victim_frame()?;
         let frame = &self.frames[idx];
-        frame.data.borrow_mut().reset();
+        let mut data = frame.data.borrow_mut();
+        data.reset();
         frame.page_id.set(Some(id));
         frame.pin.set(1);
         frame.referenced.set(true);
         frame.dirty.set(true);
         self.map.borrow_mut().insert(id, idx);
         Ok(PageMut {
-            data: frame.data.borrow_mut(),
+            data,
             pin: &frame.pin,
         })
     }
 
-    /// Write every dirty frame back and sync the pager (checkpoint).
-    /// Must not be called while mutable guards are outstanding.
+    /// Write every dirty frame back and sync the pager — the checkpoint.
+    ///
+    /// With a WAL attached this is atomic: the images of all dirty pages
+    /// plus a commit record are appended and synced to the log first
+    /// (the batch's durability point), then pages go to the data file,
+    /// then the synced log is truncated. A crash anywhere in between
+    /// recovers to either all of the batch or none of it.
+    ///
+    /// Fails with [`Error::PageBusy`] if a mutable guard is outstanding.
     pub fn flush_all(&self) -> Result<()> {
+        let mut wal_ref = self.wal.borrow_mut();
         let mut pager = self.pager.borrow_mut();
-        let mut stats = self.stats.borrow_mut();
-        for frame in &self.frames {
-            if let Some(id) = frame.page_id.get() {
-                if frame.dirty.get() {
-                    pager.write(id, &frame.data.borrow())?;
-                    frame.dirty.set(false);
-                    stats.flushed_writes += 1;
+        let dirty: Vec<(usize, PageId)> = self
+            .frames
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| match f.page_id.get() {
+                Some(id) if f.dirty.get() => Some((i, id)),
+                _ => None,
+            })
+            .collect();
+        if let Some(wal) = wal_ref.as_mut() {
+            if !dirty.is_empty() {
+                for &(i, id) in &dirty {
+                    let data = self.frames[i]
+                        .data
+                        .try_borrow()
+                        .map_err(|_| Error::PageBusy(id))?;
+                    wal.append_page(id, data.bytes())?;
+                    let mut stats = self.stats.borrow_mut();
+                    stats.wal_appends += 1;
+                    stats.wal_bytes += (RECORD_HEADER + PAGE_SIZE) as u64;
                 }
+                wal.append_commit()?;
+                {
+                    let mut stats = self.stats.borrow_mut();
+                    stats.wal_appends += 1;
+                    stats.wal_bytes += RECORD_HEADER as u64;
+                }
+                // Durability point: the batch commits here.
+                wal.sync()?;
             }
         }
+        for &(i, id) in &dirty {
+            let data = self.frames[i]
+                .data
+                .try_borrow()
+                .map_err(|_| Error::PageBusy(id))?;
+            pager.write(id, &data)?;
+            self.frames[i].dirty.set(false);
+            self.stats.borrow_mut().flushed_writes += 1;
+        }
         pager.sync()?;
+        if let Some(wal) = wal_ref.as_mut() {
+            // Checkpoint complete: the log's contents are in the data
+            // file, so start the next batch from an empty log.
+            wal.reset()?;
+            wal.sync()?;
+        }
+        self.stats.borrow_mut().checkpoints += 1;
         Ok(())
     }
 
@@ -265,14 +405,23 @@ impl BufferPool {
 
     /// Clock sweep: return an unpinned frame, evicting its current page
     /// (with write-back if dirty). Two full sweeps guarantee an eviction
-    /// if any frame is unpinned.
+    /// if any frame is evictable.
+    ///
+    /// Under a WAL the pool is no-steal: dirty frames are skipped like
+    /// pinned ones, because writing uncommitted pages to the data file
+    /// would break checkpoint atomicity (a redo-only log cannot undo
+    /// them). They become evictable at the next [`flush_all`](Self::flush_all).
     fn victim_frame(&self) -> Result<usize> {
+        let no_steal = self.wal.borrow().is_some();
         let n = self.frames.len();
         for _ in 0..2 * n {
             let idx = self.hand.get();
             self.hand.set((idx + 1) % n);
             let frame = &self.frames[idx];
             if frame.pin.get() > 0 {
+                continue;
+            }
+            if no_steal && frame.dirty.get() && frame.page_id.get().is_some() {
                 continue;
             }
             if frame.referenced.get() {
@@ -378,6 +527,165 @@ mod tests {
         drop(pool.allocate_pinned().unwrap());
         assert!(pool.is_resident(1));
         assert!(!pool.is_resident(2));
+    }
+
+    /// Regression: `allocate_pinned` used to allocate in the pager
+    /// *before* reserving a frame — on an exhausted pool the fresh page
+    /// id leaked (the backing file grew; the page was never reachable).
+    #[test]
+    fn exhausted_pool_does_not_leak_allocated_pages() {
+        let pool = pool_with_pages(2, 2);
+        let pages_before = pool.num_pages();
+        let _a = pool.fetch(0).unwrap();
+        let _b = pool.fetch(1).unwrap();
+        assert!(matches!(
+            pool.allocate_pinned(),
+            Err(Error::PoolExhausted { .. })
+        ));
+        assert_eq!(
+            pool.num_pages(),
+            pages_before,
+            "failed allocation must not grow the pager"
+        );
+    }
+
+    /// Regression: re-pinning a page while a mutable guard is live hit a
+    /// `RefCell` borrow panic; it must be a typed `PageBusy` error, and
+    /// the pin taken for the failed attempt must be released.
+    #[test]
+    fn conflicting_pins_return_page_busy_instead_of_panicking() {
+        let pool = pool_with_pages(2, 1);
+        let guard = pool.fetch_mut(0).unwrap();
+        assert!(matches!(pool.fetch(0), Err(Error::PageBusy(0))));
+        assert!(matches!(pool.fetch_mut(0), Err(Error::PageBusy(0))));
+        assert!(matches!(pool.reset_pinned(0), Err(Error::PageBusy(0))));
+        drop(guard);
+        // The failed attempts released their pins: the page is evictable
+        // again and a plain fetch works.
+        assert_eq!(pool.fetch(0).unwrap().get(0).unwrap(), b"page-0");
+        let shared = pool.fetch(0).unwrap();
+        assert!(matches!(pool.fetch_mut(0), Err(Error::PageBusy(0))));
+        drop(shared);
+        pool.fetch_mut(0).unwrap();
+    }
+
+    /// Regression: `fetch_mut` marked the frame dirty *before* taking the
+    /// exclusive borrow, so a failed attempt left a clean page flagged
+    /// dirty and caused a spurious write-back at the next eviction.
+    #[test]
+    fn failed_fetch_mut_does_not_dirty_a_clean_page() {
+        let pool = pool_with_pages(2, 4);
+        pool.flush_all().unwrap(); // everything clean
+        pool.reset_stats();
+        {
+            let shared = pool.fetch(0).unwrap();
+            assert!(matches!(pool.fetch_mut(0), Err(Error::PageBusy(0))));
+            drop(shared);
+        }
+        // Churn page 0 out with clean reads only.
+        for id in [2, 3, 1] {
+            drop(pool.fetch(id).unwrap());
+        }
+        assert!(!pool.is_resident(0));
+        assert_eq!(
+            pool.stats().write_backs,
+            0,
+            "clean page must not be written back after a failed fetch_mut"
+        );
+    }
+
+    #[test]
+    fn wal_checkpoint_logs_before_data_and_truncates_after() {
+        use crate::wal::MemWalStore;
+        let wal = Wal::new(Box::new(MemWalStore::new()));
+        let pool = BufferPool::with_wal(Box::new(MemPager::new()), wal, 4);
+        let (id, mut page) = pool.allocate_pinned().unwrap();
+        page.insert(b"walled").unwrap();
+        drop(page);
+        pool.flush_all().unwrap();
+        let s = pool.stats();
+        // One dirty page: one image record + one commit record.
+        assert_eq!(s.wal_appends, 2);
+        assert_eq!(s.wal_bytes, (2 * RECORD_HEADER + PAGE_SIZE) as u64);
+        assert_eq!(s.flushed_writes, 1);
+        assert_eq!(s.checkpoints, 1);
+        assert!(
+            pool.wal.borrow().as_ref().unwrap().is_empty(),
+            "log truncates after a completed checkpoint"
+        );
+        // An idle checkpoint appends nothing.
+        pool.flush_all().unwrap();
+        let s = pool.stats();
+        assert_eq!(s.wal_appends, 2);
+        assert_eq!(s.checkpoints, 2);
+        assert_eq!(pool.fetch(id).unwrap().get(0).unwrap(), b"walled");
+    }
+
+    #[test]
+    fn no_steal_under_wal_skips_dirty_frames() {
+        use crate::wal::MemWalStore;
+        let wal = Wal::new(Box::new(MemWalStore::new()));
+        let pool = BufferPool::with_wal(Box::new(MemPager::new()), wal, 2);
+        // Two dirty pages fill the pool; without a checkpoint they are
+        // unevictable, so a third allocation must fail rather than write
+        // uncommitted bytes to the data file.
+        let (a, mut pa) = pool.allocate_pinned().unwrap();
+        pa.insert(b"dirty-a").unwrap();
+        drop(pa);
+        let (b, mut pb) = pool.allocate_pinned().unwrap();
+        pb.insert(b"dirty-b").unwrap();
+        drop(pb);
+        assert!(matches!(
+            pool.allocate_pinned(),
+            Err(Error::PoolExhausted { .. })
+        ));
+        // After the checkpoint both frames are clean and evictable.
+        pool.flush_all().unwrap();
+        let (_, pc) = pool.allocate_pinned().unwrap();
+        drop(pc);
+        assert_eq!(pool.fetch(a).unwrap().get(0).unwrap(), b"dirty-a");
+        assert_eq!(pool.fetch(b).unwrap().get(0).unwrap(), b"dirty-b");
+    }
+
+    #[test]
+    fn open_durable_roundtrips_checkpointed_state() {
+        let dir =
+            std::env::temp_dir().join(format!("pagestore-durable-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (pool, report) = BufferPool::open_durable(&dir, 4).unwrap();
+            assert!(!report.did_work());
+            let (id, mut page) = pool.allocate_pinned().unwrap();
+            assert_eq!(id, 0);
+            page.insert(b"checkpointed").unwrap();
+            drop(page);
+            pool.flush_all().unwrap();
+            // Dirty again, but never checkpointed: must not survive.
+            let mut page = pool.fetch_mut(id).unwrap();
+            page.insert(b"volatile").unwrap();
+        }
+        {
+            let (pool, _) = BufferPool::open_durable(&dir, 4).unwrap();
+            assert!(pool.is_durable());
+            let page = pool.fetch(0).unwrap();
+            assert_eq!(page.get(0).unwrap(), b"checkpointed");
+            assert_eq!(page.live_count(), 1, "uncommitted insert is gone");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_requires_wal_and_quiesced_pool() {
+        let pool = BufferPool::in_memory(2);
+        assert!(matches!(pool.recover(), Err(Error::NotDurable)));
+        use crate::wal::MemWalStore;
+        let wal = Wal::new(Box::new(MemWalStore::new()));
+        let pool = BufferPool::with_wal(Box::new(MemPager::new()), wal, 2);
+        let (id, guard) = pool.allocate_pinned().unwrap();
+        assert!(matches!(pool.recover(), Err(Error::PageBusy(p)) if p == id));
+        drop(guard);
+        let report = pool.recover().unwrap();
+        assert!(!report.did_work());
     }
 
     #[test]

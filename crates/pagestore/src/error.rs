@@ -12,10 +12,16 @@ pub enum Error {
     PoolExhausted { capacity: usize },
     /// A tuple address that does not point at a live tuple.
     BadAddress(String),
+    /// The page is pinned with a conflicting borrow (e.g. re-pinning a
+    /// page while a mutable guard to it is live).
+    PageBusy(u32),
     /// Underlying file I/O failure (file-backed pager only).
     Io(std::io::Error),
     /// A persisted file whose size is not a whole number of pages.
     CorruptFile { len: u64 },
+    /// A durability operation (recover/checkpoint accounting) on a pool
+    /// with no write-ahead log attached.
+    NotDurable,
 }
 
 impl fmt::Display for Error {
@@ -26,9 +32,15 @@ impl fmt::Display for Error {
                 write!(f, "all {capacity} buffer frames are pinned")
             }
             Error::BadAddress(what) => write!(f, "bad tuple address: {what}"),
+            Error::PageBusy(id) => {
+                write!(f, "page {id} is pinned with a conflicting borrow")
+            }
             Error::Io(e) => write!(f, "pager I/O error: {e}"),
             Error::CorruptFile { len } => {
                 write!(f, "file length {len} is not a multiple of the page size")
+            }
+            Error::NotDurable => {
+                write!(f, "no write-ahead log is attached to this pool")
             }
         }
     }

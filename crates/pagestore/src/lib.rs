@@ -10,19 +10,31 @@
 //!   eviction, RAII pin guards, dirty tracking, and explicit checkpoint.
 //! * [`HeapFile`] — unordered tuple storage with TOAST-style overflow
 //!   chains for oversized tuples.
-//! * [`IoStats`] — logical/physical reads, evictions, and write-backs,
-//!   snapshot-and-diff style.
+//! * [`IoStats`] — logical/physical reads, evictions, write-backs, and
+//!   WAL traffic, snapshot-and-diff style.
+//! * [`Wal`] — redo-only write-ahead log of checksummed page images;
+//!   [`recover`] replays committed batches and truncates torn tails, so a
+//!   WAL-attached pool's [`flush_all`](BufferPool::flush_all) is an
+//!   atomic, crash-safe checkpoint.
+//! * [`FaultPager`] / [`FaultWal`] — fault-injection wrappers that fail
+//!   the Nth I/O (error, short write, crash-stop) for crash-point tests.
 
 mod buffer;
 mod error;
+mod fault;
 mod heap;
 mod page;
 mod pager;
+mod recovery;
 mod stats;
+mod wal;
 
 pub use buffer::{BufferPool, PageMut, PageRef};
 pub use error::{Error, Result};
+pub use fault::{FaultKind, FaultPager, FaultPlan, FaultWal};
 pub use heap::{HeapFile, TupleAddr, INLINE_LIMIT};
 pub use page::{Page, PageId, MAX_INLINE_TUPLE, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, Pager};
+pub use recovery::{recover, RecoveryReport};
 pub use stats::IoStats;
+pub use wal::{crc32, FileWalStore, Lsn, MemWalStore, Wal, WalRecord, WalStore, RECORD_HEADER};

@@ -26,6 +26,16 @@ pub trait Pager {
 
     /// Durably flush previous writes (no-op for memory backends).
     fn sync(&mut self) -> Result<()>;
+
+    /// Grow the address space to at least `n` pages. WAL replay needs
+    /// this: a committed batch may reference pages whose in-place
+    /// allocation never reached the data file before the crash.
+    fn ensure_pages(&mut self, n: u32) -> Result<()> {
+        while self.num_pages() < n {
+            self.allocate()?;
+        }
+        Ok(())
+    }
 }
 
 /// Heap-allocated page store: the backend for in-memory databases and
@@ -99,6 +109,30 @@ impl FilePager {
         Ok(FilePager {
             file,
             num_pages: (len / PAGE_SIZE as u64) as u32,
+        })
+    }
+
+    /// Open the page file for recovery: a trailing *partial* page — the
+    /// footprint of an `allocate` or final write interrupted mid-call —
+    /// is truncated away rather than rejected. Only the tail can be
+    /// partial (all writes are page-aligned), and a truncated tail page
+    /// loses nothing durable: if its contents were committed they live in
+    /// the WAL and replay re-extends the file.
+    pub fn open_recoverable(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let whole = len - len % PAGE_SIZE as u64;
+        if whole != len {
+            file.set_len(whole)?;
+        }
+        Ok(FilePager {
+            file,
+            num_pages: (whole / PAGE_SIZE as u64) as u32,
         })
     }
 
@@ -197,5 +231,50 @@ mod tests {
             Err(Error::CorruptFile { len: 100 })
         ));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recoverable_open_truncates_partial_tail_page() {
+        let path = std::env::temp_dir().join(format!(
+            "pagestore-recoverable-test-{}.db",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut pager = FilePager::open(&path).unwrap();
+            let id = pager.allocate().unwrap();
+            let mut page = Page::new();
+            page.insert(b"whole page").unwrap();
+            pager.write(id, &page).unwrap();
+            pager.sync().unwrap();
+        }
+        // Simulate an allocate interrupted mid-write: a partial tail page.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0u8; 1000]).unwrap();
+        }
+        assert!(FilePager::open(&path).is_err(), "strict open still rejects");
+        let mut pager = FilePager::open_recoverable(&path).unwrap();
+        assert_eq!(pager.num_pages(), 1);
+        let mut back = Page::new();
+        pager.read(0, &mut back).unwrap();
+        assert_eq!(back.get(0).unwrap(), b"whole page");
+        drop(pager);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            PAGE_SIZE as u64,
+            "partial tail removed from the file"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn ensure_pages_extends_the_address_space() {
+        let mut pager = MemPager::new();
+        pager.ensure_pages(3).unwrap();
+        assert_eq!(pager.num_pages(), 3);
+        pager.ensure_pages(2).unwrap();
+        assert_eq!(pager.num_pages(), 3, "never shrinks");
     }
 }

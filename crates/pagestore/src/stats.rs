@@ -20,6 +20,12 @@ pub struct IoStats {
     pub write_backs: u64,
     /// Dirty pages written by explicit flush/checkpoint calls.
     pub flushed_writes: u64,
+    /// Records appended to the write-ahead log (page images + commits).
+    pub wal_appends: u64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Completed checkpoints ([`flush_all`](crate::BufferPool::flush_all)).
+    pub checkpoints: u64,
 }
 
 impl IoStats {
@@ -46,14 +52,19 @@ impl IoStats {
         self.write_backs + self.flushed_writes
     }
 
-    /// Counter deltas since an earlier snapshot.
+    /// Counter deltas since an earlier snapshot. Saturates at zero: a
+    /// snapshot taken before a counter reset is "from the future" and
+    /// must diff to nothing, not panic or wrap.
     pub fn since(&self, earlier: &IoStats) -> IoStats {
         IoStats {
-            logical_reads: self.logical_reads - earlier.logical_reads,
-            physical_reads: self.physical_reads - earlier.physical_reads,
-            evictions: self.evictions - earlier.evictions,
-            write_backs: self.write_backs - earlier.write_backs,
-            flushed_writes: self.flushed_writes - earlier.flushed_writes,
+            logical_reads: self.logical_reads.saturating_sub(earlier.logical_reads),
+            physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            write_backs: self.write_backs.saturating_sub(earlier.write_backs),
+            flushed_writes: self.flushed_writes.saturating_sub(earlier.flushed_writes),
+            wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
         }
     }
 
@@ -64,6 +75,9 @@ impl IoStats {
         self.evictions += other.evictions;
         self.write_backs += other.write_backs;
         self.flushed_writes += other.flushed_writes;
+        self.wal_appends += other.wal_appends;
+        self.wal_bytes += other.wal_bytes;
+        self.checkpoints += other.checkpoints;
     }
 }
 
@@ -71,12 +85,14 @@ impl fmt::Display for IoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "logical {} | physical {} | hit rate {:.1}% | evictions {} | written {}",
+            "logical {} | physical {} | hit rate {:.1}% | evictions {} | written {} | wal {} rec / {} B",
             self.logical_reads,
             self.physical_reads,
             self.hit_rate() * 100.0,
             self.evictions,
             self.pages_written(),
+            self.wal_appends,
+            self.wal_bytes,
         )
     }
 }
@@ -105,5 +121,26 @@ mod tests {
         acc.absorb(&d);
         acc.absorb(&d);
         assert_eq!(acc.logical_reads, 10);
+    }
+
+    /// Regression: diffing against a snapshot taken *before* a reset used
+    /// unchecked subtraction — panic in debug, wrap in release. It must
+    /// saturate to zero instead.
+    #[test]
+    fn since_saturates_across_a_reset() {
+        let mut s = IoStats::new();
+        s.logical_reads = 40;
+        s.physical_reads = 12;
+        s.evictions = 3;
+        s.write_backs = 2;
+        s.flushed_writes = 5;
+        s.wal_appends = 7;
+        s.wal_bytes = 1000;
+        s.checkpoints = 1;
+        let pre_reset_snapshot = s;
+        let after_reset = IoStats::new(); // `reset_stats` zeroes everything
+        let d = after_reset.since(&pre_reset_snapshot);
+        assert_eq!(d, IoStats::new());
+        assert_eq!(d.hits(), 0);
     }
 }

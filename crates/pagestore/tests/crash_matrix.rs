@@ -1,0 +1,270 @@
+//! The crash-point matrix: for **every** I/O operation in a commit
+//! (WAL appends, WAL sync, page write-backs, data sync, log truncate),
+//! inject a fault at exactly that operation, "crash" the process, reopen
+//! the store from its files, run recovery, and verify:
+//!
+//! * every previously committed checkpoint reads back byte-identical, and
+//! * the in-flight commit is atomic — all of its effects or none.
+//!
+//! Three fault kinds cover the failure space: `CrashStop` (die before the
+//! operation, unsynced log tail lost with the page cache), `ShortWrite`
+//! (a torn write reaches disk, then death), and `Error` (a transient
+//! failure the caller retries without crashing).
+
+use pagestore::{
+    BufferPool, Error, FaultKind, FaultPager, FaultPlan, FaultWal, FilePager, FileWalStore, Wal,
+};
+use std::path::{Path, PathBuf};
+
+const CAP: usize = 8;
+
+fn unique_base(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "pagestore-crash-matrix-{tag}-{}",
+        std::process::id()
+    ))
+}
+
+/// A fresh store in `dir` whose pager *and* WAL share one fault plan, so
+/// arming the plan walks a single crash point through the whole commit
+/// protocol in I/O order.
+fn open_faulty(dir: &Path, plan: &FaultPlan) -> BufferPool {
+    std::fs::create_dir_all(dir).unwrap();
+    let pager = FaultPager::new(
+        Box::new(FilePager::open_recoverable(dir.join("pages.db")).unwrap()),
+        plan.clone(),
+    );
+    let store = FaultWal::new(
+        Box::new(FileWalStore::open(dir.join("wal.log")).unwrap()),
+        plan.clone(),
+    );
+    BufferPool::with_wal(Box::new(pager), Wal::new(Box::new(store)), CAP)
+}
+
+/// Commits 1 and 2 — the durable history that must survive any fault.
+fn committed_prefix(pool: &BufferPool) {
+    // Commit 1: pages 0, 1, 2.
+    for i in 0..3u32 {
+        let (id, mut page) = pool.allocate_pinned().unwrap();
+        assert_eq!(id, i);
+        page.insert(format!("c1-p{id}").as_bytes()).unwrap();
+    }
+    pool.flush_all().unwrap();
+    // Commit 2: update page 1, add page 3.
+    pool.fetch_mut(1).unwrap().insert(b"c2-p1").unwrap();
+    let (id, mut page) = pool.allocate_pinned().unwrap();
+    assert_eq!(id, 3);
+    page.insert(b"c2-p3").unwrap();
+    drop(page);
+    pool.flush_all().unwrap();
+}
+
+/// The in-flight commit 3: dirties two existing pages and allocates a new
+/// one. Split from its checkpoint so tests can fault them separately.
+fn inflight_body(pool: &BufferPool) -> pagestore::Result<()> {
+    pool.fetch_mut(0)?.insert(b"c3-p0").unwrap();
+    pool.fetch_mut(2)?.insert(b"c3-p2").unwrap();
+    // Usually page 4 — but after a crashed earlier attempt whose allocate
+    // reached the file, the id can be higher. Verification scans for it.
+    let (_, mut page) = pool.allocate_pinned()?;
+    page.insert(b"c3-p4").unwrap();
+    Ok(())
+}
+
+/// Reopen `dir` without faults, recover, and check consistency. Returns
+/// whether commit 3 is present; panics if the store is inconsistent —
+/// a damaged prefix or a half-applied commit 3.
+fn verify_after_recovery(dir: &Path, context: &str) -> bool {
+    let (pool, _report) = BufferPool::open_durable(dir, CAP).unwrap();
+    // Commits 1 and 2, byte-identical.
+    let check = |id: u32, slot: u16, want: &[u8]| {
+        let page = pool.fetch(id).unwrap();
+        let got = page.get(slot);
+        assert_eq!(
+            got,
+            Some(want),
+            "{context}: page {id} slot {slot} must hold {:?}",
+            String::from_utf8_lossy(want)
+        );
+    };
+    check(0, 0, b"c1-p0");
+    check(1, 0, b"c1-p1");
+    check(1, 1, b"c2-p1");
+    check(2, 0, b"c1-p2");
+    check(3, 0, b"c2-p3");
+    assert_eq!(
+        pool.fetch(1).unwrap().live_count(),
+        2,
+        "{context}: page 1 has exactly its two committed tuples"
+    );
+    // Commit 3: all or nothing. Its fresh page is usually id 4, but an
+    // earlier crashed attempt may have grown the file first — scan the
+    // tail; every tail page is either commit 3's or empty (a dangling
+    // allocation is invisible, never half-written).
+    let has_p0 = pool.fetch(0).unwrap().get(1) == Some(b"c3-p0".as_slice());
+    let has_p2 = pool.fetch(2).unwrap().get(1) == Some(b"c3-p2".as_slice());
+    let mut has_p4 = false;
+    for id in 4..pool.num_pages() {
+        let page = pool.fetch(id).unwrap();
+        if page.get(0) == Some(b"c3-p4".as_slice()) {
+            assert!(!has_p4, "{context}: commit 3's page must appear once");
+            has_p4 = true;
+        } else {
+            assert_eq!(
+                page.live_count(),
+                0,
+                "{context}: tail page {id} must be empty if it is not commit 3's"
+            );
+        }
+    }
+    assert!(
+        has_p0 == has_p2 && has_p2 == has_p4,
+        "{context}: commit 3 must be atomic, got p0={has_p0} p2={has_p2} p4={has_p4}"
+    );
+    if !has_p0 {
+        assert_eq!(pool.fetch(0).unwrap().live_count(), 1, "{context}");
+        assert_eq!(pool.fetch(2).unwrap().live_count(), 1, "{context}");
+    }
+    has_p0
+}
+
+/// Run the scripted workload against `dir`, arming a fault `nth` I/O
+/// operations into commit 3 (body + checkpoint). Returns the error the
+/// fault surfaced as.
+fn run_to_fault(dir: &Path, nth: u64, kind: FaultKind) -> Error {
+    let plan = FaultPlan::unarmed();
+    let pool = open_faulty(dir, &plan);
+    committed_prefix(&pool);
+    plan.arm(nth, kind);
+    let result = inflight_body(&pool).and_then(|()| pool.flush_all());
+    let err = result.expect_err("the armed fault must surface as an error");
+    assert!(plan.fired(), "fault point {nth} was never reached");
+    err
+}
+
+/// Count the I/O operations in commit 3 (body, checkpoint) with an
+/// unarmed plan, and sanity-check the clean run.
+fn commit3_op_counts() -> (u64, u64) {
+    let base = unique_base("probe");
+    let _ = std::fs::remove_dir_all(&base);
+    let plan = FaultPlan::unarmed();
+    let pool = open_faulty(&base, &plan);
+    committed_prefix(&pool);
+    let at_body_start = plan.ops();
+    inflight_body(&pool).unwrap();
+    let at_flush_start = plan.ops();
+    pool.flush_all().unwrap();
+    let at_end = plan.ops();
+    drop(pool);
+    assert!(
+        verify_after_recovery(&base, "probe"),
+        "clean run must commit"
+    );
+    std::fs::remove_dir_all(&base).unwrap();
+    (at_flush_start - at_body_start, at_end - at_flush_start)
+}
+
+/// Every crash point in commit 3, for both crash kinds: recovery must
+/// restore a consistent store with commit 3 atomically present or absent.
+#[test]
+fn crash_matrix_every_fault_point_recovers_consistently() {
+    let (body_ops, flush_ops) = commit3_op_counts();
+    assert!(body_ops >= 1, "commit 3 allocates a page");
+    assert!(
+        flush_ops >= 8,
+        "checkpoint = 4 WAL appends + WAL sync + 3 page writes + data sync + truncate + sync"
+    );
+    let base = unique_base("matrix");
+    let _ = std::fs::remove_dir_all(&base);
+    let mut committed = 0u32;
+    let mut rolled_back = 0u32;
+    for kind in [FaultKind::CrashStop, FaultKind::ShortWrite] {
+        for nth in 1..=(body_ops + flush_ops) {
+            let dir = base.join(format!("{kind:?}-{nth}"));
+            run_to_fault(&dir, nth, kind);
+            let context = format!("{kind:?} at op {nth}");
+            if verify_after_recovery(&dir, &context) {
+                committed += 1;
+            } else {
+                rolled_back += 1;
+            }
+        }
+    }
+    // The matrix must exercise both outcomes: early faults roll the
+    // commit back, faults after the WAL durability point replay it.
+    assert!(rolled_back > 0, "some fault points must lose the commit");
+    assert!(committed > 0, "some fault points must preserve the commit");
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+/// Transient errors at every checkpoint I/O: the store stays alive, a
+/// retried checkpoint succeeds, and commit 3 becomes fully durable.
+#[test]
+fn transient_error_at_every_checkpoint_op_is_retryable() {
+    let (body_ops, flush_ops) = commit3_op_counts();
+    let base = unique_base("transient");
+    let _ = std::fs::remove_dir_all(&base);
+    for nth in 1..=flush_ops {
+        let dir = base.join(format!("err-{nth}"));
+        let plan = FaultPlan::unarmed();
+        let pool = open_faulty(&dir, &plan);
+        committed_prefix(&pool);
+        inflight_body(&pool).unwrap();
+        plan.arm(nth, FaultKind::Error);
+        pool.flush_all()
+            .expect_err("the armed fault must surface as an error");
+        assert!(!plan.crashed(), "Error kind must not kill the store");
+        // Retry: the dirty pages are still in the pool, the WAL may hold
+        // a half-appended batch — the retried checkpoint must cope.
+        pool.flush_all().expect("retried checkpoint succeeds");
+        drop(pool);
+        let context = format!("Error at checkpoint op {nth} then retry");
+        assert!(
+            verify_after_recovery(&dir, &context),
+            "{context}: commit 3 must be durable after a successful retry"
+        );
+    }
+    let _ = body_ops;
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+/// Double crash: a fault during commit 3, then a second fault during the
+/// *recovered* store's next commit, must still leave commits 1–2 intact.
+#[test]
+fn crash_during_recovery_reopen_then_crash_again() {
+    let (body_ops, flush_ops) = commit3_op_counts();
+    let total = body_ops + flush_ops;
+    let base = unique_base("double");
+    let _ = std::fs::remove_dir_all(&base);
+    // First crash mid-WAL-append, second crash at every later point of a
+    // fresh attempt on the recovered store.
+    let first = body_ops + 2; // inside the WAL append run
+    for second in 1..=total {
+        let dir = base.join(format!("double-{second}"));
+        run_to_fault(&dir, first, FaultKind::CrashStop);
+        // Reopen with faults again, recover through the faulty pager
+        // (recovery's own writes are part of the I/O stream but the plan
+        // is not yet armed), then re-attempt commit 3.
+        let plan = FaultPlan::unarmed();
+        let pool = {
+            std::fs::create_dir_all(&dir).unwrap();
+            let pager = FaultPager::new(
+                Box::new(FilePager::open_recoverable(dir.join("pages.db")).unwrap()),
+                plan.clone(),
+            );
+            let store = FaultWal::new(
+                Box::new(FileWalStore::open(dir.join("wal.log")).unwrap()),
+                plan.clone(),
+            );
+            let pool = BufferPool::with_wal(Box::new(pager), Wal::new(Box::new(store)), CAP);
+            pool.recover().unwrap();
+            pool
+        };
+        plan.arm(second, FaultKind::CrashStop);
+        let _ = inflight_body(&pool).and_then(|()| pool.flush_all());
+        drop(pool);
+        let context = format!("double crash, second at op {second}");
+        verify_after_recovery(&dir, &context);
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}

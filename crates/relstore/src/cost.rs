@@ -143,14 +143,16 @@ impl CostTracker {
         self.measured.absorb(&other.measured);
     }
 
-    /// Difference since an earlier snapshot.
+    /// Difference since an earlier snapshot. Saturates at zero so that a
+    /// snapshot taken before a counter reset (e.g. the CLI's
+    /// `stats reset`) diffs to nothing instead of panicking or wrapping.
     pub fn since(&self, earlier: &CostTracker) -> CostTracker {
         CostTracker {
-            seq_pages: self.seq_pages - earlier.seq_pages,
-            random_pages: self.random_pages - earlier.random_pages,
-            tuples: self.tuples - earlier.tuples,
-            index_tuples: self.index_tuples - earlier.index_tuples,
-            operator_evals: self.operator_evals - earlier.operator_evals,
+            seq_pages: self.seq_pages.saturating_sub(earlier.seq_pages),
+            random_pages: self.random_pages.saturating_sub(earlier.random_pages),
+            tuples: self.tuples.saturating_sub(earlier.tuples),
+            index_tuples: self.index_tuples.saturating_sub(earlier.index_tuples),
+            operator_evals: self.operator_evals.saturating_sub(earlier.operator_evals),
             measured: self.measured.since(&earlier.measured),
         }
     }
@@ -200,5 +202,29 @@ mod tests {
         let mut b = CostTracker::new();
         b.absorb(&a);
         assert_eq!(b.operator_evals, 12);
+    }
+
+    /// Regression: diffing a fresh tracker against a snapshot from before
+    /// a reset used unchecked `u64` subtraction — panic in debug, wrap in
+    /// release. It must saturate to zero.
+    #[test]
+    fn since_saturates_across_a_reset() {
+        let m = CostModel::default();
+        let mut t = CostTracker::new();
+        t.seq_scan(100, &m);
+        t.random_fetches(5);
+        t.index_probes(3);
+        t.ops(9);
+        t.measured.logical_reads = 11;
+        let pre_reset_snapshot = t;
+        let after_reset = CostTracker::new(); // counters zeroed
+        let d = after_reset.since(&pre_reset_snapshot);
+        assert_eq!(d.seq_pages, 0);
+        assert_eq!(d.random_pages, 0);
+        assert_eq!(d.tuples, 0);
+        assert_eq!(d.index_tuples, 0);
+        assert_eq!(d.operator_evals, 0);
+        assert_eq!(d.measured, pagestore::IoStats::default());
+        assert_eq!(d.total(&m), 0.0);
     }
 }

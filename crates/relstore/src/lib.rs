@@ -77,4 +77,4 @@ pub use value::{DataType, Value};
 
 // The paged storage layer underneath heap tables, re-exported so callers
 // can size pools and read I/O counters without a direct pagestore dep.
-pub use pagestore::{BufferPool, IoStats, PAGE_SIZE};
+pub use pagestore::{BufferPool, IoStats, RecoveryReport, PAGE_SIZE};

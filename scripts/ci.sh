@@ -16,4 +16,17 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> fault-injection / crash-recovery suite (release)"
+# The crash-point matrix walks a fault through every I/O of a commit; run
+# it in release so the full matrix stays fast.
+cargo test -p pagestore --release -q --test crash_matrix --test pool_props
+
+echo "==> no ignored recovery tests"
+# Recovery coverage must actually run: fail if any pagestore test is
+# marked #[ignore].
+if grep -rn "#\[ignore" crates/pagestore/src crates/pagestore/tests; then
+    echo "error: ignored tests found in pagestore (recovery coverage must run)" >&2
+    exit 1
+fi
+
 echo "CI OK"

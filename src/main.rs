@@ -79,12 +79,40 @@ fn help() {
          run <SELECT … FROM VERSION i OF CVD c | SELECT vid, agg(col) FROM CVD c GROUP BY vid>\n  \
          optimize <cvd> [-g <gamma>]\n  \
          stats [reset]   (buffer-pool I/O counters)\n  \
+         checkpoint      (flush dirty pages; atomic when --data-dir is set)\n  \
+         recover         (replay the write-ahead log, as after a crash)\n  \
          log <cvd> | ls | drop <cvd> | help | quit"
     );
 }
 
+/// `--data-dir <dir>`: open a durable instance (page file + write-ahead
+/// log in `dir`) instead of the default in-memory one.
+fn open_db() -> OrpheusDb {
+    let args: Vec<String> = std::env::args().collect();
+    let dir = args
+        .iter()
+        .position(|a| a == "--data-dir")
+        .and_then(|i| args.get(i + 1));
+    match dir {
+        Some(dir) => match OrpheusDb::open_durable(dir, 512) {
+            Ok((db, report)) => {
+                if report.did_work() {
+                    println!("crash recovery: {report}");
+                }
+                println!("durable store at {dir} (write-ahead logged)");
+                db
+            }
+            Err(e) => {
+                eprintln!("cannot open data dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => OrpheusDb::new(),
+    }
+}
+
 fn main() {
-    let mut db = OrpheusDb::new();
+    let mut db = open_db();
     println!("OrpheusDB shell — type 'help' for commands, 'quit' to exit.");
     let stdin = std::io::stdin();
     loop {
