@@ -35,6 +35,8 @@ fn main() {
         "checkout ms",
         "sim co ms",
     ]);
+    let registry = obs::Registry::new();
+    let mut total_tracker = relstore::CostTracker::new();
     for spec in specs {
         let dataset = generate(&spec);
         let mut cvd = dataset_to_cvd(&dataset);
@@ -93,6 +95,10 @@ fn main() {
             let mut ctx = ExecContext::new();
             let (out, checkout_t) = time(|| model.checkout(&db, &cvd, latest, &mut ctx).unwrap());
             assert_eq!(out.len(), cvd.version_records(latest).unwrap().len());
+            registry.observe_duration("fig4_1.commit.latency_us", commit_t);
+            registry.observe_duration("fig4_1.checkout.latency_us", checkout_t);
+            total_tracker.absorb(&commit_tracker);
+            total_tracker.absorb(&ctx.tracker);
             let storage_mb = model.storage_bytes(&db) as f64 / (1024.0 * 1024.0);
             bench::row(&[
                 spec.name.clone(),
@@ -105,6 +111,11 @@ fn main() {
             ]);
         }
         println!();
+    }
+    total_tracker.publish(&registry);
+    match bench::write_metrics_snapshot("fig4_1_data_models", &registry) {
+        Ok(path) => println!("metrics snapshot: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics snapshot: {e}"),
     }
     // Reload helper kept warm for the linter.
     let _ = load_model;

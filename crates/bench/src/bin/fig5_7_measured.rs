@@ -74,8 +74,10 @@ fn measured_cost(t: &CostTracker, m: &CostModel) -> f64 {
         + t.operator_evals as f64 * m.cpu_operator
 }
 
-/// Run one join; returns (estimated cost units, measured cost units).
-fn run_join(t: &Table, ids: &[i64], strategy: &str) -> (f64, f64) {
+/// Run one join; returns (estimated cost units, measured cost units) and
+/// absorbs the run's counters into the experiment-wide tracker.
+fn run_join(t: &Table, ids: &[i64], strategy: &str, obs: &ExperimentObs) -> (f64, f64) {
+    let start = std::time::Instant::now();
     let mut ctx = ExecContext::new();
     let rows = match strategy {
         "hash" => {
@@ -98,10 +100,22 @@ fn run_join(t: &Table, ids: &[i64], strategy: &str) -> (f64, f64) {
         _ => unreachable!(),
     };
     assert_eq!(rows.len(), ids.len());
+    obs.registry.observe_duration(
+        &format!("fig5_7.join_{strategy}.latency_us"),
+        start.elapsed(),
+    );
+    obs.tracker.borrow_mut().absorb(&ctx.tracker);
     (
         ctx.tracker.total(&ctx.model),
         measured_cost(&ctx.tracker, &ctx.model),
     )
+}
+
+/// Experiment-wide observability: every join's counters accumulate here
+/// and land in `results/metrics_fig5_7_measured.json`.
+struct ExperimentObs {
+    registry: obs::Registry,
+    tracker: std::cell::RefCell<CostTracker>,
 }
 
 fn winner(totals: &[f64; 3]) -> &'static str {
@@ -122,6 +136,11 @@ fn main() {
     let rks = [20_000usize, 50_000, 100_000, 200_000, 300_000];
     let rlists = [1_000usize, 5_000, 20_000, 100_000];
     let mut mismatches = 0usize;
+    let obs = ExperimentObs {
+        registry: obs::Registry::new(),
+        tracker: std::cell::RefCell::new(CostTracker::new()),
+    };
+    let mut pool_total = relstore::IoStats::default();
     for clustered in [true, false] {
         println!(
             "--- data table clustered on {}, pool = {POOL_FRAMES} frames ---",
@@ -153,7 +172,7 @@ fn main() {
                 let mut est = [0.0f64; 3];
                 let mut meas = [0.0f64; 3];
                 for (i, s) in STRATEGIES.iter().enumerate() {
-                    let (e, m) = run_join(&t, &ids, s);
+                    let (e, m) = run_join(&t, &ids, s, &obs);
                     est[i] = e;
                     meas[i] = m;
                     est_cell[i] += e;
@@ -169,6 +188,7 @@ fn main() {
                     winner(&meas).to_string(),
                 ]);
             }
+            pool_total.absorb(&t.pool().stats());
             let (ew, mw) = (winner(&est_cell), winner(&meas_cell));
             println!(
                 "    cell |Rk|={rk}: estimated winner = {ew}, measured winner = {mw}  {}",
@@ -185,4 +205,10 @@ fn main() {
         "measured I/O disagreed with the analytic cost model on {mismatches} cell(s)"
     );
     println!("all (|Rk|, clustering) cells: measured winner matches analytic winner");
+    pool_total.publish(&obs.registry);
+    obs.tracker.borrow().publish(&obs.registry);
+    match bench::write_metrics_snapshot("fig5_7_measured", &obs.registry) {
+        Ok(path) => println!("metrics snapshot: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics snapshot: {e}"),
+    }
 }

@@ -1,0 +1,186 @@
+//! CI observability smoke test.
+//!
+//! Drives a scripted commit/checkout workload against a durable OrpheusDb
+//! seeded from a benchgen dataset, then checks the two machine-readable
+//! observability surfaces end to end:
+//!
+//! * `explain analyze [--json]` on a hash-join-over-versions query must
+//!   produce a plan tree with estimated and actual row counts, and its
+//!   JSON form must carry the documented schema;
+//! * `metrics --json` must parse and contain the WAL fsync counter, the
+//!   buffer-pool hit ratio gauge, and commit/checkout/query latency
+//!   histogram percentiles.
+//!
+//! Any violation panics, so a broken pipeline fails `scripts/ci.sh`.
+
+use benchgen::{generate, DatasetSpec};
+use orpheus_core::{CommandOutput, OrpheusDb};
+use partition::Vid;
+use relstore::{Column, DataType, Schema, Value};
+
+/// Unwrap a command's textual output.
+fn text(out: CommandOutput) -> String {
+    match out {
+        CommandOutput::Message(s) => s,
+        other => panic!("expected a text payload, got {other:?}"),
+    }
+}
+
+/// Assert that a JSON document parses and contains every required path
+/// (paths use `/` separators because metric names contain dots).
+fn check_schema(what: &str, src: &str, required: &[&str]) {
+    match obs::missing_keys(src, required) {
+        Ok(missing) if missing.is_empty() => {}
+        Ok(missing) => panic!("{what}: missing required keys {missing:?} in:\n{src}"),
+        Err(e) => panic!("{what}: output is not valid JSON ({e}):\n{src}"),
+    }
+}
+
+fn num(doc: &obs::Json, path: &str) -> f64 {
+    doc.get_path(path)
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("expected a number at {path}"))
+}
+
+fn main() {
+    bench::banner(
+        "observability smoke: explain analyze + metrics --json",
+        "CI gate — span/metrics/explain pipeline on a benchgen workload",
+    );
+    let dir = std::env::temp_dir().join(format!("orpheus-obs-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut db, _) = OrpheusDb::open_durable(&dir, 256).expect("open durable store");
+    db.create_user("ci").unwrap();
+    db.login("ci").unwrap();
+
+    // Seed a CVD from a generated dataset's root version.
+    let d = generate(&DatasetSpec::sci("SMOKE", 20, 4, 4));
+    let schema = Schema::new(
+        std::iter::once(Column::new("k", DataType::Int64))
+            .chain((1..d.spec.num_attrs).map(|i| Column::new(format!("a{i}"), DataType::Int64)))
+            .collect(),
+    );
+    let rows: Vec<Vec<Value>> = d
+        .version_records(Vid(0))
+        .iter()
+        .map(|&rid| d.record(rid).iter().map(|&x| Value::Int64(x)).collect())
+        .collect();
+    let width = d.spec.num_attrs;
+    db.init_cvd("SMOKE", schema, vec!["k".into()], rows)
+        .expect("init cvd");
+
+    // Scripted workload: checkout the latest version, add a row, commit.
+    for round in 0..3i64 {
+        let table = format!("work{round}");
+        let latest = db.cvd("SMOKE").unwrap().latest_version();
+        db.checkout("SMOKE", &[latest], &table).expect("checkout");
+        let t = db.staging_table_mut(&table).unwrap();
+        t.insert(
+            (0..width)
+                .map(|c| Value::Int64(10_000 + round * 100 + c as i64))
+                .collect(),
+        )
+        .unwrap();
+        db.commit(&table, "smoke round").expect("commit");
+    }
+
+    // A couple of reads so the query path shows up in the histograms.
+    let count = match db
+        .execute("run SELECT * FROM VERSION 0 OF CVD SMOKE JOIN VERSION 1 ON k")
+        .expect("join query")
+    {
+        CommandOutput::Table(res) => res.rows.len(),
+        other => panic!("expected a result table, got {other:?}"),
+    };
+
+    // explain analyze: text form shows the plan tree with estimates,
+    // actuals, and the pool reconciliation footer.
+    let plan = text(
+        db.execute("explain analyze SELECT * FROM VERSION 0 OF CVD SMOKE JOIN VERSION 1 ON k")
+            .expect("explain analyze"),
+    );
+    for needle in [
+        "HashJoin",
+        "SeqScan",
+        "est rows=",
+        "act rows=",
+        "time=",
+        "pool delta:",
+    ] {
+        assert!(
+            plan.contains(needle),
+            "explain analyze output lacks {needle:?}:\n{plan}"
+        );
+    }
+    println!("{plan}\n");
+
+    // JSON form must match the documented schema and agree with `run`.
+    let plan_json = text(
+        db.execute(
+            "explain analyze --json SELECT * FROM VERSION 0 OF CVD SMOKE JOIN VERSION 1 ON k",
+        )
+        .expect("explain analyze --json"),
+    );
+    check_schema(
+        "explain analyze --json",
+        &plan_json,
+        &[
+            "plan/label",
+            "plan/est_rows",
+            "plan/act_rows",
+            "plan/time_us",
+            "plan/children",
+            "pool_delta/logical_reads",
+            "pool_delta/physical_reads",
+            "wall_us",
+        ],
+    );
+    let doc = obs::parse(&plan_json).unwrap();
+    assert_eq!(
+        num(&doc, "plan/act_rows") as usize,
+        count,
+        "explain analyze actual rows disagree with run()"
+    );
+
+    // metrics --json after the workload: WAL fsyncs, hit ratio, and the
+    // three command latency histograms must all be present.
+    let metrics = text(db.execute("metrics --json").expect("metrics --json"));
+    check_schema(
+        "metrics --json",
+        &metrics,
+        &[
+            "counters/pagestore.wal.fsyncs",
+            "counters/pagestore.pool.logical_reads",
+            "counters/relstore.tracker.tuples",
+            "gauges/pagestore.pool.hit_ratio",
+            "histograms/orpheus.commit.latency_us/p50",
+            "histograms/orpheus.commit.latency_us/p99",
+            "histograms/orpheus.checkout.latency_us/p50",
+            "histograms/orpheus.query.latency_us/p50",
+        ],
+    );
+    let doc = obs::parse(&metrics).unwrap();
+    assert!(
+        num(&doc, "counters/pagestore.wal.fsyncs") > 0.0,
+        "durable workload recorded no WAL fsyncs"
+    );
+    assert!(
+        num(&doc, "histograms/orpheus.commit.latency_us/p50")
+            <= num(&doc, "histograms/orpheus.commit.latency_us/p99"),
+        "commit latency percentiles out of order"
+    );
+
+    // Span tree covers the whole command surface.
+    let spans = text(db.execute("spans").expect("spans"));
+    for needle in ["orpheus.commit", "orpheus.checkout", "orpheus.query"] {
+        assert!(spans.contains(needle), "span tree lacks {needle}:\n{spans}");
+    }
+
+    match bench::write_metrics_snapshot("smoke", db.metrics()) {
+        Ok(path) => println!("metrics snapshot: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics snapshot: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("joined rows: {count}");
+    println!("observability smoke: all checks passed");
+}

@@ -88,6 +88,20 @@ pub fn banner(title: &str, paper_ref: &str) {
     println!("reproduces: {paper_ref}\n");
 }
 
+/// Write a metrics registry snapshot to `results/metrics_<name>.json` so
+/// every experiment run leaves a machine-readable record next to its text
+/// output. Returns the path written.
+pub fn write_metrics_snapshot(
+    name: &str,
+    registry: &obs::Registry,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("metrics_{name}.json"));
+    std::fs::write(&path, registry.to_json().to_string_pretty())?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

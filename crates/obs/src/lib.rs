@@ -1,0 +1,26 @@
+//! Observability layer for the workspace: structured tracing spans, a
+//! metrics registry, and a dependency-free JSON value type.
+//!
+//! Everything here is vendored in the same offline style as the
+//! rand/proptest shims — no external crates. Three modules:
+//!
+//! - [`span`]: RAII span guards aggregating into a thread-safe call tree
+//!   ([`Recorder`]), for attributing wall-clock time to subsystems
+//!   (`orpheus.commit` → `pagestore.checkpoint` → `pagestore.wal.fsync`).
+//! - [`metrics`]: counters, gauges, and log2-bucketed latency histograms
+//!   with p50/p95/p99 ([`Registry`]); names follow `subsystem.object.verb`.
+//! - [`json`]: minimal JSON writer + parser so snapshots can be exported
+//!   (`metrics --json`) and validated in tests/CI without serde.
+//!
+//! Both `Recorder` and `Registry` are cheap cloneable handles to shared
+//! state. Prefer a *scoped* instance owned by a `Database`/test so
+//! parallel tests stay hermetic; `::global()` exists for code with no
+//! scope at hand.
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use json::{missing_keys, parse, Json, ParseError};
+pub use metrics::{Histogram, Registry};
+pub use span::{span, Recorder, SpanGuard, SpanReport, SpanStats};

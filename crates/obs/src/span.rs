@@ -1,0 +1,393 @@
+//! Structured tracing spans.
+//!
+//! A span measures one named region of work; spans entered while
+//! another is open on the same thread become its children, so the
+//! recorder accumulates a call tree: `orpheus.commit` contains
+//! `pagestore.checkpoint` contains `pagestore.wal.fsync`. Rather than
+//! logging one event per entry (which a buffer-pool miss path would turn
+//! into millions of records), the [`Recorder`] aggregates in place: each
+//! tree node keeps an entry count and total wall-clock time, bounded by
+//! the number of *distinct* paths, not the number of entries.
+//!
+//! Guards are RAII: a span closes when its guard drops, including during
+//! a panic unwind, so the tree never ends up with dangling open spans.
+//! The recorder is thread-safe (a mutex around the tree plus a
+//! per-thread cursor), and cheap enough for buffer-pool miss paths: one
+//! lock on enter, one on close.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+/// Index of the implicit root node in a recorder's arena.
+const ROOT: usize = 0;
+
+#[derive(Debug)]
+struct Node {
+    name: String,
+    children: Vec<usize>,
+    count: u64,
+    total: Duration,
+}
+
+#[derive(Debug)]
+struct Inner {
+    nodes: Vec<Node>,
+    /// Per-thread cursor: the node of the innermost open span.
+    current: HashMap<ThreadId, usize>,
+}
+
+impl Inner {
+    fn fresh() -> Self {
+        Inner {
+            nodes: vec![Node {
+                name: String::new(),
+                children: Vec::new(),
+                count: 0,
+                total: Duration::ZERO,
+            }],
+            current: HashMap::new(),
+        }
+    }
+
+    fn child_named(&mut self, parent: usize, name: &str) -> usize {
+        if let Some(&c) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c].name == name)
+        {
+            return c;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            name: name.to_owned(),
+            children: Vec::new(),
+            count: 0,
+            total: Duration::ZERO,
+        });
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+}
+
+/// Thread-safe collector of span timings, aggregated into a tree.
+///
+/// Cloning a `Recorder` clones a handle to the same tree (the inner
+/// state is shared), so a buffer pool, a database, and a test can all
+/// write to one scoped recorder without threading lifetimes around.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh, empty recorder (scoped use: one per database or test).
+    pub fn new() -> Self {
+        Recorder {
+            inner: Arc::new(Mutex::new(Inner::fresh())),
+        }
+    }
+
+    /// The process-wide recorder, for code without a scoped one at hand.
+    pub fn global() -> &'static Recorder {
+        static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+        GLOBAL.get_or_init(Recorder::new)
+    }
+
+    /// Open a span named `name` under the innermost open span of this
+    /// thread (or at top level). Closes — records count and elapsed wall
+    /// time — when the returned guard drops, panic included.
+    pub fn enter(&self, name: &str) -> SpanGuard {
+        let thread = std::thread::current().id();
+        let mut inner = self.inner.lock().unwrap();
+        let parent = inner.current.get(&thread).copied().unwrap_or(ROOT);
+        let node = inner.child_named(parent, name);
+        inner.current.insert(thread, node);
+        SpanGuard {
+            recorder: self.clone(),
+            node,
+            parent,
+            thread,
+            start: Instant::now(),
+        }
+    }
+
+    /// Discard every recorded span (open guards still close safely: a
+    /// stale cursor from before the reset falls back to the root).
+    pub fn reset(&self) {
+        *self.inner.lock().unwrap() = Inner::fresh();
+    }
+
+    /// Snapshot the aggregated tree.
+    pub fn report(&self) -> SpanReport {
+        let inner = self.inner.lock().unwrap();
+        fn build(inner: &Inner, idx: usize) -> SpanStats {
+            let n = &inner.nodes[idx];
+            let children: Vec<SpanStats> = n.children.iter().map(|&c| build(inner, c)).collect();
+            let child_total: Duration = children.iter().map(|c| c.total).sum();
+            SpanStats {
+                name: n.name.clone(),
+                count: n.count,
+                total: n.total,
+                self_time: n.total.saturating_sub(child_total),
+                children,
+            }
+        }
+        let roots: Vec<SpanStats> = inner.nodes[ROOT]
+            .children
+            .iter()
+            .map(|&c| build(&inner, c))
+            .collect();
+        SpanReport { roots }
+    }
+
+    fn close(&self, guard: &SpanGuard, elapsed: Duration) {
+        let mut inner = self.inner.lock().unwrap();
+        // A reset between enter and close invalidates the indices; the
+        // shrunk arena tells us to drop the sample rather than misfile it.
+        if guard.node < inner.nodes.len() {
+            let node = &mut inner.nodes[guard.node];
+            node.count += 1;
+            node.total += elapsed;
+        }
+        if guard.parent < inner.nodes.len() {
+            inner.current.insert(guard.thread, guard.parent);
+        } else {
+            inner.current.remove(&guard.thread);
+        }
+    }
+}
+
+/// RAII guard for an open span; closes it on drop.
+#[must_use = "a span guard closes its span when dropped; binding it to _ closes immediately"]
+pub struct SpanGuard {
+    recorder: Recorder,
+    node: usize,
+    parent: usize,
+    thread: ThreadId,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.recorder.close(self, elapsed);
+    }
+}
+
+/// Open a span on the process-wide recorder.
+pub fn span(name: &str) -> SpanGuard {
+    Recorder::global().enter(name)
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    pub name: String,
+    /// Times a guard for this path closed.
+    pub count: u64,
+    /// Total wall-clock time, children included.
+    pub total: Duration,
+    /// Wall-clock time not attributed to any child span.
+    pub self_time: Duration,
+    pub children: Vec<SpanStats>,
+}
+
+/// Snapshot of a recorder's aggregated span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanReport {
+    pub roots: Vec<SpanStats>,
+}
+
+impl SpanReport {
+    /// Depth-first search for a span path by name.
+    pub fn find(&self, name: &str) -> Option<&SpanStats> {
+        fn dfs<'a>(nodes: &'a [SpanStats], name: &str) -> Option<&'a SpanStats> {
+            for n in nodes {
+                if n.name == name {
+                    return Some(n);
+                }
+                if let Some(hit) = dfs(&n.children, name) {
+                    return Some(hit);
+                }
+            }
+            None
+        }
+        dfs(&self.roots, name)
+    }
+
+    /// Render as an indented tree with counts and timings.
+    pub fn to_text(&self) -> String {
+        fn fmt_dur(d: Duration) -> String {
+            let us = d.as_micros();
+            if us >= 10_000 {
+                format!("{:.2}ms", d.as_secs_f64() * 1e3)
+            } else {
+                format!("{us}us")
+            }
+        }
+        fn render(out: &mut String, n: &SpanStats, depth: usize) {
+            out.push_str(&format!(
+                "{}{}  count={} total={} self={}\n",
+                "  ".repeat(depth),
+                n.name,
+                n.count,
+                fmt_dur(n.total),
+                fmt_dur(n.self_time),
+            ));
+            for c in &n.children {
+                render(out, c, depth + 1);
+            }
+        }
+        if self.roots.is_empty() {
+            return "(no spans recorded)\n".to_owned();
+        }
+        let mut out = String::new();
+        for r in &self.roots {
+            render(&mut out, r, 0);
+        }
+        out
+    }
+
+    /// Render as JSON (an array of span trees).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        fn node_json(n: &SpanStats) -> Json {
+            Json::object(vec![
+                ("name", Json::Str(n.name.clone())),
+                ("count", Json::Num(n.count as f64)),
+                ("total_us", Json::Num(n.total.as_micros() as f64)),
+                ("self_us", Json::Num(n.self_time.as_micros() as f64)),
+                (
+                    "children",
+                    Json::Arr(n.children.iter().map(node_json).collect()),
+                ),
+            ])
+        }
+        Json::Arr(self.roots.iter().map(node_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_into_a_tree_and_aggregate() {
+        let rec = Recorder::new();
+        for _ in 0..3 {
+            let _outer = rec.enter("outer");
+            let _inner = rec.enter("inner");
+        }
+        {
+            let _other = rec.enter("other");
+        }
+        let report = rec.report();
+        assert_eq!(report.roots.len(), 2);
+        let outer = report.find("outer").unwrap();
+        assert_eq!(outer.count, 3);
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.children[0].name, "inner");
+        assert_eq!(outer.children[0].count, 3);
+        assert!(outer.total >= outer.children[0].total);
+        assert_eq!(report.find("other").unwrap().count, 1);
+        // inner is nested, not a root.
+        assert!(report.roots.iter().all(|r| r.name != "inner"));
+    }
+
+    #[test]
+    fn sibling_spans_share_one_node_per_name() {
+        let rec = Recorder::new();
+        {
+            let _p = rec.enter("parent");
+            drop(rec.enter("child"));
+            drop(rec.enter("child"));
+        }
+        let parent = rec.report().find("parent").unwrap().clone();
+        assert_eq!(parent.children.len(), 1);
+        assert_eq!(parent.children[0].count, 2);
+    }
+
+    #[test]
+    fn guard_closes_span_during_panic_unwind() {
+        let rec = Recorder::new();
+        let r2 = rec.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _outer = r2.enter("panicky");
+            let _inner = r2.enter("doomed");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        let report = rec.report();
+        // Both guards closed during unwind: counts recorded, cursor reset.
+        assert_eq!(report.find("panicky").unwrap().count, 1);
+        assert_eq!(report.find("doomed").unwrap().count, 1);
+        // A new span after the panic lands at top level, not under the
+        // panicked span (the cursor was restored by the unwinding drops).
+        drop(rec.enter("after"));
+        let report = rec.report();
+        assert!(report.roots.iter().any(|r| r.name == "after"));
+        assert!(report.find("panicky").unwrap().children.len() == 1);
+    }
+
+    #[test]
+    fn reset_between_enter_and_close_is_safe() {
+        let rec = Recorder::new();
+        let guard = rec.enter("stale");
+        rec.reset();
+        drop(guard); // must not panic or misfile into the fresh arena
+        assert!(rec.report().roots.is_empty());
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let rec = Recorder::new();
+        {
+            let _outer = rec.enter("o");
+            let _inner = rec.enter("i");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let o = rec.report().find("o").unwrap().clone();
+        assert!(o.total >= Duration::from_millis(2));
+        assert!(o.self_time < o.total);
+    }
+
+    #[test]
+    fn recorders_are_thread_safe() {
+        let rec = Recorder::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = rec.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let _g = r.enter("work");
+                        let _c = r.enter("step");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = rec.report();
+        assert_eq!(report.find("work").unwrap().count, 400);
+        assert_eq!(report.find("step").unwrap().count, 400);
+    }
+
+    #[test]
+    fn text_render_shows_counts() {
+        let rec = Recorder::new();
+        drop(rec.enter("alpha"));
+        let text = rec.report().to_text();
+        assert!(text.contains("alpha"), "{text}");
+        assert!(text.contains("count=1"), "{text}");
+        assert_eq!(Recorder::new().report().to_text(), "(no spans recorded)\n");
+    }
+}

@@ -15,7 +15,9 @@ use crate::partitioned::PartitionedStore;
 use crate::query::{parse_query, predicate_expr, QueryResult, VQuery, VersionedQuery};
 use partition::{lyresplit_for_budget, Vid};
 use relstore::{Column, DataType, Database, ExecContext, Row, Schema, Value};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// A CVD registered in the system, with its physical representation.
 struct CvdHandle {
@@ -53,6 +55,10 @@ pub struct OrpheusDb {
     current_user: Option<String>,
     staging: HashMap<String, StagingInfo>,
     clock: u64,
+    /// Cumulative cost accounting across every command this instance ran.
+    /// Commands absorb their per-query trackers here instead of dropping
+    /// them, so `metrics` reports lifetime estimated I/O.
+    tracker: RefCell<relstore::CostTracker>,
 }
 
 impl Default for OrpheusDb {
@@ -70,6 +76,7 @@ impl OrpheusDb {
             current_user: None,
             staging: HashMap::new(),
             clock: 0,
+            tracker: RefCell::new(relstore::CostTracker::new()),
         }
     }
 
@@ -92,6 +99,7 @@ impl OrpheusDb {
                 current_user: None,
                 staging: HashMap::new(),
                 clock: 0,
+                tracker: RefCell::new(relstore::CostTracker::new()),
             },
             report,
         ))
@@ -144,7 +152,7 @@ impl OrpheusDb {
             .ok_or_else(|| Error::UserError("no user logged in".into()))
     }
 
-    // -- buffer-pool statistics (`stats`) -----------------------------------
+    // -- observability (`stats`, `metrics`, `spans`) ------------------------
 
     /// Buffer-pool I/O counters accumulated since the last reset.
     pub fn io_stats(&self) -> relstore::IoStats {
@@ -154,6 +162,31 @@ impl OrpheusDb {
     /// Zero the buffer-pool I/O counters (`stats reset`).
     pub fn reset_io_stats(&self) {
         self.db.reset_io_stats()
+    }
+
+    /// The scoped span recorder every command and pool operation writes to.
+    pub fn recorder(&self) -> &obs::Recorder {
+        self.db.recorder()
+    }
+
+    /// The scoped metrics registry (latency histograms live here; counters
+    /// are refreshed by [`publish_metrics`](Self::publish_metrics)).
+    pub fn metrics(&self) -> &obs::Registry {
+        self.db.metrics()
+    }
+
+    /// Lifetime estimated cost counters accumulated across commands.
+    pub fn cost_tracker(&self) -> relstore::CostTracker {
+        *self.tracker.borrow()
+    }
+
+    /// Refresh the registry's counters from the pool's cumulative
+    /// `IoStats` and the lifetime cost tracker. Idempotent (counters are
+    /// set, not added); histograms are untouched — they accumulate as
+    /// commands run.
+    pub fn publish_metrics(&self) {
+        self.db.publish_metrics();
+        self.tracker.borrow().publish(self.db.metrics());
     }
 
     /// Render the shared pool's counters for the `stats` shell command.
@@ -179,8 +212,8 @@ impl OrpheusDb {
         );
         if self.db.is_durable() {
             report.push_str(&format!(
-                "\nwal           : {} records / {} B, {} checkpoint(s)",
-                s.wal_appends, s.wal_bytes, s.checkpoints
+                "\nwal           : {} records / {} B, {} fsync(s), {} checkpoint(s)",
+                s.wal_appends, s.wal_bytes, s.wal_fsyncs, s.checkpoints
             ));
         }
         report
@@ -289,6 +322,8 @@ impl OrpheusDb {
     /// `checkout [cvd] -v [vids] -t [table]`: materialize one or more
     /// versions into a private staging table.
     pub fn checkout(&mut self, cvd_name: &str, versions: &[Vid], table: &str) -> Result<()> {
+        let _span = self.db.recorder().enter("orpheus.checkout");
+        let start = Instant::now();
         let owner = self.whoami()?.to_owned();
         let created_at = self.tick();
         let handle = self.handle(cvd_name)?;
@@ -312,6 +347,9 @@ impl OrpheusDb {
                 created_at,
             },
         );
+        self.db
+            .metrics()
+            .observe_duration("orpheus.checkout.latency_us", start.elapsed());
         Ok(())
     }
 
@@ -348,6 +386,8 @@ impl OrpheusDb {
     /// staging table back to its CVD as a new version, then drop it from
     /// the staging area.
     pub fn commit(&mut self, table: &str, message: &str) -> Result<CommitResult> {
+        let _span = self.db.recorder().enter("orpheus.commit");
+        let start = Instant::now();
         let info = self.authorize(table)?.clone();
         let author = self.whoami()?.to_owned();
         let staged = self.db.table(table)?;
@@ -376,7 +416,7 @@ impl OrpheusDb {
             &handle.cvd,
             result.vid,
             &new_rids,
-            &mut relstore::CostTracker::new(),
+            &mut self.tracker.borrow_mut(),
         )?;
         if let Some(p) = handle.partitioned.as_mut() {
             // Online maintenance: attach to the best parent's partition.
@@ -385,14 +425,29 @@ impl OrpheusDb {
                 .iter()
                 .max_by_key(|&&pv| handle.cvd.graph().weight(pv, result.vid))
                 .copied();
+            let mut tracker = self.tracker.borrow_mut();
             match best_parent {
                 Some(parent) => {
                     let pid = p.partitioning().partition_of(parent);
-                    p.append_version(&mut self.db, &handle.cvd, result.vid, pid, false)?;
+                    p.append_version(
+                        &mut self.db,
+                        &handle.cvd,
+                        result.vid,
+                        pid,
+                        false,
+                        &mut tracker,
+                    )?;
                 }
                 None => {
                     let pid = p.partitioning().num_partitions();
-                    p.append_version(&mut self.db, &handle.cvd, result.vid, pid, true)?;
+                    p.append_version(
+                        &mut self.db,
+                        &handle.cvd,
+                        result.vid,
+                        pid,
+                        true,
+                        &mut tracker,
+                    )?;
                 }
             }
         }
@@ -403,6 +458,9 @@ impl OrpheusDb {
         // the new version, checkpoint so a crash cannot lose it. On an
         // in-memory instance this is a no-op.
         self.db.checkpoint()?;
+        self.db
+            .metrics()
+            .observe_duration("orpheus.commit.latency_us", start.elapsed());
         Ok(result)
     }
 
@@ -435,6 +493,8 @@ impl OrpheusDb {
         schema_spec: &str,
         message: &str,
     ) -> Result<CommitResult> {
+        let _span = self.db.recorder().enter("orpheus.commit");
+        let start = Instant::now();
         let info = self.authorize(file)?.clone();
         let author = self.whoami()?.to_owned();
         let schema = parse_schema_spec(schema_spec)?;
@@ -461,19 +521,24 @@ impl OrpheusDb {
             &handle.cvd,
             result.vid,
             &new_rids,
-            &mut relstore::CostTracker::new(),
+            &mut self.tracker.borrow_mut(),
         )?;
         self.staging.remove(file);
+        self.db
+            .metrics()
+            .observe_duration("orpheus.commit.latency_us", start.elapsed());
         Ok(result)
     }
 
     /// `diff -v a b`: records in one version but not the other.
     pub fn diff(&self, cvd_name: &str, a: Vid, b: Vid) -> Result<(QueryResult, QueryResult)> {
+        let _span = self.db.recorder().enter("orpheus.diff");
         let handle = self.handle(cvd_name)?;
         let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model);
         let mut ctx = ExecContext::new();
         let left = q.v_diff(a, b, &mut ctx)?;
         let right = q.v_diff(b, a, &mut ctx)?;
+        self.tracker.borrow_mut().absorb(&ctx.tracker);
         Ok((left, right))
     }
 
@@ -487,6 +552,7 @@ impl OrpheusDb {
         let tree = handle.cvd.tree();
         let gamma = (gamma_factor * handle.cvd.num_records() as f64) as u64;
         let result = lyresplit_for_budget(&tree, gamma);
+        let _span = self.db.recorder().enter("orpheus.optimize");
         if let Some(old) = handle.partitioned.take() {
             old.drop_tables(&mut self.db);
         }
@@ -498,6 +564,7 @@ impl OrpheusDb {
 
     /// Checkout served by the partitioned store when one exists.
     pub fn checkout_rows_fast(&self, cvd_name: &str, vid: Vid) -> Result<(Vec<Row>, ExecContext)> {
+        let _span = self.db.recorder().enter("orpheus.checkout");
         let handle = self.handle(cvd_name)?;
         let mut ctx = ExecContext::new();
         let rows = match &handle.partitioned {
@@ -506,14 +573,17 @@ impl OrpheusDb {
                 .model
                 .checkout(&self.db, &handle.cvd, vid, &mut ctx)?,
         };
+        self.tracker.borrow_mut().absorb(&ctx.tracker);
         Ok((rows, ctx))
     }
 
     /// `run`: execute a versioned SQL string (§3.3.2).
     pub fn run(&self, sql: &str) -> Result<QueryResult> {
+        let _span = self.db.recorder().enter("orpheus.query");
+        let start = Instant::now();
         let parsed = parse_query(sql)?;
         let mut ctx = ExecContext::new();
-        match parsed {
+        let result = match parsed {
             VQuery::SelectVersions {
                 cvd,
                 versions,
@@ -563,7 +633,39 @@ impl OrpheusDb {
                 let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model);
                 q.join_versions(left, right, &on, &mut ctx)
             }
-        }
+        };
+        self.tracker.borrow_mut().absorb(&ctx.tracker);
+        self.db
+            .metrics()
+            .observe_duration("orpheus.query.latency_us", start.elapsed());
+        result
+    }
+
+    /// `explain analyze <query>`: run the query through an instrumented
+    /// plan and report estimated vs. actual figures per operator, plus the
+    /// buffer pool's `IoStats` delta across the whole execution. The root
+    /// operator's inclusive measured page reads reconcile with that delta.
+    pub fn explain_analyze(&self, sql: &str) -> Result<relstore::ExplainReport> {
+        let _span = self.db.recorder().enter("orpheus.query");
+        let start = Instant::now();
+        let parsed = parse_query(sql)?;
+        let handle = self.handle(crate::explain::cvd_of(&parsed))?;
+        let (mut plan, node) =
+            crate::explain::build_instrumented(&self.db, &handle.cvd, &handle.model, &parsed)?;
+        let pool_before = self.db.io_stats();
+        let mut ctx = ExecContext::new();
+        relstore::collect(plan.as_mut(), &mut ctx)?;
+        drop(plan);
+        self.tracker.borrow_mut().absorb(&ctx.tracker);
+        let wall = start.elapsed();
+        self.db
+            .metrics()
+            .observe_duration("orpheus.query.latency_us", wall);
+        Ok(relstore::ExplainReport {
+            root: node.snapshot(),
+            pool_delta: self.db.io_stats().since(&pool_before),
+            wall,
+        })
     }
 
     /// Execute a command-line style command string; the textual surface of
@@ -641,6 +743,54 @@ impl OrpheusDb {
                 let sql = line[cmd.len()..].trim();
                 Ok(CommandOutput::Table(self.run(sql)?))
             }
+            "explain" => {
+                let usage = || Error::Parse("usage: explain analyze [--json] <query>".into());
+                let rest = line[cmd.len()..].trim_start();
+                let rest = rest.strip_prefix("analyze").ok_or_else(usage)?.trim_start();
+                let (json, sql) = match rest.strip_prefix("--json") {
+                    Some(r) => (true, r.trim_start()),
+                    None => (false, rest),
+                };
+                if sql.is_empty() {
+                    return Err(usage());
+                }
+                let report = self.explain_analyze(sql)?;
+                Ok(CommandOutput::Message(if json {
+                    report.to_json().to_string_pretty()
+                } else {
+                    report.to_text()
+                }))
+            }
+            "metrics" => match args.get(1) {
+                Some(&"reset") => {
+                    self.db.metrics().reset();
+                    Ok(CommandOutput::Message("metrics reset".into()))
+                }
+                Some(&"--json") => {
+                    self.publish_metrics();
+                    Ok(CommandOutput::Message(
+                        self.db.metrics().to_json().to_string_pretty(),
+                    ))
+                }
+                None => {
+                    self.publish_metrics();
+                    Ok(CommandOutput::Message(self.db.metrics().render_text()))
+                }
+                Some(other) => Err(Error::Parse(format!("unknown metrics option: {other}"))),
+            },
+            "spans" => match args.get(1) {
+                Some(&"reset") => {
+                    self.db.recorder().reset();
+                    Ok(CommandOutput::Message("span tree reset".into()))
+                }
+                Some(&"--json") => Ok(CommandOutput::Message(
+                    self.db.recorder().report().to_json().to_string_pretty(),
+                )),
+                None => Ok(CommandOutput::Message(
+                    self.db.recorder().report().to_text(),
+                )),
+                Some(other) => Err(Error::Parse(format!("unknown spans option: {other}"))),
+            },
             "stats" => {
                 if args.get(1) == Some(&"reset") {
                     self.reset_io_stats();
@@ -1133,6 +1283,278 @@ mod tests {
             other => panic!("expected message, got {other:?}"),
         }
         assert!(odb.execute("recover").is_err(), "recover needs a WAL");
+    }
+
+    /// The tentpole acceptance test: EXPLAIN ANALYZE on a hash join over
+    /// two versions prints estimated and actual rows, measured page reads,
+    /// and per-operator wall time — and the root operator's inclusive
+    /// measured I/O reconciles with the pool's own `IoStats` delta.
+    #[test]
+    fn explain_analyze_join_reconciles_with_pool_delta() {
+        let mut odb = setup();
+        odb.checkout("Interaction", &[Vid(0)], "w").unwrap();
+        {
+            let t = odb.staging_table_mut("w").unwrap();
+            t.insert(vec![Value::from("G"), Value::from("H"), Value::Int64(90)])
+                .unwrap();
+        }
+        odb.commit("w", "add GH").unwrap();
+        let sql = "SELECT * FROM VERSION 0 OF CVD Interaction JOIN VERSION 1 ON coexpression";
+        let expected = odb.run(sql).unwrap().rows.len() as u64;
+        let report = odb.explain_analyze(sql).unwrap();
+        assert_eq!(report.root.stats.rows, expected);
+        assert_eq!(report.root.children.len(), 2, "join has two inputs");
+        // Reconciliation: the instrumented root saw exactly the page
+        // traffic the pool recorded across the query.
+        assert_eq!(
+            report.root.stats.measured.logical_reads, report.pool_delta.logical_reads,
+            "root inclusive measured reads must match the pool delta"
+        );
+        assert_eq!(
+            report.root.stats.measured.physical_reads,
+            report.pool_delta.physical_reads
+        );
+        assert!(report.root.stats.measured.logical_reads > 0);
+        let text = report.to_text();
+        assert!(
+            text.contains("HashJoin v0.coexpression=v1.coexpression"),
+            "{text}"
+        );
+        assert!(text.contains("SeqScan Interaction__sbr_data"), "{text}");
+        assert!(text.contains("est rows="), "{text}");
+        assert!(text.contains("act rows="), "{text}");
+        assert!(text.contains("time="), "{text}");
+        assert!(text.contains("pool delta:"), "{text}");
+    }
+
+    /// Every query form the parser accepts builds an instrumented plan
+    /// whose actual row count agrees with the uninstrumented `run` path.
+    #[test]
+    fn explain_analyze_matches_run_for_every_query_form() {
+        let mut odb = setup();
+        odb.checkout("Interaction", &[Vid(0)], "w").unwrap();
+        {
+            let t = odb.staging_table_mut("w").unwrap();
+            t.insert(vec![Value::from("G"), Value::from("H"), Value::Int64(99)])
+                .unwrap();
+        }
+        odb.commit("w", "grow").unwrap();
+        let queries = [
+            "SELECT * FROM VERSION 0, 1 OF CVD Interaction WHERE coexpression > 40 LIMIT 2",
+            "SELECT vid, count(*) FROM CVD Interaction GROUP BY vid",
+            "SELECT vid, sum(coexpression) FROM CVD Interaction WHERE coexpression > 40 GROUP BY vid",
+            "SELECT * FROM V_DIFF(1, 0) OF CVD Interaction",
+            "SELECT * FROM V_INTERSECT(0, 1) OF CVD Interaction",
+            "SELECT * FROM VERSION 0 OF CVD Interaction JOIN VERSION 1 ON coexpression",
+        ];
+        for sql in queries {
+            let expected = odb.run(sql).unwrap().rows.len() as u64;
+            let report = odb.explain_analyze(sql).unwrap();
+            assert_eq!(report.root.stats.rows, expected, "{sql}");
+            assert_eq!(
+                report.root.stats.measured.logical_reads, report.pool_delta.logical_reads,
+                "{sql}"
+            );
+            // The shell command renders the same report.
+            let out = odb.execute(&format!("explain analyze {sql}")).unwrap();
+            match out {
+                CommandOutput::Message(m) => assert!(m.contains("act rows="), "{m}"),
+                other => panic!("expected message, got {other:?}"),
+            }
+        }
+        // JSON form parses and carries the plan tree.
+        let out = odb
+            .execute("explain analyze --json SELECT * FROM V_DIFF(1, 0) OF CVD Interaction")
+            .unwrap();
+        match out {
+            CommandOutput::Message(m) => {
+                let doc = obs::parse(&m).unwrap();
+                assert!(doc.get_path("plan/act_rows").is_some(), "{m}");
+                assert!(doc.get_path("pool_delta/logical_reads").is_some(), "{m}");
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    /// Regression (drift audit): commit paths used to pass a throwaway
+    /// `CostTracker` to `apply_commit`, losing the charges. They must
+    /// accumulate in the instance-wide tracker, as must query trackers.
+    #[test]
+    fn command_costs_accumulate_in_the_lifetime_tracker() {
+        let mut odb = setup();
+        assert_eq!(odb.cost_tracker().tuples, 0);
+        odb.checkout("Interaction", &[Vid(0)], "w").unwrap();
+        {
+            let t = odb.staging_table_mut("w").unwrap();
+            t.insert(vec![Value::from("G"), Value::from("H"), Value::Int64(7)])
+                .unwrap();
+        }
+        odb.commit("w", "add").unwrap();
+        let after_commit = odb.cost_tracker();
+        assert!(
+            after_commit.tuples > 0,
+            "apply_commit charges must land in the cumulative tracker"
+        );
+        odb.run("SELECT * FROM VERSION 1 OF CVD Interaction")
+            .unwrap();
+        let after_query = odb.cost_tracker();
+        assert!(after_query.tuples > after_commit.tuples);
+        assert!(
+            after_query.measured.logical_reads > 0,
+            "measured side absorbed"
+        );
+        // Online partition maintenance also charges the tracker.
+        odb.optimize("Interaction", 2.0).unwrap();
+        odb.checkout("Interaction", &[Vid(1)], "w2").unwrap();
+        odb.commit("w2", "maintained").unwrap();
+        assert!(odb.cost_tracker().index_tuples > after_query.index_tuples);
+    }
+
+    #[test]
+    fn metrics_command_exports_counters_and_latency_histograms() {
+        let mut odb = setup();
+        odb.checkout("Interaction", &[Vid(0)], "w").unwrap();
+        odb.commit("w", "noop").unwrap();
+        odb.run("SELECT * FROM VERSION 1 OF CVD Interaction")
+            .unwrap();
+        let out = odb.execute("metrics --json").unwrap();
+        let m = match out {
+            CommandOutput::Message(m) => m,
+            other => panic!("expected message, got {other:?}"),
+        };
+        let doc = obs::parse(&m).unwrap();
+        let reads = doc
+            .get_path("counters/pagestore.pool.logical_reads")
+            .and_then(obs::Json::as_f64)
+            .unwrap();
+        assert!(reads > 0.0, "{m}");
+        assert!(
+            doc.get_path("gauges/pagestore.pool.hit_ratio").is_some(),
+            "{m}"
+        );
+        assert!(
+            doc.get_path("counters/relstore.tracker.tuples")
+                .and_then(obs::Json::as_f64)
+                .unwrap()
+                > 0.0,
+            "{m}"
+        );
+        for h in [
+            "histograms/orpheus.commit.latency_us",
+            "histograms/orpheus.checkout.latency_us",
+            "histograms/orpheus.query.latency_us",
+        ] {
+            let p50 = doc
+                .get_path(&format!("{h}/p50"))
+                .and_then(obs::Json::as_f64)
+                .unwrap_or_else(|| panic!("missing {h}: {m}"));
+            let p99 = doc
+                .get_path(&format!("{h}/p99"))
+                .and_then(obs::Json::as_f64)
+                .unwrap();
+            assert!(p50 <= p99, "{h}: p50 {p50} > p99 {p99}");
+        }
+        // Text form and reset.
+        match odb.execute("metrics").unwrap() {
+            CommandOutput::Message(t) => assert!(t.contains("orpheus.commit.latency_us"), "{t}"),
+            other => panic!("expected message, got {other:?}"),
+        }
+        odb.execute("metrics reset").unwrap();
+        match odb.execute("metrics --json").unwrap() {
+            CommandOutput::Message(t) => {
+                let doc = obs::parse(&t).unwrap();
+                assert!(doc
+                    .get_path("histograms/orpheus.commit.latency_us")
+                    .is_none());
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_command_shows_the_command_tree() {
+        let mut odb = setup();
+        odb.checkout("Interaction", &[Vid(0)], "w").unwrap();
+        odb.commit("w", "noop").unwrap();
+        odb.run("SELECT * FROM VERSION 1 OF CVD Interaction")
+            .unwrap();
+        match odb.execute("spans").unwrap() {
+            CommandOutput::Message(m) => {
+                assert!(m.contains("orpheus.checkout"), "{m}");
+                assert!(m.contains("orpheus.commit"), "{m}");
+                assert!(m.contains("orpheus.query"), "{m}");
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+        match odb.execute("spans --json").unwrap() {
+            CommandOutput::Message(m) => {
+                obs::parse(&m).unwrap();
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+        odb.execute("spans reset").unwrap();
+        match odb.execute("spans").unwrap() {
+            CommandOutput::Message(m) => assert!(m.contains("no spans"), "{m}"),
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    /// Regression: `stats` on an in-memory instance must not report WAL
+    /// traffic — there is no WAL, and printing zeros misleads experiments
+    /// comparing durable vs in-memory runs.
+    #[test]
+    fn stats_report_omits_wal_section_without_a_wal() {
+        let mut odb = setup();
+        odb.checkout("Interaction", &[Vid(0)], "work").unwrap();
+        match odb.execute("stats").unwrap() {
+            CommandOutput::Message(m) => {
+                assert!(
+                    !m.contains("wal"),
+                    "in-memory stats must not mention WAL: {m}"
+                )
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn durable_metrics_include_wal_fsyncs() {
+        let dir = std::env::temp_dir().join(format!("orpheus-obs-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut odb, _) = OrpheusDb::open_durable(&dir, 64).unwrap();
+            odb.create_user("alice").unwrap();
+            odb.login("alice").unwrap();
+            let schema = Schema::new(vec![Column::new("x", DataType::Int64)]);
+            odb.init_cvd("d", schema, vec!["x".into()], vec![vec![Value::Int64(1)]])
+                .unwrap();
+            odb.checkout("d", &[Vid(0)], "w").unwrap();
+            odb.staging_table_mut("w")
+                .unwrap()
+                .insert(vec![Value::Int64(2)])
+                .unwrap();
+            odb.commit("w", "add 2").unwrap();
+            // The durable stats line reports fsyncs alongside records.
+            let stats = odb.stats_report();
+            assert!(stats.contains("fsync(s)"), "{stats}");
+            // And metrics --json carries the WAL fsync counter.
+            let out = odb.execute("metrics --json").unwrap();
+            let m = match out {
+                CommandOutput::Message(m) => m,
+                other => panic!("expected message, got {other:?}"),
+            };
+            let doc = obs::parse(&m).unwrap();
+            let fsyncs = doc
+                .get_path("counters/pagestore.wal.fsyncs")
+                .and_then(obs::Json::as_f64)
+                .unwrap();
+            assert!(fsyncs > 0.0, "{m}");
+            // WAL activity shows up as spans nested under the checkpoint.
+            let report = odb.recorder().report();
+            assert!(report.find("pagestore.checkpoint").is_some());
+            assert!(report.find("pagestore.wal.fsync").is_some());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

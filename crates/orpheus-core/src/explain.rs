@@ -1,0 +1,239 @@
+//! Instrumented plan construction for `EXPLAIN ANALYZE` (§3.3.2 queries).
+//!
+//! Builds the same plans [`crate::query::VersionedQuery`] executes, but
+//! threads every operator through [`relstore::wrap`] so it carries an
+//! [`relstore::ExplainNode`] recording actual rows, `next()` calls, wall
+//! time, and measured page I/O alongside the planner's estimates. The
+//! estimates use the PostgreSQL-default cost model the rest of the system
+//! charges with ([`relstore::CostModel`]), so the estimated-vs-actual gap
+//! in the rendered tree is the same gap the Fig. 5.7 experiments measure.
+
+use crate::cvd::Cvd;
+use crate::error::{Error, Result};
+use crate::models::{data_schema, SplitByRlist};
+use crate::query::{predicate_expr, shift_columns, VQuery};
+use partition::Vid;
+use relstore::{
+    wrap, BinOp, BoxExec, CostModel, Database, Estimate, Executor, ExplainNode, Filter,
+    HashAggregate, HashJoin, Limit, Project, SeqScan, Unnest, Value, Values,
+};
+
+/// PostgreSQL's default selectivity guesses (`eqsel` / inequality).
+const EQ_SEL: f64 = 0.005;
+const INEQ_SEL: f64 = 1.0 / 3.0;
+
+fn pages_of(rows: f64, m: &CostModel) -> f64 {
+    (rows / m.rows_per_page as f64).ceil()
+}
+
+fn selectivity(pred: &(String, BinOp, Value)) -> f64 {
+    match pred.1 {
+        BinOp::Eq => EQ_SEL,
+        _ => INEQ_SEL,
+    }
+}
+
+/// Union of the listed versions' rids, deduplicated.
+fn rids_of(cvd: &Cvd, versions: &[Vid]) -> Result<Vec<i64>> {
+    let mut rids: Vec<i64> = Vec::new();
+    for &v in versions {
+        rids.extend(cvd.version_records(v)?.iter().map(|r| r.0 as i64));
+    }
+    rids.sort_unstable();
+    rids.dedup();
+    Ok(rids)
+}
+
+/// The core retrieval pipeline of the split-by-rlist model, instrumented:
+/// `Project star ← HashJoin(Values rids, SeqScan data)`. Output is the
+/// `[rid, attrs…]` star schema.
+fn rid_join<'a>(
+    db: &'a Database,
+    model: &SplitByRlist,
+    rids: Vec<i64>,
+    suffix: &str,
+    m: &CostModel,
+) -> Result<(BoxExec<'a>, ExplainNode)> {
+    let data = db.table(&model.data_name()).map_err(Error::Storage)?;
+    let n = rids.len() as f64;
+    let data_rows = data.live_row_count() as f64;
+    let data_pages = pages_of(data_rows, m);
+    let (build, build_node) = wrap(
+        Box::new(Values::ints("rid", rids)),
+        format!("Values rids{suffix}"),
+        Estimate::new(n, 0.0),
+        vec![],
+    );
+    let (probe, probe_node) = wrap(
+        Box::new(SeqScan::new(data)),
+        format!("SeqScan {}{suffix}", model.data_name()),
+        Estimate::new(data_rows, data_pages),
+        vec![],
+    );
+    let join = Box::new(HashJoin::new(build, probe, 0, 0));
+    let cols: Vec<usize> = (1..join.schema().len()).collect();
+    let (join, join_node) = wrap(
+        join,
+        format!("HashJoin rid=rid{suffix}"),
+        Estimate::new(n, data_pages),
+        vec![build_node, probe_node],
+    );
+    Ok(wrap(
+        Box::new(Project::columns(join, &cols)),
+        format!("Project star{suffix}"),
+        Estimate::new(n, data_pages),
+        vec![join_node],
+    ))
+}
+
+/// Build the instrumented plan for a parsed versioned query. The returned
+/// executor streams the query's rows; the [`ExplainNode`] observes every
+/// operator in the tree and can be snapshotted after the plan is drained.
+pub(crate) fn build_instrumented<'a>(
+    db: &'a Database,
+    cvd: &Cvd,
+    model: &SplitByRlist,
+    query: &VQuery,
+) -> Result<(BoxExec<'a>, ExplainNode)> {
+    let m = CostModel::default();
+    match query {
+        VQuery::SelectVersions {
+            versions,
+            predicate,
+            limit,
+            ..
+        } => {
+            let rids = rids_of(cvd, versions)?;
+            let (mut plan, mut node) = rid_join(db, model, rids, "", &m)?;
+            if let Some(p) = predicate {
+                let est = Estimate::new(node.estimate.rows * selectivity(p), node.estimate.pages);
+                let expr = predicate_expr(cvd, p)?;
+                let (f, fnode) = wrap(
+                    Box::new(Filter::new(plan, expr)),
+                    format!("Filter {}", p.0),
+                    est,
+                    vec![node],
+                );
+                plan = f;
+                node = fnode;
+            }
+            if let Some(n) = limit {
+                let est = Estimate::new((*n as f64).min(node.estimate.rows), node.estimate.pages);
+                let (l, lnode) = wrap(
+                    Box::new(Limit::new(plan, *n)),
+                    format!("Limit {n}"),
+                    est,
+                    vec![node],
+                );
+                plan = l;
+                node = lnode;
+            }
+            Ok((plan, node))
+        }
+        VQuery::AggregateByVersion {
+            agg,
+            agg_col,
+            predicate,
+            ..
+        } => {
+            let data = db.table(&model.data_name()).map_err(Error::Storage)?;
+            let vtab = db.table(&model.vtab_name()).map_err(Error::Storage)?;
+            let versions_n = vtab.live_row_count() as f64;
+            let vtab_pages = pages_of(versions_n, &m);
+            let data_rows = data.live_row_count() as f64;
+            let data_pages = pages_of(data_rows, &m);
+            // Unnest fan-out: total rlist entries across every version.
+            let mut entries = 0f64;
+            for v in cvd.graph().versions() {
+                entries += cvd.version_records(v)?.len() as f64;
+            }
+            let (scan, scan_node) = wrap(
+                Box::new(SeqScan::new(vtab)),
+                format!("SeqScan {}", model.vtab_name()),
+                Estimate::new(versions_n, vtab_pages),
+                vec![],
+            );
+            let (unnest, unnest_node) = wrap(
+                Box::new(Unnest::new(scan, 1).map_err(Error::Storage)?),
+                "Unnest rlist",
+                Estimate::new(entries, vtab_pages),
+                vec![scan_node],
+            );
+            let (probe, probe_node) = wrap(
+                Box::new(SeqScan::new(data)),
+                format!("SeqScan {}", model.data_name()),
+                Estimate::new(data_rows, data_pages),
+                vec![],
+            );
+            let (mut plan, mut node) = wrap(
+                Box::new(HashJoin::new(unnest, probe, 1, 0)),
+                "HashJoin rid=rid",
+                Estimate::new(entries, vtab_pages + data_pages),
+                vec![unnest_node, probe_node],
+            );
+            if let Some(p) = predicate {
+                let est = Estimate::new(node.estimate.rows * selectivity(p), node.estimate.pages);
+                // Joined schema is [vid, rid, rid, attrs…]: star columns
+                // are offset by 2 (see `VersionedQuery::aggregate_by_version`).
+                let expr = shift_columns(&predicate_expr(cvd, p)?, 2);
+                let (f, fnode) = wrap(
+                    Box::new(Filter::new(plan, expr)),
+                    format!("Filter {}", p.0),
+                    est,
+                    vec![node],
+                );
+                plan = f;
+                node = fnode;
+            }
+            let agg_idx = 2 + data_schema(cvd).index_of(agg_col).map_err(Error::Storage)?;
+            let est = Estimate::new(versions_n, node.estimate.pages);
+            Ok(wrap(
+                Box::new(HashAggregate::new(plan, vec![0], vec![(*agg, agg_idx)])),
+                format!("HashAggregate {agg_col} by vid"),
+                est,
+                vec![node],
+            ))
+        }
+        VQuery::Diff { a, b, .. } => {
+            let (only_a, _) = cvd.diff(*a, *b)?;
+            let rids: Vec<i64> = only_a.iter().map(|r| r.0 as i64).collect();
+            rid_join(db, model, rids, "", &m)
+        }
+        VQuery::Intersect { versions, .. } => {
+            let rids: Vec<i64> = cvd
+                .v_intersect(versions)?
+                .iter()
+                .map(|r| r.0 as i64)
+                .collect();
+            rid_join(db, model, rids, "", &m)
+        }
+        VQuery::JoinVersions {
+            left, right, on, ..
+        } => {
+            let col = 1 + cvd.schema().index_of(on).map_err(Error::Storage)?;
+            let lrids = rids_of(cvd, &[*left])?;
+            let rrids = rids_of(cvd, &[*right])?;
+            let est_rows = lrids.len().max(rrids.len()) as f64;
+            let (lhs, lnode) = rid_join(db, model, lrids, " (left)", &m)?;
+            let (rhs, rnode) = rid_join(db, model, rrids, " (right)", &m)?;
+            let est_pages = lnode.estimate.pages + rnode.estimate.pages;
+            Ok(wrap(
+                Box::new(HashJoin::new(lhs, rhs, col, col)),
+                format!("HashJoin v{}.{on}=v{}.{on}", left.0, right.0),
+                Estimate::new(est_rows, est_pages),
+                vec![lnode, rnode],
+            ))
+        }
+    }
+}
+
+/// The CVD a parsed query targets.
+pub(crate) fn cvd_of(query: &VQuery) -> &str {
+    match query {
+        VQuery::SelectVersions { cvd, .. }
+        | VQuery::AggregateByVersion { cvd, .. }
+        | VQuery::Diff { cvd, .. }
+        | VQuery::Intersect { cvd, .. }
+        | VQuery::JoinVersions { cvd, .. } => cvd,
+    }
+}

@@ -28,6 +28,7 @@
 pub mod commands;
 pub mod cvd;
 pub mod error;
+mod explain;
 pub mod models;
 pub mod partitioned;
 pub mod query;

@@ -123,7 +123,9 @@ impl PartitionedStore {
 
     /// Append a freshly committed version to an existing partition (online
     /// maintenance, §5.4): inserts the version's missing records into that
-    /// partition's table and registers the versioning tuple.
+    /// partition's table and registers the versioning tuple. The membership
+    /// probes charge into the caller's `tracker` so maintenance I/O shows
+    /// up in cumulative cost accounting instead of vanishing.
     pub fn append_version(
         &mut self,
         db: &mut Database,
@@ -131,6 +133,7 @@ impl PartitionedStore {
         vid: Vid,
         pid: usize,
         new_partition: bool,
+        tracker: &mut relstore::CostTracker,
     ) -> Result<()> {
         assert_eq!(vid.idx(), self.partitioning.num_versions());
         if new_partition {
@@ -143,10 +146,9 @@ impl PartitionedStore {
             table.create_index("rid_pk", "rid", true, IndexKind::BTree)?;
         } else {
             let table = db.table_mut(&self.partition_table(pid))?;
-            let mut tracker = relstore::CostTracker::new();
             for &rid in cvd.version_records(vid)? {
                 if table
-                    .index_lookup("rid_pk", rid.0 as i64, &mut tracker)?
+                    .index_lookup("rid_pk", rid.0 as i64, tracker)?
                     .is_empty()
                 {
                     table.insert(data_row(cvd, rid))?;
@@ -263,9 +265,14 @@ mod tests {
             .map(|(_, r)| r)
             .collect();
         let res = cvd.commit(&[vids[3]], rows, "same", "eve").unwrap();
+        let mut tracker = relstore::CostTracker::new();
         store
-            .append_version(&mut db, &cvd, res.vid, 1, false)
+            .append_version(&mut db, &cvd, res.vid, 1, false, &mut tracker)
             .unwrap();
+        assert!(
+            tracker.index_tuples > 0,
+            "membership probes must charge the caller's tracker"
+        );
         let mut ctx = ExecContext::new();
         assert_eq!(store.checkout(&db, res.vid, &mut ctx).unwrap().len(), 4);
 

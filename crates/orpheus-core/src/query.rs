@@ -225,7 +225,7 @@ impl<'a> VersionedQuery<'a> {
 /// Rewrite column ordinals in an expression by a fixed offset (used when a
 /// predicate written against `[rid, attrs…]` runs over a join output with
 /// leading bookkeeping columns).
-fn shift_columns(e: &Expr, offset: usize) -> Expr {
+pub(crate) fn shift_columns(e: &Expr, offset: usize) -> Expr {
     match e {
         Expr::Col(i) => Expr::Col(i + offset),
         Expr::Const(v) => Expr::Const(v.clone()),

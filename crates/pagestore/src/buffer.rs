@@ -35,6 +35,7 @@ use crate::pager::{FilePager, MemPager, Pager};
 use crate::recovery::{self, RecoveryReport};
 use crate::stats::IoStats;
 use crate::wal::{Wal, RECORD_HEADER};
+use obs::Recorder;
 use std::cell::{Cell, Ref, RefCell, RefMut};
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
@@ -113,6 +114,7 @@ pub struct BufferPool {
     pager: RefCell<Box<dyn Pager>>,
     wal: RefCell<Option<Wal>>,
     stats: RefCell<IoStats>,
+    recorder: RefCell<Recorder>,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -136,6 +138,7 @@ impl BufferPool {
             pager: RefCell::new(pager),
             wal: RefCell::new(None),
             stats: RefCell::new(IoStats::new()),
+            recorder: RefCell::new(Recorder::global().clone()),
         }
     }
 
@@ -180,6 +183,7 @@ impl BufferPool {
     /// as a real crash would discard them, and subsequent fetches reread
     /// the recovered images.
     pub fn recover(&self) -> Result<RecoveryReport> {
+        let _span = self.span("pagestore.wal.recover");
         let mut wal_ref = self.wal.borrow_mut();
         let wal = wal_ref.as_mut().ok_or(Error::NotDurable)?;
         if let Some(f) = self.frames.iter().find(|f| f.pin.get() > 0) {
@@ -217,6 +221,22 @@ impl BufferPool {
 
     pub fn reset_stats(&self) {
         *self.stats.borrow_mut() = IoStats::new();
+    }
+
+    /// Route this pool's spans (checkpoint, miss, evict, recover) into
+    /// `recorder` instead of the process-wide default. A `Database` sets
+    /// its scoped recorder here so parallel tests stay hermetic.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        *self.recorder.borrow_mut() = recorder;
+    }
+
+    /// The recorder this pool's spans land in.
+    pub fn recorder(&self) -> Recorder {
+        self.recorder.borrow().clone()
+    }
+
+    fn span(&self, name: &str) -> obs::SpanGuard {
+        self.recorder.borrow().enter(name)
     }
 
     /// Pin `id` for reading. Fails with [`Error::PageBusy`] (instead of
@@ -326,6 +346,7 @@ impl BufferPool {
     ///
     /// Fails with [`Error::PageBusy`] if a mutable guard is outstanding.
     pub fn flush_all(&self) -> Result<()> {
+        let _span = self.span("pagestore.checkpoint");
         let mut wal_ref = self.wal.borrow_mut();
         let mut pager = self.pager.borrow_mut();
         let dirty: Vec<(usize, PageId)> = self
@@ -339,41 +360,49 @@ impl BufferPool {
             .collect();
         if let Some(wal) = wal_ref.as_mut() {
             if !dirty.is_empty() {
-                for &(i, id) in &dirty {
-                    let data = self.frames[i]
-                        .data
-                        .try_borrow()
-                        .map_err(|_| Error::PageBusy(id))?;
-                    wal.append_page(id, data.bytes())?;
-                    let mut stats = self.stats.borrow_mut();
-                    stats.wal_appends += 1;
-                    stats.wal_bytes += (RECORD_HEADER + PAGE_SIZE) as u64;
-                }
-                wal.append_commit()?;
                 {
+                    let _span = self.span("pagestore.wal.append");
+                    for &(i, id) in &dirty {
+                        let data = self.frames[i]
+                            .data
+                            .try_borrow()
+                            .map_err(|_| Error::PageBusy(id))?;
+                        wal.append_page(id, data.bytes())?;
+                        let mut stats = self.stats.borrow_mut();
+                        stats.wal_appends += 1;
+                        stats.wal_bytes += (RECORD_HEADER + PAGE_SIZE) as u64;
+                    }
+                    wal.append_commit()?;
                     let mut stats = self.stats.borrow_mut();
                     stats.wal_appends += 1;
                     stats.wal_bytes += RECORD_HEADER as u64;
                 }
                 // Durability point: the batch commits here.
+                let _span = self.span("pagestore.wal.fsync");
                 wal.sync()?;
+                self.stats.borrow_mut().wal_fsyncs += 1;
             }
         }
-        for &(i, id) in &dirty {
-            let data = self.frames[i]
-                .data
-                .try_borrow()
-                .map_err(|_| Error::PageBusy(id))?;
-            pager.write(id, &data)?;
-            self.frames[i].dirty.set(false);
-            self.stats.borrow_mut().flushed_writes += 1;
+        {
+            let _span = self.span("pagestore.pool.write_back");
+            for &(i, id) in &dirty {
+                let data = self.frames[i]
+                    .data
+                    .try_borrow()
+                    .map_err(|_| Error::PageBusy(id))?;
+                pager.write(id, &data)?;
+                self.frames[i].dirty.set(false);
+                self.stats.borrow_mut().flushed_writes += 1;
+            }
+            pager.sync()?;
         }
-        pager.sync()?;
         if let Some(wal) = wal_ref.as_mut() {
             // Checkpoint complete: the log's contents are in the data
             // file, so start the next batch from an empty log.
+            let _span = self.span("pagestore.wal.fsync");
             wal.reset()?;
             wal.sync()?;
+            self.stats.borrow_mut().wal_fsyncs += 1;
         }
         self.stats.borrow_mut().checkpoints += 1;
         Ok(())
@@ -390,6 +419,7 @@ impl BufferPool {
             return Ok(idx);
         }
         self.stats.borrow_mut().physical_reads += 1;
+        let _span = self.span("pagestore.pool.miss");
         let idx = self.victim_frame()?;
         let frame = &self.frames[idx];
         self.pager
@@ -429,6 +459,7 @@ impl BufferPool {
                 continue;
             }
             if let Some(old) = frame.page_id.get() {
+                let _span = self.span("pagestore.pool.evict");
                 let mut stats = self.stats.borrow_mut();
                 if frame.dirty.get() {
                     self.pager.borrow_mut().write(old, &frame.data.borrow())?;
@@ -686,6 +717,55 @@ mod tests {
         drop(guard);
         let report = pool.recover().unwrap();
         assert!(!report.did_work());
+    }
+
+    #[test]
+    fn checkpoint_counts_fsyncs_and_records_spans() {
+        use crate::wal::MemWalStore;
+        let wal = Wal::new(Box::new(MemWalStore::new()));
+        let pool = BufferPool::with_wal(Box::new(MemPager::new()), wal, 4);
+        let rec = Recorder::new();
+        pool.set_recorder(rec.clone());
+        let (_, mut page) = pool.allocate_pinned().unwrap();
+        page.insert(b"fsynced").unwrap();
+        drop(page);
+        pool.flush_all().unwrap();
+        // One batch-durability fsync plus one post-truncation fsync.
+        assert_eq!(pool.stats().wal_fsyncs, 2);
+        let report = rec.report();
+        let cp = report.find("pagestore.checkpoint").unwrap();
+        assert_eq!(cp.count, 1);
+        // The WAL work nests under the checkpoint span.
+        assert_eq!(report.find("pagestore.wal.fsync").unwrap().count, 2);
+        assert_eq!(report.find("pagestore.wal.append").unwrap().count, 1);
+        assert_eq!(report.find("pagestore.pool.write_back").unwrap().count, 1);
+        assert!(cp.children.iter().any(|c| c.name == "pagestore.wal.fsync"));
+    }
+
+    #[test]
+    fn non_durable_pool_counts_no_fsyncs() {
+        let pool = pool_with_pages(2, 1);
+        pool.flush_all().unwrap();
+        assert_eq!(pool.stats().wal_fsyncs, 0);
+        assert!(!pool.stats().has_wal_traffic());
+    }
+
+    #[test]
+    fn miss_and_evict_paths_record_spans() {
+        let pool = pool_with_pages(2, 4); // 4 pages through 2 frames: evictions
+        let rec = Recorder::new();
+        pool.set_recorder(rec.clone());
+        for i in 0..4u32 {
+            drop(pool.fetch(i).unwrap());
+        }
+        let report = rec.report();
+        let miss = report.find("pagestore.pool.miss").unwrap();
+        assert!(miss.count >= 2, "cycling 4 pages through 2 frames misses");
+        // Evictions happen inside the miss path, so they nest under it.
+        assert!(miss
+            .children
+            .iter()
+            .any(|c| c.name == "pagestore.pool.evict"));
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub struct IoStats {
     pub wal_appends: u64,
     /// Bytes appended to the write-ahead log.
     pub wal_bytes: u64,
+    /// fsync calls issued against the write-ahead log.
+    pub wal_fsyncs: u64,
     /// Completed checkpoints ([`flush_all`](crate::BufferPool::flush_all)).
     pub checkpoints: u64,
 }
@@ -52,6 +54,12 @@ impl IoStats {
         self.write_backs + self.flushed_writes
     }
 
+    /// Whether any WAL traffic was counted. A non-durable pool never
+    /// accumulates WAL counters, so reports gate their WAL section here.
+    pub fn has_wal_traffic(&self) -> bool {
+        self.wal_appends > 0 || self.wal_bytes > 0 || self.wal_fsyncs > 0
+    }
+
     /// Counter deltas since an earlier snapshot. Saturates at zero: a
     /// snapshot taken before a counter reset is "from the future" and
     /// must diff to nothing, not panic or wrap.
@@ -64,6 +72,7 @@ impl IoStats {
             flushed_writes: self.flushed_writes.saturating_sub(earlier.flushed_writes),
             wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
             wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            wal_fsyncs: self.wal_fsyncs.saturating_sub(earlier.wal_fsyncs),
             checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
         }
     }
@@ -77,7 +86,25 @@ impl IoStats {
         self.flushed_writes += other.flushed_writes;
         self.wal_appends += other.wal_appends;
         self.wal_bytes += other.wal_bytes;
+        self.wal_fsyncs += other.wal_fsyncs;
         self.checkpoints += other.checkpoints;
+    }
+
+    /// Publish every counter into a metrics registry under
+    /// `pagestore.pool.*` / `pagestore.wal.*`, plus the hit ratio as a
+    /// gauge. Counters are *set* (not added), so republishing the same
+    /// cumulative snapshot is idempotent.
+    pub fn publish(&self, registry: &obs::Registry) {
+        registry.counter_set("pagestore.pool.logical_reads", self.logical_reads);
+        registry.counter_set("pagestore.pool.physical_reads", self.physical_reads);
+        registry.counter_set("pagestore.pool.evictions", self.evictions);
+        registry.counter_set("pagestore.pool.write_backs", self.write_backs);
+        registry.counter_set("pagestore.pool.flushed_writes", self.flushed_writes);
+        registry.counter_set("pagestore.pool.checkpoints", self.checkpoints);
+        registry.counter_set("pagestore.wal.appends", self.wal_appends);
+        registry.counter_set("pagestore.wal.bytes", self.wal_bytes);
+        registry.counter_set("pagestore.wal.fsyncs", self.wal_fsyncs);
+        registry.gauge_set("pagestore.pool.hit_ratio", self.hit_rate());
     }
 }
 
@@ -85,15 +112,23 @@ impl fmt::Display for IoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "logical {} | physical {} | hit rate {:.1}% | evictions {} | written {} | wal {} rec / {} B",
+            "logical {} | physical {} | hit rate {:.1}% | evictions {} | written {}",
             self.logical_reads,
             self.physical_reads,
             self.hit_rate() * 100.0,
             self.evictions,
             self.pages_written(),
-            self.wal_appends,
-            self.wal_bytes,
-        )
+        )?;
+        // Non-durable pools have no WAL: suppress the segment rather than
+        // print misleading zeros.
+        if self.has_wal_traffic() {
+            write!(
+                f,
+                " | wal {} rec / {} B / {} fsync",
+                self.wal_appends, self.wal_bytes, self.wal_fsyncs,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -136,11 +171,56 @@ mod tests {
         s.flushed_writes = 5;
         s.wal_appends = 7;
         s.wal_bytes = 1000;
+        s.wal_fsyncs = 2;
         s.checkpoints = 1;
         let pre_reset_snapshot = s;
         let after_reset = IoStats::new(); // `reset_stats` zeroes everything
         let d = after_reset.since(&pre_reset_snapshot);
         assert_eq!(d, IoStats::new());
         assert_eq!(d.hits(), 0);
+    }
+
+    #[test]
+    fn since_and_absorb_cover_wal_fsyncs() {
+        let mut s = IoStats::new();
+        s.wal_fsyncs = 5;
+        let snap = s;
+        s.wal_fsyncs = 9;
+        let d = s.since(&snap);
+        assert_eq!(d.wal_fsyncs, 4);
+        let mut acc = IoStats::new();
+        acc.absorb(&d);
+        assert_eq!(acc.wal_fsyncs, 4);
+    }
+
+    /// Regression: the Display impl printed "wal 0 rec / 0 B" even for
+    /// pools with no WAL at all, so non-durable `stats` output carried a
+    /// misleading WAL segment.
+    #[test]
+    fn display_omits_wal_segment_without_wal_traffic() {
+        let mut s = IoStats::new();
+        s.logical_reads = 3;
+        assert!(!format!("{s}").contains("wal"));
+        s.wal_appends = 2;
+        s.wal_bytes = 100;
+        s.wal_fsyncs = 1;
+        let text = format!("{s}");
+        assert!(text.contains("wal 2 rec / 100 B / 1 fsync"), "{text}");
+    }
+
+    #[test]
+    fn publish_exports_counters_and_hit_ratio() {
+        let mut s = IoStats::new();
+        s.logical_reads = 10;
+        s.physical_reads = 2;
+        s.wal_fsyncs = 3;
+        let reg = obs::Registry::new();
+        s.publish(&reg);
+        assert_eq!(reg.counter("pagestore.pool.logical_reads"), 10);
+        assert_eq!(reg.counter("pagestore.wal.fsyncs"), 3);
+        assert_eq!(reg.gauge("pagestore.pool.hit_ratio"), Some(0.8));
+        // Republishing the same snapshot is idempotent.
+        s.publish(&reg);
+        assert_eq!(reg.counter("pagestore.pool.logical_reads"), 10);
     }
 }

@@ -143,6 +143,19 @@ impl CostTracker {
         self.measured.absorb(&other.measured);
     }
 
+    /// Publish the estimated counters into a metrics registry under
+    /// `relstore.tracker.*`. Counters are *set* (not added), so
+    /// republishing a cumulative tracker is idempotent. The `measured`
+    /// side publishes through [`IoStats::publish`] on the pool's own
+    /// cumulative stats instead, to avoid double counting.
+    pub fn publish(&self, registry: &obs::Registry) {
+        registry.counter_set("relstore.tracker.seq_pages", self.seq_pages);
+        registry.counter_set("relstore.tracker.random_pages", self.random_pages);
+        registry.counter_set("relstore.tracker.tuples", self.tuples);
+        registry.counter_set("relstore.tracker.index_tuples", self.index_tuples);
+        registry.counter_set("relstore.tracker.operator_evals", self.operator_evals);
+    }
+
     /// Difference since an earlier snapshot. Saturates at zero so that a
     /// snapshot taken before a counter reset (e.g. the CLI's
     /// `stats reset`) diffs to nothing instead of panicking or wrapping.
@@ -202,6 +215,21 @@ mod tests {
         let mut b = CostTracker::new();
         b.absorb(&a);
         assert_eq!(b.operator_evals, 12);
+    }
+
+    #[test]
+    fn publish_exports_estimated_counters() {
+        let m = CostModel::default();
+        let mut t = CostTracker::new();
+        t.seq_scan(100, &m);
+        t.index_probes(4);
+        let reg = obs::Registry::new();
+        t.publish(&reg);
+        assert_eq!(reg.counter("relstore.tracker.seq_pages"), 2);
+        assert_eq!(reg.counter("relstore.tracker.tuples"), 100);
+        assert_eq!(reg.counter("relstore.tracker.index_tuples"), 4);
+        t.publish(&reg); // idempotent republish of the same snapshot
+        assert_eq!(reg.counter("relstore.tracker.tuples"), 100);
     }
 
     /// Regression: diffing a fresh tracker against a snapshot from before

@@ -3,6 +3,7 @@
 use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::table::{Table, DEFAULT_POOL_PAGES};
+use obs::{Recorder, Registry};
 use pagestore::{BufferPool, IoStats, RecoveryReport};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -19,6 +20,11 @@ use std::rc::Rc;
 pub struct Database {
     tables: BTreeMap<String, Table>,
     pool: Rc<BufferPool>,
+    /// Scoped span recorder; the pool's spans are routed here too, so
+    /// parallel tests never share span trees through the global recorder.
+    recorder: Recorder,
+    /// Scoped metrics registry ([`publish_metrics`](Self::publish_metrics)).
+    metrics: Registry,
 }
 
 impl Default for Database {
@@ -34,9 +40,17 @@ impl Database {
 
     /// A database whose shared pool holds `pages` 8 KiB frames.
     pub fn with_pool_capacity(pages: usize) -> Self {
+        Database::from_pool(BufferPool::in_memory(pages))
+    }
+
+    fn from_pool(pool: BufferPool) -> Self {
+        let recorder = Recorder::new();
+        pool.set_recorder(recorder.clone());
         Database {
             tables: BTreeMap::new(),
-            pool: Rc::new(BufferPool::in_memory(pages)),
+            pool: Rc::new(pool),
+            recorder,
+            metrics: Registry::new(),
         }
     }
 
@@ -48,13 +62,7 @@ impl Database {
     /// pages.
     pub fn open_durable(dir: impl AsRef<Path>, pages: usize) -> Result<(Self, RecoveryReport)> {
         let (pool, report) = BufferPool::open_durable(dir, pages)?;
-        Ok((
-            Database {
-                tables: BTreeMap::new(),
-                pool: Rc::new(pool),
-            },
-            report,
-        ))
+        Ok((Database::from_pool(pool), report))
     }
 
     /// Whether the shared pool has a write-ahead log attached, i.e.
@@ -95,6 +103,22 @@ impl Database {
     /// Zero the shared pool's I/O counters (e.g. between experiments).
     pub fn reset_io_stats(&self) {
         self.pool.reset_stats()
+    }
+
+    /// The scoped span recorder this database (and its pool) writes to.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The scoped metrics registry of this database.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Publish the pool's cumulative I/O counters (and hit ratio) into
+    /// the scoped registry. Idempotent: counters are set, not added.
+    pub fn publish_metrics(&self) {
+        self.pool.stats().publish(&self.metrics);
     }
 
     pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<&mut Table> {
@@ -250,6 +274,43 @@ mod tests {
             assert!(db.pool().num_pages() > 0, "checkpointed pages persist");
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pool_spans_land_in_the_scoped_recorder() {
+        // Two frames, three pages: fetching page 2 must miss and evict,
+        // and those spans must land in *this* database's recorder, not
+        // the process-wide one (parallel tests would cross-contaminate).
+        let mut db = Database::with_pool_capacity(2);
+        db.create_table("t", schema()).unwrap();
+        for i in 0..3000 {
+            db.table_mut("t")
+                .unwrap()
+                .insert(vec![Value::Int64(i)])
+                .unwrap();
+        }
+        let t = db.table("t").unwrap();
+        assert!(t.num_heap_pages() > 2, "need more pages than frames");
+        let mut tracker = crate::cost::CostTracker::new();
+        for ord in 0..t.num_heap_pages() {
+            t.read_page_rows(ord, &mut tracker).unwrap();
+        }
+        let report = db.recorder().report();
+        assert!(report.find("pagestore.pool.miss").is_some(), "{report:?}");
+    }
+
+    #[test]
+    fn publish_metrics_fills_the_scoped_registry() {
+        let mut db = Database::with_pool_capacity(8);
+        db.create_table("t", schema()).unwrap();
+        db.table_mut("t")
+            .unwrap()
+            .insert(vec![Value::Int64(1)])
+            .unwrap();
+        db.publish_metrics();
+        let m = db.metrics();
+        assert!(m.counter("pagestore.pool.logical_reads") > 0);
+        assert!(m.gauge("pagestore.pool.hit_ratio").is_some());
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod cost;
 pub mod db;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod expr;
 pub mod index;
 pub mod plan;
@@ -67,6 +68,9 @@ pub use error::{Error, Result};
 pub use exec::{
     collect, BoxExec, ExecContext, Executor, Filter, HashAggregate, HashJoin, IndexNestedLoopJoin,
     Limit, MergeJoin, Project, SeqScan, Sort, Unnest, Values,
+};
+pub use explain::{
+    wrap, Estimate, ExplainNode, ExplainReport, ExplainSnapshot, Instrumented, OpStats,
 };
 pub use expr::{AggFunc, BinOp, Expr};
 pub use index::{Index, IndexKind};

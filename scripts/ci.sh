@@ -21,6 +21,12 @@ echo "==> fault-injection / crash-recovery suite (release)"
 # it in release so the full matrix stays fast.
 cargo test -p pagestore --release -q --test crash_matrix --test pool_props
 
+echo "==> observability smoke (explain analyze + metrics --json)"
+# End-to-end check of the obs pipeline: a durable commit/checkout workload
+# followed by `explain analyze` and `metrics --json`, with a JSON schema
+# checker over both outputs. Leaves results/metrics_smoke.json behind.
+cargo run --release -q -p bench --bin obs_smoke
+
 echo "==> no ignored recovery tests"
 # Recovery coverage must actually run: fail if any pagestore test is
 # marked #[ignore].

@@ -78,7 +78,10 @@ fn help() {
          diff <cvd> -v <a> <b>\n  \
          run <SELECT … FROM VERSION i OF CVD c | SELECT vid, agg(col) FROM CVD c GROUP BY vid>\n  \
          optimize <cvd> [-g <gamma>]\n  \
+         explain analyze [--json] <query>   (instrumented plan: estimated vs actual)\n  \
          stats [reset]   (buffer-pool I/O counters)\n  \
+         metrics [--json|reset]   (counters, gauges, latency histograms)\n  \
+         spans [--json|reset]     (aggregated trace-span tree)\n  \
          checkpoint      (flush dirty pages; atomic when --data-dir is set)\n  \
          recover         (replay the write-ahead log, as after a crash)\n  \
          log <cvd> | ls | drop <cvd> | help | quit"
