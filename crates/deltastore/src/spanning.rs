@@ -280,6 +280,7 @@ pub fn shortest_phi_distances(graph: &StorageGraph) -> Vec<u64> {
     dijkstra_spt(graph).recreation_costs()
 }
 
+// Compile-time anchor keeping the NodeId alias referenced outside tests.
 #[allow(dead_code)]
 fn _unused(_: NodeId) {}
 

@@ -1,0 +1,64 @@
+//! `orpheus-lint` — lint the workspace (or single files) against the
+//! L001–L006 rule catalog. Exit codes: 0 clean, 1 findings, 2 usage or
+//! I/O error.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let started = Instant::now();
+    match args.first().map(String::as_str) {
+        Some("--help" | "-h") => {
+            println!(
+                "usage: orpheus-lint [ROOT]        lint the workspace rooted at ROOT (default .)\n\
+                 \x20      orpheus-lint --file F...  lint single files (//@path directive aware)"
+            );
+            ExitCode::SUCCESS
+        }
+        Some("--file") => {
+            if args.len() < 2 {
+                eprintln!("orpheus-lint: --file needs at least one path");
+                return ExitCode::from(2);
+            }
+            let mut findings = Vec::new();
+            for f in &args[1..] {
+                match lint::lint_file(Path::new(f)) {
+                    Ok(mut fs) => findings.append(&mut fs),
+                    Err(e) => {
+                        eprintln!("orpheus-lint: {f}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            report(findings, args.len() - 1, started)
+        }
+        root => {
+            let root = Path::new(root.unwrap_or("."));
+            match lint::lint_workspace(root) {
+                Ok((findings, scanned)) => report(findings, scanned, started),
+                Err(e) => {
+                    eprintln!("orpheus-lint: {}: {e}", root.display());
+                    ExitCode::from(2)
+                }
+            }
+        }
+    }
+}
+
+fn report(findings: Vec<lint::FileFinding>, files: usize, started: Instant) -> ExitCode {
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!(
+        "orpheus-lint: {files} files, {} finding(s) in {:.1} ms",
+        findings.len(),
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,47 @@
+//! Workspace file discovery.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, VCS state, and
+/// the lint fixtures (which contain violations on purpose).
+const SKIP_DIRS: &[&str] = &["target", "fixtures", "results"];
+
+/// Collect every workspace `.rs` file under `root`, as
+/// `(workspace-relative path, absolute path)`, sorted for deterministic
+/// output. Only `src/` and `crates/` trees are linted.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            visit(&dir, top, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn visit(dir: &Path, rel: &str, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') {
+            continue;
+        }
+        let path = entry.path();
+        let child_rel = format!("{rel}/{name}");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            visit(&path, &child_rel, out)?;
+        } else if name.ends_with(".rs") {
+            out.push((child_rel, path));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Exit-code contract of the `orpheus-lint` binary: 0 clean, 1 findings,
+//! 2 usage errors — `scripts/ci.sh` depends on this.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_orpheus-lint"))
+}
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap();
+    let out = bin().arg(root).output().unwrap();
+    assert!(
+        out.status.success(),
+        "stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn each_firing_fixture_exits_one_with_its_rule_on_stdout() {
+    for (name, rule) in [
+        ("l001_fire.rs", "L001"),
+        ("l002_fire.rs", "L002"),
+        ("l003_fire.rs", "L003"),
+        ("l004_fire.rs", "L004"),
+        ("l005_fire.rs", "L005"),
+        ("l006_fire.rs", "L006"),
+        ("suppress_bad.rs", "L006"),
+    ] {
+        let out = bin().args(["--file", &fixture(name)]).output().unwrap();
+        assert_eq!(out.status.code(), Some(1), "{name} must fail the gate");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(rule), "{name} stdout:\n{stdout}");
+    }
+}
+
+#[test]
+fn clean_fixtures_exit_zero() {
+    for name in [
+        "l001_clean.rs",
+        "l002_clean.rs",
+        "l003_clean.rs",
+        "l004_clean.rs",
+        "l005_clean.rs",
+        "l006_clean.rs",
+        "suppress_ok.rs",
+    ] {
+        let out = bin().args(["--file", &fixture(name)]).output().unwrap();
+        assert_eq!(out.status.code(), Some(0), "{name} must pass the gate");
+    }
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = bin().arg("--file").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["--file", "no/such/file.rs"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,149 @@
+//! Rule-catalog fixture tests: every rule has a firing and a non-firing
+//! snippet under `tests/fixtures/`, plus the suppression contract and a
+//! self-lint pass over the whole workspace.
+
+use lint::{lint_file, lint_workspace, Rule};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Lint a fixture and return its rule ids, one per finding, in order.
+fn rules_of(name: &str) -> Vec<Rule> {
+    let findings = lint_file(&fixture(name)).unwrap();
+    findings.iter().map(|f| f.finding.rule).collect()
+}
+
+fn assert_clean(name: &str) {
+    let findings = lint_file(&fixture(name)).unwrap();
+    assert!(
+        findings.is_empty(),
+        "{name} should be clean, got:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn l001_fires_on_panicking_library_code() {
+    let rules = rules_of("l001_fire.rs");
+    assert_eq!(
+        rules.len(),
+        5,
+        "unwrap, expect, todo!, unreachable!, panic!"
+    );
+    assert!(rules.iter().all(|r| *r == Rule::L001));
+}
+
+#[test]
+fn l001_spares_tests_docs_and_typed_errors() {
+    assert_clean("l001_clean.rs");
+}
+
+#[test]
+fn l002_fires_on_discarded_guards() {
+    let rules = rules_of("l002_fire.rs");
+    assert_eq!(
+        rules.len(),
+        3,
+        "`let _ = span`, bare span statement, generic `let _ =`"
+    );
+    assert!(rules.iter().all(|r| *r == Rule::L002));
+}
+
+#[test]
+fn l002_spares_named_guards_and_explicit_drops() {
+    assert_clean("l002_clean.rs");
+}
+
+#[test]
+fn l003_fires_on_wall_clock_in_cost_code() {
+    let rules = rules_of("l003_fire.rs");
+    assert!(rules.len() >= 2, "Instant::now and SystemTime::now");
+    assert!(rules.iter().all(|r| *r == Rule::L003));
+}
+
+#[test]
+fn l003_spares_counter_arithmetic_and_test_timing() {
+    assert_clean("l003_clean.rs");
+}
+
+#[test]
+fn l004_fires_on_unjustified_unsafe() {
+    assert_eq!(rules_of("l004_fire.rs"), vec![Rule::L004]);
+}
+
+#[test]
+fn l004_spares_safety_commented_unsafe() {
+    assert_clean("l004_clean.rs");
+}
+
+#[test]
+fn l005_fires_on_ignored_tests() {
+    assert_eq!(rules_of("l005_fire.rs"), vec![Rule::L005, Rule::L005]);
+}
+
+#[test]
+fn l005_spares_idents_strings_and_docs() {
+    assert_clean("l005_clean.rs");
+}
+
+#[test]
+fn l006_fires_on_reasonless_allow() {
+    assert_eq!(rules_of("l006_fire.rs"), vec![Rule::L006, Rule::L006]);
+}
+
+#[test]
+fn l006_spares_reasoned_allow() {
+    assert_clean("l006_clean.rs");
+}
+
+#[test]
+fn reasoned_suppressions_silence_the_rule() {
+    assert_clean("suppress_ok.rs");
+}
+
+#[test]
+fn reasonless_suppressions_suppress_nothing_and_fire_l006() {
+    let rules = rules_of("suppress_bad.rs");
+    // Both unwraps still fire; both bad suppressions are L006 findings.
+    assert_eq!(rules.iter().filter(|r| **r == Rule::L001).count(), 2);
+    assert_eq!(rules.iter().filter(|r| **r == Rule::L006).count(), 2);
+    assert_eq!(rules.len(), 4);
+}
+
+#[test]
+fn findings_render_with_pseudo_path_and_line() {
+    let findings = lint_file(&fixture("l004_fire.rs")).unwrap();
+    let rendered = findings[0].to_string();
+    assert!(
+        rendered.starts_with("crates/vquel/src/demo.rs:"),
+        "pseudo-path drives the rendered location: {rendered}"
+    );
+    assert!(rendered.contains(": L004 "), "{rendered}");
+}
+
+#[test]
+fn workspace_self_lint_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap();
+    let (findings, scanned) = lint_workspace(root).unwrap();
+    assert!(scanned > 50, "expected a real workspace, scanned {scanned}");
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean; findings:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,30 @@
+//@path crates/pagestore/src/demo.rs
+//! L001 negative: typed errors in library code; panics confined to
+//! `#[cfg(test)]` and doc examples.
+
+/// Doc examples never count:
+///
+/// ```
+/// let head = demo::read_header(&bytes).unwrap();
+/// ```
+pub fn read_header(bytes: &[u8]) -> Option<u32> {
+    let head: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(head))
+}
+
+pub fn unwrap_or_is_fine(v: Option<u32>) -> u32 {
+    // `unwrap_or` is not `unwrap`: no panic path.
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let head = super::read_header(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(head, 0x04030201);
+        if head == 0 {
+            panic!("test assertion");
+        }
+    }
+}

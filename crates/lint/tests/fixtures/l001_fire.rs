@@ -1,0 +1,26 @@
+//@path crates/pagestore/src/demo.rs
+//! L001 positive: panicking calls in engine library code.
+
+pub fn read_header(bytes: &[u8]) -> u32 {
+    let head: [u8; 4] = bytes[..4].try_into().unwrap();
+    u32::from_le_bytes(head)
+}
+
+pub fn lookup(map: &std::collections::HashMap<u32, u32>, k: u32) -> u32 {
+    *map.get(&k).expect("key must exist")
+}
+
+pub fn not_done() {
+    todo!("finish the fast path")
+}
+
+pub fn impossible(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn give_up() {
+    panic!("corrupt page");
+}

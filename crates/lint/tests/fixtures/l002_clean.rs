@@ -1,0 +1,20 @@
+//@path crates/obs/src/demo.rs
+//! L002 negative: guards held for the full scope, discards explicit.
+
+pub fn traced_commit(rec: &obs::Recorder) {
+    let _guard = rec.span("commit");
+    do_commit();
+}
+
+pub fn explicit_discard(r: Result<(), std::io::Error>) {
+    // Best-effort by design; `drop` makes the discard explicit.
+    drop(r);
+}
+
+pub fn named_binding(rec: &obs::Recorder) -> u64 {
+    let span = rec.span("checkout");
+    do_commit();
+    span.elapsed_micros()
+}
+
+fn do_commit() {}

@@ -1,0 +1,20 @@
+//@path crates/obs/src/demo.rs
+//! L002 positive: span guards and values discarded in engine library code.
+
+pub fn traced_commit(rec: &obs::Recorder) {
+    // The guard binds to `_`, drops immediately, records zero time.
+    let _ = rec.span("commit");
+    do_commit();
+}
+
+pub fn bare_span_statement(rec: &obs::Recorder) {
+    // Temporary guard drops at the semicolon.
+    rec.span("checkout");
+    do_commit();
+}
+
+pub fn generic_discard(r: Result<(), std::io::Error>) {
+    let _ = r;
+}
+
+fn do_commit() {}

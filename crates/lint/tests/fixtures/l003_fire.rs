@@ -1,0 +1,10 @@
+//@path crates/relstore/src/cost_demo.rs
+//! L003 positive: wall-clock reads inside the deterministic cost module.
+
+use std::time::{Instant, SystemTime};
+
+pub fn estimate_pages(n: u64) -> u64 {
+    let start = Instant::now();
+    let _epoch = SystemTime::now();
+    n * 2 + start.elapsed().as_micros() as u64
+}

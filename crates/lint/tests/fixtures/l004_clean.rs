@@ -1,0 +1,12 @@
+//@path crates/vquel/src/demo.rs
+//! L004 negative: every `unsafe` justified in writing.
+
+pub fn reinterpret(bytes: &[u8; 8]) -> u64 {
+    // SAFETY: [u8; 8] and u64 have identical size and no invalid bit
+    // patterns; alignment is irrelevant for a by-value transmute.
+    unsafe { std::mem::transmute(*bytes) }
+}
+
+pub fn same_line(bytes: &[u8; 8]) -> u64 {
+    unsafe { std::mem::transmute(*bytes) } // SAFETY: as above.
+}

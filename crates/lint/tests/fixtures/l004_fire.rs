@@ -1,0 +1,6 @@
+//@path crates/vquel/src/demo.rs
+//! L004 positive: `unsafe` without a SAFETY comment (any crate).
+
+pub fn reinterpret(bytes: &[u8; 8]) -> u64 {
+    unsafe { std::mem::transmute(*bytes) }
+}

@@ -1,0 +1,17 @@
+//@path crates/pagestore/src/demo.rs
+//! L005 negative: tests run; `ignore` appearing in other positions
+//! (idents, strings, docs) is not the attribute.
+
+/// Readers should not ignore errors. `#[ignore]` in a doc is fine.
+pub fn ignore(x: u32) -> u32 {
+    let msg = "#[ignore]";
+    x + msg.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn recovery_replays_wal() {
+        assert_eq!(super::ignore(0), 9);
+    }
+}

@@ -1,0 +1,16 @@
+//@path crates/deltastore/src/demo.rs
+//! L006 negative: every suppression carries its reason.
+
+// Kept for the next milestone's delta-compaction pass.
+#[allow(dead_code)]
+fn helper() {}
+
+// Indexing in lockstep with a second array below; iterators obscure it.
+#[allow(clippy::needless_range_loop)]
+pub fn sum(xs: &[u64]) -> u64 {
+    let mut total = 0;
+    for i in 0..xs.len() {
+        total += xs[i];
+    }
+    total
+}

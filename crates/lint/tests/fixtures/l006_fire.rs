@@ -1,0 +1,14 @@
+//@path crates/deltastore/src/demo.rs
+//! L006 positive: a reasonless `#[allow(…)]`.
+
+#[allow(dead_code)]
+fn helper() {}
+
+#[allow(clippy::needless_range_loop)]
+pub fn sum(xs: &[u64]) -> u64 {
+    let mut total = 0;
+    for i in 0..xs.len() {
+        total += xs[i];
+    }
+    total
+}

@@ -1,0 +1,13 @@
+//@path crates/pagestore/src/demo.rs
+//! Suppression negative: a reasonless `lint:allow` suppresses nothing
+//! and is itself an L006 finding.
+
+pub fn reasonless(v: Option<u32>) -> u32 {
+    // lint:allow(L001)
+    v.unwrap()
+}
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    // lint:allow(L999): no such rule.
+    v.unwrap()
+}

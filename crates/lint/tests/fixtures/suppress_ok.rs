@@ -1,0 +1,11 @@
+//@path crates/pagestore/src/demo.rs
+//! Suppression positive: a reasoned `lint:allow` silences the rule.
+
+pub fn checked_elsewhere(v: Option<u32>) -> u32 {
+    // lint:allow(L001): the caller validated `v`; a miss is a bug worth aborting on.
+    v.unwrap()
+}
+
+pub fn same_line(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(L001): validated by the caller.
+}

@@ -12,7 +12,7 @@
 //! single-observation histogram exact at every percentile.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
 
 use crate::json::Json;
@@ -167,9 +167,17 @@ impl Registry {
         GLOBAL.get_or_init(Registry::new)
     }
 
+    /// Lock the store, recovering from poisoning: metrics are written
+    /// from drop paths that run during panic unwinds, and one panicking
+    /// thread must not silence the registry for the rest of the process
+    /// (every mutation leaves the maps consistent).
+    fn locked(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Add `delta` to a monotonically increasing counter.
     pub fn counter_add(&self, name: &str, delta: u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
     }
 
@@ -177,32 +185,26 @@ impl Registry {
     /// subsystem republishes a running total (e.g. `IoStats`), where
     /// repeated publishes must be idempotent rather than additive.
     pub fn counter_set(&self, name: &str, value: u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         inner.counters.insert(name.to_owned(), value);
     }
 
     pub fn counter(&self, name: &str) -> u64 {
-        self.inner
-            .lock()
-            .unwrap()
-            .counters
-            .get(name)
-            .copied()
-            .unwrap_or(0)
+        self.locked().counters.get(name).copied().unwrap_or(0)
     }
 
     pub fn gauge_set(&self, name: &str, value: f64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         inner.gauges.insert(name.to_owned(), value);
     }
 
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.inner.lock().unwrap().gauges.get(name).copied()
+        self.locked().gauges.get(name).copied()
     }
 
     /// Record one observation into a named histogram.
     pub fn observe(&self, name: &str, value: u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         inner
             .histograms
             .entry(name.to_owned())
@@ -217,17 +219,17 @@ impl Registry {
 
     /// Snapshot a histogram by name.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        self.inner.lock().unwrap().histograms.get(name).cloned()
+        self.locked().histograms.get(name).cloned()
     }
 
     /// Drop every metric.
     pub fn reset(&self) {
-        *self.inner.lock().unwrap() = Inner::default();
+        *self.locked() = Inner::default();
     }
 
     /// Pretty text report, sections sorted by name.
     pub fn render_text(&self) -> String {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.locked();
         if inner.counters.is_empty() && inner.gauges.is_empty() && inner.histograms.is_empty() {
             return "(no metrics recorded)\n".to_owned();
         }
@@ -272,7 +274,7 @@ impl Registry {
     /// JSON snapshot: `{"counters": {..}, "gauges": {..}, "histograms":
     /// {name: {count, sum, min, max, mean, p50, p95, p99}}}`.
     pub fn to_json(&self) -> Json {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.locked();
         let counters = Json::Obj(
             inner
                 .counters

@@ -16,7 +16,7 @@
 //! lock on enter, one on close.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
@@ -101,12 +101,20 @@ impl Recorder {
         GLOBAL.get_or_init(Recorder::new)
     }
 
+    /// Lock the tree, recovering from poisoning: guards close during
+    /// panic unwinds, and a panicking instrumented thread must not
+    /// disable tracing for every other thread (each mutation leaves the
+    /// tree consistent, so the poisoned state is safe to reuse).
+    fn locked(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Open a span named `name` under the innermost open span of this
     /// thread (or at top level). Closes — records count and elapsed wall
     /// time — when the returned guard drops, panic included.
     pub fn enter(&self, name: &str) -> SpanGuard {
         let thread = std::thread::current().id();
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         let parent = inner.current.get(&thread).copied().unwrap_or(ROOT);
         let node = inner.child_named(parent, name);
         inner.current.insert(thread, node);
@@ -122,12 +130,12 @@ impl Recorder {
     /// Discard every recorded span (open guards still close safely: a
     /// stale cursor from before the reset falls back to the root).
     pub fn reset(&self) {
-        *self.inner.lock().unwrap() = Inner::fresh();
+        *self.locked() = Inner::fresh();
     }
 
     /// Snapshot the aggregated tree.
     pub fn report(&self) -> SpanReport {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.locked();
         fn build(inner: &Inner, idx: usize) -> SpanStats {
             let n = &inner.nodes[idx];
             let children: Vec<SpanStats> = n.children.iter().map(|&c| build(inner, c)).collect();
@@ -149,7 +157,7 @@ impl Recorder {
     }
 
     fn close(&self, guard: &SpanGuard, elapsed: Duration) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         // A reset between enter and close invalidates the indices; the
         // shrunk arena tells us to drop the sample rather than misfile it.
         if guard.node < inner.nodes.len() {

@@ -293,7 +293,8 @@ impl OrpheusDb {
             .map(str::to_owned)
             .collect::<Vec<_>>()
         {
-            let _ = self.db.drop_table(&t);
+            // Best-effort cleanup: the table may already be gone.
+            drop(self.db.drop_table(&t));
         }
         if let Some(p) = handle.partitioned {
             p.drop_tables(&mut self.db);

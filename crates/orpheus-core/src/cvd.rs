@@ -185,10 +185,10 @@ impl Cvd {
         &self.pk_names
     }
 
-    pub fn pk_cols(&self) -> Vec<usize> {
+    pub fn pk_cols(&self) -> Result<Vec<usize>> {
         self.pk_names
             .iter()
-            .map(|n| self.schema.index_of(n).expect("pk column exists"))
+            .map(|n| self.schema.index_of(n).map_err(Error::Storage))
             .collect()
     }
 
@@ -277,7 +277,7 @@ impl Cvd {
         for &v in versions {
             self.check_version(v)?;
         }
-        let pk_cols = self.pk_cols();
+        let pk_cols = self.pk_cols()?;
         let mut out: Vec<(Rid, Row)> = Vec::new();
         let mut seen_pk = std::collections::HashSet::new();
         for &v in versions {
@@ -383,7 +383,11 @@ impl Cvd {
         for col in schema.columns() {
             let target = match self.schema.index_of(&col.name) {
                 Ok(idx) => {
-                    let existing = self.schema.column(idx).unwrap().dtype;
+                    let existing = self
+                        .schema
+                        .column(idx)
+                        .ok_or_else(|| Error::Internal(format!("schema column #{idx} missing")))?
+                        .dtype;
                     if existing != col.dtype {
                         let general = existing.generalize(col.dtype).ok_or_else(|| {
                             Error::SchemaEvolution(format!(
@@ -418,7 +422,11 @@ impl Cvd {
                 }
             };
             // Attribute-table entry for (name, current dtype).
-            let dtype = self.schema.column(target).unwrap().dtype;
+            let dtype = self
+                .schema
+                .column(target)
+                .ok_or_else(|| Error::Internal(format!("schema column #{target} missing")))?
+                .dtype;
             let attr_id = match self
                 .attributes
                 .iter()
@@ -440,14 +448,24 @@ impl Cvd {
         }
 
         // Re-project rows into the union layout, widening values as needed.
+        // The target dtypes are resolved once up front: per-row schema
+        // lookups are wasted work, and a missing column is a typed error.
+        let dst_dtypes: Vec<_> = mapping
+            .iter()
+            .map(|&dst| {
+                self.schema
+                    .column(dst)
+                    .map(|c| c.dtype)
+                    .ok_or_else(|| Error::Internal(format!("schema column #{dst} missing")))
+            })
+            .collect::<Result<_>>()?;
         let width = self.schema.len();
         let projected: Vec<Row> = rows
             .into_iter()
             .map(|row| {
                 let mut out = vec![Value::Null; width];
                 for (src, &dst) in mapping.iter().enumerate() {
-                    let dtype = self.schema.column(dst).unwrap().dtype;
-                    out[dst] = row[src].widen(dtype).unwrap_or(Value::Null);
+                    out[dst] = row[src].widen(dst_dtypes[src]).unwrap_or(Value::Null);
                 }
                 out
             })
@@ -520,9 +538,9 @@ impl Cvd {
             .iter()
             .map(|&a| {
                 let attr = &self.attributes[a as usize];
-                self.schema.index_of(&attr.name).expect("attr in schema")
+                self.schema.index_of(&attr.name).map_err(Error::Storage)
             })
-            .collect();
+            .collect::<Result<_>>()?;
         let schema = self.schema.project(&cols);
         let rows = self.version_records[v.idx()]
             .iter()

@@ -27,6 +27,11 @@ pub enum Error {
     Parse(String),
     /// Schema evolution produced an incompatible change.
     SchemaEvolution(String),
+    /// An internal invariant of the versioning layer was violated
+    /// (e.g. an index pointing at a missing row). Raised instead of
+    /// panicking: the CVD may hold the only copy of the data, so a
+    /// broken invariant must surface as an error, never as an abort.
+    Internal(String),
 }
 
 impl fmt::Display for Error {
@@ -44,6 +49,7 @@ impl fmt::Display for Error {
             Error::UserError(m) => write!(f, "user error: {m}"),
             Error::Parse(m) => write!(f, "parse error: {m}"),
             Error::SchemaEvolution(m) => write!(f, "schema evolution: {m}"),
+            Error::Internal(m) => write!(f, "internal invariant violated: {m}"),
         }
     }
 }

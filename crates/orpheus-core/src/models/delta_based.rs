@@ -86,8 +86,6 @@ impl VersioningModel for DeltaBased {
 
         let table = db.create_table(self.table_name(vid), Self::delta_schema(cvd))?;
         let rids = cvd.version_records(vid)?;
-        let before = table.live_row_count();
-        let _ = before;
         match base {
             None => {
                 // Root: everything is an insert.
@@ -144,7 +142,9 @@ impl VersioningModel for DeltaBased {
             let table = db.table(&self.table_name(v))?;
             let rows = table.scan_all(&mut ctx.tracker, &ctx.model);
             for mut row in rows {
-                let rid = row[0].as_i64().expect("rid is int");
+                let rid = row[0]
+                    .as_i64()
+                    .ok_or_else(|| Error::Internal("delta rid column is not an integer".into()))?;
                 if !seen.insert(rid) {
                     continue; // decided by a nearer delta
                 }

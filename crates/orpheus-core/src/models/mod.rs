@@ -182,7 +182,13 @@ pub(crate) fn sync_table_schema(
     // Widen any columns whose type evolved.
     for (i, col) in want.iter().enumerate() {
         let idx = i + extra_leading;
-        let have = table.schema().column(idx).expect("column exists").dtype;
+        let have = table
+            .schema()
+            .column(idx)
+            .ok_or_else(|| {
+                crate::error::Error::Internal(format!("evolved schema column #{idx} missing"))
+            })?
+            .dtype;
         if have != col.dtype {
             table
                 .widen_column(&col.name.clone(), col.dtype)

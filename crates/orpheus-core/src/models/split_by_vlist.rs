@@ -8,7 +8,7 @@
 
 use super::{data_row, data_schema, sync_table_schema, ModelKind, VersioningModel};
 use crate::cvd::Cvd;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use partition::{Rid, Vid};
 use relstore::{
     Column, DataType, Database, ExecContext, Executor, Expr, Filter, HashJoin, IndexKind, Project,
@@ -87,7 +87,10 @@ impl VersioningModel for SplitByVlist {
             }
             let ids = vmap.index_lookup("rid_pk", rid.0 as i64, tracker)?;
             for id in ids {
-                let mut row = vmap.get(id).expect("indexed row exists").clone();
+                let mut row = vmap
+                    .get(id)
+                    .ok_or_else(|| Error::Internal("index points at a missing row".into()))?
+                    .clone();
                 if let Value::IntArray(v) = &mut row[1] {
                     tracker.ops(v.len() as u64 + 1);
                     v.push(vid.0 as i64);

@@ -86,7 +86,8 @@ impl PartitionedStore {
             .map(str::to_owned)
             .collect::<Vec<_>>()
         {
-            let _ = db.drop_table(&name);
+            // Best-effort cleanup: the table may already be gone.
+            drop(db.drop_table(&name));
         }
     }
 
@@ -97,7 +98,10 @@ impl PartitionedStore {
         let ids = vtab.index_lookup("vid_pk", vid.0 as i64, &mut ctx.tracker)?;
         let rows = vtab.fetch(&ids, Some(0), &mut ctx.tracker, &ctx.model);
         let row = rows.first().ok_or(Error::VersionNotFound(vid.0))?;
-        let pid = row[1].as_i64().unwrap() as usize;
+        let pid = row[1]
+            .as_i64()
+            .ok_or_else(|| Error::Internal("partition id column is not an integer".into()))?
+            as usize;
         let rlist: Vec<i64> = row[2].as_int_array().unwrap_or(&[]).to_vec();
         ctx.tracker.ops(rlist.len() as u64);
         let data = db.table(&self.partition_table(pid))?;
@@ -190,8 +194,12 @@ impl PartitionedStore {
         let table = db.table(&self.partition_table(pid))?;
         let mut out: Vec<Rid> = table
             .iter()
-            .map(|(_, r)| Rid(r[0].as_i64().unwrap() as u64))
-            .collect();
+            .map(|(_, r)| {
+                r[0].as_i64()
+                    .map(|v| Rid(v as u64))
+                    .ok_or_else(|| Error::Internal("rid column is not an integer".into()))
+            })
+            .collect::<Result<_>>()?;
         out.sort_unstable();
         Ok(out)
     }

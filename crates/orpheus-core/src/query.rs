@@ -146,7 +146,10 @@ impl<'a> VersionedQuery<'a> {
             )
             .matches(row, &mut ctx.tracker)?;
             if matches {
-                out.push(Vid(row[0].as_i64().unwrap() as u32));
+                let vid = row[0]
+                    .as_i64()
+                    .ok_or_else(|| Error::Internal("version id column is not an integer".into()))?;
+                out.push(Vid(vid as u32));
             }
         }
         Ok(out)

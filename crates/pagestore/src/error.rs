@@ -22,6 +22,11 @@ pub enum Error {
     /// A durability operation (recover/checkpoint accounting) on a pool
     /// with no write-ahead log attached.
     NotDurable,
+    /// An internal invariant of the storage engine was violated. Raised
+    /// instead of panicking: the caller may hold the only copy of the
+    /// data, so a broken invariant must surface as an error, never as an
+    /// abort mid-operation.
+    Invariant(&'static str),
 }
 
 impl fmt::Display for Error {
@@ -41,6 +46,9 @@ impl fmt::Display for Error {
             }
             Error::NotDurable => {
                 write!(f, "no write-ahead log is attached to this pool")
+            }
+            Error::Invariant(what) => {
+                write!(f, "internal invariant violated: {what}")
             }
         }
     }

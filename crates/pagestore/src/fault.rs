@@ -237,7 +237,9 @@ impl FaultWal {
     }
 
     fn drop_unsynced_tail(&mut self) {
-        let _ = self.inner.truncate(self.synced_len);
+        // Best-effort by design: this models the disk losing unsynced
+        // bytes in a crash, so a failing truncate is part of the fault.
+        drop(self.inner.truncate(self.synced_len));
     }
 }
 

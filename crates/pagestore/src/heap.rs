@@ -105,7 +105,7 @@ impl HeapFile {
         let mut page = pool.fetch_mut(id)?;
         let slot = page
             .insert(cell)
-            .expect("fresh page must fit an inline cell");
+            .ok_or(Error::Invariant("fresh page must fit an inline cell"))?;
         drop(page);
         self.pages.push(id);
         Ok(TupleAddr {
@@ -122,7 +122,8 @@ impl HeapFile {
             let id = self.fresh_page(pool)?;
             {
                 let mut page = pool.fetch_mut(id)?;
-                page.insert(chunk).expect("fresh page must fit a chunk");
+                page.insert(chunk)
+                    .ok_or(Error::Invariant("fresh page must fit a chunk"))?;
             }
             if let Some(prev_id) = prev {
                 pool.fetch_mut(prev_id)?.set_next_page(Some(id));
@@ -325,9 +326,10 @@ enum CellKind<'a> {
 fn cell_kind(cell: &[u8]) -> Result<CellKind<'_>> {
     match cell.split_first() {
         Some((&TAG_INLINE, tuple)) => Ok(CellKind::Inline(tuple)),
-        Some((&TAG_OVERFLOW, rest)) if rest.len() == 4 => Ok(CellKind::Overflow(
-            PageId::from_le_bytes(rest.try_into().unwrap()),
-        )),
+        Some((&TAG_OVERFLOW, rest)) => match <[u8; 4]>::try_from(rest) {
+            Ok(raw) => Ok(CellKind::Overflow(PageId::from_le_bytes(raw))),
+            Err(_) => Err(Error::BadAddress("malformed heap cell".into())),
+        },
         _ => Err(Error::BadAddress("malformed heap cell".into())),
     }
 }

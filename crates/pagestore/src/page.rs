@@ -106,7 +106,7 @@ impl Page {
 
     /// Next page in an overflow chain, if any.
     pub fn next_page(&self) -> Option<PageId> {
-        let raw = u32::from_le_bytes(self.data[4..8].try_into().unwrap());
+        let raw = u32::from_le_bytes([self.data[4], self.data[5], self.data[6], self.data[7]]);
         raw.checked_sub(1)
     }
 

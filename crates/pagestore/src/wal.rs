@@ -262,15 +262,15 @@ impl Wal {
     /// and the offset one past it, or `None` if the record is incomplete
     /// or fails its checksum (a torn tail — scanning must stop there).
     pub fn decode_at(bytes: &[u8], offset: usize) -> Option<(WalRecord, usize)> {
-        let rest = &bytes[offset..];
+        let rest = bytes.get(offset..)?;
         if rest.len() < RECORD_HEADER {
             return None;
         }
-        let lsn = Lsn::from_le_bytes(rest[0..8].try_into().unwrap());
+        let lsn = Lsn::from_le_bytes(le_array(rest, 0)?);
         let kind = rest[8];
-        let page_id = PageId::from_le_bytes(rest[9..13].try_into().unwrap());
-        let payload_len = u32::from_le_bytes(rest[13..17].try_into().unwrap()) as usize;
-        let stored_crc = u32::from_le_bytes(rest[17..21].try_into().unwrap());
+        let page_id = PageId::from_le_bytes(le_array(rest, 9)?);
+        let payload_len = u32::from_le_bytes(le_array(rest, 13)?) as usize;
+        let stored_crc = u32::from_le_bytes(le_array(rest, 17)?);
         let expected_len = match kind {
             KIND_PAGE_IMAGE => PAGE_SIZE,
             KIND_COMMIT => 0,
@@ -300,6 +300,12 @@ impl Wal {
     pub fn io_error(what: &str) -> Error {
         Error::Io(std::io::Error::other(what.to_owned()))
     }
+}
+
+/// Fixed-width little-endian field at `bytes[at..at + N]`, or `None` if
+/// the buffer is too short (a torn tail — scanning must stop there).
+fn le_array<const N: usize>(bytes: &[u8], at: usize) -> Option<[u8; N]> {
+    bytes.get(at..at + N)?.try_into().ok()
 }
 
 #[cfg(test)]
@@ -352,6 +358,20 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         assert!(Wal::decode_at(&bytes, 0).is_none());
+    }
+
+    #[test]
+    fn decode_at_torn_tails_are_none_not_panics() {
+        let mut wal = Wal::new(Box::new(MemWalStore::new()));
+        wal.append_commit().unwrap();
+        let bytes = wal.read_all().unwrap();
+        // Offset past the end of the buffer: no record, no slice panic.
+        assert!(Wal::decode_at(&bytes, bytes.len() + 100).is_none());
+        // Torn mid-header (inside the fixed-width lsn/page-id/len fields):
+        // every prefix shorter than a full header must decode to None.
+        for cut in 0..RECORD_HEADER {
+            assert!(Wal::decode_at(&bytes[..cut], 0).is_none());
+        }
     }
 
     #[test]

@@ -248,6 +248,7 @@ pub mod strategy {
         ($($name:ident),+) => {
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {
                 type Value = ($($name::Value,)+);
+                // Macro binds tuple elements to their type-parameter names.
                 #[allow(non_snake_case)]
                 fn generate(&self, rng: &mut StdRng) -> Self::Value {
                     let ($($name,)+) = self;

@@ -89,20 +89,28 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Fixed-width field as an array; `take` already guarantees the
+    /// width, so a mismatch can only mean a corrupt tuple.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| Error::Storage("truncated tuple field".into()))
+    }
+
     fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.array()?))
     }
 }
 
@@ -116,7 +124,7 @@ pub fn decode_row(bytes: &[u8]) -> Result<(RowId, Row)> {
         let v = match r.u8()? {
             TAG_NULL => Value::Null,
             TAG_INT64 => Value::Int64(r.i64()?),
-            TAG_FLOAT64 => Value::Float64(f64::from_le_bytes(r.take(8)?.try_into().unwrap())),
+            TAG_FLOAT64 => Value::Float64(f64::from_le_bytes(r.array()?)),
             TAG_TEXT => {
                 let len = r.u32()? as usize;
                 let s = std::str::from_utf8(r.take(len)?)
@@ -174,6 +182,19 @@ mod tests {
         let mut trailing = bytes;
         trailing.push(0);
         assert!(decode_row(&trailing).is_err());
+    }
+
+    #[test]
+    fn truncation_inside_fixed_width_fields_is_a_typed_error() {
+        // Cutting the buffer in the middle of an 8-byte value must surface
+        // as Error::Storage, never as a slice/try_into panic.
+        let bytes = encode_row(3, &vec![Value::Int64(0x0102_0304), Value::Float64(9.25)]);
+        for cut in 1..bytes.len() {
+            match decode_row(&bytes[..cut]) {
+                Err(Error::Storage(_)) => {}
+                other => panic!("cut at {cut}: expected Storage error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -281,7 +281,12 @@ impl Executor for Sort<'_> {
             });
             self.sorted = Some(rows.into_iter());
         }
-        Ok(self.sorted.as_mut().unwrap().next())
+        match self.sorted.as_mut() {
+            Some(it) => Ok(it.next()),
+            None => Err(Error::InvalidOperation(
+                "sort output was not materialized".into(),
+            )),
+        }
     }
 }
 
@@ -448,7 +453,7 @@ impl Executor for HashJoin<'_> {
                 Some(right_row) => {
                     ctx.tracker.ops(1); // hash probe
                     if let Some(k) = join_key(&right_row, self.right_key)? {
-                        if let Some(matches) = self.built.as_ref().unwrap().get(&k) {
+                        if let Some(matches) = self.built.as_ref().and_then(|b| b.get(&k)) {
                             for l in matches {
                                 let mut out = l.clone();
                                 out.extend(right_row.iter().cloned());
@@ -486,8 +491,13 @@ impl<'a> MergeJoin<'a> {
     }
 
     fn materialize(&mut self, ctx: &mut ExecContext) -> Result<()> {
-        let mut l = collect(self.left.take().unwrap().as_mut(), ctx)?;
-        let mut r = collect(self.right.take().unwrap().as_mut(), ctx)?;
+        let (Some(mut left), Some(mut right)) = (self.left.take(), self.right.take()) else {
+            return Err(Error::InvalidOperation(
+                "merge join inputs were already consumed".into(),
+            ));
+        };
+        let mut l = collect(left.as_mut(), ctx)?;
+        let mut r = collect(right.as_mut(), ctx)?;
         let (lk, rk) = (self.left_key, self.right_key);
         // Sorting an already-sorted run is cheap in practice (timsort-like
         // behaviour); charge comparisons only.
@@ -538,7 +548,12 @@ impl Executor for MergeJoin<'_> {
         if self.merged.is_none() {
             self.materialize(ctx)?;
         }
-        Ok(self.merged.as_mut().unwrap().next())
+        match self.merged.as_mut() {
+            Some(it) => Ok(it.next()),
+            None => Err(Error::InvalidOperation(
+                "merge join output was not materialized".into(),
+            )),
+        }
     }
 }
 
@@ -796,7 +811,12 @@ impl Executor for HashAggregate<'_> {
             ctx.tracker.emit(out.len() as u64);
             self.results = Some(out.into_iter());
         }
-        Ok(self.results.as_mut().unwrap().next())
+        match self.results.as_mut() {
+            Some(it) => Ok(it.next()),
+            None => Err(Error::InvalidOperation(
+                "aggregate output was not materialized".into(),
+            )),
+        }
     }
 }
 

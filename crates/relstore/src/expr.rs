@@ -188,7 +188,11 @@ fn eval_bin(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                 Le => ord != Ordering::Greater,
                 Gt => ord == Ordering::Greater,
                 Ge => ord != Ordering::Less,
-                _ => unreachable!(),
+                _ => {
+                    return Err(Error::TypeError(format!(
+                        "{op:?} is not a comparison operator"
+                    )))
+                }
             };
             Ok(Value::Bool(b))
         }
@@ -201,7 +205,11 @@ fn eval_bin(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                     Add => a.wrapping_add(b),
                     Sub => a.wrapping_sub(b),
                     Mul => a.wrapping_mul(b),
-                    _ => unreachable!(),
+                    _ => {
+                        return Err(Error::TypeError(format!(
+                            "{op:?} is not an arithmetic operator"
+                        )))
+                    }
                 };
                 return Ok(Value::Int64(v));
             }
@@ -211,7 +219,11 @@ fn eval_bin(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                         Add => a + b,
                         Sub => a - b,
                         Mul => a * b,
-                        _ => unreachable!(),
+                        _ => {
+                            return Err(Error::TypeError(format!(
+                                "{op:?} is not an arithmetic operator"
+                            )))
+                        }
                     };
                     Ok(Value::Float64(v))
                 }

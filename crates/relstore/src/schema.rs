@@ -158,7 +158,9 @@ impl Schema {
         let mut cols = self.columns.clone();
         let mut out = Schema::new(Vec::new());
         for c in cols.drain(..) {
-            let _ = out.add_column(c);
+            // A schema's own column names are unique, so re-adding them
+            // into an empty schema cannot collide.
+            drop(out.add_column(c));
         }
         for c in right.columns() {
             let name = if out.contains(&c.name) {
@@ -166,11 +168,12 @@ impl Schema {
             } else {
                 c.name.clone()
             };
-            let _ = out.add_column(Column {
+            // The rhs_ prefix de-duplicated the name above.
+            drop(out.add_column(Column {
                 name,
                 dtype: c.dtype,
                 nullable: c.nullable,
-            });
+            }));
         }
         out
     }

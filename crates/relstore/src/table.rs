@@ -445,7 +445,12 @@ impl Table {
             self.insert(row)?;
         }
         for (name, col, unique, kind) in specs {
-            let colname = self.schema.column(col).unwrap().name.clone();
+            let colname = self
+                .schema
+                .column(col)
+                .ok_or_else(|| Error::ColumnNotFound(format!("column #{col}")))?
+                .name
+                .clone();
             self.create_index(name, &colname, unique, kind)?;
         }
         self.clustering = Clustering::On(col);

@@ -13,6 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> orpheus-lint (L001-L006 invariant catalog)"
+# Project static analysis: no panicking paths in the storage engine, span
+# guards actually held, deterministic cost estimation, SAFETY-commented
+# unsafe, no #[ignore]d tests, every suppression justified. See
+# crates/lint/README.md for the rule catalog.
+cargo run --release -q -p lint
+
 echo "==> cargo test"
 cargo test --workspace -q
 
@@ -26,13 +33,5 @@ echo "==> observability smoke (explain analyze + metrics --json)"
 # followed by `explain analyze` and `metrics --json`, with a JSON schema
 # checker over both outputs. Leaves results/metrics_smoke.json behind.
 cargo run --release -q -p bench --bin obs_smoke
-
-echo "==> no ignored recovery tests"
-# Recovery coverage must actually run: fail if any pagestore test is
-# marked #[ignore].
-if grep -rn "#\[ignore" crates/pagestore/src crates/pagestore/tests; then
-    echo "error: ignored tests found in pagestore (recovery coverage must run)" >&2
-    exit 1
-fi
 
 echo "CI OK"
