@@ -1,0 +1,198 @@
+//! Morsel-driven parallel execution: checkout and version-query speedup.
+//!
+//! Runs the split-by-rlist checkout and a filtered version scan over the
+//! SCI_100K dataset at 1/2/4/8 morsel workers and reports wall-clock
+//! speedup over the sequential plans. Worker threads only do CPU work
+//! (tuple decode, hash probes, predicate/projection evaluation); all page
+//! I/O stays on the coordinator, so the curve flattens toward an
+//! Amdahl-style bound.
+//!
+//! Alongside raw wall clock (which only scales when the machine has the
+//! cores — the CI container may have one), the binary *measures* the
+//! serial fraction by timing the coordinator's page-snapshot pass alone,
+//! and reports the projected speedup `T₁ / (T_io + (T₁ − T_io)/N)` that
+//! the measured split supports. The projected column is the
+//! machine-independent acceptance number; the wall columns show what this
+//! host actually achieved.
+//!
+//! Output rows must be identical at every worker count — the binary
+//! asserts it, the same guarantee `orpheus-core`'s determinism tests pin
+//! down at row level.
+
+use benchgen::{generate, DatasetSpec};
+use orpheus_core::models::{load_cvd, SplitByRlist};
+use orpheus_core::query::VersionedQuery;
+use partition::Vid;
+use relstore::{BinOp, Database, ExecContext, Expr, Row, Value, WorkerPool};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+
+/// Best-of-N wall time for a closure that returns the produced rows.
+fn best_of<F: FnMut() -> Vec<Row>>(mut f: F) -> (Vec<Row>, Duration) {
+    let mut best: Option<(Vec<Row>, Duration)> = None;
+    for _ in 0..REPS {
+        let (rows, t) = bench::time(&mut f);
+        if best.as_ref().map(|(_, b)| t < *b).unwrap_or(true) {
+            best = Some((rows, t));
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    bench::banner(
+        "parallel_scaling: morsel-driven checkout and version queries",
+        "engine extension — work-stealing morsel parallelism over SCI_100K",
+    );
+
+    let d = generate(&DatasetSpec::sci("SCI_100K", 2000, 200, 50));
+    let cvd = bench::dataset_to_cvd(&d);
+    let mut db = Database::new();
+    let mut model = SplitByRlist::new(cvd.name());
+    load_cvd(&mut model, &mut db, &cvd).expect("load model");
+
+    // Largest version = the heaviest checkout; the scan query filters the
+    // same versions the checkout materializes.
+    let target = cvd
+        .graph()
+        .versions()
+        .max_by_key(|&v| cvd.version_records(v).map(|r| r.len()).unwrap_or(0))
+        .unwrap_or(Vid(0));
+    let data = db.table(&model.data_name()).expect("data table");
+    let data_rows = data.live_row_count();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "dataset: |R|={} records in the data table, checkout target {} ({} records), {} core(s)\n",
+        data_rows,
+        target,
+        cvd.version_records(target).map(|r| r.len()).unwrap_or(0),
+        cores,
+    );
+
+    // The serial fraction: time the coordinator's page-snapshot pass on
+    // its own (everything else runs on the workers).
+    let (_, t_io) = best_of(|| {
+        let mut tracker = relstore::CostTracker::new();
+        let mut rows = 0usize;
+        for ord in 0..data.num_heap_pages() {
+            let snap = data.snapshot_page(ord, &mut tracker).expect("snapshot");
+            rows += snap.tuples().map(|t| t.len()).unwrap_or(0);
+        }
+        vec![vec![Value::Int64(rows as i64)]]
+    });
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "parallel_scaling — SCI_100K (|R|={data_rows}), best of {REPS} runs, {cores} core(s)"
+    );
+    let _ = writeln!(
+        out,
+        "coordinator page-snapshot pass (serial fraction): {} ms",
+        bench::ms(t_io)
+    );
+    let cols = [
+        "threads",
+        "checkout ms",
+        "wall",
+        "projected",
+        "query ms",
+        "wall",
+        "projected",
+    ];
+    let _ = writeln!(
+        out,
+        "{:>8} {:>14} {:>8} {:>10} {:>14} {:>8} {:>10}",
+        cols[0], cols[1], cols[2], cols[3], cols[4], cols[5], cols[6]
+    );
+    bench::header(&cols);
+
+    // Amdahl projection from the measured serial fraction: the snapshot
+    // pass stays on the coordinator, the rest of the sequential time is
+    // worker-parallel CPU.
+    let project = |t1: Duration, n: usize| -> f64 {
+        let t1 = t1.as_secs_f64();
+        let io = t_io.as_secs_f64().min(t1);
+        t1 / (io + (t1 - io) / n as f64)
+    };
+
+    let mut base_checkout: Option<(Vec<Row>, Duration)> = None;
+    let mut base_query: Option<(Vec<Row>, Duration)> = None;
+    let mut speedup4 = (0.0f64, 0.0f64);
+    for threads in THREAD_COUNTS {
+        let pool = (threads > 1).then(|| WorkerPool::new(threads));
+
+        let (co_rows, co_t) = best_of(|| {
+            let mut ctx = ExecContext::new();
+            model
+                .checkout_with_pool(&db, target, pool.as_ref(), &mut ctx)
+                .expect("checkout")
+        });
+
+        // `a1 > 0` scans and filters every record of the target version.
+        let predicate = Expr::Bin(
+            BinOp::Gt,
+            Box::new(Expr::col(2)),
+            Box::new(Expr::Const(Value::Int64(0))),
+        );
+        let (q_rows, q_t) = best_of(|| {
+            let q = VersionedQuery::new(&db, &cvd, &model).with_pool(pool.clone());
+            let mut ctx = ExecContext::new();
+            q.select_versions(&[target], Some(predicate.clone()), None, &mut ctx)
+                .expect("select_versions")
+                .rows
+        });
+
+        match (&base_checkout, &base_query) {
+            (Some((rows, _)), Some((qrows, _))) => {
+                assert_eq!(
+                    &co_rows, rows,
+                    "checkout rows diverged at {threads} threads"
+                );
+                assert_eq!(&q_rows, qrows, "query rows diverged at {threads} threads");
+            }
+            _ => {
+                base_checkout = Some((co_rows, co_t));
+                base_query = Some((q_rows, q_t));
+            }
+        }
+
+        let co_wall =
+            base_checkout.as_ref().unwrap().1.as_secs_f64() / co_t.as_secs_f64().max(1e-9);
+        let q_wall = base_query.as_ref().unwrap().1.as_secs_f64() / q_t.as_secs_f64().max(1e-9);
+        let co_proj = project(base_checkout.as_ref().unwrap().1, threads);
+        let q_proj = project(base_query.as_ref().unwrap().1, threads);
+        if threads == 4 {
+            speedup4 = (co_proj, q_proj);
+        }
+        let cells = [
+            threads.to_string(),
+            bench::ms(co_t),
+            format!("{co_wall:.2}x"),
+            format!("{co_proj:.2}x"),
+            bench::ms(q_t),
+            format!("{q_wall:.2}x"),
+            format!("{q_proj:.2}x"),
+        ];
+        bench::row(&cells);
+        let _ = writeln!(
+            out,
+            "{:>8} {:>14} {:>8} {:>10} {:>14} {:>8} {:>10}",
+            cells[0], cells[1], cells[2], cells[3], cells[4], cells[5], cells[6]
+        );
+    }
+
+    println!(
+        "\n4-thread projected speedup (measured serial fraction): checkout {:.2}x, filtered scan {:.2}x",
+        speedup4.0, speedup4.1
+    );
+    match bench::write_text_result("parallel_scaling", &out) {
+        Ok(path) => println!("results: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write results: {e}"),
+    }
+}

@@ -1,0 +1,208 @@
+//! The CI perf-regression gate's comparison engine.
+//!
+//! Compares a freshly produced metrics snapshot (`metrics_smoke.json`
+//! from the `obs_smoke` workload) against the checked-in baseline with
+//! per-key tolerances. The gated quantities are the *deterministic* work
+//! counters — page reads, WAL appends/fsyncs, tracker tuples/evals —
+//! which this repository uses as its machine-independent perf proxy
+//! throughout; wall-clock latency fields are never gated (CI hosts vary),
+//! but the deterministic `count` of each latency histogram is.
+//!
+//! A counter may regress (exceed baseline by more than its tolerance) →
+//! gate failure. A counter may *improve* past tolerance → the gate
+//! passes but asks for a baseline refresh, so the better number becomes
+//! the new floor.
+
+use obs::Json;
+
+/// Relative tolerance for a metric key, or `None` when the key is not
+/// gated. Sections are `counters`, `gauges`, `histograms`.
+pub fn tolerance(section: &str, key: &str) -> Option<f64> {
+    match section {
+        // Estimated-cost tracker counters are fully deterministic —
+        // tightest band.
+        "counters" if key.starts_with("relstore.tracker.") => Some(0.05),
+        // Page/WAL traffic is deterministic given a fixed pool size, but
+        // leave headroom for benign layout drift.
+        "counters" => Some(0.10),
+        // Hit ratio is a quality gauge: gated on the downside only (a
+        // higher ratio is never a regression).
+        "gauges" if key == "pagestore.pool.hit_ratio" => Some(0.15),
+        // Latency histograms: the event counts are deterministic and
+        // gated exactly; the microsecond fields are host noise.
+        "histograms" if key.ends_with("/count") => Some(0.0),
+        _ => None,
+    }
+}
+
+/// Outcome of one baseline/current comparison.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Keys whose current value regressed past tolerance (gate fails).
+    pub regressions: Vec<String>,
+    /// Keys whose current value improved past tolerance (refresh hint).
+    pub improvements: Vec<String>,
+    /// Gated keys checked.
+    pub checked: usize,
+}
+
+impl GateReport {
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn flatten(v: &Json, prefix: String, out: &mut Vec<(String, f64)>) {
+    match v {
+        Json::Num(n) => out.push((prefix, *n)),
+        Json::Obj(m) => {
+            for (k, v) in m {
+                let p = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}/{k}")
+                };
+                flatten(v, p, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn numeric_keys(doc: &Json, section: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(v) = doc.get(section) {
+        flatten(v, String::new(), &mut out);
+    }
+    out
+}
+
+/// Compare `current` against `baseline`. Every gated key present in the
+/// baseline must exist in the current snapshot (a vanished counter is a
+/// regression: the instrumentation was lost).
+pub fn compare(baseline: &Json, current: &Json) -> GateReport {
+    let mut report = GateReport::default();
+    for section in ["counters", "gauges", "histograms"] {
+        for (key, base) in numeric_keys(baseline, section) {
+            let Some(tol) = tolerance(section, &key) else {
+                continue;
+            };
+            report.checked += 1;
+            let path = format!("{section}/{key}");
+            let Some(cur) = current.get_path(&path).and_then(Json::as_f64) else {
+                report
+                    .regressions
+                    .push(format!("{path}: present in baseline, missing from current"));
+                continue;
+            };
+            // `hit_ratio` is higher-is-better; everything else gated is
+            // a work counter where higher is worse.
+            let higher_is_better = key == "pagestore.pool.hit_ratio";
+            let (worse, better) = if higher_is_better {
+                (base - cur, cur - base)
+            } else {
+                (cur - base, base - cur)
+            };
+            let band = base.abs() * tol;
+            // Exactly-gated keys (tolerance 0) regress on drift in either
+            // direction — a vanished histogram observation is lost
+            // instrumentation, not a win.
+            let drifted = worse > band + f64::EPSILON || (tol == 0.0 && better > f64::EPSILON);
+            if drifted {
+                report.regressions.push(format!(
+                    "{path}: baseline {base}, current {cur} (beyond ±{:.0}%)",
+                    tol * 100.0
+                ));
+            } else if better > band + f64::EPSILON {
+                report
+                    .improvements
+                    .push(format!("{path}: baseline {base}, current {cur}"));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(logical_reads: f64, tuples: f64, hit: f64, commits: f64) -> Json {
+        obs::parse(&format!(
+            r#"{{
+              "counters": {{
+                "pagestore.pool.logical_reads": {logical_reads},
+                "relstore.tracker.tuples": {tuples}
+              }},
+              "gauges": {{ "pagestore.pool.hit_ratio": {hit} }},
+              "histograms": {{
+                "orpheus.commit.latency_us": {{ "count": {commits}, "p50": 1400 }}
+              }}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let b = snapshot(38.0, 123.0, 1.0, 3.0);
+        let r = compare(&b, &b);
+        assert!(r.passed(), "{:?}", r.regressions);
+        assert!(r.improvements.is_empty());
+        // logical_reads + tuples + hit_ratio + commit count are gated.
+        assert_eq!(r.checked, 4);
+    }
+
+    #[test]
+    fn counter_regression_fails() {
+        let b = snapshot(38.0, 123.0, 1.0, 3.0);
+        let c = snapshot(38.0, 140.0, 1.0, 3.0); // tuples +13.8% > 5%
+        let r = compare(&b, &c);
+        assert_eq!(r.regressions.len(), 1, "{:?}", r.regressions);
+        assert!(r.regressions[0].contains("relstore.tracker.tuples"));
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let b = snapshot(38.0, 123.0, 1.0, 3.0);
+        let c = snapshot(41.0, 125.0, 1.0, 3.0); // +7.9% and +1.6%
+        assert!(compare(&b, &c).passed());
+    }
+
+    #[test]
+    fn improvement_passes_but_is_reported() {
+        let b = snapshot(38.0, 123.0, 1.0, 3.0);
+        let c = snapshot(20.0, 123.0, 1.0, 3.0);
+        let r = compare(&b, &c);
+        assert!(r.passed());
+        assert_eq!(r.improvements.len(), 1);
+    }
+
+    #[test]
+    fn hit_ratio_gated_downward_only() {
+        let b = snapshot(38.0, 123.0, 0.9, 3.0);
+        let worse = snapshot(38.0, 123.0, 0.5, 3.0);
+        assert!(!compare(&b, &worse).passed());
+        let better = snapshot(38.0, 123.0, 1.0, 3.0);
+        assert!(compare(&b, &better).passed());
+    }
+
+    #[test]
+    fn histogram_count_exact_latency_ignored() {
+        let b = snapshot(38.0, 123.0, 1.0, 3.0);
+        // One lost commit observation fails even though p50 is ignored.
+        let c = snapshot(38.0, 123.0, 1.0, 2.0);
+        let r = compare(&b, &c);
+        assert!(!r.passed());
+        assert!(r.regressions[0].contains("latency_us/count"));
+    }
+
+    #[test]
+    fn missing_gated_key_fails() {
+        let b = snapshot(38.0, 123.0, 1.0, 3.0);
+        let c = obs::parse(r#"{"counters": {}, "gauges": {}, "histograms": {}}"#).unwrap();
+        let r = compare(&b, &c);
+        assert!(!r.passed());
+        assert!(r.regressions.iter().any(|m| m.contains("missing")));
+    }
+}

@@ -4,6 +4,8 @@
 //! paper's evaluation (see DESIGN.md's per-experiment index); this library
 //! holds the plumbing they share.
 
+pub mod gate;
+
 use benchgen::VersionedDataset;
 use orpheus_core::cvd::Cvd;
 use orpheus_core::models::{load_cvd, ModelKind, VersioningModel};
@@ -88,17 +90,35 @@ pub fn banner(title: &str, paper_ref: &str) {
     println!("reproduces: {paper_ref}\n");
 }
 
-/// Write a metrics registry snapshot to `results/metrics_<name>.json` so
-/// every experiment run leaves a machine-readable record next to its text
-/// output. Returns the path written.
+/// Directory experiment outputs land in: `$ORPHEUS_RESULTS_DIR` when set,
+/// `results/` otherwise. CI points this at the git-ignored `results/ci/`
+/// so gate runs never dirty the checked-in result files.
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("ORPHEUS_RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"))
+}
+
+/// Write a metrics registry snapshot to `metrics_<name>.json` under
+/// [`results_dir`] so every experiment run leaves a machine-readable
+/// record next to its text output. Returns the path written.
 pub fn write_metrics_snapshot(
     name: &str,
     registry: &obs::Registry,
 ) -> std::io::Result<std::path::PathBuf> {
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir)?;
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("metrics_{name}.json"));
     std::fs::write(&path, registry.to_json().to_string_pretty())?;
+    Ok(path)
+}
+
+/// Write an experiment's text table to `<name>.txt` under [`results_dir`].
+pub fn write_text_result(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.txt"));
+    std::fs::write(&path, content)?;
     Ok(path)
 }
 

@@ -1,0 +1,377 @@
+//! # exec-pool — morsel-driven work-stealing worker pool
+//!
+//! The parallel executor splits work into *morsels* (page ranges, row
+//! chunks, partitions) and runs them on a fixed-degree worker pool. This
+//! crate is the only place in the workspace allowed to create threads
+//! (enforced by `orpheus-lint` rule L007): routing every spawn through
+//! the pool means joins, panics, and per-worker accounting can never be
+//! forgotten at a call site.
+//!
+//! Design:
+//!
+//! * **Fixed degree.** A [`WorkerPool`] is configured with a thread
+//!   count once; every [`WorkerPool::run`] call uses at most that many
+//!   workers (fewer when there are fewer tasks than threads).
+//! * **Scoped workers.** Threads are spawned inside
+//!   [`std::thread::scope`] per `run` call, so tasks may borrow from the
+//!   caller's stack — the coordinator hands workers references to page
+//!   snapshots, build-side hash tables, and predicates without `Arc`ing
+//!   the world. Spawn cost (~tens of µs) is negligible against the
+//!   multi-millisecond scans the pool exists for.
+//! * **Chunked queues + stealing.** Task indices are dealt to per-worker
+//!   queues in contiguous chunks (morsel locality); a worker that drains
+//!   its own queue steals from the *back* of a victim's queue, so the
+//!   steal takes the work farthest from what the victim touches next.
+//! * **Panic-safe joins.** Each task runs under
+//!   [`std::panic::catch_unwind`]; the first panic stops the pool and
+//!   surfaces as [`PoolError::WorkerPanic`] — the pool never deadlocks
+//!   and never aborts the process on a worker panic.
+//! * **Deterministic results.** Results are reassembled in task order,
+//!   so for pure tasks the output is identical at every thread count —
+//!   the property the CI determinism gate checks end to end.
+//!
+//! Per-run metrics land in an optional [`obs::Registry`] under
+//! `exec.pool.*`: total tasks, steals, runs, panics, and per-worker task
+//! counts (`exec.pool.worker{w}.tasks`).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Errors surfaced by [`WorkerPool::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A task panicked; the payload's message is preserved.
+    WorkerPanic(String),
+    /// A task result went missing — a pool invariant was broken.
+    Internal(String),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            PoolError::Internal(msg) => write!(f, "pool invariant broken: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Lock a mutex, recovering from poisoning: a panicking task leaves the
+/// slot it held in a consistent state (`Option` take/put), and the pool
+/// must keep operating to report that panic as an `Err`.
+fn locked<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A fixed-degree worker pool. Cheap to construct; holds no threads
+/// between [`run`](WorkerPool::run) calls.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerPool {
+    threads: usize,
+    registry: Option<obs::Registry>,
+}
+
+impl WorkerPool {
+    /// A pool that uses up to `threads` workers (`0` is treated as `1`).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+            registry: None,
+        }
+    }
+
+    /// Like [`new`](WorkerPool::new), with `exec.pool.*` metrics
+    /// recorded into `registry` on every run.
+    pub fn with_registry(threads: usize, registry: obs::Registry) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+            registry: Some(registry),
+        }
+    }
+
+    /// Configured parallelism degree.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Degree a run over `tasks` morsels would actually use.
+    pub fn degree_for(&self, tasks: usize) -> usize {
+        self.threads.min(tasks).max(1)
+    }
+
+    /// Run every task, returning results in task order.
+    ///
+    /// Each task receives the id (0-based) of the worker that ran it.
+    /// With one worker (or one task) everything runs inline on the
+    /// calling thread — no threads are spawned, so `--threads 1`
+    /// executes exactly the code a sequential engine would.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Result<Vec<T>, PoolError>
+    where
+        F: FnOnce(usize) -> T + Send,
+        T: Send,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = self.degree_for(n);
+        if workers == 1 {
+            return self.run_inline(tasks);
+        }
+
+        // Task slots: taken exactly once, under the slot's own lock, so a
+        // stolen index can never run twice.
+        let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        // Deal contiguous chunks: worker w owns [w*n/W, (w+1)*n/W).
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w * n / workers..(w + 1) * n / workers).collect()))
+            .collect();
+        let stop = AtomicBool::new(false);
+        let panic_msg: Mutex<Option<String>> = Mutex::new(None);
+        let worker_tasks: Vec<Mutex<u64>> = (0..workers).map(|_| Mutex::new(0)).collect();
+        let steals: Mutex<u64> = Mutex::new(0);
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let slots = &slots;
+                let results = &results;
+                let queues = &queues;
+                let stop = &stop;
+                let panic_msg = &panic_msg;
+                let worker_tasks = &worker_tasks;
+                let steals = &steals;
+                scope.spawn(move || {
+                    let mut ran = 0u64;
+                    let mut stolen = 0u64;
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // Own queue first (front: preserves chunk order),
+                        // then steal from the back of the other queues.
+                        let mut idx = locked(&queues[w]).pop_front();
+                        if idx.is_none() {
+                            for v in 1..workers {
+                                let victim = (w + v) % workers;
+                                if let Some(i) = locked(&queues[victim]).pop_back() {
+                                    idx = Some(i);
+                                    stolen += 1;
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(idx) = idx else { break };
+                        let Some(task) = locked(&slots[idx]).take() else {
+                            continue;
+                        };
+                        match catch_unwind(AssertUnwindSafe(|| task(w))) {
+                            Ok(value) => {
+                                *locked(&results[idx]) = Some(value);
+                                ran += 1;
+                            }
+                            Err(payload) => {
+                                let mut msg = locked(panic_msg);
+                                if msg.is_none() {
+                                    *msg = Some(panic_message(payload.as_ref()));
+                                }
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    *locked(&worker_tasks[w]) += ran;
+                    *locked(steals) += stolen;
+                });
+            }
+        });
+
+        if let Some(msg) = locked(&panic_msg).take() {
+            self.record(workers, &worker_tasks, *locked(&steals), true);
+            return Err(PoolError::WorkerPanic(msg));
+        }
+        self.record(workers, &worker_tasks, *locked(&steals), false);
+        let mut out = Vec::with_capacity(n);
+        for (i, slot) in results.iter().enumerate() {
+            match locked(slot).take() {
+                Some(v) => out.push(v),
+                None => {
+                    return Err(PoolError::Internal(format!("task {i} produced no result")));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sequential path: run every task on the calling thread, worker 0.
+    fn run_inline<T, F>(&self, tasks: Vec<F>) -> Result<Vec<T>, PoolError>
+    where
+        F: FnOnce(usize) -> T,
+    {
+        let n = tasks.len() as u64;
+        let mut out = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            match catch_unwind(AssertUnwindSafe(|| task(0))) {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    if let Some(reg) = &self.registry {
+                        reg.counter_add("exec.pool.panics", 1);
+                        reg.counter_add("exec.pool.runs", 1);
+                    }
+                    return Err(PoolError::WorkerPanic(panic_message(payload.as_ref())));
+                }
+            }
+        }
+        if let Some(reg) = &self.registry {
+            reg.counter_add("exec.pool.runs", 1);
+            reg.counter_add("exec.pool.tasks", n);
+            reg.counter_add("exec.pool.worker0.tasks", n);
+        }
+        Ok(out)
+    }
+
+    fn record(&self, workers: usize, worker_tasks: &[Mutex<u64>], steals: u64, panicked: bool) {
+        let Some(reg) = &self.registry else { return };
+        reg.counter_add("exec.pool.runs", 1);
+        reg.counter_add("exec.pool.steals", steals);
+        if panicked {
+            reg.counter_add("exec.pool.panics", 1);
+        }
+        let mut total = 0u64;
+        for (w, t) in worker_tasks.iter().enumerate().take(workers) {
+            let t = *locked(t);
+            total += t;
+            reg.counter_add(&format!("exec.pool.worker{w}.tasks"), t);
+        }
+        reg.counter_add("exec.pool.tasks", total);
+    }
+}
+
+/// Best-effort panic payload rendering (`&str` and `String` payloads
+/// cover everything `panic!`/`assert!` produce).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_task_list_is_a_noop() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<i32> = pool
+            .run(Vec::<Box<dyn FnOnce(usize) -> i32 + Send>>::new())
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<_> = (0..100).map(|i| move |_w: usize| i * 2).collect();
+        let out = pool.run(tasks).unwrap();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline_and_identically() {
+        let seq = WorkerPool::new(1);
+        let par = WorkerPool::new(8);
+        let make = || (0..57).map(|i| move |_w: usize| i * i).collect::<Vec<_>>();
+        assert_eq!(seq.run(make()).unwrap(), par.run(make()).unwrap());
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let pool = WorkerPool::new(16);
+        let out = pool
+            .run(vec![|w: usize| w < 16, |w: usize| w < 16])
+            .unwrap();
+        assert_eq!(out, vec![true, true]);
+    }
+
+    #[test]
+    fn tasks_may_borrow_from_the_caller() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let pool = WorkerPool::new(4);
+        let chunks: Vec<_> = data.chunks(1000).collect();
+        let tasks: Vec<_> = chunks
+            .iter()
+            .map(|c| {
+                let c = *c;
+                move |_w: usize| c.iter().sum::<u64>()
+            })
+            .collect();
+        let out = pool.run(tasks).unwrap();
+        assert_eq!(out.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err_without_deadlock() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<Box<dyn FnOnce(usize) -> u32 + Send>> = (0..32u32)
+            .map(|i| {
+                Box::new(move |_w: usize| {
+                    if i == 17 {
+                        panic!("morsel {i} exploded");
+                    }
+                    i
+                }) as Box<dyn FnOnce(usize) -> u32 + Send>
+            })
+            .collect();
+        match pool.run(tasks) {
+            Err(PoolError::WorkerPanic(msg)) => assert!(msg.contains("exploded"), "{msg}"),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_panic_also_surfaces_as_err() {
+        let pool = WorkerPool::new(1);
+        let tasks: Vec<Box<dyn FnOnce(usize) -> u32 + Send>> =
+            vec![Box::new(|_| panic!("inline boom"))];
+        match pool.run(tasks) {
+            Err(PoolError::WorkerPanic(msg)) => assert!(msg.contains("inline boom")),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_account_for_every_task() {
+        let reg = obs::Registry::new();
+        let pool = WorkerPool::with_registry(4, reg.clone());
+        let tasks: Vec<_> = (0..64).map(|i| move |_w: usize| i).collect();
+        pool.run(tasks).unwrap();
+        assert_eq!(reg.counter("exec.pool.tasks"), 64);
+        assert_eq!(reg.counter("exec.pool.runs"), 1);
+        let per_worker: u64 = (0..4)
+            .map(|w| reg.counter(&format!("exec.pool.worker{w}.tasks")))
+            .sum();
+        assert_eq!(per_worker, 64, "per-worker task counts must reconcile");
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run(vec![|w: usize| w]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn degree_for_caps_at_task_count() {
+        let pool = WorkerPool::new(8);
+        assert_eq!(pool.degree_for(3), 3);
+        assert_eq!(pool.degree_for(100), 8);
+        assert_eq!(pool.degree_for(0), 1);
+    }
+}

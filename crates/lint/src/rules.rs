@@ -14,6 +14,9 @@
 //! - **L005** — no `#[ignore]` anywhere in the workspace.
 //! - **L006** — every `#[allow(…)]` and every `// lint:allow(Lxxx)`
 //!   suppression carries a written reason.
+//! - **L007** — no raw `std::thread::{spawn, scope, Builder}` outside
+//!   `crates/exec-pool` (all engine parallelism goes through the worker
+//!   pool so joins and panics are accounted for).
 //!
 //! Suppression: a non-doc comment `// lint:allow(L001): reason` on the
 //! finding's line or the line directly above silences that rule there.
@@ -24,7 +27,7 @@ use crate::lexer::{lex, Comment, Tok, TokKind};
 
 /// Crates whose library code must never panic (L001/L002): the storage
 /// engine holds the user's only copy of the data.
-pub const ENGINE_CRATES: &[&str] = &["pagestore", "relstore", "orpheus-core", "obs"];
+pub const ENGINE_CRATES: &[&str] = &["pagestore", "relstore", "orpheus-core", "obs", "exec-pool"];
 
 /// Vendored dependency shims; external API surface, exempt from the
 /// engine-crate rules (but not from L004–L006).
@@ -41,6 +44,7 @@ pub enum Rule {
     L004,
     L005,
     L006,
+    L007,
 }
 
 impl Rule {
@@ -52,6 +56,7 @@ impl Rule {
             Rule::L004 => "L004",
             Rule::L005 => "L005",
             Rule::L006 => "L006",
+            Rule::L007 => "L007",
         }
     }
 
@@ -63,6 +68,7 @@ impl Rule {
             "L004" => Some(Rule::L004),
             "L005" => Some(Rule::L005),
             "L006" => Some(Rule::L006),
+            "L007" => Some(Rule::L007),
             _ => None,
         }
     }
@@ -83,6 +89,8 @@ pub struct FileClass {
     pub engine_lib: bool,
     /// `crates/relstore/src/{cost,plan}*`.
     pub deterministic: bool,
+    /// `crates/exec-pool/` — the one place allowed to create threads.
+    pub pool_code: bool,
 }
 
 /// Classify a workspace-relative path (forward slashes).
@@ -94,9 +102,11 @@ pub fn classify(rel_path: &str) -> FileClass {
         _ => false,
     };
     let deterministic = DETERMINISTIC_PREFIXES.iter().any(|p| rel.starts_with(p));
+    let pool_code = rel.starts_with("crates/exec-pool/");
     FileClass {
         engine_lib,
         deterministic,
+        pool_code,
     }
 }
 
@@ -119,6 +129,9 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     l004_safety_comments(toks, &lexed.comments, &mut findings);
     l005_no_ignored_tests(toks, &mut findings);
     l006_allow_needs_reason(toks, &lexed.comments, &mut findings);
+    if !class.pool_code {
+        l007_no_raw_threads(toks, &in_test, &mut findings);
+    }
 
     let suppressions = collect_suppressions(&lexed.comments, &mut findings);
     findings.retain(|f| {
@@ -394,6 +407,38 @@ fn l003_deterministic_cost(toks: &[Tok], in_test: &[bool], findings: &mut Vec<Fi
                 msg: "`SystemTime` in cost/plan code makes estimates \
                       nondeterministic; thread time in as a parameter"
                     .to_owned(),
+            });
+        }
+    }
+}
+
+/// Thread-creating names under `std::thread` that bypass the pool.
+const RAW_THREAD_ENTRIES: &[&str] = &["spawn", "scope", "Builder"];
+
+fn l007_no_raw_threads(toks: &[Tok], in_test: &[bool], findings: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        if toks[i].is_ident("thread")
+            && matches!(toks.get(i + 1), Some(t) if t.is_punct(':'))
+            && matches!(toks.get(i + 2), Some(t) if t.is_punct(':'))
+            && matches!(toks.get(i + 3),
+                Some(Tok { kind: TokKind::Ident(name), .. })
+                    if RAW_THREAD_ENTRIES.contains(&name.as_str()))
+        {
+            let name = match &toks[i + 3].kind {
+                TokKind::Ident(n) => n.as_str(),
+                _ => "spawn",
+            };
+            findings.push(Finding {
+                line: toks[i].line,
+                rule: Rule::L007,
+                msg: format!(
+                    "raw `thread::{name}` bypasses the exec-pool worker pool \
+                     (joins and worker panics go unaccounted); use \
+                     `exec_pool::WorkerPool` instead"
+                ),
             });
         }
     }

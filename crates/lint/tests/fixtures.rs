@@ -105,6 +105,32 @@ fn l006_spares_reasoned_allow() {
 }
 
 #[test]
+fn l007_fires_on_raw_thread_creation_outside_the_pool() {
+    let rules = rules_of("l007_fire.rs");
+    assert_eq!(
+        rules,
+        vec![Rule::L007, Rule::L007, Rule::L007],
+        "thread::spawn, thread::scope, thread::Builder"
+    );
+}
+
+#[test]
+fn l007_spares_pool_usage_and_test_threads() {
+    assert_clean("l007_clean.rs");
+}
+
+#[test]
+fn l007_spares_the_exec_pool_crate_itself() {
+    use lint::classify;
+    assert!(classify("crates/exec-pool/src/lib.rs").pool_code);
+    assert!(!classify("crates/relstore/src/par.rs").pool_code);
+    // The pool's own `thread::scope` must not fire.
+    let src = "pub fn go() { std::thread::scope(|_s| {}); }";
+    assert!(lint::lint_source("crates/exec-pool/src/lib.rs", src).is_empty());
+    assert!(!lint::lint_source("crates/relstore/src/par.rs", src).is_empty());
+}
+
+#[test]
 fn reasoned_suppressions_silence_the_rule() {
     assert_clean("suppress_ok.rs");
 }

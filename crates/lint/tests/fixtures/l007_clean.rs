@@ -1,0 +1,20 @@
+//@path crates/relstore/src/par_demo.rs
+//! L007 negative: parallelism through the worker pool; raw threads
+//! confined to `#[cfg(test)]`.
+
+pub fn fan_out(pool: &exec_pool::WorkerPool, morsels: Vec<Vec<u64>>) -> Vec<u64> {
+    let tasks: Vec<_> = morsels
+        .into_iter()
+        .map(|m| move |_worker: usize| m.iter().sum::<u64>())
+        .collect();
+    pool.run(tasks).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn concurrency_tests_may_spawn() {
+        let h = std::thread::spawn(|| 2 + 2);
+        assert_eq!(h.join().unwrap(), 4);
+    }
+}

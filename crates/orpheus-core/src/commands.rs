@@ -59,6 +59,20 @@ pub struct OrpheusDb {
     /// Commands absorb their per-query trackers here instead of dropping
     /// them, so `metrics` reports lifetime estimated I/O.
     tracker: RefCell<relstore::CostTracker>,
+    /// Morsel workers for checkout and version queries. `1` (the default)
+    /// keeps every plan sequential, bit-for-bit identical to the
+    /// single-threaded engine.
+    threads: usize,
+}
+
+/// Worker count an instance starts with: `ORPHEUS_THREADS` when set to a
+/// positive integer, otherwise 1 (sequential).
+fn default_threads() -> usize {
+    std::env::var("ORPHEUS_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl Default for OrpheusDb {
@@ -77,6 +91,7 @@ impl OrpheusDb {
             staging: HashMap::new(),
             clock: 0,
             tracker: RefCell::new(relstore::CostTracker::new()),
+            threads: default_threads(),
         }
     }
 
@@ -100,9 +115,34 @@ impl OrpheusDb {
                 staging: HashMap::new(),
                 clock: 0,
                 tracker: RefCell::new(relstore::CostTracker::new()),
+                threads: default_threads(),
             },
             report,
         ))
+    }
+
+    /// Morsel workers used by checkout and version queries.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Set the morsel worker count. `1` runs every plan sequentially;
+    /// zero clamps to 1.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The worker pool queries run on, or `None` at one thread (the
+    /// sequential operators are used unmodified).
+    fn worker_pool(&self) -> Option<relstore::WorkerPool> {
+        if self.threads > 1 {
+            Some(relstore::WorkerPool::with_registry(
+                self.threads,
+                self.db.metrics().clone(),
+            ))
+        } else {
+            None
+        }
     }
 
     /// Whether the storage layer has a write-ahead log attached.
@@ -535,7 +575,8 @@ impl OrpheusDb {
     pub fn diff(&self, cvd_name: &str, a: Vid, b: Vid) -> Result<(QueryResult, QueryResult)> {
         let _span = self.db.recorder().enter("orpheus.diff");
         let handle = self.handle(cvd_name)?;
-        let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model);
+        let q =
+            VersionedQuery::new(&self.db, &handle.cvd, &handle.model).with_pool(self.worker_pool());
         let mut ctx = ExecContext::new();
         let left = q.v_diff(a, b, &mut ctx)?;
         let right = q.v_diff(b, a, &mut ctx)?;
@@ -568,11 +609,12 @@ impl OrpheusDb {
         let _span = self.db.recorder().enter("orpheus.checkout");
         let handle = self.handle(cvd_name)?;
         let mut ctx = ExecContext::new();
+        let pool = self.worker_pool();
         let rows = match &handle.partitioned {
-            Some(p) => p.checkout(&self.db, vid, &mut ctx)?,
+            Some(p) => p.checkout_with_pool(&self.db, vid, pool.as_ref(), &mut ctx)?,
             None => handle
                 .model
-                .checkout(&self.db, &handle.cvd, vid, &mut ctx)?,
+                .checkout_with_pool(&self.db, vid, pool.as_ref(), &mut ctx)?,
         };
         self.tracker.borrow_mut().absorb(&ctx.tracker);
         Ok((rows, ctx))
@@ -596,7 +638,8 @@ impl OrpheusDb {
                     .as_ref()
                     .map(|p| predicate_expr(&handle.cvd, p))
                     .transpose()?;
-                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model);
+                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model)
+                    .with_pool(self.worker_pool());
                 q.select_versions(&versions, pred, limit, &mut ctx)
             }
             VQuery::AggregateByVersion {
@@ -610,18 +653,21 @@ impl OrpheusDb {
                     .as_ref()
                     .map(|p| predicate_expr(&handle.cvd, p))
                     .transpose()?;
-                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model);
+                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model)
+                    .with_pool(self.worker_pool());
                 let col = if agg_col == "rid" { "rid" } else { &agg_col };
                 q.aggregate_by_version(agg, col, pred, &mut ctx)
             }
             VQuery::Diff { cvd, a, b } => {
                 let handle = self.handle(&cvd)?;
-                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model);
+                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model)
+                    .with_pool(self.worker_pool());
                 q.v_diff(a, b, &mut ctx)
             }
             VQuery::Intersect { cvd, versions } => {
                 let handle = self.handle(&cvd)?;
-                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model);
+                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model)
+                    .with_pool(self.worker_pool());
                 q.v_intersect(&versions, &mut ctx)
             }
             VQuery::JoinVersions {
@@ -631,7 +677,8 @@ impl OrpheusDb {
                 on,
             } => {
                 let handle = self.handle(&cvd)?;
-                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model);
+                let q = VersionedQuery::new(&self.db, &handle.cvd, &handle.model)
+                    .with_pool(self.worker_pool());
                 q.join_versions(left, right, &on, &mut ctx)
             }
         };
@@ -651,8 +698,14 @@ impl OrpheusDb {
         let start = Instant::now();
         let parsed = parse_query(sql)?;
         let handle = self.handle(crate::explain::cvd_of(&parsed))?;
-        let (mut plan, node) =
-            crate::explain::build_instrumented(&self.db, &handle.cvd, &handle.model, &parsed)?;
+        let pool = self.worker_pool();
+        let (mut plan, node) = crate::explain::build_instrumented(
+            &self.db,
+            &handle.cvd,
+            &handle.model,
+            &parsed,
+            pool.as_ref(),
+        )?;
         let pool_before = self.db.io_stats();
         let mut ctx = ExecContext::new();
         relstore::collect(plan.as_mut(), &mut ctx)?;
@@ -800,6 +853,22 @@ impl OrpheusDb {
                     Ok(CommandOutput::Message(self.stats_report()))
                 }
             }
+            "threads" => match args.get(1) {
+                Some(n) => {
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("invalid thread count: {n}")))?;
+                    self.set_threads(n);
+                    Ok(CommandOutput::Message(format!(
+                        "morsel workers set to {}",
+                        self.threads()
+                    )))
+                }
+                None => Ok(CommandOutput::Message(format!(
+                    "morsel workers: {}",
+                    self.threads()
+                ))),
+            },
             "checkpoint" => {
                 if self.checkpoint()? {
                     Ok(CommandOutput::Message("checkpoint complete".into()))
@@ -1321,7 +1390,12 @@ mod tests {
             text.contains("HashJoin v0.coexpression=v1.coexpression"),
             "{text}"
         );
-        assert!(text.contains("SeqScan Interaction__sbr_data"), "{text}");
+        // Parallel plans fuse the probe scan into the join node.
+        if odb.threads() > 1 {
+            assert!(text.contains("ParHashJoin rid=rid"), "{text}");
+        } else {
+            assert!(text.contains("SeqScan Interaction__sbr_data"), "{text}");
+        }
         assert!(text.contains("est rows="), "{text}");
         assert!(text.contains("act rows="), "{text}");
         assert!(text.contains("time="), "{text}");
@@ -1573,5 +1647,125 @@ mod tests {
         }
         odb.execute("stats reset").unwrap();
         assert_eq!(odb.io_stats(), relstore::IoStats::default());
+    }
+
+    /// A CVD big enough to span several morsels (16 pages ≈ 800 rows per
+    /// morsel), with a second version whose diff against v0 is non-trivial.
+    fn setup_large() -> OrpheusDb {
+        let mut odb = OrpheusDb::new();
+        odb.create_user("alice").unwrap();
+        odb.login("alice").unwrap();
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int64),
+            Column::new("grp", DataType::Int64),
+            Column::new("score", DataType::Int64),
+        ]);
+        let rows: Vec<Row> = (0..2500i64)
+            .map(|i| {
+                vec![
+                    Value::Int64(i),
+                    Value::Int64(i % 7),
+                    Value::Int64(i * 3 % 101),
+                ]
+            })
+            .collect();
+        odb.init_cvd("Big", schema, vec!["k".into()], rows).unwrap();
+        odb.checkout("Big", &[Vid(0)], "work").unwrap();
+        {
+            let t = odb.staging_table_mut("work").unwrap();
+            let targets: Vec<_> = t
+                .iter()
+                .filter(|(_, r)| r[0].as_i64().unwrap() % 5 == 0)
+                .map(|(id, r)| (id, r.clone()))
+                .collect();
+            for (id, mut row) in targets {
+                row[2] = Value::Int64(row[2].as_i64().unwrap() + 1000);
+                t.update(id, row).unwrap();
+            }
+        }
+        odb.commit("work", "bump every fifth score").unwrap();
+        odb
+    }
+
+    /// The tentpole determinism guarantee: every checkout, diff, and
+    /// versioned-query output is byte-identical at every thread count —
+    /// `threads 1` runs the unmodified sequential operators, higher counts
+    /// run the morsel-parallel ones.
+    #[test]
+    fn parallel_outputs_identical_across_thread_counts() {
+        let mut odb = setup_large();
+        let queries = [
+            "SELECT * FROM VERSION 0, 1 OF CVD Big WHERE score > 500 LIMIT 900",
+            "SELECT * FROM VERSION 1 OF CVD Big",
+            "SELECT vid, sum(score) FROM CVD Big GROUP BY vid",
+            "SELECT * FROM V_DIFF(1, 0) OF CVD Big",
+            "SELECT * FROM V_INTERSECT(0, 1) OF CVD Big",
+            "SELECT * FROM VERSION 0 OF CVD Big JOIN VERSION 1 ON k",
+        ];
+        odb.set_threads(1);
+        let base_checkout = odb.checkout_rows_fast("Big", Vid(1)).unwrap().0;
+        let base_diff = odb.diff("Big", Vid(0), Vid(1)).unwrap();
+        let base_queries: Vec<_> = queries.iter().map(|q| odb.run(q).unwrap()).collect();
+        for threads in [2, 4, 8] {
+            odb.set_threads(threads);
+            assert_eq!(
+                odb.checkout_rows_fast("Big", Vid(1)).unwrap().0,
+                base_checkout,
+                "checkout diverged at {threads} threads"
+            );
+            assert_eq!(
+                odb.diff("Big", Vid(0), Vid(1)).unwrap(),
+                base_diff,
+                "diff diverged at {threads} threads"
+            );
+            for (q, base) in queries.iter().zip(&base_queries) {
+                assert_eq!(
+                    &odb.run(q).unwrap(),
+                    base,
+                    "query {q:?} diverged at {threads} threads"
+                );
+            }
+        }
+        // The partitioned store's checkout path as well.
+        odb.set_threads(1);
+        odb.optimize("Big", 4.0).unwrap();
+        let base_part = odb.checkout_rows_fast("Big", Vid(1)).unwrap().0;
+        assert_eq!(base_part, base_checkout);
+        for threads in [2, 4, 8] {
+            odb.set_threads(threads);
+            assert_eq!(
+                odb.checkout_rows_fast("Big", Vid(1)).unwrap().0,
+                base_part,
+                "partitioned checkout diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_analyze_parallel_plan_reports_workers() {
+        let mut odb = setup_large();
+        odb.set_threads(4);
+        let rows = odb.run("SELECT * FROM VERSION 1 OF CVD Big").unwrap().rows;
+        let report = odb
+            .explain_analyze("SELECT * FROM VERSION 1 OF CVD Big")
+            .unwrap();
+        let text = report.to_text();
+        assert!(text.contains("ParHashJoin"), "{text}");
+        assert!(text.contains("workers=4"), "{text}");
+        assert!(text.contains("rows/worker="), "{text}");
+        // Per-worker row counts reconcile with the query's output.
+        assert_eq!(report.root.worker_rows.len(), 4);
+        assert_eq!(
+            report.root.worker_rows.iter().sum::<u64>(),
+            rows.len() as u64
+        );
+        // At one thread the plan (and its rendering) is the sequential one.
+        odb.set_threads(1);
+        let seq = odb
+            .explain_analyze("SELECT * FROM VERSION 1 OF CVD Big")
+            .unwrap();
+        let seq_text = seq.to_text();
+        assert!(!seq_text.contains("workers="), "{seq_text}");
+        assert!(seq_text.contains("HashJoin"), "{seq_text}");
     }
 }

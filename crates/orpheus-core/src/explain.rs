@@ -15,7 +15,8 @@ use crate::query::{predicate_expr, shift_columns, VQuery};
 use partition::Vid;
 use relstore::{
     wrap, BinOp, BoxExec, CostModel, Database, Estimate, Executor, ExplainNode, Filter,
-    HashAggregate, HashJoin, Limit, Project, SeqScan, Unnest, Value, Values,
+    HashAggregate, HashJoin, Limit, ParHashJoin, Project, SeqScan, Unnest, Value, Values,
+    WorkerPool,
 };
 
 /// PostgreSQL's default selectivity guesses (`eqsel` / inequality).
@@ -53,6 +54,7 @@ fn rid_join<'a>(
     rids: Vec<i64>,
     suffix: &str,
     m: &CostModel,
+    pool: Option<&WorkerPool>,
 ) -> Result<(BoxExec<'a>, ExplainNode)> {
     let data = db.table(&model.data_name()).map_err(Error::Storage)?;
     let n = rids.len() as f64;
@@ -64,6 +66,24 @@ fn rid_join<'a>(
         Estimate::new(n, 0.0),
         vec![],
     );
+    if let Some(p) = pool.filter(|p| p.threads() > 1) {
+        // Morsel-parallel: the join fuses the probe scan and the star
+        // projection, so the plan has one node where the sequential tree
+        // has three. The probe's I/O still happens (on the coordinator)
+        // and stays in the estimate.
+        let cols: Vec<usize> = (1..1 + data.schema().len()).collect();
+        let join = ParHashJoin::new(build, data, 0, 0, p.clone()).with_projection(&cols);
+        let workers = join.parallelism();
+        let worker_rows = join.worker_rows();
+        let (plan, mut node) = wrap(
+            Box::new(join),
+            format!("ParHashJoin rid=rid{suffix}"),
+            Estimate::new(n, data_pages).with_parallelism(workers),
+            vec![build_node],
+        );
+        node.set_worker_rows(worker_rows);
+        return Ok((plan, node));
+    }
     let (probe, probe_node) = wrap(
         Box::new(SeqScan::new(data)),
         format!("SeqScan {}{suffix}", model.data_name()),
@@ -94,6 +114,7 @@ pub(crate) fn build_instrumented<'a>(
     cvd: &Cvd,
     model: &SplitByRlist,
     query: &VQuery,
+    pool: Option<&WorkerPool>,
 ) -> Result<(BoxExec<'a>, ExplainNode)> {
     let m = CostModel::default();
     match query {
@@ -104,7 +125,7 @@ pub(crate) fn build_instrumented<'a>(
             ..
         } => {
             let rids = rids_of(cvd, versions)?;
-            let (mut plan, mut node) = rid_join(db, model, rids, "", &m)?;
+            let (mut plan, mut node) = rid_join(db, model, rids, "", &m, pool)?;
             if let Some(p) = predicate {
                 let est = Estimate::new(node.estimate.rows * selectivity(p), node.estimate.pages);
                 let expr = predicate_expr(cvd, p)?;
@@ -197,7 +218,7 @@ pub(crate) fn build_instrumented<'a>(
         VQuery::Diff { a, b, .. } => {
             let (only_a, _) = cvd.diff(*a, *b)?;
             let rids: Vec<i64> = only_a.iter().map(|r| r.0 as i64).collect();
-            rid_join(db, model, rids, "", &m)
+            rid_join(db, model, rids, "", &m, pool)
         }
         VQuery::Intersect { versions, .. } => {
             let rids: Vec<i64> = cvd
@@ -205,7 +226,7 @@ pub(crate) fn build_instrumented<'a>(
                 .iter()
                 .map(|r| r.0 as i64)
                 .collect();
-            rid_join(db, model, rids, "", &m)
+            rid_join(db, model, rids, "", &m, pool)
         }
         VQuery::JoinVersions {
             left, right, on, ..
@@ -214,8 +235,8 @@ pub(crate) fn build_instrumented<'a>(
             let lrids = rids_of(cvd, &[*left])?;
             let rrids = rids_of(cvd, &[*right])?;
             let est_rows = lrids.len().max(rrids.len()) as f64;
-            let (lhs, lnode) = rid_join(db, model, lrids, " (left)", &m)?;
-            let (rhs, rnode) = rid_join(db, model, rrids, " (right)", &m)?;
+            let (lhs, lnode) = rid_join(db, model, lrids, " (left)", &m, pool)?;
+            let (rhs, rnode) = rid_join(db, model, rrids, " (right)", &m, pool)?;
             let est_pages = lnode.estimate.pages + rnode.estimate.pages;
             Ok(wrap(
                 Box::new(HashJoin::new(lhs, rhs, col, col)),

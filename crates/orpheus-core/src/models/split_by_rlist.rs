@@ -11,8 +11,7 @@ use crate::cvd::Cvd;
 use crate::error::Result;
 use partition::{Rid, Vid};
 use relstore::{
-    Column, DataType, Database, ExecContext, Executor, HashJoin, IndexKind, Project, Row, Schema,
-    SeqScan, Value, Values,
+    Column, DataType, Database, ExecContext, IndexKind, Row, Schema, Value, WorkerPool,
 };
 
 /// `{cvd}__sbr_data` `[rid, attrs…]` + `{cvd}__sbr_vtab` `[vid, rlist]`.
@@ -34,6 +33,30 @@ impl SplitByRlist {
 
     pub fn vtab_name(&self) -> String {
         format!("{}__sbr_vtab", self.cvd_name)
+    }
+
+    /// [`VersioningModel::checkout`] with an optional morsel worker pool:
+    /// a multi-threaded pool runs the rid hash join morsel-parallel, any
+    /// other value keeps the sequential plan. Both produce identical rows.
+    pub fn checkout_with_pool(
+        &self,
+        db: &Database,
+        vid: Vid,
+        pool: Option<&WorkerPool>,
+        ctx: &mut ExecContext,
+    ) -> Result<Vec<Row>> {
+        let vtab = db.table(&self.vtab_name())?;
+        let data = db.table(&self.data_name())?;
+        // Retrieve the single versioning tuple via the vid primary key.
+        let ids = vtab.index_lookup("vid_pk", vid.0 as i64, &mut ctx.tracker)?;
+        let rows = vtab.fetch(&ids, Some(0), &mut ctx.tracker, &ctx.model);
+        let row = rows
+            .first()
+            .ok_or(crate::error::Error::VersionNotFound(vid.0))?;
+        let rlist: Vec<i64> = row[1].as_int_array().unwrap_or(&[]).to_vec();
+        ctx.tracker.ops(rlist.len() as u64); // unnest(rlist)
+                                             // Hash join: build on the unnested rlist, probe the data table.
+        crate::query::rid_join_rows(data, rlist, pool, ctx)
     }
 }
 
@@ -97,23 +120,7 @@ impl VersioningModel for SplitByRlist {
         vid: Vid,
         ctx: &mut ExecContext,
     ) -> Result<Vec<Row>> {
-        let vtab = db.table(&self.vtab_name())?;
-        let data = db.table(&self.data_name())?;
-        // Retrieve the single versioning tuple via the vid primary key.
-        let ids = vtab.index_lookup("vid_pk", vid.0 as i64, &mut ctx.tracker)?;
-        let rows = vtab.fetch(&ids, Some(0), &mut ctx.tracker, &ctx.model);
-        let row = rows
-            .first()
-            .ok_or(crate::error::Error::VersionNotFound(vid.0))?;
-        let rlist: Vec<i64> = row[1].as_int_array().unwrap_or(&[]).to_vec();
-        ctx.tracker.ops(rlist.len() as u64); // unnest(rlist)
-                                             // Hash join: build on the unnested rlist, probe the data table.
-        let build = Box::new(Values::ints("rid", rlist));
-        let probe = Box::new(SeqScan::new(data));
-        let join = Box::new(HashJoin::new(build, probe, 0, 0));
-        let cols: Vec<usize> = (1..join.schema().len()).collect();
-        let mut project = Project::columns(join, &cols);
-        Ok(project.collect(ctx)?)
+        self.checkout_with_pool(db, vid, None, ctx)
     }
 
     fn storage_bytes(&self, db: &Database) -> usize {

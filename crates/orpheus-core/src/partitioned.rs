@@ -11,8 +11,7 @@ use crate::error::{Error, Result};
 use crate::models::{data_row, data_schema};
 use partition::{Partitioning, Rid, Vid};
 use relstore::{
-    Column, DataType, Database, ExecContext, Executor, HashJoin, IndexKind, Project, Row, Schema,
-    SeqScan, Value, Values,
+    Column, DataType, Database, ExecContext, IndexKind, Row, Schema, Value, WorkerPool,
 };
 
 /// A partitioned physical representation of a CVD.
@@ -94,6 +93,19 @@ impl PartitionedStore {
     /// Checkout: one versioning-tuple lookup, then a hash join against the
     /// version's partition only.
     pub fn checkout(&self, db: &Database, vid: Vid, ctx: &mut ExecContext) -> Result<Vec<Row>> {
+        self.checkout_with_pool(db, vid, None, ctx)
+    }
+
+    /// [`checkout`](Self::checkout) with an optional morsel worker pool: a
+    /// multi-threaded pool runs the partition hash join morsel-parallel,
+    /// any other value keeps the sequential plan. Rows are identical.
+    pub fn checkout_with_pool(
+        &self,
+        db: &Database,
+        vid: Vid,
+        pool: Option<&WorkerPool>,
+        ctx: &mut ExecContext,
+    ) -> Result<Vec<Row>> {
         let vtab = db.table(&self.vtab_name())?;
         let ids = vtab.index_lookup("vid_pk", vid.0 as i64, &mut ctx.tracker)?;
         let rows = vtab.fetch(&ids, Some(0), &mut ctx.tracker, &ctx.model);
@@ -105,12 +117,7 @@ impl PartitionedStore {
         let rlist: Vec<i64> = row[2].as_int_array().unwrap_or(&[]).to_vec();
         ctx.tracker.ops(rlist.len() as u64);
         let data = db.table(&self.partition_table(pid))?;
-        let build = Box::new(Values::ints("rid", rlist));
-        let probe = Box::new(SeqScan::new(data));
-        let join = Box::new(HashJoin::new(build, probe, 0, 0));
-        let cols: Vec<usize> = (1..join.schema().len()).collect();
-        let mut project = Project::columns(join, &cols);
-        Ok(project.collect(ctx)?)
+        crate::query::rid_join_rows(data, rlist, pool, ctx)
     }
 
     /// Records stored across all partitions (the storage cost `S`).

@@ -20,8 +20,8 @@ use crate::error::{Error, Result};
 use crate::models::SplitByRlist;
 use partition::Vid;
 use relstore::{
-    AggFunc, BinOp, Database, ExecContext, Executor, Expr, Filter, HashJoin, Limit, Project, Row,
-    Schema, SeqScan, Value, Values,
+    AggFunc, BinOp, Database, ExecContext, Executor, Expr, Filter, HashJoin, Limit, ParHashJoin,
+    Project, Row, Schema, SeqScan, Table, Value, Values, WorkerPool,
 };
 
 /// A query result: a schema plus rows.
@@ -36,11 +36,24 @@ pub struct VersionedQuery<'a> {
     db: &'a Database,
     cvd: &'a Cvd,
     model: &'a SplitByRlist,
+    pool: Option<WorkerPool>,
 }
 
 impl<'a> VersionedQuery<'a> {
     pub fn new(db: &'a Database, cvd: &'a Cvd, model: &'a SplitByRlist) -> Self {
-        VersionedQuery { db, cvd, model }
+        VersionedQuery {
+            db,
+            cvd,
+            model,
+            pool: None,
+        }
+    }
+
+    /// Run the rid-join retrieval pipelines on this morsel worker pool
+    /// (`None`, or a single-thread pool, keeps the sequential plans).
+    pub fn with_pool(mut self, pool: Option<WorkerPool>) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Output schema of `SELECT *`: `[rid, attrs…]`.
@@ -70,11 +83,7 @@ impl<'a> VersionedQuery<'a> {
     ) -> Result<QueryResult> {
         let rids = self.rids_of(versions)?;
         let data = self.db.table(&self.model.data_name())?;
-        let build = Box::new(Values::ints("rid", rids));
-        let probe = Box::new(SeqScan::new(data));
-        let join = Box::new(HashJoin::new(build, probe, 0, 0));
-        let cols: Vec<usize> = (1..join.schema().len()).collect();
-        let mut plan: Box<dyn Executor + '_> = Box::new(Project::columns(join, &cols));
+        let mut plan: Box<dyn Executor + '_> = rid_join_plan(data, rids, self.pool.as_ref());
         if let Some(pred) = predicate {
             plan = Box::new(Filter::new(plan, pred));
         }
@@ -193,11 +202,7 @@ impl<'a> VersionedQuery<'a> {
                 .iter()
                 .map(|r| r.0 as i64)
                 .collect();
-            let build = Box::new(Values::ints("rid", rids));
-            let probe = Box::new(SeqScan::new(data));
-            let join = Box::new(HashJoin::new(build, probe, 0, 0));
-            let cols: Vec<usize> = (1..join.schema().len()).collect();
-            Ok(relstore::collect(&mut Project::columns(join, &cols), ctx)?)
+            rid_join_rows(data, rids, self.pool.as_ref(), ctx)
         };
         let left_rows = fetch_side(left, ctx)?;
         let right_rows = fetch_side(right, ctx)?;
@@ -212,17 +217,49 @@ impl<'a> VersionedQuery<'a> {
 
     fn fetch_rids(&self, rids: Vec<i64>, ctx: &mut ExecContext) -> Result<QueryResult> {
         let data = self.db.table(&self.model.data_name())?;
-        let build = Box::new(Values::ints("rid", rids));
-        let probe = Box::new(SeqScan::new(data));
-        let join = Box::new(HashJoin::new(build, probe, 0, 0));
-        let cols: Vec<usize> = (1..join.schema().len()).collect();
-        let mut project = Project::columns(join, &cols);
-        let rows = project.collect(ctx)?;
+        let rows = rid_join_rows(data, rids, self.pool.as_ref(), ctx)?;
         Ok(QueryResult {
             schema: self.star_schema(),
             rows,
         })
     }
+}
+
+/// The split-by-rlist retrieval pipeline as a plan:
+/// `Project star ← HashJoin(Values rids, SeqScan data)`, or its fused
+/// morsel-parallel equivalent when a multi-threaded pool is supplied.
+/// Both emit the `[rid, attrs…]` star rows in identical order, so higher
+/// operators (filters, limits, joins) see the same stream either way.
+pub(crate) fn rid_join_plan<'t>(
+    data: &'t Table,
+    rids: Vec<i64>,
+    pool: Option<&WorkerPool>,
+) -> Box<dyn Executor + 't> {
+    let build = Box::new(Values::ints("rid", rids));
+    let cols: Vec<usize> = (1..1 + data.schema().len()).collect();
+    match pool {
+        Some(p) if p.threads() > 1 => {
+            Box::new(ParHashJoin::new(build, data, 0, 0, p.clone()).with_projection(&cols))
+        }
+        _ => {
+            let probe = Box::new(SeqScan::new(data));
+            let join = Box::new(HashJoin::new(build, probe, 0, 0));
+            Box::new(Project::columns(join, &cols))
+        }
+    }
+}
+
+/// [`rid_join_plan`] drained to completion.
+pub(crate) fn rid_join_rows(
+    data: &Table,
+    rids: Vec<i64>,
+    pool: Option<&WorkerPool>,
+    ctx: &mut ExecContext,
+) -> Result<Vec<Row>> {
+    Ok(relstore::collect(
+        rid_join_plan(data, rids, pool).as_mut(),
+        ctx,
+    )?)
 }
 
 /// Rewrite column ordinals in an expression by a fixed offset (used when a

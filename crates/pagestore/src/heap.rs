@@ -316,6 +316,83 @@ impl HeapFile {
         }
         Ok(n)
     }
+
+    /// Owned snapshot of data page `page_ord`, safe to hand to worker
+    /// threads: no pin is held and nothing references the buffer pool.
+    /// The page fetch (and any overflow-chain reads) are charged to the
+    /// pool's `IoStats` exactly as a [`HeapFile::tuples_on_page`] scan.
+    pub fn snapshot_page(&self, pool: &BufferPool, page_ord: usize) -> Result<PageSnapshot> {
+        let page_id = *self
+            .pages
+            .get(page_ord)
+            .ok_or_else(|| Error::BadAddress(format!("page ordinal {page_ord} out of range")))?;
+        let mut tuples: Vec<Vec<u8>> = Vec::new();
+        let mut chains: Vec<(usize, PageId)> = Vec::new();
+        {
+            let page = pool.fetch(page_id)?;
+            let mut has_overflow = false;
+            for (_, cell) in page.live_tuples() {
+                if matches!(cell_kind(cell)?, CellKind::Overflow(_)) {
+                    has_overflow = true;
+                    break;
+                }
+            }
+            if !has_overflow {
+                // One memcpy; the consumer parses slots with
+                // `page::live_cells`, so no per-tuple allocation here.
+                return Ok(PageSnapshot::Raw(Box::new(*page.bytes())));
+            }
+            for (_, cell) in page.live_tuples() {
+                match cell_kind(cell)? {
+                    CellKind::Inline(tuple) => tuples.push(tuple.to_vec()),
+                    CellKind::Overflow(head) => {
+                        tuples.push(Vec::new());
+                        chains.push((tuples.len() - 1, head));
+                    }
+                }
+            }
+        }
+        for (idx, head) in chains {
+            tuples[idx] = self.read_chain(pool, head)?;
+        }
+        Ok(PageSnapshot::Tuples(tuples))
+    }
+}
+
+/// An owned copy of one data page's live tuples, detached from the buffer
+/// pool. The coordinator thread (which owns the single-threaded pool)
+/// takes snapshots under its own short-lived pins and hands them to
+/// workers, which parse and decode without ever touching the pool.
+#[derive(Debug, Clone)]
+pub enum PageSnapshot {
+    /// Every cell was inline: the raw 8 KiB image, parsed lazily.
+    Raw(Box<[u8; crate::page::PAGE_SIZE]>),
+    /// At least one cell overflowed: tuple bytes pre-resolved by the
+    /// coordinator (workers cannot follow chains without the pool).
+    Tuples(Vec<Vec<u8>>),
+}
+
+impl PageSnapshot {
+    /// Live tuple payloads in slot order (tags stripped, chains resolved).
+    pub fn tuples(&self) -> Result<Vec<&[u8]>> {
+        match self {
+            PageSnapshot::Raw(data) => {
+                let mut out = Vec::new();
+                for cell in crate::page::live_cells(data) {
+                    match cell_kind(cell)? {
+                        CellKind::Inline(tuple) => out.push(tuple),
+                        CellKind::Overflow(_) => {
+                            return Err(Error::Invariant(
+                                "raw page snapshot contains an overflow cell",
+                            ))
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            PageSnapshot::Tuples(tuples) => Ok(tuples.iter().map(Vec::as_slice).collect()),
+        }
+    }
 }
 
 enum CellKind<'a> {
@@ -402,6 +479,54 @@ mod tests {
         let a2 = heap.insert(&pool, &big).unwrap();
         assert_eq!(pool.num_pages(), before);
         assert_eq!(heap.get(&pool, a2).unwrap(), big);
+    }
+
+    #[test]
+    fn snapshot_matches_tuples_on_page() {
+        let pool = BufferPool::in_memory(4);
+        let mut heap = HeapFile::new();
+        for i in 0..25u32 {
+            heap.insert(&pool, &i.to_le_bytes().repeat(50)).unwrap();
+        }
+        for ord in 0..heap.num_pages() {
+            let scanned: Vec<Vec<u8>> = heap
+                .tuples_on_page(&pool, ord)
+                .unwrap()
+                .into_iter()
+                .map(|(_, t)| t)
+                .collect();
+            let snap = heap.snapshot_page(&pool, ord).unwrap();
+            assert!(matches!(snap, PageSnapshot::Raw(_)), "all-inline page");
+            let tuples: Vec<Vec<u8>> = snap.tuples().unwrap().iter().map(|t| t.to_vec()).collect();
+            assert_eq!(tuples, scanned, "page {ord}");
+        }
+    }
+
+    #[test]
+    fn snapshot_resolves_overflow_chains() {
+        let pool = BufferPool::in_memory(4);
+        let mut heap = HeapFile::new();
+        let big: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        heap.insert(&pool, b"small").unwrap();
+        heap.insert(&pool, &big).unwrap();
+        let snap = heap.snapshot_page(&pool, 0).unwrap();
+        assert!(matches!(snap, PageSnapshot::Tuples(_)), "overflow page");
+        let tuples = snap.tuples().unwrap();
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0], b"small");
+        assert_eq!(tuples[1], big.as_slice());
+    }
+
+    #[test]
+    fn snapshot_charges_pool_reads() {
+        let pool = BufferPool::in_memory(4);
+        let mut heap = HeapFile::new();
+        heap.insert(&pool, b"x").unwrap();
+        let before = pool.stats();
+        heap.snapshot_page(&pool, 0).unwrap();
+        let after = pool.stats();
+        assert_eq!(after.logical_reads, before.logical_reads + 1);
+        assert!(heap.snapshot_page(&pool, 9).is_err(), "out of range");
     }
 
     #[test]

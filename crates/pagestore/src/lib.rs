@@ -32,8 +32,8 @@ mod wal;
 pub use buffer::{BufferPool, PageMut, PageRef};
 pub use error::{Error, Result};
 pub use fault::{FaultKind, FaultPager, FaultPlan, FaultWal};
-pub use heap::{HeapFile, TupleAddr, INLINE_LIMIT};
-pub use page::{Page, PageId, MAX_INLINE_TUPLE, PAGE_SIZE};
+pub use heap::{HeapFile, PageSnapshot, TupleAddr, INLINE_LIMIT};
+pub use page::{live_cells, Page, PageId, MAX_INLINE_TUPLE, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, Pager};
 pub use recovery::{recover, RecoveryReport};
 pub use stats::IoStats;

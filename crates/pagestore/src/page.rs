@@ -277,6 +277,25 @@ impl Page {
     }
 }
 
+/// Live cells of a raw page image, in slot order. For consumers that hold
+/// an owned copy of a page's bytes rather than a buffer-pool pin — worker
+/// threads parse page snapshots with this while the pool stays
+/// single-threaded. Matches [`Page::live_tuples`] on well-formed pages;
+/// out-of-range slot entries are skipped rather than panicking.
+pub fn live_cells(data: &[u8; PAGE_SIZE]) -> impl Iterator<Item = &[u8]> + '_ {
+    let slot_count = u16::from_le_bytes([data[0], data[1]]) as usize;
+    (0..slot_count).filter_map(move |i| {
+        let off = HEADER + i * SLOT;
+        let entry = data.get(off..off + SLOT)?;
+        let cell_off = u16::from_le_bytes([entry[0], entry[1]]) as usize;
+        let len = u16::from_le_bytes([entry[2], entry[3]]) as usize;
+        if cell_off == 0 {
+            return None;
+        }
+        data.get(cell_off..cell_off + len)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,6 +394,32 @@ mod tests {
         assert_eq!(p.next_page(), Some(41));
         p.set_next_page(None);
         assert_eq!(p.next_page(), None);
+    }
+
+    #[test]
+    fn live_cells_matches_live_tuples_on_raw_bytes() {
+        let mut p = Page::new();
+        let a = p.insert(b"alpha").unwrap();
+        let _b = p.insert(b"beta").unwrap();
+        let _c = p.insert(b"").unwrap();
+        p.delete(a).unwrap();
+        p.insert(b"gamma").unwrap(); // reuses slot a
+        let from_page: Vec<&[u8]> = p.live_tuples().map(|(_, t)| t).collect();
+        let from_raw: Vec<&[u8]> = live_cells(p.bytes()).collect();
+        assert_eq!(from_raw, from_page);
+    }
+
+    #[test]
+    fn live_cells_skips_corrupt_slot_entries() {
+        let mut p = Page::new();
+        p.insert(b"ok").unwrap();
+        let mut raw = *p.bytes();
+        // Fabricate a second slot whose cell range runs past the page end.
+        raw[0..2].copy_from_slice(&2u16.to_le_bytes());
+        raw[HEADER + SLOT..HEADER + SLOT + 2].copy_from_slice(&8000u16.to_le_bytes());
+        raw[HEADER + SLOT + 2..HEADER + SLOT + 4].copy_from_slice(&500u16.to_le_bytes());
+        let cells: Vec<&[u8]> = live_cells(&raw).collect();
+        assert_eq!(cells, vec![b"ok".as_slice()]);
     }
 
     #[test]

@@ -390,7 +390,7 @@ impl Executor for Unnest<'_> {
 // Joins
 // ---------------------------------------------------------------------------
 
-fn join_key(row: &Row, col: usize) -> Result<Option<i64>> {
+pub(crate) fn join_key(row: &Row, col: usize) -> Result<Option<i64>> {
     match &row[col] {
         Value::Int64(v) => Ok(Some(*v)),
         Value::Null => Ok(None),

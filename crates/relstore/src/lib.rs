@@ -57,6 +57,7 @@ pub mod exec;
 pub mod explain;
 pub mod expr;
 pub mod index;
+pub mod par;
 pub mod plan;
 pub mod schema;
 pub mod table;
@@ -74,6 +75,7 @@ pub use explain::{
 };
 pub use expr::{AggFunc, BinOp, Expr};
 pub use index::{Index, IndexKind};
+pub use par::{ParHashJoin, ParSeqScan, MORSEL_PAGES};
 pub use plan::{choose_join, run_rid_join, JoinChoice};
 pub use schema::{Column, Schema};
 pub use table::{Clustering, Row, RowId, Table, DEFAULT_POOL_PAGES};
@@ -82,3 +84,7 @@ pub use value::{DataType, Value};
 // The paged storage layer underneath heap tables, re-exported so callers
 // can size pools and read I/O counters without a direct pagestore dep.
 pub use pagestore::{BufferPool, IoStats, RecoveryReport, PAGE_SIZE};
+
+// The morsel worker pool driving the parallel operators, re-exported so
+// callers can size pools without a direct exec-pool dep.
+pub use exec_pool::{PoolError, WorkerPool};

@@ -290,6 +290,22 @@ impl Table {
         Ok(out)
     }
 
+    /// Owned snapshot of data page `page_ord` for parallel decoding off
+    /// the coordinator thread, attributing the measured page traffic to
+    /// `tracker`. The buffer pool is single-threaded, so worker threads
+    /// never touch it: the coordinator extracts snapshots (resolving
+    /// overflow chains up front) and hands them to the pool workers.
+    pub fn snapshot_page(
+        &self,
+        page_ord: usize,
+        tracker: &mut CostTracker,
+    ) -> Result<pagestore::PageSnapshot> {
+        let before = self.pool.stats();
+        let snap = self.heap.snapshot_page(&self.pool, page_ord)?;
+        tracker.measured.absorb(&self.pool.stats().since(&before));
+        Ok(snap)
+    }
+
     /// Full sequential scan: estimated I/O for every heap slot, measured
     /// I/O for the pages actually pulled through the pool.
     pub fn scan_all(&self, tracker: &mut CostTracker, model: &CostModel) -> Vec<Row> {

@@ -13,10 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> orpheus-lint (L001-L006 invariant catalog)"
+echo "==> orpheus-lint (L001-L007 invariant catalog)"
 # Project static analysis: no panicking paths in the storage engine, span
 # guards actually held, deterministic cost estimation, SAFETY-commented
-# unsafe, no #[ignore]d tests, every suppression justified. See
+# unsafe, no #[ignore]d tests, every suppression justified, no raw
+# thread spawns outside the exec-pool crate. See
 # crates/lint/README.md for the rule catalog.
 cargo run --release -q -p lint
 
@@ -28,10 +29,50 @@ echo "==> fault-injection / crash-recovery suite (release)"
 # it in release so the full matrix stays fast.
 cargo test -p pagestore --release -q --test crash_matrix --test pool_props
 
+echo "==> parallel determinism (ORPHEUS_THREADS=4 test pass)"
+# The default test run above executes with sequential plans; this pass
+# re-runs the engine-facing suites with 4 morsel workers so every
+# checkout/query/diff/explain assertion also holds on the parallel
+# operators. Row-level identity across thread counts is pinned by
+# orpheus-core's parallel_outputs_identical_across_thread_counts.
+ORPHEUS_THREADS=4 cargo test -q -p orpheus-core -p relstore
+
+echo "==> parallel determinism (CLI probe, threads 1 vs 4)"
+# Drive the interactive shell with an identical command script at 1 and 4
+# workers and require byte-identical stdout. `--threads 1` must reproduce
+# the sequential engine bit-for-bit; parallel plans must not leak into
+# ordinary command output.
+awk 'BEGIN { print "k,a1,a2"; for (i = 0; i < 500; i++) print i "," i % 7 "," i * 3 % 101 }' \
+  > /tmp/orpheus_ci_probe.csv
+probe_cmds() {
+  cat <<'EOF'
+create_user ci
+config ci
+init t -f /tmp/orpheus_ci_probe.csv -s k:int,a1:int,a2:int -k k
+checkout t -v 0 -t w
+commit -t w -m probe
+run SELECT * FROM VERSION 0, 1 OF CVD t WHERE a1 > 3 LIMIT 400
+run SELECT vid, count(k) FROM CVD t GROUP BY vid
+diff t -v 0 1
+quit
+EOF
+}
+probe_cmds | ./target/release/orpheusdb --threads 1 > /tmp/orpheus_probe_t1.out
+probe_cmds | ./target/release/orpheusdb --threads 4 > /tmp/orpheus_probe_t4.out
+cmp /tmp/orpheus_probe_t1.out /tmp/orpheus_probe_t4.out
+echo "CLI output byte-identical across thread counts"
+
 echo "==> observability smoke (explain analyze + metrics --json)"
 # End-to-end check of the obs pipeline: a durable commit/checkout workload
 # followed by `explain analyze` and `metrics --json`, with a JSON schema
-# checker over both outputs. Leaves results/metrics_smoke.json behind.
-cargo run --release -q -p bench --bin obs_smoke
+# checker over both outputs. Writes into the git-ignored results/ci/ so a
+# CI run never dirties the checked-in result files.
+ORPHEUS_RESULTS_DIR=results/ci cargo run --release -q -p bench --bin obs_smoke
+
+echo "==> perf-regression gate (deterministic work counters)"
+# Compares the smoke run's counters against results/baseline_smoke.json
+# with per-key tolerances (crates/bench/src/gate.rs). Refresh after an
+# intentional perf change: ./scripts/perf_gate.sh --refresh
+ORPHEUS_RESULTS_DIR=results/ci cargo run --release -q -p bench --bin perf_gate
 
 echo "CI OK"

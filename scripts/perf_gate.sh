@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI perf-regression gate: run the obs_smoke workload into the git-ignored
+# results/ci/ directory, then compare its metrics snapshot against the
+# checked-in baseline (results/baseline_smoke.json) with the per-key
+# tolerances in crates/bench/src/gate.rs.
+#
+#   ./scripts/perf_gate.sh            # gate: exit 1 on regression
+#   ./scripts/perf_gate.sh --refresh  # rerun, then adopt current as baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export ORPHEUS_RESULTS_DIR=results/ci
+mkdir -p "$ORPHEUS_RESULTS_DIR"
+
+cargo run --release -q -p bench --bin obs_smoke >/dev/null
+cargo run --release -q -p bench --bin perf_gate -- "$@"

@@ -84,19 +84,23 @@ fn help() {
          spans [--json|reset]     (aggregated trace-span tree)\n  \
          checkpoint      (flush dirty pages; atomic when --data-dir is set)\n  \
          recover         (replay the write-ahead log, as after a crash)\n  \
+         threads [n]     (show or set morsel workers; 1 = sequential plans)\n  \
          log <cvd> | ls | drop <cvd> | help | quit"
     );
 }
 
 /// `--data-dir <dir>`: open a durable instance (page file + write-ahead
 /// log in `dir`) instead of the default in-memory one.
+/// `--threads <n>`: morsel workers for checkout and version queries.
+/// Defaults to the machine's available cores; `--threads 1` reproduces the
+/// sequential engine's plans bit-for-bit.
 fn open_db() -> OrpheusDb {
     let args: Vec<String> = std::env::args().collect();
     let dir = args
         .iter()
         .position(|a| a == "--data-dir")
         .and_then(|i| args.get(i + 1));
-    match dir {
+    let mut db = match dir {
         Some(dir) => match OrpheusDb::open_durable(dir, 512) {
             Ok((db, report)) => {
                 if report.did_work() {
@@ -111,7 +115,30 @@ fn open_db() -> OrpheusDb {
             }
         },
         None => OrpheusDb::new(),
+    };
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1));
+    match threads {
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) if n >= 1 => db.set_threads(n),
+            _ => {
+                eprintln!("invalid --threads value: {n}");
+                std::process::exit(1);
+            }
+        },
+        // No flag and no ORPHEUS_THREADS override: use every core.
+        None if std::env::var_os("ORPHEUS_THREADS").is_none() => {
+            db.set_threads(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            );
+        }
+        None => {}
     }
+    db
 }
 
 fn main() {
