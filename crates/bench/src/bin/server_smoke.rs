@@ -1,0 +1,309 @@
+//! CI server smoke gate.
+//!
+//! Boots the multi-session TCP front end on a durable store, drives 8
+//! concurrent scripted clients (checkout → insert → commit cycles plus
+//! pinned snapshot reads), and then checks the promises the server
+//! makes, end to end:
+//!
+//! * **Serial equivalence** — the final database state, dumped through a
+//!   client, is byte-identical to a serial replay of the same commit log
+//!   in a fresh single-session `OrpheusDb`;
+//! * **Group commit** — `pagestore.wal.fsyncs` stays strictly below the
+//!   commit count (one durability point per batch, not per commit);
+//! * **Metrics schema** — `metrics --json` carries every documented
+//!   `orpheus.server.*` key (counters, gauges, latency percentiles);
+//!   a missing key fails the gate;
+//! * **Backpressure** — a full commit admission queue answers `53300`
+//!   immediately instead of queueing without bound;
+//! * **Clean shutdown** — every service thread joins (no leaked threads,
+//!   verified against `/proc/self/status`).
+//!
+//! Any violation panics, so a broken server fails `scripts/ci.sh`.
+
+use orpheus_server::{
+    client::render_messages, output_messages, Client, EngineConfig, Server, ServerConfig,
+};
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const WRITERS: usize = 8;
+const COMMITS: usize = 3;
+
+/// Run one query, panic on a typed error, return the completion tag.
+fn ok(c: &mut Client, line: &str) -> String {
+    let reply = c.query(line).expect("query transport");
+    if let Some((code, msg)) = reply.error() {
+        panic!("query `{line}` failed [{code}]: {msg}");
+    }
+    reply.tag().unwrap_or_default().to_owned()
+}
+
+/// One scripted client: pin a snapshot, verify the read repeats, then
+/// run checkout → insert → commit cycles, each from this writer's
+/// previous version.
+fn scripted_client(addr: SocketAddr, w: usize) {
+    let mut c = Client::connect(addr, &format!("w{w}")).expect("connect");
+    ok(&mut c, "pin t");
+    let read = "run SELECT vid, count(*) FROM CVD t GROUP BY vid";
+    let baseline = c.query(read).expect("snapshot read").render();
+    let mut parent = 0u32;
+    for i in 0..COMMITS {
+        let table = format!("w{w}c{i}");
+        ok(&mut c, &format!("checkout t -v {parent} -t {table}"));
+        let k = 1000 + w * 100 + i;
+        ok(&mut c, &format!("insert {table} {k},{w},{i}"));
+        let tag = ok(&mut c, &format!("commit -t {table} -m w{w} c{i}"));
+        parent = tag
+            .strip_prefix("COMMIT v")
+            .unwrap_or_else(|| panic!("unexpected commit tag: {tag}"))
+            .parse()
+            .expect("vid");
+        // The pinned snapshot must not see this session's own commit.
+        let again = c.query(read).expect("snapshot read").render();
+        assert_eq!(again, baseline, "pinned read changed under own commits");
+    }
+    c.terminate().expect("terminate");
+}
+
+/// Parse `log t` into `(vid, parent, author, msg)` entries, oldest first.
+fn parse_log(log: &str) -> Vec<(u32, u32, String, String)> {
+    let lines: Vec<&str> = log.lines().collect();
+    let mut entries = Vec::new();
+    for pair in lines.chunks(2) {
+        let [head, detail] = pair else {
+            panic!("odd log line count in:\n{log}")
+        };
+        let (vid_part, parents) = head
+            .trim_start_matches("* ")
+            .split_once("  ← ")
+            .expect("log head");
+        let vid: u32 = vid_part.trim_start_matches('v').parse().expect("vid");
+        let parent: u32 = if parents == "(root)" {
+            0
+        } else {
+            parents.trim_start_matches('v').parse().expect("parent")
+        };
+        let after = detail.trim().strip_prefix("author: ").expect("author");
+        let (author, rest) = after.split_once("  records: ").expect("records");
+        let (_n, msg) = rest.split_once("  msg: ").expect("msg");
+        entries.push((vid, parent, author.to_owned(), msg.to_owned()));
+    }
+    entries.sort_by_key(|e| e.0);
+    entries
+}
+
+/// The state-dump query set, identical on both sides of the comparison.
+fn dump_queries(max_vid: u32) -> Vec<String> {
+    let mut qs: Vec<String> = (0..=max_vid)
+        .map(|v| format!("run SELECT * FROM VERSION {v} OF CVD t"))
+        .collect();
+    qs.push("run SELECT vid, count(*) FROM CVD t GROUP BY vid".into());
+    qs.push("run SELECT vid, sum(k) FROM CVD t GROUP BY vid".into());
+    qs.push(format!("run SELECT * FROM V_DIFF({max_vid}, 0) OF CVD t"));
+    qs.push("log t".into());
+    qs
+}
+
+fn check_schema(what: &str, src: &str, required: &[&str]) {
+    match obs::missing_keys(src, required) {
+        Ok(missing) if missing.is_empty() => {}
+        Ok(missing) => panic!("{what}: missing required keys {missing:?}"),
+        Err(e) => panic!("{what}: output is not valid JSON ({e}):\n{src}"),
+    }
+}
+
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    bench::banner(
+        "server smoke: concurrent sessions, group commit, backpressure",
+        "CI gate — multi-session front end vs serial replay",
+    );
+    let threads_before = thread_count();
+
+    let dir = std::env::temp_dir().join(format!("orpheus-server-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let csv = std::env::temp_dir().join(format!("orpheus-server-smoke-{}.csv", std::process::id()));
+    {
+        let mut f = std::fs::File::create(&csv).expect("seed csv");
+        writeln!(f, "k,w,i").unwrap();
+        for k in 0..20 {
+            writeln!(f, "{k},-1,-1").unwrap();
+        }
+    }
+
+    let server = Server::start(ServerConfig {
+        port: 0,
+        workers: WRITERS,
+        engine: EngineConfig {
+            data_dir: Some(dir.clone()),
+            linger: Duration::from_millis(20),
+            ..EngineConfig::default()
+        },
+    })
+    .expect("start server");
+    let addr = server.local_addr();
+    println!("server at {addr}, {WRITERS} scripted clients × {COMMITS} commits");
+
+    let mut admin = Client::connect(addr, "admin").expect("connect admin");
+    ok(
+        &mut admin,
+        &format!("init t -f {} -s k:int,w:int,i:int -k k", csv.display()),
+    );
+    // Stall the engine briefly so the first commit wave forms one batch.
+    ok(&mut admin, "sleep 80");
+
+    let pool = exec_pool::WorkerPool::new(WRITERS);
+    let tasks: Vec<_> = (0..WRITERS)
+        .map(|w| move |_worker: usize| scripted_client(addr, w))
+        .collect();
+    pool.run(tasks).expect("scripted clients");
+
+    // --- serial equivalence --------------------------------------------
+    let log_text = ok(&mut admin, "log t");
+    let entries = parse_log(&log_text);
+    assert_eq!(entries.len(), 1 + WRITERS * COMMITS, "commit count");
+    let mut replay = orpheus_core::OrpheusDb::new();
+    replay
+        .execute_as(
+            "admin",
+            &format!("init t -f {} -s k:int,w:int,i:int -k k", csv.display()),
+        )
+        .expect("replay init");
+    for (vid, parent, author, msg) in entries.iter().filter(|e| e.0 > 0) {
+        let (w_part, c_part) = msg.split_once(' ').expect("msg shape");
+        let w: usize = w_part.trim_start_matches('w').parse().expect("w");
+        let i: usize = c_part.trim_start_matches('c').parse().expect("i");
+        let table = format!("w{w}c{i}");
+        replay
+            .execute_as(author, &format!("checkout t -v {parent} -t {table}"))
+            .expect("replay checkout");
+        let k = 1000 + w * 100 + i;
+        replay
+            .execute_as(author, &format!("insert {table} {k},{w},{i}"))
+            .expect("replay insert");
+        let out = replay
+            .execute_as(author, &format!("commit -t {table} -m {msg}"))
+            .expect("replay commit");
+        assert_eq!(
+            out,
+            orpheus_core::CommandOutput::Version(partition::Vid(*vid)),
+            "replay assigned a different vid for {msg}"
+        );
+    }
+    let max_vid = entries.last().expect("entries").0;
+    for q in dump_queries(max_vid) {
+        let live = {
+            let reply = admin.query(&q).expect("dump query");
+            assert!(reply.error().is_none(), "`{q}` failed on the server");
+            reply.render()
+        };
+        let replayed = render_messages(&output_messages(
+            &replay.execute_as("admin", &q).expect("replay query"),
+        ));
+        assert_eq!(live, replayed, "state diverged on `{q}`");
+    }
+    println!("serial equivalence: {} queries byte-identical", max_vid + 5);
+
+    // --- metrics schema + group-commit assertion -----------------------
+    let metrics_json = ok(&mut admin, "metrics --json");
+    check_schema(
+        "metrics --json",
+        &metrics_json,
+        &[
+            "counters/orpheus.server.sessions_total",
+            "counters/orpheus.server.queries_total",
+            "counters/orpheus.server.snapshot_reads_total",
+            "counters/orpheus.server.commits_total",
+            "counters/orpheus.server.group_commit.batches",
+            "counters/orpheus.server.backpressure_rejections",
+            "counters/pagestore.wal.fsyncs",
+            "gauges/orpheus.server.active_sessions",
+            "gauges/orpheus.server.queued_commits",
+            "histograms/orpheus.server.query.latency_us/p50",
+            "histograms/orpheus.server.query.latency_us/p95",
+            "histograms/orpheus.server.query.latency_us/p99",
+            "histograms/orpheus.server.group_commit.batch_size/p50",
+        ],
+    );
+    let registry = server.registry().clone();
+    let commits = registry.counter("orpheus.server.commits_total");
+    let fsyncs = registry.counter("pagestore.wal.fsyncs");
+    let batches = registry.counter("orpheus.server.group_commit.batches");
+    assert_eq!(commits, (WRITERS * COMMITS) as u64);
+    assert!(
+        fsyncs < commits,
+        "group commit must fsync less than once per commit: {fsyncs} fsyncs / {commits} commits"
+    );
+    println!("group commit: {commits} commits → {batches} batches, {fsyncs} WAL fsyncs");
+
+    match bench::write_metrics_snapshot("server_smoke", &registry) {
+        Ok(path) => println!("metrics snapshot: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics snapshot: {e}"),
+    }
+
+    admin.terminate().expect("terminate admin");
+    server.shutdown().expect("clean shutdown");
+
+    // --- backpressure leg ----------------------------------------------
+    let small = Server::start(ServerConfig {
+        port: 0,
+        workers: WRITERS,
+        engine: EngineConfig {
+            admission_capacity: 2,
+            ..EngineConfig::default()
+        },
+    })
+    .expect("start backpressure server");
+    let baddr = small.local_addr();
+    let mut stall = Client::connect(baddr, "admin").expect("connect");
+    ok(&mut stall, "sleep 400");
+    std::thread::sleep(Duration::from_millis(30));
+    let outcomes = pool
+        .run(
+            (0..6)
+                .map(|i| {
+                    move |_worker: usize| {
+                        let mut c = Client::connect(baddr, &format!("b{i}")).expect("connect");
+                        let reply = c.query("commit -t none -m x").expect("commit");
+                        let (code, _) = reply.error().expect("commit must fail");
+                        let code = code.to_owned();
+                        c.terminate().expect("terminate");
+                        code
+                    }
+                })
+                .collect(),
+        )
+        .expect("backpressure clients");
+    let rejected = outcomes.iter().filter(|c| *c == "53300").count();
+    assert!(
+        rejected >= 1,
+        "overflowing a capacity-2 admission queue must reject with 53300: {outcomes:?}"
+    );
+    println!("backpressure: {rejected}/6 commits rejected with 53300");
+    stall.terminate().expect("terminate");
+    small.shutdown().expect("clean shutdown");
+
+    // --- no leaked threads ---------------------------------------------
+    std::thread::sleep(Duration::from_millis(50));
+    let threads_after = thread_count();
+    assert!(
+        threads_after <= threads_before,
+        "leaked threads: {threads_before} before, {threads_after} after"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&csv);
+    println!("server smoke: all checks passed");
+}

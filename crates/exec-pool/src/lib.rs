@@ -33,19 +33,28 @@
 //! Per-run metrics land in an optional [`obs::Registry`] under
 //! `exec.pool.*`: total tasks, steals, runs, panics, and per-worker task
 //! counts (`exec.pool.worker{w}.tasks`).
+//!
+//! Besides the scoped [`WorkerPool`], the crate provides
+//! [`ServiceThread`]: a *named, long-lived, joined-on-shutdown* thread for
+//! subsystems that genuinely need one resident thread (a TCP acceptor, a
+//! storage-engine loop). It is the sanctioned L007 escape hatch — the
+//! thread still gets a name, a panic-capturing join, and an owner that
+//! cannot forget to join it.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-/// Errors surfaced by [`WorkerPool::run`].
+/// Errors surfaced by [`WorkerPool::run`] and [`ServiceThread`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PoolError {
     /// A task panicked; the payload's message is preserved.
     WorkerPanic(String),
     /// A task result went missing — a pool invariant was broken.
     Internal(String),
+    /// The OS refused to spawn a service thread.
+    Spawn(String),
 }
 
 impl std::fmt::Display for PoolError {
@@ -53,6 +62,7 @@ impl std::fmt::Display for PoolError {
         match self {
             PoolError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
             PoolError::Internal(msg) => write!(f, "pool invariant broken: {msg}"),
+            PoolError::Spawn(msg) => write!(f, "cannot spawn service thread: {msg}"),
         }
     }
 }
@@ -250,6 +260,86 @@ impl WorkerPool {
     }
 }
 
+/// A named, long-lived service thread: the one sanctioned way (lint rule
+/// L007) to hold a resident thread for the lifetime of a subsystem —
+/// network acceptors, single-threaded engine loops, background daemons.
+///
+/// Contract:
+///
+/// * **Named.** The OS thread carries `name`, so stack traces, debuggers,
+///   and `/proc` attribute work to the right subsystem.
+/// * **Joined on shutdown.** [`join`](ServiceThread::join) blocks until
+///   the body returns and surfaces a body panic as
+///   [`PoolError::WorkerPanic`]. Dropping the handle also joins (panics
+///   are swallowed there — call `join` to observe them), so a running
+///   service thread can never be leaked by an early return.
+/// * **Cooperative exit.** Because the owner always joins, the body must
+///   observe some shutdown signal (a closed channel, an [`AtomicBool`])
+///   and return; a body that loops forever turns `join` into a hang,
+///   which is a bug at the spawn site, not in the pool.
+#[derive(Debug)]
+pub struct ServiceThread {
+    name: String,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServiceThread {
+    /// Spawn `body` on a new thread named `name`.
+    pub fn spawn<F>(name: impl Into<String>, body: F) -> Result<Self, PoolError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let name = name.into();
+        let handle = std::thread::Builder::new()
+            .name(name.clone())
+            .spawn(body)
+            .map_err(|e| PoolError::Spawn(format!("{name}: {e}")))?;
+        Ok(ServiceThread {
+            name,
+            handle: Some(handle),
+        })
+    }
+
+    /// The thread's name, as given to [`spawn`](ServiceThread::spawn).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the body has returned (the join would not block).
+    pub fn is_finished(&self) -> bool {
+        self.handle
+            .as_ref()
+            .map(|h| h.is_finished())
+            .unwrap_or(true)
+    }
+
+    /// Block until the body returns. A panicking body surfaces as
+    /// [`PoolError::WorkerPanic`] with the panic message and thread name.
+    pub fn join(mut self) -> Result<(), PoolError> {
+        match self.handle.take() {
+            None => Ok(()),
+            Some(h) => h.join().map_err(|payload| {
+                PoolError::WorkerPanic(format!(
+                    "service thread {}: {}",
+                    self.name,
+                    panic_message(payload.as_ref())
+                ))
+            }),
+        }
+    }
+}
+
+impl Drop for ServiceThread {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            // Joining on drop keeps the no-leaked-threads invariant even on
+            // early-return paths; a panic in the body was either already
+            // reported via `join` or is deliberately swallowed here.
+            drop(h.join());
+        }
+    }
+}
+
 /// Best-effort panic payload rendering (`&str` and `String` payloads
 /// cover everything `panic!`/`assert!` produce).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -373,5 +463,72 @@ mod tests {
         assert_eq!(pool.degree_for(3), 3);
         assert_eq!(pool.degree_for(100), 8);
         assert_eq!(pool.degree_for(0), 1);
+    }
+
+    #[test]
+    fn service_thread_runs_named_and_joins() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let t = ServiceThread::spawn("svc-test", move || {
+            let name = std::thread::current().name().map(str::to_owned);
+            tx.send(name).unwrap();
+        })
+        .unwrap();
+        assert_eq!(t.name(), "svc-test");
+        assert_eq!(rx.recv().unwrap().as_deref(), Some("svc-test"));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn service_thread_panic_surfaces_on_join() {
+        let t = ServiceThread::spawn("svc-boom", || panic!("service exploded")).unwrap();
+        match t.join() {
+            Err(PoolError::WorkerPanic(msg)) => {
+                assert!(msg.contains("svc-boom"), "{msg}");
+                assert!(msg.contains("service exploded"), "{msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn service_thread_drop_joins_the_body() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&done);
+        {
+            let _t = ServiceThread::spawn("svc-drop", move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                flag.store(true, Ordering::SeqCst);
+            })
+            .unwrap();
+            // Dropping here must block until the body has run to completion.
+        }
+        assert!(done.load(Ordering::SeqCst), "drop must join the thread");
+    }
+
+    #[test]
+    fn service_thread_observes_shutdown_via_closed_channel() {
+        let (tx, rx) = std::sync::mpsc::channel::<u32>();
+        let t = ServiceThread::spawn("svc-loop", move || {
+            let mut seen = 0;
+            while rx.recv().is_ok() {
+                seen += 1;
+            }
+            assert_eq!(seen, 3);
+        })
+        .unwrap();
+        for i in 0..3 {
+            tx.send(i).unwrap();
+        }
+        drop(tx); // closing the channel is the shutdown signal
+        t.join().unwrap();
+        // `is_finished` on a consumed handle is unobservable; spawn another
+        // to check the accessor.
+        let t = ServiceThread::spawn("svc-done", || {}).unwrap();
+        while !t.is_finished() {
+            std::thread::yield_now();
+        }
+        t.join().unwrap();
     }
 }

@@ -16,7 +16,8 @@
 //!   suppression carries a written reason.
 //! - **L007** — no raw `std::thread::{spawn, scope, Builder}` outside
 //!   `crates/exec-pool` (all engine parallelism goes through the worker
-//!   pool so joins and panics are accounted for).
+//!   pool so joins and panics are accounted for; long-lived threads use
+//!   `exec_pool::ServiceThread`, the sanctioned escape hatch).
 //!
 //! Suppression: a non-doc comment `// lint:allow(L001): reason` on the
 //! finding's line or the line directly above silences that rule there.
@@ -27,7 +28,14 @@ use crate::lexer::{lex, Comment, Tok, TokKind};
 
 /// Crates whose library code must never panic (L001/L002): the storage
 /// engine holds the user's only copy of the data.
-pub const ENGINE_CRATES: &[&str] = &["pagestore", "relstore", "orpheus-core", "obs", "exec-pool"];
+pub const ENGINE_CRATES: &[&str] = &[
+    "pagestore",
+    "relstore",
+    "orpheus-core",
+    "obs",
+    "exec-pool",
+    "orpheus-server",
+];
 
 /// Vendored dependency shims; external API surface, exempt from the
 /// engine-crate rules (but not from L004–L006).
@@ -91,15 +99,21 @@ pub struct FileClass {
     pub deterministic: bool,
     /// `crates/exec-pool/` — the one place allowed to create threads.
     pub pool_code: bool,
+    /// Integration-test source (a `tests/` directory): compiled only into
+    /// test harnesses, so the engine/thread rules don't apply — like
+    /// `#[cfg(test)]` regions, but path-scoped (integration tests carry
+    /// `#[test]` without a `cfg(test)` wrapper).
+    pub test_code: bool,
 }
 
 /// Classify a workspace-relative path (forward slashes).
 pub fn classify(rel_path: &str) -> FileClass {
     let rel = rel_path.trim_start_matches("./").replace('\\', "/");
     let mut segs = rel.split('/');
-    let engine_lib = match (segs.next(), segs.next(), segs.next()) {
-        (Some("crates"), Some(krate), Some("src")) => ENGINE_CRATES.contains(&krate),
-        _ => false,
+    let (engine_lib, test_code) = match (segs.next(), segs.next(), segs.next()) {
+        (Some("crates"), Some(krate), Some("src")) => (ENGINE_CRATES.contains(&krate), false),
+        (Some("crates"), Some(_), Some("tests")) | (Some("tests"), _, _) => (false, true),
+        _ => (false, false),
     };
     let deterministic = DETERMINISTIC_PREFIXES.iter().any(|p| rel.starts_with(p));
     let pool_code = rel.starts_with("crates/exec-pool/");
@@ -107,6 +121,7 @@ pub fn classify(rel_path: &str) -> FileClass {
         engine_lib,
         deterministic,
         pool_code,
+        test_code,
     }
 }
 
@@ -129,7 +144,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     l004_safety_comments(toks, &lexed.comments, &mut findings);
     l005_no_ignored_tests(toks, &mut findings);
     l006_allow_needs_reason(toks, &lexed.comments, &mut findings);
-    if !class.pool_code {
+    if !class.pool_code && !class.test_code {
         l007_no_raw_threads(toks, &in_test, &mut findings);
     }
 
@@ -435,9 +450,10 @@ fn l007_no_raw_threads(toks: &[Tok], in_test: &[bool], findings: &mut Vec<Findin
                 line: toks[i].line,
                 rule: Rule::L007,
                 msg: format!(
-                    "raw `thread::{name}` bypasses the exec-pool worker pool \
+                    "raw `thread::{name}` bypasses exec-pool \
                      (joins and worker panics go unaccounted); use \
-                     `exec_pool::WorkerPool` instead"
+                     `exec_pool::WorkerPool` for scoped fan-out or \
+                     `exec_pool::ServiceThread` for named long-lived services"
                 ),
             });
         }

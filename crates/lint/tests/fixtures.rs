@@ -120,6 +120,27 @@ fn l007_spares_pool_usage_and_test_threads() {
 }
 
 #[test]
+fn l007_spares_service_threads_in_server_code() {
+    // `exec_pool::ServiceThread` is the sanctioned escape hatch for
+    // named long-lived threads — and the fixture's pseudo-path is an
+    // engine crate, so this also proves the service-thread idiom is
+    // L001/L002-clean.
+    assert_clean("l007_service_clean.rs");
+}
+
+#[test]
+fn l007_spares_integration_test_directories() {
+    // Integration tests carry `#[test]` without a `#[cfg(test)]` wrapper,
+    // so the exemption is path-scoped: anything under a `tests/` dir.
+    use lint::classify;
+    assert!(classify("crates/orpheus-server/tests/concurrent_sessions.rs").test_code);
+    assert!(classify("tests/smoke.rs").test_code);
+    assert!(!classify("crates/orpheus-server/src/lib.rs").test_code);
+    assert!(!classify("crates/bench/src/bin/server_smoke.rs").test_code);
+    assert_clean("l007_tests_dir_clean.rs");
+}
+
+#[test]
 fn l007_spares_the_exec_pool_crate_itself() {
     use lint::classify;
     assert!(classify("crates/exec-pool/src/lib.rs").pool_code);

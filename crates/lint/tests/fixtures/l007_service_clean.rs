@@ -1,0 +1,21 @@
+//@path crates/orpheus-server/src/svc_demo.rs
+//! L007 negative: a named, long-lived service thread created through
+//! `exec_pool::ServiceThread` — the sanctioned escape hatch for threads
+//! that must outlive a scoped fan-out (acceptors, engine loops). The
+//! pool still owns creation, naming, and join-with-panic-surfacing, so
+//! the L007 invariant (no unaccounted threads) holds.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+pub fn start_service(stop: Arc<AtomicBool>) -> Result<exec_pool::ServiceThread, exec_pool::PoolError> {
+    exec_pool::ServiceThread::spawn("demo-service", move || {
+        while !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    })
+}
+
+pub fn stop_service(t: exec_pool::ServiceThread) -> Result<(), exec_pool::PoolError> {
+    t.join()
+}

@@ -1,0 +1,18 @@
+//@path crates/orpheus-server/tests/demo.rs
+//! L007 negative: integration-test sources live under a `tests/`
+//! directory and are compiled only into test harnesses, so raw
+//! `thread::scope` is allowed there — the exercised code is what the
+//! engine rules guard, not the harness driving it. (Unit tests get the
+//! same exemption via `#[cfg(test)]`; integration tests have no such
+//! wrapper, so the exemption is path-scoped.)
+
+use std::thread;
+
+#[test]
+fn clients_race() {
+    thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {});
+        }
+    });
+}

@@ -8,6 +8,7 @@
 //! [`partition`]), provenance manager (the staging registry here), and the
 //! access controller (staging-table ownership checks).
 
+use crate::catalog;
 use crate::cvd::{CommitResult, Cvd};
 use crate::error::{Error, Result};
 use crate::models::{load_cvd, SplitByRlist, VersioningModel};
@@ -63,6 +64,15 @@ pub struct OrpheusDb {
     /// keeps every plan sequential, bit-for-bit identical to the
     /// single-threaded engine.
     threads: usize,
+    /// Whether `commit` ends with its own durability point (the default).
+    /// The server's group-commit path turns this off and issues one
+    /// checkpoint per *batch* of commits instead, so N concurrent commits
+    /// cost one WAL fsync rather than N.
+    auto_checkpoint: bool,
+    /// Data directory of a durable instance; every durability point also
+    /// writes the catalog snapshot (`catalog.orc`) here, so `open_durable`
+    /// can reload the CVDs after a crash. `None` in memory.
+    data_dir: Option<std::path::PathBuf>,
 }
 
 /// Worker count an instance starts with: `ORPHEUS_THREADS` when set to a
@@ -92,33 +102,71 @@ impl OrpheusDb {
             clock: 0,
             tracker: RefCell::new(relstore::CostTracker::new()),
             threads: default_threads(),
+            auto_checkpoint: true,
+            data_dir: None,
         }
     }
 
     /// An OrpheusDB instance whose relational storage lives in `dir`
     /// behind a write-ahead log: every `commit` ends with an atomic
     /// checkpoint, and reopening after a crash replays the log. The
-    /// returned report says what recovery repaired. Version-graph and
-    /// catalog metadata are rebuilt per session (they are derived state);
-    /// the paged table data is what durability protects.
+    /// returned report says what recovery repaired.
+    ///
+    /// Each durability point also snapshots the logical catalog (users,
+    /// CVDs, version graphs, record payloads) into `catalog.orc` in `dir`;
+    /// reopening loads that snapshot and re-materializes the physical
+    /// models, so committed versions survive even `kill -9`. Uncommitted
+    /// staging tables are deliberately *not* snapshotted — a crash
+    /// discards uncommitted work, like a lost session.
     pub fn open_durable(
         dir: impl AsRef<std::path::Path>,
         pool_pages: usize,
     ) -> Result<(Self, relstore::RecoveryReport)> {
-        let (db, report) = Database::open_durable(dir, pool_pages)?;
-        Ok((
-            OrpheusDb {
-                db,
-                cvds: HashMap::new(),
-                users: Vec::new(),
-                current_user: None,
-                staging: HashMap::new(),
-                clock: 0,
-                tracker: RefCell::new(relstore::CostTracker::new()),
-                threads: default_threads(),
-            },
-            report,
-        ))
+        let dir = dir.as_ref().to_path_buf();
+        let (db, report) = Database::open_durable(&dir, pool_pages)?;
+        let mut odb = OrpheusDb {
+            db,
+            cvds: HashMap::new(),
+            users: Vec::new(),
+            current_user: None,
+            staging: HashMap::new(),
+            clock: 0,
+            tracker: RefCell::new(relstore::CostTracker::new()),
+            threads: default_threads(),
+            auto_checkpoint: true,
+            data_dir: Some(dir.clone()),
+        };
+        if let Some(snap) = catalog::read_snapshot(&dir)? {
+            odb.users = snap.users;
+            odb.clock = snap.clock;
+            for cvd in snap.cvds {
+                let mut model = SplitByRlist::new(cvd.name());
+                load_cvd(&mut model, &mut odb.db, &cvd)?;
+                odb.cvds.insert(
+                    cvd.name().to_owned(),
+                    CvdHandle {
+                        cvd,
+                        model,
+                        partitioned: None,
+                    },
+                );
+            }
+        }
+        Ok((odb, report))
+    }
+
+    /// Whether `commit` ends with its own checkpoint.
+    pub fn auto_checkpoint(&self) -> bool {
+        self.auto_checkpoint
+    }
+
+    /// Toggle the per-commit checkpoint. With `false`, callers own
+    /// durability: they must call [`checkpoint`](Self::checkpoint)
+    /// themselves (the server's group-commit loop does this once per
+    /// batch). Data is still fully WAL-logged either way — this only
+    /// moves *when* the atomic durability point happens.
+    pub fn set_auto_checkpoint(&mut self, on: bool) {
+        self.auto_checkpoint = on;
     }
 
     /// Morsel workers used by checkout and version queries.
@@ -151,10 +199,27 @@ impl OrpheusDb {
     }
 
     /// Force a durability point (`checkpoint`): flush every dirty page
-    /// under WAL protection. Returns `false` (doing nothing) on an
-    /// in-memory instance.
+    /// under WAL protection and persist the catalog snapshot next to the
+    /// page file. Returns `false` (doing nothing) on an in-memory
+    /// instance.
     pub fn checkpoint(&self) -> Result<bool> {
-        Ok(self.db.checkpoint()?)
+        let flushed = self.db.checkpoint()?;
+        if flushed {
+            self.persist_catalog()?;
+        }
+        Ok(flushed)
+    }
+
+    /// Write the catalog snapshot of a durable instance (no-op in memory).
+    /// CVDs are serialized in name order so identical logical state yields
+    /// identical snapshot bytes.
+    fn persist_catalog(&self) -> Result<()> {
+        let Some(dir) = &self.data_dir else {
+            return Ok(());
+        };
+        let mut cvds: Vec<&Cvd> = self.cvds.values().map(|h| &h.cvd).collect();
+        cvds.sort_by_key(|c| c.name());
+        catalog::write_snapshot(dir, &self.users, self.clock, &cvds)
     }
 
     /// Replay the write-ahead log (`recover`), as after a crash.
@@ -497,8 +562,11 @@ impl OrpheusDb {
         self.staging.remove(table);
         // Durability point: once the version graph and data tables hold
         // the new version, checkpoint so a crash cannot lose it. On an
-        // in-memory instance this is a no-op.
-        self.db.checkpoint()?;
+        // in-memory instance this is a no-op; under group commit the
+        // server issues one checkpoint per batch instead.
+        if self.auto_checkpoint {
+            self.checkpoint()?;
+        }
         self.db
             .metrics()
             .observe_duration("orpheus.commit.latency_us", start.elapsed());
@@ -722,6 +790,28 @@ impl OrpheusDb {
         })
     }
 
+    /// An immutable, thread-safe snapshot of a CVD for lock-free reads.
+    /// Server sessions pin one of these and evaluate versioned SQL against
+    /// it on their own thread, without ever entering the engine thread.
+    pub fn snapshot(&self, cvd: &str) -> Result<crate::snapshot::Snapshot> {
+        Ok(crate::snapshot::Snapshot::of(self.cvd(cvd)?))
+    }
+
+    /// Execute `line` on behalf of `user`, auto-registering unknown users
+    /// — the multi-session entry point. The instance-wide `config` login
+    /// is saved and restored around the command, so interleaved sessions
+    /// never observe each other's identity (the engine serializes
+    /// `execute_as` calls; this makes each call self-contained).
+    pub fn execute_as(&mut self, user: &str, line: &str) -> Result<CommandOutput> {
+        if !self.users.iter().any(|u| u == user) {
+            self.users.push(user.to_owned());
+        }
+        let prev = self.current_user.replace(user.to_owned());
+        let out = self.execute(line);
+        self.current_user = prev;
+        out
+    }
+
     /// Execute a command-line style command string; the textual surface of
     /// §3.3.1 (e.g. `checkout Interaction -v 1 -t my_table`).
     pub fn execute(&mut self, line: &str) -> Result<CommandOutput> {
@@ -763,6 +853,49 @@ impl OrpheusDb {
                 Ok(CommandOutput::Message(format!(
                     "checked out {} version(s) of {cvd} into {table}",
                     versions.len()
+                )))
+            }
+            "insert" => {
+                // `insert <table> <csv values…>`: append one row to a
+                // checked-out staging table — how network sessions (which
+                // cannot reach `staging_table_mut` across the wire) modify
+                // a checkout before committing it.
+                let table = arg_at(&args, 1)?.to_owned();
+                let rest = line
+                    .trim_start()
+                    .strip_prefix(cmd)
+                    .map(str::trim_start)
+                    .and_then(|r| r.strip_prefix(&table))
+                    .map(str::trim)
+                    .unwrap_or("");
+                if rest.is_empty() {
+                    return Err(Error::Parse("usage: insert <table> <csv values>".into()));
+                }
+                let t = self.staging_table_mut(&table)?;
+                let schema = t.schema().clone();
+                let row = parse_csv_row(&schema, rest)?;
+                t.insert(row)?;
+                Ok(CommandOutput::Message(format!(
+                    "inserted 1 row into {table}"
+                )))
+            }
+            "init" => {
+                // `init <cvd> -f <csv path> -s <schema> [-k pk,…]`: bulk
+                // load from a server-side CSV file (the CLI shell has its
+                // own client-side variant of this command).
+                let name = arg_at(&args, 1)?.to_owned();
+                let path = flag_value(&args, "-f")?;
+                let spec = flag_value(&args, "-s")?;
+                let pk: Vec<String> = flag_value(&args, "-k")
+                    .map(|s| s.split(',').map(str::to_owned).collect())
+                    .unwrap_or_default();
+                let schema = parse_schema_spec(spec)?;
+                let csv = std::fs::read_to_string(path)
+                    .map_err(|e| Error::Parse(format!("cannot read {path}: {e}")))?;
+                let rows = from_csv(&schema, &csv)?;
+                let v0 = self.init_cvd(&name, schema, pk, rows)?;
+                Ok(CommandOutput::Message(format!(
+                    "initialized {name} at {v0}"
                 )))
             }
             "commit" => {
@@ -964,42 +1097,48 @@ pub fn from_csv(schema: &Schema, csv: &str) -> Result<Vec<Row>> {
         if line.is_empty() {
             continue;
         }
-        let fields = split_csv_line(line);
-        if fields.len() != schema.len() {
-            return Err(Error::Parse(format!(
-                "csv row has {} fields, expected {}",
-                fields.len(),
-                schema.len()
-            )));
-        }
-        let mut row = Vec::with_capacity(fields.len());
-        for (field, col) in fields.iter().zip(schema.columns()) {
-            let v = if field.is_empty() {
-                Value::Null
-            } else {
-                match col.dtype {
-                    DataType::Int64 => Value::Int64(
-                        field
-                            .parse()
-                            .map_err(|_| Error::Parse(format!("bad int: {field}")))?,
-                    ),
-                    DataType::Float64 => Value::Float64(
-                        field
-                            .parse()
-                            .map_err(|_| Error::Parse(format!("bad float: {field}")))?,
-                    ),
-                    DataType::Bool => Value::Bool(field == "true"),
-                    DataType::Text => Value::Text(field.clone()),
-                    DataType::IntArray => {
-                        return Err(Error::Parse("arrays not supported in csv".into()))
-                    }
-                }
-            };
-            row.push(v);
-        }
-        rows.push(row);
+        rows.push(parse_csv_row(schema, line)?);
     }
     Ok(rows)
+}
+
+/// Parse one CSV data line (no header) into a row of the given schema.
+/// Shared by [`from_csv`] and the `insert` command.
+pub fn parse_csv_row(schema: &Schema, line: &str) -> Result<Row> {
+    let fields = split_csv_line(line);
+    if fields.len() != schema.len() {
+        return Err(Error::Parse(format!(
+            "csv row has {} fields, expected {}",
+            fields.len(),
+            schema.len()
+        )));
+    }
+    let mut row = Vec::with_capacity(fields.len());
+    for (field, col) in fields.iter().zip(schema.columns()) {
+        let v = if field.is_empty() {
+            Value::Null
+        } else {
+            match col.dtype {
+                DataType::Int64 => Value::Int64(
+                    field
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("bad int: {field}")))?,
+                ),
+                DataType::Float64 => Value::Float64(
+                    field
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("bad float: {field}")))?,
+                ),
+                DataType::Bool => Value::Bool(field == "true"),
+                DataType::Text => Value::Text(field.clone()),
+                DataType::IntArray => {
+                    return Err(Error::Parse("arrays not supported in csv".into()))
+                }
+            }
+        };
+        row.push(v);
+    }
+    Ok(row)
 }
 
 fn split_csv_line(line: &str) -> Vec<String> {
@@ -1342,6 +1481,53 @@ mod tests {
         // Reopen: the committed pages survive process death.
         let (odb, _) = OrpheusDb::open_durable(&dir, 64).unwrap();
         assert!(odb.db.pool().num_pages() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The catalog snapshot brings the full logical state back after a
+    /// hard crash (no clean shutdown): versions, records, authors, users —
+    /// and the reopened instance accepts new commits on top.
+    #[test]
+    fn reopened_durable_instance_recovers_the_catalog() {
+        let dir = std::env::temp_dir().join(format!("orpheus-catrec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut odb, _) = OrpheusDb::open_durable(&dir, 64).unwrap();
+            odb.create_user("alice").unwrap();
+            odb.login("alice").unwrap();
+            let schema = Schema::new(vec![
+                Column::new("k", DataType::Int64),
+                Column::new("x", DataType::Int64),
+            ]);
+            odb.init_cvd(
+                "d",
+                schema,
+                vec!["k".into()],
+                vec![vec![Value::Int64(1), Value::Int64(10)]],
+            )
+            .unwrap();
+            odb.checkout("d", &[Vid(0)], "w").unwrap();
+            odb.staging_table_mut("w")
+                .unwrap()
+                .insert(vec![Value::Int64(2), Value::Int64(20)])
+                .unwrap();
+            odb.commit("w", "add 2").unwrap();
+            // No explicit checkpoint and no clean drop-order shutdown:
+            // the commit's own durability point must be enough.
+        }
+        let (mut odb, _) = OrpheusDb::open_durable(&dir, 64).unwrap();
+        odb.login("alice").unwrap(); // users survived
+        let v1 = odb.run("SELECT * FROM VERSION 1 OF CVD d").unwrap();
+        assert_eq!(v1.rows.len(), 2, "committed version survived the reopen");
+        assert_eq!(odb.cvd("d").unwrap().meta(Vid(1)).unwrap().author, "alice");
+        // The recovered instance is fully writable.
+        odb.checkout("d", &[Vid(1)], "w2").unwrap();
+        odb.staging_table_mut("w2")
+            .unwrap()
+            .insert(vec![Value::Int64(3), Value::Int64(30)])
+            .unwrap();
+        let r = odb.commit("w2", "post-recovery").unwrap();
+        assert_eq!(r.vid, Vid(2));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -231,6 +231,86 @@ impl Cvd {
             .ok_or(Error::VersionNotFound(v.0))
     }
 
+    // -- catalog snapshot support (crate::catalog) --------------------------
+
+    /// All record payloads in rid order, for the durable catalog snapshot.
+    pub(crate) fn records_raw(&self) -> &[Row] {
+        &self.records
+    }
+
+    /// All per-version rid lists in vid order.
+    pub(crate) fn version_records_raw(&self) -> &[Vec<Rid>] {
+        &self.version_records
+    }
+
+    pub(crate) fn clock_raw(&self) -> u64 {
+        self.clock
+    }
+
+    /// Rebuild a CVD from a decoded catalog snapshot. The version graph is
+    /// derived state: it is regrown here exactly as `init`/`commit` grew
+    /// it, version by version in vid order, with parent-edge weights
+    /// recomputed from the rid intersections.
+    // lint: the nine fields mirror the snapshot layout 1:1; a builder would
+    // hide which parts of a CVD the catalog format carries.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        name: String,
+        schema: Schema,
+        pk_names: Vec<String>,
+        records: Vec<Row>,
+        version_records: Vec<Vec<Rid>>,
+        metas: Vec<VersionMeta>,
+        attributes: Vec<Attribute>,
+        clock: u64,
+    ) -> Result<Cvd> {
+        if metas.len() != version_records.len() {
+            return Err(Error::Internal(format!(
+                "catalog snapshot: {} version metas for {} rid lists",
+                metas.len(),
+                version_records.len()
+            )));
+        }
+        let mut graph = VersionGraph::new();
+        for (idx, meta) in metas.iter().enumerate() {
+            let rids = &version_records[idx];
+            if meta.vid.idx() != idx {
+                return Err(Error::Internal(format!(
+                    "catalog snapshot: meta #{idx} carries vid {}",
+                    meta.vid
+                )));
+            }
+            let edges: Vec<(Vid, u64)> = meta
+                .parents
+                .iter()
+                .map(|&p| {
+                    version_records
+                        .get(p.idx())
+                        .filter(|_| p.idx() < idx)
+                        .map(|prs| (p, partition::graph::intersect_count(prs, rids)))
+                        .ok_or_else(|| {
+                            Error::Internal(format!(
+                                "catalog snapshot: version {} lists missing parent {p}",
+                                meta.vid
+                            ))
+                        })
+                })
+                .collect::<Result<_>>()?;
+            graph.add_version(rids.len() as u64, &edges);
+        }
+        Ok(Cvd {
+            name,
+            schema,
+            pk_names,
+            records,
+            version_records,
+            graph,
+            metas,
+            attributes,
+            clock,
+        })
+    }
+
     fn check_version(&self, v: Vid) -> Result<()> {
         if v.idx() < self.num_versions() {
             Ok(())

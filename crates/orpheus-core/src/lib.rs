@@ -25,6 +25,7 @@
 //!   `diff`, `ls`, `drop`, `optimize`, plus user management and the
 //!   access-controlled staging area (§3.3.1).
 
+mod catalog;
 pub mod commands;
 pub mod cvd;
 pub mod error;
@@ -32,6 +33,7 @@ mod explain;
 pub mod models;
 pub mod partitioned;
 pub mod query;
+pub mod snapshot;
 
 pub use commands::{CommandOutput, OrpheusDb};
 pub use cvd::{CommitResult, Cvd, VersionMeta};
@@ -42,3 +44,4 @@ pub use models::{
 };
 pub use partition::{Rid, Vid};
 pub use partitioned::PartitionedStore;
+pub use snapshot::Snapshot;

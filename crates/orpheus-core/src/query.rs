@@ -594,8 +594,15 @@ impl Parser {
 /// Build a predicate `Expr` over the `[rid, attrs…]` star schema from the
 /// parsed `(col, op, lit)` triple.
 pub fn predicate_expr(cvd: &Cvd, pred: &(String, BinOp, Value)) -> Result<Expr> {
+    predicate_expr_for(cvd.schema(), pred)
+}
+
+/// [`predicate_expr`] against an explicit attribute schema — used by
+/// snapshot readers, which carry a pinned copy of the schema instead of
+/// borrowing the engine's `Cvd`.
+pub(crate) fn predicate_expr_for(attrs: &Schema, pred: &(String, BinOp, Value)) -> Result<Expr> {
     let (col, op, value) = pred;
-    let idx = 1 + cvd.schema().index_of(col)?;
+    let idx = 1 + attrs.index_of(col)?;
     Ok(Expr::Bin(
         *op,
         Box::new(Expr::col(idx)),

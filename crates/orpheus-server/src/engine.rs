@@ -1,0 +1,588 @@
+//! The engine service: one dedicated thread owning the single-threaded
+//! [`OrpheusDb`], fed by message channels from the session workers.
+//!
+//! The storage engine underneath (`relstore`/`pagestore`) is built around
+//! `Rc`/`RefCell` interior mutability — deliberately single-threaded, like
+//! the paper's middleware sitting on one PostgreSQL connection. Instead of
+//! wrapping it in a big lock, the server gives it a thread of its own
+//! ([`exec_pool::ServiceThread`], named `orpheus-engine`) and serializes
+//! *writes and commands* through an MPSC channel. *Reads* never come here
+//! at all: sessions pin immutable [`Snapshot`]s and evaluate queries
+//! locally (see [`crate::session`]), so readers are lock-free and the
+//! engine thread spends its time on writes.
+//!
+//! **Group commit.** When a `commit` arrives, the engine keeps draining
+//! the channel for a short linger window (and up to `max_batch` commits),
+//! applies the whole batch, then issues *one* WAL-protected checkpoint
+//! for all of them — N concurrent commits cost one fsync instead of N
+//! (`pagestore.wal.fsyncs` < commits, asserted by the CI smoke gate).
+//! Commits enter through a **bounded admission queue**: past
+//! `admission_capacity` queued commits, new ones are rejected immediately
+//! with a typed backpressure error ([`crate::protocol::code::BACKPRESSURE`])
+//! instead of queueing unboundedly.
+
+use crate::protocol::code;
+use obs::Registry;
+use orpheus_core::{CommandOutput, OrpheusDb, Snapshot};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine configuration for [`EngineService::start`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Durable data directory; `None` runs in memory (tests, smoke).
+    pub data_dir: Option<PathBuf>,
+    /// Buffer-pool capacity in 8 KiB pages.
+    pub pool_pages: usize,
+    /// Morsel workers for engine-side checkout/query plans.
+    pub threads: usize,
+    /// Bounded admission queue: commits queued beyond this are rejected
+    /// with a typed backpressure error.
+    pub admission_capacity: usize,
+    /// Largest number of commits folded into one group-commit batch.
+    pub max_batch: usize,
+    /// How long the engine lingers for more commits after the first one
+    /// of a batch arrives.
+    pub linger: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            data_dir: None,
+            pool_pages: 512,
+            threads: 1,
+            admission_capacity: 64,
+            max_batch: 32,
+            linger: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A typed engine-level error: a SQLSTATE-style code plus a message,
+/// carried to the client as an `E` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    pub code: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+fn engine_down() -> EngineError {
+    EngineError {
+        code: code::INTERNAL,
+        message: "engine thread is gone".into(),
+    }
+}
+
+/// Map a command-layer error to its wire code.
+fn map_err(e: &orpheus_core::Error) -> EngineError {
+    use orpheus_core::Error as E;
+    let code = match e {
+        E::Parse(_) => code::PARSE,
+        E::CvdNotFound(_) | E::VersionNotFound(_) | E::NotCheckedOut(_) => code::NOT_FOUND,
+        E::PermissionDenied { .. } => code::PERMISSION,
+        _ => code::INTERNAL,
+    };
+    EngineError {
+        code,
+        message: e.to_string(),
+    }
+}
+
+type Reply = Sender<Result<CommandOutput, EngineError>>;
+
+enum EngineMsg {
+    /// Any non-commit command; executed immediately, serialized.
+    Execute {
+        session: u64,
+        user: String,
+        line: String,
+        reply: Reply,
+    },
+    /// A commit; drained into a group-commit batch.
+    Commit {
+        session: u64,
+        user: String,
+        line: String,
+        reply: Reply,
+    },
+    /// Pin an immutable snapshot of a CVD for lock-free session reads.
+    Snapshot {
+        cvd: String,
+        reply: Sender<Result<Snapshot, EngineError>>,
+    },
+    /// Stall the engine thread (testing hook for backpressure: with the
+    /// engine asleep, the admission queue fills deterministically).
+    Sleep {
+        millis: u64,
+    },
+    Shutdown,
+}
+
+/// Cloneable handle the session workers use to talk to the engine.
+#[derive(Clone)]
+pub struct EngineHandle {
+    tx: Sender<EngineMsg>,
+    queued: Arc<AtomicUsize>,
+    capacity: usize,
+    registry: Registry,
+}
+
+impl EngineHandle {
+    /// The engine database's metrics registry (shared, thread-safe).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Commits currently waiting in the admission queue.
+    pub fn queued_commits(&self) -> usize {
+        self.queued.load(Ordering::SeqCst)
+    }
+
+    /// Run a non-commit command on the engine thread and wait for it.
+    pub fn execute(
+        &self,
+        session: u64,
+        user: &str,
+        line: &str,
+    ) -> Result<CommandOutput, EngineError> {
+        let (tx, rx) = mpsc::channel();
+        if self
+            .tx
+            .send(EngineMsg::Execute {
+                session,
+                user: user.to_owned(),
+                line: line.to_owned(),
+                reply: tx,
+            })
+            .is_err()
+        {
+            return Err(engine_down());
+        }
+        rx.recv().unwrap_or_else(|_| Err(engine_down()))
+    }
+
+    /// Submit a commit through the bounded admission queue. Rejected with
+    /// [`code::BACKPRESSURE`] — without blocking and without queueing —
+    /// when `admission_capacity` commits are already waiting.
+    pub fn submit_commit(
+        &self,
+        session: u64,
+        user: &str,
+        line: &str,
+    ) -> Result<CommandOutput, EngineError> {
+        let admitted = self
+            .queued
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.capacity).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            self.registry
+                .counter_add("orpheus.server.backpressure_rejections", 1);
+            return Err(EngineError {
+                code: code::BACKPRESSURE,
+                message: format!(
+                    "commit admission queue full ({} commits queued, capacity {}); retry later",
+                    self.capacity, self.capacity
+                ),
+            });
+        }
+        self.registry.gauge_set(
+            "orpheus.server.queued_commits",
+            self.queued.load(Ordering::SeqCst) as f64,
+        );
+        let (tx, rx) = mpsc::channel();
+        if self
+            .tx
+            .send(EngineMsg::Commit {
+                session,
+                user: user.to_owned(),
+                line: line.to_owned(),
+                reply: tx,
+            })
+            .is_err()
+        {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Err(engine_down());
+        }
+        rx.recv().unwrap_or_else(|_| Err(engine_down()))
+    }
+
+    /// Pin an immutable snapshot of `cvd` as of now.
+    pub fn snapshot(&self, cvd: &str) -> Result<Snapshot, EngineError> {
+        let (tx, rx) = mpsc::channel();
+        if self
+            .tx
+            .send(EngineMsg::Snapshot {
+                cvd: cvd.to_owned(),
+                reply: tx,
+            })
+            .is_err()
+        {
+            return Err(engine_down());
+        }
+        rx.recv().unwrap_or_else(|_| Err(engine_down()))
+    }
+
+    /// Stall the engine thread for `millis` (fire-and-forget test hook).
+    pub fn sleep(&self, millis: u64) {
+        drop(self.tx.send(EngineMsg::Sleep { millis }));
+    }
+}
+
+/// The engine thread plus its handle. Created by [`EngineService::start`],
+/// torn down by [`EngineService::shutdown`] (which joins the thread after
+/// a final checkpoint).
+pub struct EngineService {
+    handle: EngineHandle,
+    thread: Option<exec_pool::ServiceThread>,
+}
+
+impl EngineService {
+    /// Open the database on a fresh `orpheus-engine` service thread.
+    pub fn start(cfg: EngineConfig) -> Result<EngineService, crate::ServerError> {
+        let (tx, rx) = mpsc::channel();
+        let (init_tx, init_rx) = mpsc::channel();
+        let queued = Arc::new(AtomicUsize::new(0));
+        let q = Arc::clone(&queued);
+        let loop_cfg = cfg.clone();
+        let thread = exec_pool::ServiceThread::spawn("orpheus-engine", move || {
+            engine_loop(loop_cfg, rx, init_tx, q)
+        })
+        .map_err(crate::ServerError::Pool)?;
+        let registry = match init_rx.recv() {
+            Ok(Ok(registry)) => registry,
+            Ok(Err(msg)) => {
+                drop(thread.join());
+                return Err(crate::ServerError::Engine(msg));
+            }
+            Err(_) => {
+                let joined = thread.join();
+                return Err(crate::ServerError::Engine(match joined {
+                    Err(e) => format!("engine thread died during startup: {e}"),
+                    Ok(()) => "engine thread exited during startup".into(),
+                }));
+            }
+        };
+        Ok(EngineService {
+            handle: EngineHandle {
+                tx,
+                queued,
+                capacity: cfg.admission_capacity.max(1),
+                registry,
+            },
+            thread: Some(thread),
+        })
+    }
+
+    /// The cloneable session-facing handle.
+    pub fn handle(&self) -> EngineHandle {
+        self.handle.clone()
+    }
+
+    /// The engine database's metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.handle.registry
+    }
+
+    /// Stop the engine: a final checkpoint runs, then the thread joins.
+    pub fn shutdown(mut self) -> Result<(), crate::ServerError> {
+        drop(self.handle.tx.send(EngineMsg::Shutdown));
+        match self.thread.take() {
+            Some(t) => t.join().map_err(crate::ServerError::Pool),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Pre-register every `orpheus.server.*` key so `metrics --json` always
+/// carries the full schema, even before the first session arrives (the
+/// obs schema checker treats a missing key as a failure).
+fn seed_metrics(registry: &Registry) {
+    for key in [
+        "orpheus.server.sessions_total",
+        "orpheus.server.queries_total",
+        "orpheus.server.snapshot_reads_total",
+        "orpheus.server.commits_total",
+        "orpheus.server.group_commit.batches",
+        "orpheus.server.backpressure_rejections",
+    ] {
+        registry.counter_add(key, 0);
+    }
+    registry.gauge_set("orpheus.server.active_sessions", 0.0);
+    registry.gauge_set("orpheus.server.queued_commits", 0.0);
+    // Histograms materialize on first observe; seed them with a zero
+    // sample so the latency/batch-size keys exist from startup.
+    registry.observe("orpheus.server.query.latency_us", 0);
+    registry.observe("orpheus.server.group_commit.batch_size", 0);
+}
+
+fn open_db(cfg: &EngineConfig) -> Result<OrpheusDb, String> {
+    let mut db = match &cfg.data_dir {
+        Some(dir) => {
+            let (db, _report) = OrpheusDb::open_durable(dir, cfg.pool_pages)
+                .map_err(|e| format!("cannot open data dir {}: {e}", dir.display()))?;
+            db
+        }
+        None => OrpheusDb::new(),
+    };
+    db.set_threads(cfg.threads);
+    // The server owns durability points: one checkpoint per commit batch
+    // (group commit) instead of one per commit.
+    db.set_auto_checkpoint(false);
+    Ok(db)
+}
+
+/// Run one command under the session's span so `spans` shows a
+/// per-session tree with the engine's own spans (`orpheus.commit`, …)
+/// nested inside.
+fn run_one(
+    db: &mut OrpheusDb,
+    session: u64,
+    user: &str,
+    line: &str,
+) -> Result<CommandOutput, EngineError> {
+    let _span = db
+        .recorder()
+        .enter(&format!("orpheus.server.session{session}"));
+    db.execute_as(user, line).map_err(|e| map_err(&e))
+}
+
+struct CommitJob {
+    session: u64,
+    user: String,
+    line: String,
+    reply: Reply,
+}
+
+fn engine_loop(
+    cfg: EngineConfig,
+    rx: Receiver<EngineMsg>,
+    init_tx: Sender<Result<Registry, String>>,
+    queued: Arc<AtomicUsize>,
+) {
+    let mut db = match open_db(&cfg) {
+        Ok(db) => db,
+        Err(msg) => {
+            drop(init_tx.send(Err(msg)));
+            return;
+        }
+    };
+    let registry = db.metrics().clone();
+    seed_metrics(&registry);
+    if init_tx.send(Ok(registry.clone())).is_err() {
+        return;
+    }
+    loop {
+        let Ok(msg) = rx.recv() else { break };
+        match msg {
+            EngineMsg::Shutdown => break,
+            EngineMsg::Sleep { millis } => std::thread::sleep(Duration::from_millis(millis)),
+            EngineMsg::Snapshot { cvd, reply } => {
+                drop(reply.send(db.snapshot(&cvd).map_err(|e| map_err(&e))));
+            }
+            EngineMsg::Execute {
+                session,
+                user,
+                line,
+                reply,
+            } => {
+                drop(reply.send(run_one(&mut db, session, &user, &line)));
+            }
+            EngineMsg::Commit {
+                session,
+                user,
+                line,
+                reply,
+            } => {
+                let first = CommitJob {
+                    session,
+                    user,
+                    line,
+                    reply,
+                };
+                if group_commit(&mut db, first, &rx, &cfg, &queued, &registry) {
+                    break;
+                }
+            }
+        }
+    }
+    // Clean shutdown: one final durability point.
+    drop(db.checkpoint());
+}
+
+/// Drain concurrently arriving commits into one batch, apply them in
+/// arrival order, and end the batch with a single checkpoint (one WAL
+/// fsync). Non-commit messages received during the linger window are
+/// served immediately — a batch never delays a read or a snapshot pin.
+/// Returns `true` when a shutdown request arrived mid-drain.
+fn group_commit(
+    db: &mut OrpheusDb,
+    first: CommitJob,
+    rx: &Receiver<EngineMsg>,
+    cfg: &EngineConfig,
+    queued: &AtomicUsize,
+    registry: &Registry,
+) -> bool {
+    let mut shutdown = false;
+    let mut batch = vec![first];
+    queued.fetch_sub(1, Ordering::SeqCst);
+    let deadline = Instant::now() + cfg.linger;
+    while batch.len() < cfg.max_batch && !shutdown {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        if timeout.is_zero() {
+            break;
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(EngineMsg::Commit {
+                session,
+                user,
+                line,
+                reply,
+            }) => {
+                queued.fetch_sub(1, Ordering::SeqCst);
+                batch.push(CommitJob {
+                    session,
+                    user,
+                    line,
+                    reply,
+                });
+            }
+            Ok(EngineMsg::Execute {
+                session,
+                user,
+                line,
+                reply,
+            }) => {
+                drop(reply.send(run_one(db, session, &user, &line)));
+            }
+            Ok(EngineMsg::Snapshot { cvd, reply }) => {
+                drop(reply.send(db.snapshot(&cvd).map_err(|e| map_err(&e))));
+            }
+            Ok(EngineMsg::Sleep { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            Ok(EngineMsg::Shutdown) => shutdown = true,
+            Err(RecvTimeoutError::Timeout) => break,
+            Err(RecvTimeoutError::Disconnected) => {
+                shutdown = true;
+            }
+        }
+    }
+    registry.gauge_set(
+        "orpheus.server.queued_commits",
+        queued.load(Ordering::SeqCst) as f64,
+    );
+    // Apply in arrival order; each commit's version-graph work is
+    // WAL-logged but NOT individually checkpointed (auto_checkpoint off).
+    let mut results = Vec::with_capacity(batch.len());
+    for job in &batch {
+        results.push(run_one(db, job.session, &job.user, &job.line));
+    }
+    // One durability point for the whole batch.
+    let ckpt = db.checkpoint();
+    let n = batch.len() as u64;
+    for (job, result) in batch.into_iter().zip(results) {
+        let result = match (&ckpt, result) {
+            // A failed checkpoint means none of the batch is durable:
+            // report every commit failed, even if it applied in memory.
+            (Err(e), Ok(_)) => Err(EngineError {
+                code: code::INTERNAL,
+                message: format!("group-commit checkpoint failed: {e}"),
+            }),
+            (_, r) => r,
+        };
+        drop(job.reply.send(result));
+    }
+    registry.counter_add("orpheus.server.commits_total", n);
+    registry.counter_add("orpheus.server.group_commit.batches", 1);
+    registry.observe("orpheus.server.group_commit.batch_size", n);
+    shutdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start_mem(capacity: usize, linger_ms: u64) -> EngineService {
+        EngineService::start(EngineConfig {
+            admission_capacity: capacity,
+            linger: Duration::from_millis(linger_ms),
+            ..EngineConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn execute_roundtrips_through_the_engine_thread() {
+        let svc = start_mem(4, 1);
+        let h = svc.handle();
+        let out = h.execute(1, "alice", "whoami").unwrap();
+        assert_eq!(out, CommandOutput::Message("alice".into()));
+        // Errors come back typed.
+        let err = h.execute(1, "alice", "bogus_cmd").unwrap_err();
+        assert_eq!(err.code, code::PARSE);
+        let err = h.execute(1, "alice", "log nope").unwrap_err();
+        assert_eq!(err.code, code::NOT_FOUND);
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn snapshot_pins_are_served() {
+        let svc = start_mem(4, 1);
+        let h = svc.handle();
+        h.execute(1, "alice", "create_user ignored_twice").unwrap();
+        let err = h.snapshot("none").unwrap_err();
+        assert_eq!(err.code, code::NOT_FOUND);
+        svc.shutdown().unwrap();
+    }
+
+    #[test]
+    fn full_admission_queue_rejects_with_backpressure() {
+        let svc = start_mem(2, 1);
+        let h = svc.handle();
+        // Stall the engine so queued commits cannot drain.
+        h.sleep(300);
+        std::thread::sleep(Duration::from_millis(30));
+        // Fill the admission queue from other threads (submit blocks on
+        // the reply), then overflow it from this one.
+        let blocked: Vec<_> = (0..2)
+            .map(|i| {
+                let h = h.clone();
+                exec_pool::ServiceThread::spawn(format!("commit-{i}"), move || {
+                    // These fail (nothing checked out) but occupy queue slots
+                    // until the engine wakes.
+                    let r = h.submit_commit(10 + i as u64, "w", "commit -t none -m x");
+                    assert_eq!(r.unwrap_err().code, code::NOT_FOUND);
+                })
+                .unwrap()
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(h.queued_commits(), 2);
+        let err = h.submit_commit(99, "w", "commit -t none -m x").unwrap_err();
+        assert_eq!(err.code, code::BACKPRESSURE);
+        assert!(err.message.contains("capacity 2"), "{}", err.message);
+        assert!(
+            h.registry()
+                .counter("orpheus.server.backpressure_rejections")
+                >= 1
+        );
+        for t in blocked {
+            t.join().unwrap();
+        }
+        svc.shutdown().unwrap();
+    }
+}

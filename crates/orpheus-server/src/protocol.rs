@@ -1,0 +1,479 @@
+//! pgwire-style wire protocol: length-prefixed frames carrying a
+//! simple-query subset.
+//!
+//! Every message is one frame: a 1-byte tag, a big-endian `u32` payload
+//! length, then the payload. (PostgreSQL counts the length field itself
+//! in the length; we count only the payload — the one deliberate
+//! divergence, noted here so the framing can never be misread.)
+//!
+//! Client tags: `U` startup, `Q` simple query, `X` terminate.
+//! Server tags: `R` startup ok, `T` row description, `D` data row,
+//! `C` command complete, `E` error response, `Z` ready for query.
+//!
+//! A query's response is a sequence `[T D* ] C|E` followed by `Z`; the
+//! client reads until `Z` before sending the next query, exactly like
+//! the PostgreSQL simple-query flow.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Upper bound on a single frame's payload; a length beyond this means a
+/// corrupt or hostile stream, not a big result.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Field marker for SQL NULL in a `D` (data row) frame.
+const NULL_FIELD: u32 = u32::MAX;
+
+/// Errors of the wire layer.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Underlying transport failure.
+    Io(std::io::Error),
+    /// The peer closed the connection between frames (clean EOF).
+    Closed,
+    /// A read timeout expired between frames (only on sockets with a
+    /// read timeout set; used by session workers to poll for shutdown).
+    Timeout,
+    /// Structurally invalid frame or payload.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "wire i/o error: {e}"),
+            ProtoError::Closed => write!(f, "connection closed"),
+            ProtoError::Timeout => write!(f, "read timed out"),
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Messages a client sends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientMsg {
+    /// Open a session as `user` (pgwire's startup packet, reduced to the
+    /// one parameter the command layer needs).
+    Startup { user: String },
+    /// One command line / versioned SQL statement.
+    Query { line: String },
+    /// Graceful goodbye.
+    Terminate,
+}
+
+/// Messages the server sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Session accepted; `session_id` names the per-session span tree.
+    StartupOk { session_id: u64 },
+    /// Column names of the rows that follow.
+    RowDescription { columns: Vec<String> },
+    /// One result row; `None` is SQL NULL.
+    DataRow { fields: Vec<Option<String>> },
+    /// Statement finished; the tag summarizes it (`SELECT 4`, `COMMIT v7`).
+    CommandComplete { tag: String },
+    /// Statement failed. `code` is a SQLSTATE-style 5-character class.
+    Error { code: String, message: String },
+    /// Server is ready for the next query.
+    Ready,
+}
+
+/// Typed error codes the server emits (SQLSTATE-flavored).
+pub mod code {
+    /// Commit admission queue full — backpressure, retry later.
+    pub const BACKPRESSURE: &str = "53300";
+    /// Command or query failed to parse.
+    pub const PARSE: &str = "42601";
+    /// Referenced CVD / version / table does not exist.
+    pub const NOT_FOUND: &str = "42P01";
+    /// Staging-table ownership check failed.
+    pub const PERMISSION: &str = "42501";
+    /// Message violated the wire protocol (e.g. query before startup).
+    pub const PROTOCOL: &str = "08P01";
+    /// Anything else.
+    pub const INTERNAL: &str = "XX000";
+}
+
+// ---------------------------------------------------------------------------
+// Frame primitives
+// ---------------------------------------------------------------------------
+
+fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> Result<(), ProtoError> {
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(ProtoError::Malformed(format!(
+            "outgoing frame of {} bytes exceeds MAX_FRAME",
+            payload.len()
+        )));
+    }
+    w.write_all(&[tag])?;
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read exactly `buf.len()` bytes, retrying through timeouts: once a
+/// frame has started, its remaining bytes are in flight (clients write
+/// frames atomically), so a mid-frame timeout means "keep reading", not
+/// "poll for shutdown".
+fn read_exact_retrying(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ProtoError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(ProtoError::Malformed(format!(
+                    "eof after {filled} of {} frame bytes",
+                    buf.len()
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame. A clean EOF before the tag is [`ProtoError::Closed`];
+/// a timeout before the tag is [`ProtoError::Timeout`] (the caller's
+/// chance to check its shutdown flag).
+fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), ProtoError> {
+    let mut tag = [0u8; 1];
+    loop {
+        match r.read(&mut tag) {
+            Ok(0) => return Err(ProtoError::Closed),
+            Ok(_) => break,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Err(ProtoError::Timeout)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    let mut len = [0u8; 4];
+    read_exact_retrying(r, &mut len)?;
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME {
+        return Err(ProtoError::Malformed(format!(
+            "frame of {len} bytes exceeds MAX_FRAME"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_retrying(r, &mut payload)?;
+    Ok((tag[0], payload))
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding helpers
+// ---------------------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ProtoError::Malformed("truncated payload".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    fn str(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtoError::Malformed("non-utf8 string".into()))
+    }
+
+    fn done(&self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed(format!(
+                "{} trailing payload bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client messages
+// ---------------------------------------------------------------------------
+
+/// Encode and send one client message.
+pub fn write_client(w: &mut impl Write, msg: &ClientMsg) -> Result<(), ProtoError> {
+    match msg {
+        ClientMsg::Startup { user } => {
+            let mut p = Vec::new();
+            put_str(&mut p, user);
+            write_frame(w, b'U', &p)
+        }
+        ClientMsg::Query { line } => {
+            let mut p = Vec::new();
+            put_str(&mut p, line);
+            write_frame(w, b'Q', &p)
+        }
+        ClientMsg::Terminate => write_frame(w, b'X', &[]),
+    }
+}
+
+/// Read one client message (server side).
+pub fn read_client(r: &mut impl Read) -> Result<ClientMsg, ProtoError> {
+    let (tag, payload) = read_frame(r)?;
+    let mut c = Cursor::new(&payload);
+    let msg = match tag {
+        b'U' => ClientMsg::Startup { user: c.str()? },
+        b'Q' => ClientMsg::Query { line: c.str()? },
+        b'X' => ClientMsg::Terminate,
+        other => {
+            return Err(ProtoError::Malformed(format!(
+                "unknown client tag 0x{other:02x}"
+            )))
+        }
+    };
+    c.done()?;
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Server messages
+// ---------------------------------------------------------------------------
+
+/// Encode and send one server message.
+pub fn write_server(w: &mut impl Write, msg: &ServerMsg) -> Result<(), ProtoError> {
+    match msg {
+        ServerMsg::StartupOk { session_id } => write_frame(w, b'R', &session_id.to_be_bytes()),
+        ServerMsg::RowDescription { columns } => {
+            let mut p = Vec::new();
+            p.extend_from_slice(&(columns.len() as u16).to_be_bytes());
+            for col in columns {
+                put_str(&mut p, col);
+            }
+            write_frame(w, b'T', &p)
+        }
+        ServerMsg::DataRow { fields } => {
+            let mut p = Vec::new();
+            p.extend_from_slice(&(fields.len() as u16).to_be_bytes());
+            for field in fields {
+                match field {
+                    None => p.extend_from_slice(&NULL_FIELD.to_be_bytes()),
+                    Some(s) => put_str(&mut p, s),
+                }
+            }
+            write_frame(w, b'D', &p)
+        }
+        ServerMsg::CommandComplete { tag } => {
+            let mut p = Vec::new();
+            put_str(&mut p, tag);
+            write_frame(w, b'C', &p)
+        }
+        ServerMsg::Error { code, message } => {
+            let mut p = Vec::new();
+            put_str(&mut p, code);
+            put_str(&mut p, message);
+            write_frame(w, b'E', &p)
+        }
+        ServerMsg::Ready => write_frame(w, b'Z', &[]),
+    }
+}
+
+/// Read one server message (client side).
+pub fn read_server(r: &mut impl Read) -> Result<ServerMsg, ProtoError> {
+    let (tag, payload) = read_frame(r)?;
+    let mut c = Cursor::new(&payload);
+    let msg = match tag {
+        b'R' => ServerMsg::StartupOk {
+            session_id: c.u64()?,
+        },
+        b'T' => {
+            let n = c.u16()? as usize;
+            let mut columns = Vec::with_capacity(n);
+            for _ in 0..n {
+                columns.push(c.str()?);
+            }
+            ServerMsg::RowDescription { columns }
+        }
+        b'D' => {
+            let n = c.u16()? as usize;
+            let mut fields = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = c.u32()?;
+                if len == NULL_FIELD {
+                    fields.push(None);
+                } else {
+                    let bytes = c.take(len as usize)?;
+                    fields
+                        .push(Some(String::from_utf8(bytes.to_vec()).map_err(|_| {
+                            ProtoError::Malformed("non-utf8 field".into())
+                        })?));
+                }
+            }
+            ServerMsg::DataRow { fields }
+        }
+        b'C' => ServerMsg::CommandComplete { tag: c.str()? },
+        b'E' => ServerMsg::Error {
+            code: c.str()?,
+            message: c.str()?,
+        },
+        b'Z' => ServerMsg::Ready,
+        other => {
+            return Err(ProtoError::Malformed(format!(
+                "unknown server tag 0x{other:02x}"
+            )))
+        }
+    };
+    c.done()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_client(msg: ClientMsg) {
+        let mut buf = Vec::new();
+        write_client(&mut buf, &msg).unwrap();
+        let decoded = read_client(&mut buf.as_slice()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    fn roundtrip_server(msg: ServerMsg) {
+        let mut buf = Vec::new();
+        write_server(&mut buf, &msg).unwrap();
+        let decoded = read_server(&mut buf.as_slice()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn client_messages_roundtrip() {
+        roundtrip_client(ClientMsg::Startup {
+            user: "alice".into(),
+        });
+        roundtrip_client(ClientMsg::Query {
+            line: "SELECT * FROM VERSION 1 OF CVD t WHERE name = 'x,y'".into(),
+        });
+        roundtrip_client(ClientMsg::Terminate);
+    }
+
+    #[test]
+    fn server_messages_roundtrip() {
+        roundtrip_server(ServerMsg::StartupOk { session_id: 42 });
+        roundtrip_server(ServerMsg::RowDescription {
+            columns: vec!["rid".into(), "k".into(), "name".into()],
+        });
+        roundtrip_server(ServerMsg::DataRow {
+            fields: vec![Some("1".into()), None, Some("".into())],
+        });
+        roundtrip_server(ServerMsg::CommandComplete {
+            tag: "COMMIT v7".into(),
+        });
+        roundtrip_server(ServerMsg::Error {
+            code: code::BACKPRESSURE.into(),
+            message: "commit admission queue full".into(),
+        });
+        roundtrip_server(ServerMsg::Ready);
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let mut buf = Vec::new();
+        write_server(&mut buf, &ServerMsg::Ready).unwrap();
+        write_server(&mut buf, &ServerMsg::CommandComplete { tag: "OK".into() }).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_server(&mut r).unwrap(), ServerMsg::Ready);
+        assert_eq!(
+            read_server(&mut r).unwrap(),
+            ServerMsg::CommandComplete { tag: "OK".into() }
+        );
+        assert!(matches!(read_server(&mut r), Err(ProtoError::Closed)));
+    }
+
+    #[test]
+    fn oversize_and_garbage_frames_are_rejected() {
+        // Huge declared length.
+        let mut buf = vec![b'Q'];
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        assert!(matches!(
+            read_client(&mut buf.as_slice()),
+            Err(ProtoError::Malformed(_))
+        ));
+        // Unknown tag.
+        let mut buf = vec![0x7f];
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        assert!(matches!(
+            read_client(&mut buf.as_slice()),
+            Err(ProtoError::Malformed(_))
+        ));
+        // Truncated payload: declared 10 bytes, supplied 3.
+        let mut buf = vec![b'Q'];
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        assert!(matches!(
+            read_client(&mut buf.as_slice()),
+            Err(ProtoError::Malformed(_))
+        ));
+        // Trailing bytes after a complete message body.
+        let mut buf = Vec::new();
+        write_client(&mut buf, &ClientMsg::Terminate).unwrap();
+        let last = buf.len() - 4;
+        buf[last..].copy_from_slice(&1u32.to_be_bytes());
+        buf.push(0);
+        assert!(matches!(
+            read_client(&mut buf.as_slice()),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_client(&mut &empty[..]),
+            Err(ProtoError::Closed)
+        ));
+    }
+}

@@ -1,0 +1,411 @@
+//! Multi-session integration tests: N writers × M readers against one
+//! server, equivalence with a serial replay, group-commit fsync
+//! batching, wire-level backpressure, and snapshot isolation.
+
+use orpheus_server::{
+    client::render_messages, output_messages, Client, ClientError, EngineConfig, Server,
+    ServerConfig,
+};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// A unique scratch path under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("orpheus-server-{tag}-{}", std::process::id()))
+}
+
+/// Write the 20-row seed CSV and return its path.
+fn seed_csv(tag: &str) -> PathBuf {
+    let path = scratch(&format!("{tag}-seed.csv"));
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "k,w,i").unwrap();
+    for k in 0..20 {
+        writeln!(f, "{k},-1,-1").unwrap();
+    }
+    f.flush().unwrap();
+    path
+}
+
+fn init_line(csv: &Path) -> String {
+    format!("init t -f {} -s k:int,w:int,i:int -k k", csv.display())
+}
+
+fn start_server(workers: usize, engine: EngineConfig) -> Server {
+    Server::start(ServerConfig {
+        port: 0,
+        workers,
+        engine,
+    })
+    .unwrap()
+}
+
+/// Assert the reply succeeded and return its completion tag.
+fn tag_of(c: &mut Client, line: &str) -> String {
+    let reply = c.query(line).unwrap();
+    if let Some((code, msg)) = reply.error() {
+        panic!("query `{line}` failed [{code}]: {msg}");
+    }
+    reply.tag().unwrap_or_default().to_owned()
+}
+
+/// One writer's workload: `commits` cycles of checkout → insert → commit,
+/// each from this writer's previous version. Returns the committed vids.
+fn writer_workload(addr: std::net::SocketAddr, w: usize, commits: usize) -> Vec<u32> {
+    let mut c = Client::connect(addr, &format!("w{w}")).unwrap();
+    let mut parent = 0u32;
+    let mut vids = Vec::new();
+    for i in 0..commits {
+        let table = format!("w{w}c{i}");
+        tag_of(&mut c, &format!("checkout t -v {parent} -t {table}"));
+        let k = 1000 + w * 100 + i;
+        tag_of(&mut c, &format!("insert {table} {k},{w},{i}"));
+        let tag = tag_of(&mut c, &format!("commit -t {table} -m w{w} c{i}"));
+        let vid: u32 = tag
+            .strip_prefix("COMMIT v")
+            .unwrap_or_else(|| panic!("unexpected commit tag: {tag}"))
+            .parse()
+            .unwrap();
+        parent = vid;
+        vids.push(vid);
+    }
+    c.terminate().unwrap();
+    vids
+}
+
+/// One parsed `log` entry.
+struct LogEntry {
+    vid: u32,
+    parent: u32,
+    author: String,
+    msg: String,
+}
+
+/// Parse the `log t` text (latest first) into entries, oldest first.
+fn parse_log(log: &str) -> Vec<LogEntry> {
+    let lines: Vec<&str> = log.lines().collect();
+    let mut entries = Vec::new();
+    for pair in lines.chunks(2) {
+        let [head, detail] = pair else {
+            panic!("odd log line count in:\n{log}")
+        };
+        let (vid_part, parents) = head
+            .trim_start_matches("* ")
+            .split_once("  ← ")
+            .unwrap_or_else(|| panic!("bad log head: {head}"));
+        let vid: u32 = vid_part.trim_start_matches('v').parse().unwrap();
+        let parent: u32 = if parents == "(root)" {
+            0
+        } else {
+            parents.trim_start_matches('v').parse().unwrap()
+        };
+        let after_author = detail.trim().strip_prefix("author: ").unwrap();
+        let (author, rest) = after_author.split_once("  records: ").unwrap();
+        let (_records, msg) = rest.split_once("  msg: ").unwrap();
+        entries.push(LogEntry {
+            vid,
+            parent,
+            author: author.to_owned(),
+            msg: msg.to_owned(),
+        });
+    }
+    entries.sort_by_key(|e| e.vid);
+    entries
+}
+
+/// The state-dump query set: every version's contents plus aggregates,
+/// a diff, and the log itself.
+fn dump_queries(max_vid: u32) -> Vec<String> {
+    let mut qs = Vec::new();
+    for v in 0..=max_vid {
+        qs.push(format!("run SELECT * FROM VERSION {v} OF CVD t"));
+    }
+    qs.push("run SELECT vid, count(*) FROM CVD t GROUP BY vid".into());
+    qs.push("run SELECT vid, sum(k) FROM CVD t GROUP BY vid".into());
+    qs.push(format!("run SELECT * FROM V_DIFF({max_vid}, 0) OF CVD t"));
+    qs.push("log t".into());
+    qs
+}
+
+/// N concurrent writers and M concurrent snapshot readers against one
+/// server; afterwards the server's final state must be byte-identical to
+/// a serial replay of the same commit log in a fresh single-session db.
+#[test]
+fn concurrent_sessions_match_serial_replay() {
+    const WRITERS: usize = 4;
+    const READERS: usize = 3;
+    const COMMITS: usize = 4;
+
+    let csv = seed_csv("replay");
+    let server = start_server(8, EngineConfig::default());
+    let addr = server.local_addr();
+
+    let mut admin = Client::connect(addr, "admin").unwrap();
+    tag_of(&mut admin, &init_line(&csv));
+
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            s.spawn(move || writer_workload(addr, w, COMMITS));
+        }
+        for r in 0..READERS {
+            s.spawn(move || {
+                let mut c = Client::connect(addr, &format!("r{r}")).unwrap();
+                let pin_tag = tag_of(&mut c, "pin t");
+                assert!(pin_tag.starts_with("PIN t@v"), "{pin_tag}");
+                // Snapshot reads are repeatable while writers commit.
+                let baseline = c
+                    .query("run SELECT vid, count(*) FROM CVD t GROUP BY vid")
+                    .unwrap()
+                    .render();
+                for _ in 0..10 {
+                    let again = c
+                        .query("run SELECT vid, count(*) FROM CVD t GROUP BY vid")
+                        .unwrap()
+                        .render();
+                    assert_eq!(again, baseline, "pinned read changed under writers");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                // Re-pinning advances to a fresh snapshot.
+                tag_of(&mut c, "unpin t");
+                tag_of(&mut c, "pin t");
+                c.terminate().unwrap();
+            });
+        }
+    });
+
+    // Every version committed exactly once.
+    let log_text = tag_of(&mut admin, "log t");
+    let entries = parse_log(&log_text);
+    assert_eq!(entries.len(), 1 + WRITERS * COMMITS);
+
+    // Serial replay: same commit log, fresh in-memory single-session db.
+    let mut replay = orpheus_core::OrpheusDb::new();
+    replay.execute_as("admin", &init_line(&csv)).unwrap();
+    for e in entries.iter().filter(|e| e.vid > 0) {
+        // Message "w{w} c{i}" determines the row the commit inserted.
+        let (w_part, c_part) = e.msg.split_once(' ').unwrap();
+        let w: usize = w_part.trim_start_matches('w').parse().unwrap();
+        let i: usize = c_part.trim_start_matches('c').parse().unwrap();
+        let table = format!("w{w}c{i}");
+        replay
+            .execute_as(&e.author, &format!("checkout t -v {} -t {table}", e.parent))
+            .unwrap();
+        let k = 1000 + w * 100 + i;
+        replay
+            .execute_as(&e.author, &format!("insert {table} {k},{w},{i}"))
+            .unwrap();
+        let out = replay
+            .execute_as(&e.author, &format!("commit -t {table} -m {}", e.msg))
+            .unwrap();
+        assert_eq!(
+            out,
+            orpheus_core::CommandOutput::Version(partition::Vid(e.vid)),
+            "replay assigned a different vid for {}",
+            e.msg
+        );
+    }
+
+    // Byte-compare the full state dump, live server vs serial replay.
+    let max_vid = entries.last().unwrap().vid;
+    for q in dump_queries(max_vid) {
+        let live = {
+            let reply = admin.query(&q).unwrap();
+            assert!(reply.error().is_none(), "`{q}` failed on the server");
+            reply.render()
+        };
+        let replayed = render_messages(&output_messages(&replay.execute_as("admin", &q).unwrap()));
+        assert_eq!(live, replayed, "state diverged on `{q}`");
+    }
+
+    admin.terminate().unwrap();
+    server.shutdown().unwrap();
+    std::fs::remove_file(&csv).ok();
+}
+
+/// Group commit: under concurrent write load the WAL fsync count stays
+/// strictly below the commit count (one durability point per batch).
+#[test]
+fn group_commit_batches_fsyncs_below_commit_count() {
+    const WRITERS: usize = 8;
+    const COMMITS: usize = 3;
+
+    let dir = scratch("fsync");
+    std::fs::remove_dir_all(&dir).ok();
+    let csv = seed_csv("fsync");
+    let server = start_server(
+        WRITERS,
+        EngineConfig {
+            data_dir: Some(dir.clone()),
+            linger: Duration::from_millis(30),
+            ..EngineConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    let mut admin = Client::connect(addr, "admin").unwrap();
+    tag_of(&mut admin, &init_line(&csv));
+    // Stall the engine so the first wave of commits queues into one batch.
+    tag_of(&mut admin, "sleep 100");
+
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            s.spawn(move || writer_workload(addr, w, COMMITS));
+        }
+    });
+
+    // `metrics` publishes the pagestore stats into the shared registry.
+    tag_of(&mut admin, "metrics --json");
+    let registry = server.registry().clone();
+    let commits = registry.counter("orpheus.server.commits_total");
+    let fsyncs = registry.counter("pagestore.wal.fsyncs");
+    let batches = registry.counter("orpheus.server.group_commit.batches");
+    assert_eq!(commits, (WRITERS * COMMITS) as u64);
+    assert!(
+        batches < commits,
+        "batching never coalesced: {batches} batches"
+    );
+    assert!(
+        fsyncs < commits,
+        "group commit must fsync less than once per commit: {fsyncs} fsyncs, {commits} commits"
+    );
+
+    admin.terminate().unwrap();
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&csv).ok();
+}
+
+/// A full admission queue rejects new commits with the typed `53300`
+/// error immediately — no hang, no unbounded queueing.
+#[test]
+fn full_admission_queue_rejects_commits_over_the_wire() {
+    let server = start_server(
+        8,
+        EngineConfig {
+            admission_capacity: 2,
+            ..EngineConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    let mut admin = Client::connect(addr, "admin").unwrap();
+    // Stall the engine so queued commits cannot drain while we overflow.
+    tag_of(&mut admin, "sleep 400");
+    std::thread::sleep(Duration::from_millis(30));
+
+    let outcomes: Vec<(String, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr, &format!("w{i}")).unwrap();
+                    // Fails either way (nothing checked out); what matters
+                    // is *which* error and that it returns promptly.
+                    let reply = c.query("commit -t none -m x").unwrap();
+                    let (code, msg) = reply.error().expect("commit must fail");
+                    let out = (code.to_owned(), msg.to_owned());
+                    c.terminate().unwrap();
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let rejected = outcomes.iter().filter(|(c, _)| c == "53300").count();
+    let applied = outcomes.iter().filter(|(c, _)| c == "42P01").count();
+    assert_eq!(rejected + applied, 6);
+    assert!(
+        rejected >= 1,
+        "overflowing a capacity-2 queue with 6 commits must reject some: {outcomes:?}"
+    );
+    assert!(outcomes
+        .iter()
+        .filter(|(c, _)| c == "53300")
+        .all(|(_, m)| m.contains("retry later")));
+    assert!(
+        server
+            .registry()
+            .counter("orpheus.server.backpressure_rejections")
+            >= 1
+    );
+
+    admin.terminate().unwrap();
+    server.shutdown().unwrap();
+}
+
+/// When every session worker is busy and the hand-off buffer is full,
+/// a new connection is refused with the typed backpressure error.
+#[test]
+fn session_overflow_is_refused_with_typed_error() {
+    let server = start_server(1, EngineConfig::default());
+    let addr = server.local_addr();
+
+    // Occupies the single worker.
+    let mut c1 = Client::connect(addr, "alice").unwrap();
+    tag_of(&mut c1, "whoami");
+    // Occupies the single hand-off slot (never completes startup).
+    let _parked = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // The third connection must be refused, not queued.
+    match Client::connect(addr, "carol") {
+        Err(ClientError::Rejected { code, message }) => {
+            assert_eq!(code, "53300");
+            assert!(message.contains("too many sessions"), "{message}");
+        }
+        Err(other) => panic!("expected a 53300 rejection, got {other:?}"),
+        Ok(_) => panic!("expected a 53300 rejection, got a session"),
+    }
+
+    c1.terminate().unwrap();
+    server.shutdown().unwrap();
+}
+
+/// Pinned snapshots are immutable: a writer's commit is invisible until
+/// the reader re-pins.
+#[test]
+fn snapshot_isolation_across_sessions() {
+    let csv = seed_csv("iso");
+    let server = start_server(4, EngineConfig::default());
+    let addr = server.local_addr();
+
+    let mut admin = Client::connect(addr, "admin").unwrap();
+    tag_of(&mut admin, &init_line(&csv));
+
+    let mut reader = Client::connect(addr, "reader").unwrap();
+    let pin0 = tag_of(&mut reader, "pin t");
+    assert!(pin0.starts_with("PIN t@v0 (1 versions)"), "{pin0}");
+    let before = reader
+        .query("run SELECT vid, count(*) FROM CVD t GROUP BY vid")
+        .unwrap()
+        .render();
+
+    let mut writer = Client::connect(addr, "writer").unwrap();
+    tag_of(&mut writer, "checkout t -v 0 -t wtab");
+    tag_of(&mut writer, "insert wtab 999,9,9");
+    assert_eq!(tag_of(&mut writer, "commit -t wtab -m grow"), "COMMIT v1");
+
+    // Pinned view unchanged; the engine view (log) already moved on.
+    let after = reader
+        .query("run SELECT vid, count(*) FROM CVD t GROUP BY vid")
+        .unwrap()
+        .render();
+    assert_eq!(before, after);
+    assert!(tag_of(&mut reader, "log t").contains("* v1"));
+
+    // Re-pin: the new version becomes visible.
+    tag_of(&mut reader, "pin t");
+    let repinned = reader
+        .query("run SELECT vid, count(*) FROM CVD t GROUP BY vid")
+        .unwrap()
+        .render();
+    assert_ne!(before, repinned);
+    // v1 = the 20 seed rows plus the writer's insert.
+    assert!(repinned.contains("1 | 21"), "{repinned}");
+
+    reader.terminate().unwrap();
+    writer.terminate().unwrap();
+    admin.terminate().unwrap();
+    server.shutdown().unwrap();
+    std::fs::remove_file(&csv).ok();
+}

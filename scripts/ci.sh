@@ -69,6 +69,75 @@ echo "==> observability smoke (explain analyze + metrics --json)"
 # CI run never dirties the checked-in result files.
 ORPHEUS_RESULTS_DIR=results/ci cargo run --release -q -p bench --bin obs_smoke
 
+echo "==> server smoke (concurrent sessions, group commit, backpressure)"
+# In-process gate over the multi-session front end: 8 concurrent scripted
+# clients, final state byte-compared against a serial replay of the commit
+# log, pagestore.wal.fsyncs < commit count (group commit), a 53300
+# backpressure leg, metrics schema check, and a leaked-thread check after
+# clean shutdown. See crates/bench/src/bin/server_smoke.rs.
+ORPHEUS_RESULTS_DIR=results/ci cargo run --release -q -p bench --bin server_smoke
+
+echo "==> server crash recovery (kill -9 mid-load, WAL replay)"
+# The external leg: the real `serve` binary on a loopback port, concurrent
+# line clients driving commits, then SIGKILL mid-load. The write-ahead log
+# must bring the store back on reopen — twice, once dirty and once clean.
+srv_dir=$(mktemp -d /tmp/orpheus_ci_srv.XXXXXX)
+awk 'BEGIN { print "k,a"; for (i = 0; i < 20; i++) print i "," i }' > "$srv_dir/seed.csv"
+start_server() {
+  ./target/release/orpheusdb serve --port 0 --data-dir "$srv_dir" > "$srv_dir/serve.log" &
+  srv_pid=$!
+  srv_port=
+  for _ in $(seq 100); do
+    srv_port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$srv_dir/serve.log")
+    [ -n "$srv_port" ] && return 0
+    kill -0 "$srv_pid" 2>/dev/null || { cat "$srv_dir/serve.log"; return 1; }
+    sleep 0.1
+  done
+  echo "server did not report a port"; return 1
+}
+start_server
+./target/release/orpheusdb client --port "$srv_port" --user ci <<EOF
+init t -f $srv_dir/seed.csv -s k:int,a:int -k k
+EOF
+client_pids=()
+for w in 1 2 3 4; do
+  (
+    for i in $(seq 1 6); do
+      printf 'checkout t -v 0 -t w%sc%s\ninsert w%sc%s %s,%s\ncommit -t w%sc%s -m load\n' \
+        "$w" "$i" "$w" "$i" $((100 + w * 10 + i)) "$w" "$w" "$i"
+    done | ./target/release/orpheusdb client --port "$srv_port" --user "w$w" || true
+  ) > /dev/null 2>&1 &
+  client_pids+=($!)
+done
+sleep 0.4
+kill -9 "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+for pid in "${client_pids[@]}"; do wait "$pid" 2>/dev/null || true; done
+# Reopen #1: dirty WAL. The log must still show v0 and every version the
+# pre-kill server acknowledged; then land one more commit on top.
+start_server
+recovered=$("./target/release/orpheusdb" client --port "$srv_port" --user ci <<EOF
+log t
+checkout t -v 0 -t rec
+insert rec 9999,9
+commit -t rec -m after crash
+EOF
+)
+echo "$recovered" | grep -q '\* v0 ' || { echo "WAL recovery lost v0"; exit 1; }
+echo "$recovered" | grep -q -- '-- COMMIT v' || { echo "post-recovery commit failed"; exit 1; }
+kill -9 "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+# Reopen #2: the post-crash commit must itself have been made durable.
+start_server
+./target/release/orpheusdb client --port "$srv_port" --user ci <<EOF > "$srv_dir/final.log"
+log t
+EOF
+grep -q 'msg: after crash' "$srv_dir/final.log" || { echo "commit after recovery not durable"; exit 1; }
+kill "$srv_pid"
+wait "$srv_pid" 2>/dev/null || true
+rm -rf "$srv_dir"
+echo "WAL recovered across two kill -9 reopens"
+
 echo "==> perf-regression gate (deterministic work counters)"
 # Compares the smoke run's counters against results/baseline_smoke.json
 # with per-key tolerances (crates/bench/src/gate.rs). Refresh after an

@@ -11,7 +11,9 @@
 //! * [`partition`] — the LyreSplit partition optimizer and baselines,
 //! * [`vquel`] — the generalized versioning query language,
 //! * [`deltastore`] — the compact delta-based storage engine (Chapter 7),
-//! * [`provenance`] — lineage inference for untracked repositories.
+//! * [`provenance`] — lineage inference for untracked repositories,
+//! * [`orpheus_server`] — the multi-session TCP front end (snapshot-
+//!   isolated readers, group-commit writers).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -19,6 +21,7 @@ pub use benchgen;
 pub use deltastore;
 pub use orpheus_core as orpheus;
 pub use orpheus_core;
+pub use orpheus_server;
 pub use partition;
 pub use provenance;
 pub use relstore;

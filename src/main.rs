@@ -1,5 +1,6 @@
 //! The OrpheusDB command-line interface (§3.3): an interactive shell over
-//! the middleware, in the spirit of the SIGMOD'17 demo.
+//! the middleware, in the spirit of the SIGMOD'17 demo — plus the network
+//! front end (`serve`) and its line client (`client`).
 //!
 //! ```text
 //! cargo run --release
@@ -11,8 +12,16 @@
 //! orpheus> run SELECT vid, count(*) FROM CVD mydata GROUP BY vid
 //! orpheus> optimize mydata -g 2.0
 //! ```
+//!
+//! Multi-session mode:
+//!
+//! ```text
+//! orpheusdb serve --port 7077 --data-dir ./data     # one shared engine
+//! orpheusdb client --port 7077 --user alice         # N of these
+//! ```
 
 use orpheusdb::orpheus::{commands, CommandOutput, OrpheusDb};
+use orpheusdb::orpheus_server::{self, EngineConfig, ServerConfig};
 use std::io::{BufRead, Write};
 
 fn print_table(t: &orpheusdb::orpheus::query::QueryResult) {
@@ -85,8 +94,54 @@ fn help() {
          checkpoint      (flush dirty pages; atomic when --data-dir is set)\n  \
          recover         (replay the write-ahead log, as after a crash)\n  \
          threads [n]     (show or set morsel workers; 1 = sequential plans)\n  \
-         log <cvd> | ls | drop <cvd> | help | quit"
+         log <cvd> | ls | drop <cvd> | help | quit\n\
+         modes:\n  \
+         orpheusdb                      interactive single-session shell\n  \
+         orpheusdb serve --port <p> [--data-dir <d>] [--threads <n>] [--workers <n>] [--admission <n>]\n  \
+         orpheusdb client --port <p> [--user <name>]   (extra: pin/unpin <cvd> for snapshot reads)"
     );
+}
+
+/// Print a usage error and exit non-zero. Bad flags must never fall
+/// through to a half-configured process.
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// The value of `flag`, if present. A flag with a missing value (end of
+/// argv, or another `--flag` where the value should be) is a hard error —
+/// `--threads --data-dir x` must not silently ignore `--threads`.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Some(v),
+        _ => fail(&format!("{flag} needs a value")),
+    }
+}
+
+/// Parse `flag` as a count with a minimum (e.g. `--threads`, min 1).
+fn count_flag(args: &[String], flag: &str, min: usize) -> Option<usize> {
+    let raw = flag_value(args, flag)?;
+    match raw.parse::<usize>() {
+        Ok(n) if n >= min => Some(n),
+        _ => fail(&format!(
+            "invalid {flag} value: {raw} (expected an integer ≥ {min})"
+        )),
+    }
+}
+
+/// Parse `--port`. `allow_zero` is for `serve`, where 0 means "pick a
+/// free port and print it".
+fn port_flag(args: &[String], allow_zero: bool) -> Option<u16> {
+    let raw = flag_value(args, "--port")?;
+    match raw.parse::<u16>() {
+        Ok(0) if !allow_zero => fail("invalid --port value: 0 (expected 1..=65535)"),
+        Ok(p) => Some(p),
+        Err(_) => fail(&format!(
+            "invalid --port value: {raw} (expected an integer in 0..=65535)"
+        )),
+    }
 }
 
 /// `--data-dir <dir>`: open a durable instance (page file + write-ahead
@@ -94,13 +149,8 @@ fn help() {
 /// `--threads <n>`: morsel workers for checkout and version queries.
 /// Defaults to the machine's available cores; `--threads 1` reproduces the
 /// sequential engine's plans bit-for-bit.
-fn open_db() -> OrpheusDb {
-    let args: Vec<String> = std::env::args().collect();
-    let dir = args
-        .iter()
-        .position(|a| a == "--data-dir")
-        .and_then(|i| args.get(i + 1));
-    let mut db = match dir {
+fn open_db(args: &[String]) -> OrpheusDb {
+    let mut db = match flag_value(args, "--data-dir") {
         Some(dir) => match OrpheusDb::open_durable(dir, 512) {
             Ok((db, report)) => {
                 if report.did_work() {
@@ -116,18 +166,8 @@ fn open_db() -> OrpheusDb {
         },
         None => OrpheusDb::new(),
     };
-    let threads = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1));
-    match threads {
-        Some(n) => match n.parse::<usize>() {
-            Ok(n) if n >= 1 => db.set_threads(n),
-            _ => {
-                eprintln!("invalid --threads value: {n}");
-                std::process::exit(1);
-            }
-        },
+    match count_flag(args, "--threads", 1) {
+        Some(n) => db.set_threads(n),
         // No flag and no ORPHEUS_THREADS override: use every core.
         None if std::env::var_os("ORPHEUS_THREADS").is_none() => {
             db.set_threads(
@@ -141,8 +181,92 @@ fn open_db() -> OrpheusDb {
     db
 }
 
-fn main() {
-    let mut db = open_db();
+/// `serve --port <p> [--data-dir <d>] [--threads <n>] [--workers <n>]
+/// [--admission <n>]`: the multi-session front end. Prints the bound
+/// address, then serves until killed.
+fn serve(args: &[String]) {
+    let Some(port) = port_flag(args, true) else {
+        fail("serve needs --port <p> (0 picks a free port)");
+    };
+    let engine = EngineConfig {
+        data_dir: flag_value(args, "--data-dir").map(Into::into),
+        threads: count_flag(args, "--threads", 1).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }),
+        admission_capacity: count_flag(args, "--admission", 1).unwrap_or(64),
+        ..EngineConfig::default()
+    };
+    let workers = count_flag(args, "--workers", 1).unwrap_or(8);
+    let server = match orpheus_server::Server::start(ServerConfig {
+        port,
+        workers,
+        engine,
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+    // Serve until the process is killed; the WAL makes a hard kill safe.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `client --port <p> [--user <name>]`: a line-oriented client. Reads
+/// query lines from stdin, prints each reply's canonical rendering.
+fn client(args: &[String]) {
+    let Some(port) = port_flag(args, false) else {
+        fail("client needs --port <p>");
+    };
+    let user = flag_value(args, "--user").unwrap_or("cli");
+    let mut c = match orpheus_server::Client::connect(("127.0.0.1", port), user) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stdin = std::io::stdin();
+    loop {
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match c.query(line) {
+            Ok(reply) => print!("{}", reply.render()),
+            Err(e) => {
+                eprintln!("connection lost: {e}");
+                std::process::exit(1);
+            }
+        }
+        std::io::stdout().flush().ok();
+    }
+    if let Err(e) = c.terminate() {
+        eprintln!("error closing session: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn shell(args: &[String]) {
+    let mut db = open_db(args);
     println!("OrpheusDB shell — type 'help' for commands, 'quit' to exit.");
     let stdin = std::io::stdin();
     loop {
@@ -174,5 +298,18 @@ fn main() {
                 Err(e) => eprintln!("error: {e}"),
             },
         }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
+        Some("help") | Some("--help") => help(),
+        Some(mode) if !mode.starts_with("--") => {
+            fail(&format!("unknown mode: {mode} (expected serve | client)"))
+        }
+        _ => shell(&args),
     }
 }
