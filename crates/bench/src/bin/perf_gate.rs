@@ -1,10 +1,18 @@
-//! CI perf-regression gate over the `obs_smoke` metrics snapshot.
+//! CI perf-regression gate over the `obs_smoke` metrics snapshot and the
+//! `parallel_scaling` results.
 //!
 //! Compares the current run's snapshot (`$ORPHEUS_RESULTS_DIR/metrics_smoke.json`,
 //! produced by `scripts/perf_gate.sh` into the git-ignored `results/ci/`)
 //! against the checked-in baseline `results/baseline_smoke.json`, using the
 //! per-key tolerances in `bench::gate`. Deterministic work counters are the
 //! gated quantities; wall-clock latencies never are.
+//!
+//! Additionally asserts the baseline-free invariants of
+//! `$ORPHEUS_RESULTS_DIR/parallel_scaling.json`: the parallel scan path
+//! copied **zero** bytes from coordinator to workers (pages ship as
+//! leases), morsel allocations stayed within budget, and the ≥2× @ 4
+//! threads wall-clock leg either ran (hosts with ≥4 cores) and met its
+//! floor, or recorded its skip reason.
 //!
 //! Exit status 1 on any regression. When an intentional engine change moves
 //! a counter, refresh the baseline:
@@ -55,12 +63,38 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = bench::gate::compare(&baseline, &current);
+    let mut report = bench::gate::compare(&baseline, &current);
     println!(
         "perf gate: {} gated key(s), baseline {}",
         report.checked,
         baseline_path.display()
     );
+
+    // Scaling results: absolute (baseline-free) zero-copy and wall-clock
+    // assertions over the parallel_scaling run.
+    let scaling_path = bench::results_dir().join("parallel_scaling.json");
+    match load(&scaling_path) {
+        Ok(scaling) => {
+            let s = bench::gate::check_scaling(&scaling);
+            if let Some(reason) = scaling
+                .get_path("wall_clock_leg/skip_reason")
+                .and_then(obs::Json::as_str)
+                .filter(|r| !r.is_empty())
+            {
+                println!("  scaling wall-clock leg skipped: {reason}");
+            }
+            println!("perf gate: {} scaling assertion(s) checked", s.checked);
+            report.checked += s.checked;
+            report.regressions.extend(s.regressions);
+        }
+        Err(err) => {
+            eprintln!("perf gate: {err}");
+            report
+                .regressions
+                .push("parallel_scaling.json: missing — scaling gate did not run".into());
+        }
+    }
+
     for msg in &report.improvements {
         println!("  improved  {msg}");
     }

@@ -14,10 +14,16 @@
 //!   workers (fewer when there are fewer tasks than threads).
 //! * **Scoped workers.** Threads are spawned inside
 //!   [`std::thread::scope`] per `run` call, so tasks may borrow from the
-//!   caller's stack — the coordinator hands workers references to page
-//!   snapshots, build-side hash tables, and predicates without `Arc`ing
-//!   the world. Spawn cost (~tens of µs) is negligible against the
+//!   caller's stack — the coordinator hands workers references to
+//!   build-side hash tables and predicates without `Arc`ing the world.
+//!   Spawn cost (~tens of µs) is negligible against the
 //!   multi-millisecond scans the pool exists for.
+//! * **Owned `Send` payloads.** A task closure may also *own* `Send`
+//!   data moved into it — the parallel operators move zero-copy page
+//!   leases (`Arc`-backed frame references) into their morsel tasks.
+//!   `run` consumes each task exactly once, on exactly one worker, and
+//!   drops it there, so a payload's drop side effects (a lease releasing
+//!   its frame pin) happen before `run` returns.
 //! * **Chunked queues + stealing.** Task indices are dealt to per-worker
 //!   queues in contiguous chunks (morsel locality); a worker that drains
 //!   its own queue steals from the *back* of a victim's queue, so the
@@ -404,6 +410,45 @@ mod tests {
             .collect();
         let out = pool.run(tasks).unwrap();
         assert_eq!(out.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn owned_send_payloads_are_consumed_and_dropped_by_run() {
+        // Models the lease lifetime contract: each task owns a payload
+        // whose Drop releases a shared count (like a PageLease unpinning
+        // its frame). After `run` returns, every payload must be dropped
+        // exactly once — no payload may outlive the run.
+        use std::sync::atomic::AtomicU32;
+        use std::sync::Arc;
+
+        struct Payload {
+            live: Arc<AtomicU32>,
+        }
+        impl Drop for Payload {
+            fn drop(&mut self) {
+                self.live.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        let live = Arc::new(AtomicU32::new(0));
+        let tasks: Vec<_> = (0..48u32)
+            .map(|i| {
+                live.fetch_add(1, Ordering::SeqCst);
+                let payload = Payload {
+                    live: Arc::clone(&live),
+                };
+                move |_w: usize| {
+                    // The payload is alive while the task runs...
+                    assert!(payload.live.load(Ordering::SeqCst) > 0);
+                    i
+                }
+            })
+            .collect();
+        let pool = WorkerPool::new(4);
+        let out = pool.run(tasks).unwrap();
+        assert_eq!(out, (0..48).collect::<Vec<_>>());
+        // ...and dropped (exactly once each) by the time run returns.
+        assert_eq!(live.load(Ordering::SeqCst), 0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! estimation deterministic, recovery tests never `#[ignore]`d, and
 //! every suppression justified in writing. This crate tokenizes the
 //! workspace's Rust sources (no rustc, no external parser) and enforces
-//! the numbered rule catalog L001–L007; see `README.md` for the catalog
+//! the numbered rule catalog L001–L008; see `README.md` for the catalog
 //! and `rules` for the implementation.
 //!
 //! Findings print as `file:line: Lxxx message` and the binary exits

@@ -1,0 +1,34 @@
+//@path crates/relstore/src/par_demo.rs
+//! L008 negative: leases on the dispatch path, owned copies confined to
+//! tests.
+
+pub struct PageLease;
+
+pub struct Table;
+
+impl Table {
+    pub fn lease_page(&self, _ord: usize) -> PageLease {
+        PageLease
+    }
+}
+
+/// The zero-copy path: views, not owned snapshots.
+pub fn lease_morsels(table: &Table, pages: usize) -> Vec<PageLease> {
+    (0..pages).map(|ord| table.lease_page(ord)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    pub enum PageSnapshot {
+        Raw(Box<[u8]>),
+    }
+
+    #[test]
+    fn tests_may_build_owned_snapshots() {
+        // Test-only construction is exempt: fixtures and oracles may
+        // compare against the copying path.
+        let snap = PageSnapshot::Raw(Box::new([0u8; 4]));
+        let PageSnapshot::Raw(bytes) = snap;
+        assert_eq!(bytes.len(), 4);
+    }
+}

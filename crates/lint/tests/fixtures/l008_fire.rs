@@ -1,0 +1,27 @@
+//@path crates/relstore/src/par_demo.rs
+//! L008 positive: owned page copies on the morsel dispatch path.
+
+pub enum PageSnapshot {
+    Raw(Box<[u8]>),
+}
+
+pub fn snapshot_morsels(pages: &[Box<[u8]>]) -> Vec<PageSnapshot> {
+    // Constructing the owned-copy variant fires.
+    pages
+        .iter()
+        .map(|p| PageSnapshot::Raw(p.clone()))
+        .collect()
+}
+
+pub struct Table;
+
+impl Table {
+    pub fn snapshot_page(&self, _ord: usize) -> Vec<u8> {
+        Vec::new()
+    }
+}
+
+pub fn dispatch(table: &Table) -> Vec<u8> {
+    // Calling the owned-copy producer fires too.
+    table.snapshot_page(0)
+}

@@ -182,6 +182,14 @@ impl OrpheusDb {
 
     /// The worker pool queries run on, or `None` at one thread (the
     /// sequential operators are used unmodified).
+    ///
+    /// Parallel checkout and query plans ship zero-copy page leases to
+    /// the workers, which requires clean pages. On a durable database the
+    /// per-commit [`checkpoint`](Self::checkpoint) (on by default)
+    /// guarantees that; uncheckpointed pages — including everything on an
+    /// in-memory database, where checkpoint is a no-op — fall back to
+    /// per-page copies counted in `pagestore.pool.bytes_copied_to_workers`
+    /// — same bytes out, just not free.
     fn worker_pool(&self) -> Option<relstore::WorkerPool> {
         if self.threads > 1 {
             Some(relstore::WorkerPool::with_registry(

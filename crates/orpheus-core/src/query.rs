@@ -230,6 +230,8 @@ impl<'a> VersionedQuery<'a> {
 /// morsel-parallel equivalent when a multi-threaded pool is supplied.
 /// Both emit the `[rid, attrs…]` star rows in identical order, so higher
 /// operators (filters, limits, joins) see the same stream either way.
+/// The parallel probe ships zero-copy page leases to the workers
+/// (checkpointed pages only — dirty pages are copied and counted).
 pub(crate) fn rid_join_plan<'t>(
     data: &'t Table,
     rids: Vec<i64>,

@@ -15,6 +15,10 @@ pub enum Error {
     /// The page is pinned with a conflicting borrow (e.g. re-pinning a
     /// page while a mutable guard to it is live).
     PageBusy(u32),
+    /// A read lease was requested on a dirty page. Leases freeze a page
+    /// image for worker threads; an uncheckpointed page has no stable
+    /// image to freeze, so the caller must copy (or checkpoint) instead.
+    PageDirty(u32),
     /// Underlying file I/O failure (file-backed pager only).
     Io(std::io::Error),
     /// A persisted file whose size is not a whole number of pages.
@@ -39,6 +43,9 @@ impl fmt::Display for Error {
             Error::BadAddress(what) => write!(f, "bad tuple address: {what}"),
             Error::PageBusy(id) => {
                 write!(f, "page {id} is pinned with a conflicting borrow")
+            }
+            Error::PageDirty(id) => {
+                write!(f, "page {id} is dirty and cannot be leased")
             }
             Error::Io(e) => write!(f, "pager I/O error: {e}"),
             Error::CorruptFile { len } => {

@@ -17,9 +17,9 @@
 //! recycles every page, which is how `relstore` rebuilds a table when
 //! re-clustering it.
 
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, PageLease};
 use crate::error::{Error, Result};
-use crate::page::{PageId, MAX_INLINE_TUPLE};
+use crate::page::{Page, PageId, MAX_INLINE_TUPLE};
 
 const TAG_INLINE: u8 = 0;
 const TAG_OVERFLOW: u8 = 1;
@@ -357,6 +357,111 @@ impl HeapFile {
         }
         Ok(PageSnapshot::Tuples(tuples))
     }
+
+    /// A shareable view of data page `page_ord` for worker threads.
+    ///
+    /// The hot path is **zero-copy**: a clean all-inline page returns a
+    /// [`PageView::Leased`] wrapping the frame's shared `Arc` image — no
+    /// bytes move, and the lease count keeps the frame resident until
+    /// every worker is done. Two cases cannot be leased and fall back to
+    /// an owned, pre-resolved copy ([`PageView::Resolved`]) whose bytes
+    /// are counted in `IoStats::bytes_copied_to_workers`:
+    ///
+    /// * a cell overflowed — workers cannot follow chains without the
+    ///   (single-threaded) pool;
+    /// * the page is dirty — an uncheckpointed image cannot be frozen.
+    ///
+    /// Either path charges the same pool traffic as
+    /// [`snapshot_page`](Self::snapshot_page): one logical read for the
+    /// data page plus one per overflow-chain page.
+    pub fn lease_page(&self, pool: &BufferPool, page_ord: usize) -> Result<PageView> {
+        let page_id = *self
+            .pages
+            .get(page_ord)
+            .ok_or_else(|| Error::BadAddress(format!("page ordinal {page_ord} out of range")))?;
+        let (mut tuples, chains) = if pool.is_dirty(page_id) {
+            let page = pool.fetch(page_id)?;
+            copy_cells(&page)?
+        } else {
+            let lease = pool.lease(page_id)?;
+            let mut has_overflow = false;
+            for (_, cell) in lease.live_tuples() {
+                if matches!(cell_kind(cell)?, CellKind::Overflow(_)) {
+                    has_overflow = true;
+                    break;
+                }
+            }
+            if !has_overflow {
+                return Ok(PageView::Leased(lease));
+            }
+            // The lease drops at the end of this block, before the chain
+            // reads below need eviction headroom.
+            copy_cells(&lease)?
+        };
+        for (idx, head) in chains {
+            tuples[idx] = self.read_chain(pool, head)?;
+        }
+        pool.note_worker_copy(tuples.iter().map(|t| t.len() as u64).sum());
+        pool.note_morsel_allocs(1);
+        Ok(PageView::Resolved(tuples))
+    }
+}
+
+/// Owned tuple buffers plus the overflow chain heads left to resolve,
+/// as `(slot index into the buffers, chain head page)` pairs.
+type CopiedCells = (Vec<Vec<u8>>, Vec<(usize, PageId)>);
+
+/// Copy a page's live cells into owned tuple buffers, returning overflow
+/// chain heads to resolve (placeholder entries keep slot order).
+fn copy_cells(page: &Page) -> Result<CopiedCells> {
+    let mut tuples: Vec<Vec<u8>> = Vec::new();
+    let mut chains: Vec<(usize, PageId)> = Vec::new();
+    for (_, cell) in page.live_tuples() {
+        match cell_kind(cell)? {
+            CellKind::Inline(tuple) => tuples.push(tuple.to_vec()),
+            CellKind::Overflow(head) => {
+                tuples.push(Vec::new());
+                chains.push((tuples.len() - 1, head));
+            }
+        }
+    }
+    Ok((tuples, chains))
+}
+
+/// A worker-visible view of one data page's live tuples — the zero-copy
+/// successor to [`PageSnapshot`] on the parallel scan path. `Send + Sync`
+/// either way; the coordinator keeps the single-threaded pool to itself.
+#[derive(Debug)]
+pub enum PageView {
+    /// The common case: a lease on the frame's shared image. Nothing was
+    /// copied; slots are parsed lazily on the worker.
+    Leased(PageLease),
+    /// Copy fallback (overflow chains, dirty page): tuple bytes resolved
+    /// by the coordinator and counted as `bytes_copied_to_workers`.
+    Resolved(Vec<Vec<u8>>),
+}
+
+impl PageView {
+    /// Live tuple payloads in slot order (tags stripped, chains resolved).
+    pub fn tuples(&self) -> Result<Vec<&[u8]>> {
+        match self {
+            PageView::Leased(lease) => {
+                let mut out = Vec::new();
+                for cell in crate::page::live_cells(lease.bytes()) {
+                    match cell_kind(cell)? {
+                        CellKind::Inline(tuple) => out.push(tuple),
+                        CellKind::Overflow(_) => {
+                            return Err(Error::Invariant(
+                                "leased page view contains an overflow cell",
+                            ))
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            PageView::Resolved(tuples) => Ok(tuples.iter().map(Vec::as_slice).collect()),
+        }
+    }
 }
 
 /// An owned copy of one data page's live tuples, detached from the buffer
@@ -500,6 +605,84 @@ mod tests {
             let tuples: Vec<Vec<u8>> = snap.tuples().unwrap().iter().map(|t| t.to_vec()).collect();
             assert_eq!(tuples, scanned, "page {ord}");
         }
+    }
+
+    #[test]
+    fn lease_page_is_zero_copy_for_clean_inline_pages() {
+        let pool = BufferPool::in_memory(4);
+        let mut heap = HeapFile::new();
+        for i in 0..25u32 {
+            heap.insert(&pool, &i.to_le_bytes().repeat(50)).unwrap();
+        }
+        pool.flush_all().unwrap();
+        pool.reset_stats();
+        for ord in 0..heap.num_pages() {
+            let scanned: Vec<Vec<u8>> = heap
+                .tuples_on_page(&pool, ord)
+                .unwrap()
+                .into_iter()
+                .map(|(_, t)| t)
+                .collect();
+            let view = heap.lease_page(&pool, ord).unwrap();
+            assert!(matches!(view, PageView::Leased(_)), "clean inline page");
+            let tuples: Vec<Vec<u8>> = view.tuples().unwrap().iter().map(|t| t.to_vec()).collect();
+            assert_eq!(tuples, scanned, "page {ord}");
+        }
+        assert_eq!(pool.stats().bytes_copied_to_workers, 0);
+        assert_eq!(pool.stats().morsel_allocs, 0);
+    }
+
+    #[test]
+    fn lease_page_falls_back_to_counted_copies_for_overflow_and_dirty() {
+        let pool = BufferPool::in_memory(4);
+        let mut heap = HeapFile::new();
+        let big: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        heap.insert(&pool, b"small").unwrap();
+        heap.insert(&pool, &big).unwrap();
+
+        // Dirty page: copy fallback even though it could otherwise lease.
+        let view = heap.lease_page(&pool, 0).unwrap();
+        assert!(matches!(view, PageView::Resolved(_)), "dirty page copies");
+        let copied_dirty = pool.stats().bytes_copied_to_workers;
+        assert_eq!(copied_dirty, (b"small".len() + big.len()) as u64);
+        assert_eq!(pool.stats().morsel_allocs, 1);
+
+        // Clean but overflowing: still a copy, chains resolved.
+        pool.flush_all().unwrap();
+        let view = heap.lease_page(&pool, 0).unwrap();
+        assert!(
+            matches!(view, PageView::Resolved(_)),
+            "overflow page copies"
+        );
+        let tuples = view.tuples().unwrap();
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0], b"small");
+        assert_eq!(tuples[1], big.as_slice());
+        assert_eq!(
+            pool.stats().bytes_copied_to_workers,
+            copied_dirty + (b"small".len() + big.len()) as u64
+        );
+    }
+
+    #[test]
+    fn lease_page_charges_same_reads_as_snapshot_page() {
+        let pool = BufferPool::in_memory(8);
+        let mut heap = HeapFile::new();
+        for i in 0..25u32 {
+            heap.insert(&pool, &i.to_le_bytes().repeat(50)).unwrap();
+        }
+        pool.flush_all().unwrap();
+        let before = pool.stats();
+        for ord in 0..heap.num_pages() {
+            heap.snapshot_page(&pool, ord).unwrap();
+        }
+        let snap_reads = pool.stats().since(&before).logical_reads;
+        let before = pool.stats();
+        for ord in 0..heap.num_pages() {
+            heap.lease_page(&pool, ord).unwrap();
+        }
+        let lease_reads = pool.stats().since(&before).logical_reads;
+        assert_eq!(lease_reads, snap_reads, "identical I/O accounting");
     }
 
     #[test]

@@ -29,10 +29,10 @@ mod recovery;
 mod stats;
 mod wal;
 
-pub use buffer::{BufferPool, PageMut, PageRef};
+pub use buffer::{BufferPool, PageLease, PageMut, PageRef};
 pub use error::{Error, Result};
 pub use fault::{FaultKind, FaultPager, FaultPlan, FaultWal};
-pub use heap::{HeapFile, PageSnapshot, TupleAddr, INLINE_LIMIT};
+pub use heap::{HeapFile, PageSnapshot, PageView, TupleAddr, INLINE_LIMIT};
 pub use page::{live_cells, Page, PageId, MAX_INLINE_TUPLE, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, Pager};
 pub use recovery::{recover, RecoveryReport};

@@ -33,6 +33,12 @@ const SLOT: usize = 4;
 pub const MAX_INLINE_TUPLE: usize = PAGE_SIZE - HEADER - SLOT;
 
 /// One 8 KiB slotted page.
+///
+/// `Clone` supports the buffer pool's copy-on-write mutation path: frames
+/// hold `Arc<Page>` so immutable leases can be handed to worker threads,
+/// and a mutable guard clones the image only if a lease still references
+/// the old one ([`Arc::make_mut`](std::sync::Arc::make_mut)).
+#[derive(Clone)]
 pub struct Page {
     data: [u8; PAGE_SIZE],
 }

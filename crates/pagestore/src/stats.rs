@@ -28,6 +28,15 @@ pub struct IoStats {
     pub wal_fsyncs: u64,
     /// Completed checkpoints ([`flush_all`](crate::BufferPool::flush_all)).
     pub checkpoints: u64,
+    /// Tuple bytes the coordinator *copied* to hand to morsel workers
+    /// (overflow-chain resolution or dirty-page fallbacks). The zero-copy
+    /// lease path never increments this; the perf gate asserts it stays
+    /// ≈ 0 on the parallel scan path.
+    pub bytes_copied_to_workers: u64,
+    /// Transient buffers allocated in the morsel hot loop (page copies,
+    /// per-row scratch) — the allocations the lease rework moved out of
+    /// the per-row path. Should stay O(workers), not O(rows).
+    pub morsel_allocs: u64,
 }
 
 impl IoStats {
@@ -74,6 +83,10 @@ impl IoStats {
             wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
             wal_fsyncs: self.wal_fsyncs.saturating_sub(earlier.wal_fsyncs),
             checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
+            bytes_copied_to_workers: self
+                .bytes_copied_to_workers
+                .saturating_sub(earlier.bytes_copied_to_workers),
+            morsel_allocs: self.morsel_allocs.saturating_sub(earlier.morsel_allocs),
         }
     }
 
@@ -88,6 +101,8 @@ impl IoStats {
         self.wal_bytes += other.wal_bytes;
         self.wal_fsyncs += other.wal_fsyncs;
         self.checkpoints += other.checkpoints;
+        self.bytes_copied_to_workers += other.bytes_copied_to_workers;
+        self.morsel_allocs += other.morsel_allocs;
     }
 
     /// Publish every counter into a metrics registry under
@@ -101,6 +116,11 @@ impl IoStats {
         registry.counter_set("pagestore.pool.write_backs", self.write_backs);
         registry.counter_set("pagestore.pool.flushed_writes", self.flushed_writes);
         registry.counter_set("pagestore.pool.checkpoints", self.checkpoints);
+        registry.counter_set(
+            "pagestore.pool.bytes_copied_to_workers",
+            self.bytes_copied_to_workers,
+        );
+        registry.counter_set("pagestore.pool.morsel_allocs", self.morsel_allocs);
         registry.counter_set("pagestore.wal.appends", self.wal_appends);
         registry.counter_set("pagestore.wal.bytes", self.wal_bytes);
         registry.counter_set("pagestore.wal.fsyncs", self.wal_fsyncs);
@@ -126,6 +146,15 @@ impl fmt::Display for IoStats {
                 f,
                 " | wal {} rec / {} B / {} fsync",
                 self.wal_appends, self.wal_bytes, self.wal_fsyncs,
+            )?;
+        }
+        // The zero-copy lease path keeps both at zero; only print the
+        // segment when a copy fallback actually fired.
+        if self.bytes_copied_to_workers > 0 || self.morsel_allocs > 0 {
+            write!(
+                f,
+                " | par {} B copied / {} morsel allocs",
+                self.bytes_copied_to_workers, self.morsel_allocs,
             )?;
         }
         Ok(())
@@ -206,6 +235,30 @@ mod tests {
         s.wal_fsyncs = 1;
         let text = format!("{s}");
         assert!(text.contains("wal 2 rec / 100 B / 1 fsync"), "{text}");
+    }
+
+    #[test]
+    fn worker_copy_counters_flow_through_since_absorb_and_publish() {
+        let mut s = IoStats::new();
+        s.bytes_copied_to_workers = 8192;
+        s.morsel_allocs = 4;
+        let snap = s;
+        s.bytes_copied_to_workers = 10240;
+        s.morsel_allocs = 7;
+        let d = s.since(&snap);
+        assert_eq!(d.bytes_copied_to_workers, 2048);
+        assert_eq!(d.morsel_allocs, 3);
+        let mut acc = IoStats::new();
+        acc.absorb(&d);
+        assert_eq!(acc.bytes_copied_to_workers, 2048);
+        assert_eq!(acc.morsel_allocs, 3);
+        let reg = obs::Registry::new();
+        s.publish(&reg);
+        assert_eq!(reg.counter("pagestore.pool.bytes_copied_to_workers"), 10240);
+        assert_eq!(reg.counter("pagestore.pool.morsel_allocs"), 7);
+        // Display stays silent while the zero-copy path holds.
+        assert!(!format!("{}", IoStats::new()).contains("copied"));
+        assert!(format!("{s}").contains("10240 B copied / 7 morsel allocs"));
     }
 
     #[test]

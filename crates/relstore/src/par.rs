@@ -3,12 +3,22 @@
 //! The buffer pool is single-threaded (`Rc<BufferPool>`), so parallelism
 //! follows the morsel-driven split of HyPer: the **coordinator** thread
 //! does every page access — charging estimated and measured I/O exactly
-//! like the sequential operators — and extracts owned
-//! [`PageSnapshot`](pagestore::PageSnapshot)s, while the
+//! like the sequential operators — and hands out **zero-copy page
+//! leases** ([`PageView`](pagestore::PageView)), while the
 //! [`WorkerPool`](exec_pool::WorkerPool) workers do the CPU-only work
 //! (slot parsing, tuple decoding, predicate evaluation, projection, hash
-//! build and probe) against those snapshots with worker-local
+//! build and probe) against the shared frames with worker-local
 //! [`CostTracker`]s that are merged back afterwards.
+//!
+//! Leases share the frame's `Arc<Page>` — the coordinator no longer
+//! materialises an owned snapshot of every page before dispatch, which
+//! is what made 4-thread runs *slower* than sequential ones. Only pages
+//! that cannot be leased (overflow chains, dirty frames) fall back to an
+//! owned copy, counted in `IoStats::bytes_copied_to_workers` so the perf
+//! gate can assert the hot path stays at zero. Because live leases pin
+//! their frames against eviction, dispatch proceeds in [`LeaseWaves`]
+//! bounded by the pool capacity, so a pool smaller than the heap still
+//! scans — zero-copy — wave by wave.
 //!
 //! Determinism: morsels are contiguous page ranges and results are
 //! reassembled in morsel order, so output row order is identical to the
@@ -29,31 +39,91 @@ use crate::expr::Expr;
 use crate::schema::Schema;
 use crate::table::{Row, Table};
 use exec_pool::WorkerPool;
-use pagestore::PageSnapshot;
-use std::cell::RefCell;
+use pagestore::PageView;
+use std::cell::{Ref, RefCell};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::{Mutex, PoisonError};
 
-/// Pages per morsel. Sixteen 8 KiB pages ≈ 128 KiB of tuple data — small
-/// enough that a morsel's working set stays cache-resident on a worker,
-/// large enough to amortise the per-task queue round trip (~800 rows at
-/// the default 50 rows/page).
+/// Default pages per morsel. Sixteen 8 KiB pages ≈ 128 KiB of tuple data
+/// — small enough that a morsel's working set stays cache-resident on a
+/// worker, large enough to amortise the per-task queue round trip (~800
+/// rows at the default 50 rows/page). Measured on SCI_100K: 8 and 32
+/// land within a few percent; 16 is the flat middle of that plateau.
 pub const MORSEL_PAGES: usize = 16;
 
-/// Snapshot every heap page of `table` on the coordinator, charging the
-/// measured pool traffic to `tracker`, and group the snapshots into
-/// contiguous [`MORSEL_PAGES`]-sized morsels.
-fn snapshot_morsels(table: &Table, tracker: &mut CostTracker) -> Result<Vec<Vec<PageSnapshot>>> {
-    let mut morsels: Vec<Vec<PageSnapshot>> = Vec::new();
-    for ord in 0..table.num_heap_pages() {
-        let snap = table.snapshot_page(ord, tracker)?;
-        match morsels.last_mut() {
-            Some(m) if m.len() < MORSEL_PAGES => m.push(snap),
-            _ => morsels.push(vec![snap]),
+/// Effective pages per morsel: the `ORPHEUS_MORSEL_PAGES` environment
+/// variable (read once) overrides the measured default [`MORSEL_PAGES`].
+/// Morsel size never affects output bytes — merge order is morsel order —
+/// only the task granularity.
+pub fn morsel_pages() -> usize {
+    static PAGES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *PAGES.get_or_init(|| {
+        std::env::var("ORPHEUS_MORSEL_PAGES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(MORSEL_PAGES)
+    })
+}
+
+/// Frames kept free of leases during a dispatch wave, so the coordinator
+/// can still pull overflow-chain and dirty pages through the pool while
+/// the wave's leases pin their frames against eviction.
+const LEASE_RESERVE: usize = 2;
+
+/// Leases heap pages in coordinator-paced **waves**: each wave holds at
+/// most `pool.capacity() - LEASE_RESERVE` simultaneous leases, grouped
+/// into contiguous [`morsel_pages`]-sized morsels. Leases refuse eviction,
+/// so leasing the whole heap up front would wedge any pool smaller than
+/// the table; waves bound the lease footprint while keeping every page on
+/// the zero-copy path. Wave boundaries never affect output bytes — merge
+/// order is morsel order and waves are dispatched in order.
+struct LeaseWaves<'a> {
+    table: &'a Table,
+    next_ord: usize,
+    total: usize,
+    budget: usize,
+    pages_per_morsel: usize,
+}
+
+impl<'a> LeaseWaves<'a> {
+    fn new(table: &'a Table) -> Self {
+        let budget = table.pool().capacity().saturating_sub(LEASE_RESERVE).max(1);
+        LeaseWaves {
+            table,
+            next_ord: 0,
+            total: table.num_heap_pages(),
+            budget,
+            pages_per_morsel: morsel_pages().min(budget),
         }
     }
-    Ok(morsels)
+
+    /// Lease the next wave of morsels — zero-copy for clean all-inline
+    /// pages — charging the measured pool traffic to `tracker`. Returns
+    /// `None` once the heap is exhausted.
+    fn next_wave(&mut self, tracker: &mut CostTracker) -> Result<Option<Vec<Vec<PageView>>>> {
+        if self.next_ord >= self.total {
+            return Ok(None);
+        }
+        let mut wave: Vec<Vec<PageView>> = Vec::new();
+        let mut leased = 0;
+        while self.next_ord < self.total && leased < self.budget {
+            let take = self
+                .pages_per_morsel
+                .min(self.budget - leased)
+                .min(self.total - self.next_ord);
+            let mut morsel = Vec::with_capacity(take);
+            for ord in self.next_ord..self.next_ord + take {
+                morsel.push(self.table.lease_page(ord, tracker)?);
+            }
+            self.next_ord += take;
+            leased += take;
+            wave.push(morsel);
+        }
+        Ok(Some(wave))
+    }
 }
 
 /// Accumulate one morsel result into the output buffer, the per-worker
@@ -128,45 +198,53 @@ impl<'a> ParSeqScan<'a> {
         Rc::clone(&self.worker_rows)
     }
 
+    /// Cheap copy-on-read view of the per-worker row counts: borrows the
+    /// shared cell instead of cloning the vector on every report call.
+    pub fn worker_rows_view(&self) -> Ref<'_, [u64]> {
+        Ref::map(self.worker_rows.borrow(), Vec::as_slice)
+    }
+
     fn run(&mut self, ctx: &mut ExecContext) -> Result<()> {
         ctx.tracker
             .seq_scan(self.table.heap_size() as u64, &ctx.model);
-        let morsels = snapshot_morsels(self.table, &mut ctx.tracker)?;
         let predicate = self.predicate.as_ref();
         let projection = self.projection.as_deref();
-        let tasks: Vec<_> = morsels
-            .into_iter()
-            .map(|morsel| {
-                move |worker: usize| -> Result<(usize, Vec<Row>, CostTracker)> {
-                    let mut tracker = CostTracker::new();
-                    let mut rows = Vec::new();
-                    for snap in &morsel {
-                        for bytes in snap.tuples().map_err(Error::from)? {
-                            let (_, row) = codec::decode_row(bytes)?;
-                            if let Some(p) = predicate {
-                                if !p.matches(&row, &mut tracker)? {
-                                    continue;
+        let mut waves = LeaseWaves::new(self.table);
+        while let Some(wave) = waves.next_wave(&mut ctx.tracker)? {
+            let tasks: Vec<_> = wave
+                .into_iter()
+                .map(|morsel| {
+                    move |worker: usize| -> Result<(usize, Vec<Row>, CostTracker)> {
+                        let mut tracker = CostTracker::new();
+                        let mut rows = Vec::new();
+                        for view in &morsel {
+                            for bytes in view.tuples().map_err(Error::from)? {
+                                let (_, row) = codec::decode_row(bytes)?;
+                                if let Some(p) = predicate {
+                                    if !p.matches(&row, &mut tracker)? {
+                                        continue;
+                                    }
                                 }
+                                let row = match projection {
+                                    Some(exprs) => exprs
+                                        .iter()
+                                        .map(|e| e.eval(&row, &mut tracker))
+                                        .collect::<Result<Vec<_>>>()?,
+                                    None => row,
+                                };
+                                rows.push(row);
                             }
-                            let row = match projection {
-                                Some(exprs) => exprs
-                                    .iter()
-                                    .map(|e| e.eval(&row, &mut tracker))
-                                    .collect::<Result<Vec<_>>>()?,
-                                None => row,
-                            };
-                            rows.push(row);
                         }
+                        Ok((worker, rows, tracker))
                     }
-                    Ok((worker, rows, tracker))
-                }
-            })
-            .collect();
-        let results = self.pool.run(tasks)?;
-        let mut worker_rows = self.worker_rows.borrow_mut();
-        for result in results {
-            let (worker, rows, tracker) = result?;
-            merge_morsel(&mut self.out, &mut worker_rows, ctx, worker, rows, tracker);
+                })
+                .collect();
+            let results = self.pool.run(tasks)?;
+            let mut worker_rows = self.worker_rows.borrow_mut();
+            for result in results {
+                let (worker, rows, tracker) = result?;
+                merge_morsel(&mut self.out, &mut worker_rows, ctx, worker, rows, tracker);
+            }
         }
         Ok(())
     }
@@ -251,6 +329,12 @@ impl<'a> ParHashJoin<'a> {
         Rc::clone(&self.worker_rows)
     }
 
+    /// Cheap copy-on-read view of the per-worker row counts: borrows the
+    /// shared cell instead of cloning the vector on every report call.
+    pub fn worker_rows_view(&self) -> Ref<'_, [u64]> {
+        Ref::map(self.worker_rows.borrow(), Vec::as_slice)
+    }
+
     /// Partition the build rows into contiguous chunks, hash each chunk on
     /// a worker, and merge the partitions in chunk order. Match lists hold
     /// indices into `build_rows`, so per-key order is global build order
@@ -304,52 +388,83 @@ impl<'a> ParHashJoin<'a> {
 
         ctx.tracker
             .seq_scan(self.probe.heap_size() as u64, &ctx.model);
-        let morsels = snapshot_morsels(self.probe, &mut ctx.tracker)?;
         let probe_key = self.probe_key;
         let build_rows = &build_rows;
         let table = &table;
         let projection = self.projection.as_deref();
-        let tasks: Vec<_> = morsels
-            .into_iter()
-            .map(|morsel| {
-                move |worker: usize| -> Result<(usize, Vec<Row>, CostTracker)> {
-                    let mut tracker = CostTracker::new();
-                    let mut rows = Vec::new();
-                    for snap in &morsel {
-                        for bytes in snap.tuples().map_err(Error::from)? {
-                            let (_, probe_row) = codec::decode_row(bytes)?;
-                            tracker.ops(1); // hash probe
-                            let Some(k) = join_key(&probe_row, probe_key)? else {
-                                continue;
-                            };
-                            let Some(matches) = table.get(&k) else {
-                                continue;
-                            };
-                            // Reverse build order — the sequential join
-                            // drains its pending matches as a stack.
-                            for &i in matches.iter().rev() {
-                                let mut out = build_rows[i].clone();
-                                out.extend(probe_row.iter().cloned());
-                                tracker.emit(1);
-                                if let Some(exprs) = projection {
-                                    out = exprs
-                                        .iter()
-                                        .map(|e| e.eval(&out, &mut tracker))
-                                        .collect::<Result<Vec<_>>>()?;
+        // One reusable scratch row per worker for the fused projection:
+        // the old hot loop cloned the build row (plus a growth realloc
+        // from the extend) for *every emitted join row* only to project
+        // from it and throw it away. A worker runs its tasks one at a
+        // time, so its scratch lock is always uncontended.
+        let workers = self.pool.threads();
+        let scratch: Vec<Mutex<Row>> = (0..workers).map(|_| Mutex::new(Row::new())).collect();
+        self.probe.pool().note_morsel_allocs(workers as u64);
+        ctx.tracker.measured.morsel_allocs += workers as u64;
+        let scratch = &scratch;
+        let mut waves = LeaseWaves::new(self.probe);
+        while let Some(wave) = waves.next_wave(&mut ctx.tracker)? {
+            let tasks: Vec<_> = wave
+                .into_iter()
+                .map(|morsel| {
+                    move |worker: usize| -> Result<(usize, Vec<Row>, CostTracker)> {
+                        let mut tracker = CostTracker::new();
+                        let mut rows = Vec::new();
+                        let mut tmp = scratch[worker]
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        for view in &morsel {
+                            for bytes in view.tuples().map_err(Error::from)? {
+                                let (_, probe_row) = codec::decode_row(bytes)?;
+                                tracker.ops(1); // hash probe
+                                let Some(k) = join_key(&probe_row, probe_key)? else {
+                                    continue;
+                                };
+                                let Some(matches) = table.get(&k) else {
+                                    continue;
+                                };
+                                // Reverse build order — the sequential join
+                                // drains its pending matches as a stack.
+                                for &i in matches.iter().rev() {
+                                    tracker.emit(1);
+                                    let out = match projection {
+                                        Some(exprs) => {
+                                            // Concat into the reused scratch,
+                                            // project straight out of it.
+                                            tmp.clear();
+                                            tmp.extend_from_slice(&build_rows[i]);
+                                            tmp.extend_from_slice(&probe_row);
+                                            exprs
+                                                .iter()
+                                                .map(|e| e.eval(&tmp, &mut tracker))
+                                                .collect::<Result<Vec<_>>>()?
+                                        }
+                                        None => {
+                                            // The concat row *is* the output:
+                                            // build it exactly-sized, no
+                                            // clone-then-extend realloc.
+                                            let mut out = Row::with_capacity(
+                                                build_rows[i].len() + probe_row.len(),
+                                            );
+                                            out.extend_from_slice(&build_rows[i]);
+                                            out.extend_from_slice(&probe_row);
+                                            out
+                                        }
+                                    };
+                                    rows.push(out);
                                 }
-                                rows.push(out);
                             }
                         }
+                        Ok((worker, rows, tracker))
                     }
-                    Ok((worker, rows, tracker))
-                }
-            })
-            .collect();
-        let results = self.pool.run(tasks)?;
-        let mut worker_rows = self.worker_rows.borrow_mut();
-        for result in results {
-            let (worker, rows, tracker) = result?;
-            merge_morsel(&mut self.out, &mut worker_rows, ctx, worker, rows, tracker);
+                })
+                .collect();
+            let results = self.pool.run(tasks)?;
+            let mut worker_rows = self.worker_rows.borrow_mut();
+            for result in results {
+                let (worker, rows, tracker) = result?;
+                merge_morsel(&mut self.out, &mut worker_rows, ctx, worker, rows, tracker);
+            }
         }
         Ok(())
     }
@@ -414,7 +529,9 @@ mod tests {
             .with_filter(Expr::col(1).lt(Expr::lit(Value::Int64(50))))
             .with_projection(&[0, 2]);
         let rows = collect(&mut scan, &mut ctx).unwrap();
-        let worker_rows = scan.worker_rows().borrow().clone();
+        // Take the borrow's slice once through the view — no clone of the
+        // shared cell on the report path.
+        let worker_rows = scan.worker_rows_view().to_vec();
         (rows, ctx.tracker, worker_rows)
     }
 
@@ -450,6 +567,66 @@ mod tests {
             seq_rows.len() as u64,
             "per-worker rows must sum to the sequential row count"
         );
+    }
+
+    #[test]
+    fn par_scan_is_zero_copy_after_checkpoint() {
+        let t = data_table(3_000);
+        t.pool().flush_all().unwrap();
+        let before = t.io_stats();
+        let (rows, _, _) = par_scan_filter_project(&t, 4);
+        assert!(!rows.is_empty());
+        let delta = t.io_stats().since(&before);
+        assert_eq!(
+            delta.bytes_copied_to_workers, 0,
+            "clean inline pages must ship to workers as leases, not copies"
+        );
+        assert_eq!(delta.morsel_allocs, 0);
+    }
+
+    #[test]
+    fn par_scan_on_dirty_pages_falls_back_to_counted_copies() {
+        // No flush: every heap page is dirty, so each one must be copied
+        // (and counted) rather than leased — output stays identical.
+        let t = data_table(500);
+        let before = t.io_stats();
+        let (rows, _, _) = par_scan_filter_project(&t, 4);
+        let (seq_rows, _) = seq_scan_filter_project(&t);
+        assert_eq!(rows, seq_rows);
+        let delta = t.io_stats().since(&before);
+        assert!(delta.bytes_copied_to_workers > 0);
+        assert!(delta.morsel_allocs >= t.num_heap_pages() as u64);
+    }
+
+    #[test]
+    fn par_scan_pool_smaller_than_heap_stays_zero_copy_via_waves() {
+        // 4-frame pool, many-page heap: leases refuse eviction, so the
+        // scan must proceed in capacity-bounded waves instead of wedging.
+        let pool = Rc::new(pagestore::BufferPool::in_memory(4));
+        let mut t = Table::with_pool(
+            "w",
+            Schema::new(vec![
+                Column::new("rid", DataType::Int64),
+                Column::new("pad", DataType::Text),
+            ]),
+            pool,
+        );
+        for i in 0..400i64 {
+            t.insert(vec![Value::Int64(i), Value::Text("y".repeat(256))])
+                .unwrap();
+        }
+        assert!(t.num_heap_pages() > t.pool().capacity());
+        t.pool().flush_all().unwrap();
+        let before = t.io_stats();
+        let mut ctx = ExecContext::new();
+        let mut scan = ParSeqScan::new(&t, WorkerPool::new(4));
+        let rows = collect(&mut scan, &mut ctx).unwrap();
+        assert_eq!(rows.len(), 400);
+        let mut seq_ctx = ExecContext::new();
+        let seq = collect(&mut SeqScan::new(&t), &mut seq_ctx).unwrap();
+        assert_eq!(rows, seq);
+        let delta = t.io_stats().since(&before);
+        assert_eq!(delta.bytes_copied_to_workers, 0);
     }
 
     #[test]
@@ -493,8 +670,11 @@ mod tests {
             assert_eq!(rows, seq_rows, "threads={threads}");
             assert_eq!(ctx.tracker.tuples, seq_ctx.tracker.tuples);
             assert_eq!(ctx.tracker.operator_evals, seq_ctx.tracker.operator_evals);
-            let worker_rows = join.worker_rows().borrow().clone();
-            assert_eq!(worker_rows.iter().sum::<u64>(), seq_rows.len() as u64);
+            // Cheap copy-on-read view: sum straight off the borrowed slice.
+            assert_eq!(
+                join.worker_rows_view().iter().sum::<u64>(),
+                seq_rows.len() as u64
+            );
         }
     }
 

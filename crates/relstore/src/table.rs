@@ -306,6 +306,23 @@ impl Table {
         Ok(snap)
     }
 
+    /// Zero-copy view of data page `page_ord` for parallel decoding off
+    /// the coordinator thread, attributing the measured page traffic to
+    /// `tracker`. Clean all-inline pages hand out a shared page lease
+    /// (no bytes copied); overflow or dirty pages fall back to an owned
+    /// copy counted in `bytes_copied_to_workers`. Charges the same pool
+    /// traffic as [`snapshot_page`](Self::snapshot_page).
+    pub fn lease_page(
+        &self,
+        page_ord: usize,
+        tracker: &mut CostTracker,
+    ) -> Result<pagestore::PageView> {
+        let before = self.pool.stats();
+        let view = self.heap.lease_page(&self.pool, page_ord)?;
+        tracker.measured.absorb(&self.pool.stats().since(&before));
+        Ok(view)
+    }
+
     /// Full sequential scan: estimated I/O for every heap slot, measured
     /// I/O for the pages actually pulled through the pool.
     pub fn scan_all(&self, tracker: &mut CostTracker, model: &CostModel) -> Vec<Row> {

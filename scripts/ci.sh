@@ -13,7 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> orpheus-lint (L001-L007 invariant catalog)"
+echo "==> orpheus-lint (L001-L008 invariant catalog)"
 # Project static analysis: no panicking paths in the storage engine, span
 # guards actually held, deterministic cost estimation, SAFETY-commented
 # unsafe, no #[ignore]d tests, every suppression justified, no raw

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# CI perf-regression gate: run the obs_smoke workload into the git-ignored
-# results/ci/ directory, then compare its metrics snapshot against the
-# checked-in baseline (results/baseline_smoke.json) with the per-key
-# tolerances in crates/bench/src/gate.rs.
+# CI perf-regression gate: run the obs_smoke workload and the
+# parallel_scaling benchmark into the git-ignored results/ci/ directory,
+# then (a) compare the obs_smoke metrics snapshot against the checked-in
+# baseline (results/baseline_smoke.json) with the per-key tolerances in
+# crates/bench/src/gate.rs, and (b) assert the baseline-free scaling
+# invariants: zero coordinator→worker copies on the parallel scan path,
+# morsel allocs within budget, and the ≥2x @ 4-thread wall-clock leg ran
+# (on ≥4-core hosts) or recorded its skip reason.
 #
 #   ./scripts/perf_gate.sh            # gate: exit 1 on regression
 #   ./scripts/perf_gate.sh --refresh  # rerun, then adopt current as baseline
@@ -13,4 +17,7 @@ export ORPHEUS_RESULTS_DIR=results/ci
 mkdir -p "$ORPHEUS_RESULTS_DIR"
 
 cargo run --release -q -p bench --bin obs_smoke >/dev/null
+# One rep per timing: the gate needs the deterministic counters and the
+# leg bookkeeping, not publication-grade wall numbers.
+ORPHEUS_SCALING_REPS=1 cargo run --release -q -p bench --bin parallel_scaling >/dev/null
 cargo run --release -q -p bench --bin perf_gate -- "$@"
