@@ -8,8 +8,14 @@
 //!   produce a plan tree with estimated and actual row counts, and its
 //!   JSON form must carry the documented schema;
 //! * `metrics --json` must parse and contain the WAL fsync counter, the
-//!   buffer-pool hit ratio gauge, and commit/checkout/query latency
-//!   histogram percentiles.
+//!   buffer-pool hit ratio gauge, commit/checkout/query latency
+//!   histogram percentiles, and the `obs.journal.*` counters;
+//! * `trace dump --json` must export Chrome-trace-event JSONL where
+//!   every line carries the documented keys, with the request, commit,
+//!   and WAL-fsync spans present under non-zero trace ids (a summary is
+//!   written to `results/trace_smoke.json`);
+//! * disabling the journal (`sample 0`) must record zero further
+//!   journal allocations.
 //!
 //! Any violation panics, so a broken pipeline fails `scripts/ci.sh`.
 
@@ -70,18 +76,20 @@ fn main() {
         .expect("init cvd");
 
     // Scripted workload: checkout the latest version, add a row, commit.
+    // Driven through the command surface so each step is a traced
+    // request and lands in the event journal.
     for round in 0..3i64 {
         let table = format!("work{round}");
         let latest = db.cvd("SMOKE").unwrap().latest_version();
-        db.checkout("SMOKE", &[latest], &table).expect("checkout");
-        let t = db.staging_table_mut(&table).unwrap();
-        t.insert(
-            (0..width)
-                .map(|c| Value::Int64(10_000 + round * 100 + c as i64))
-                .collect(),
-        )
-        .unwrap();
-        db.commit(&table, "smoke round").expect("commit");
+        db.execute(&format!("checkout SMOKE -v {} -t {table}", latest.0))
+            .expect("checkout");
+        let row: Vec<String> = (0..width)
+            .map(|c| (10_000 + round * 100 + c as i64).to_string())
+            .collect();
+        db.execute(&format!("insert {table} {}", row.join(",")))
+            .expect("insert");
+        db.execute(&format!("commit -t {table} -m smoke round"))
+            .expect("commit");
     }
 
     // A couple of reads so the query path shows up in the histograms.
@@ -157,6 +165,10 @@ fn main() {
             "histograms/orpheus.commit.latency_us/p99",
             "histograms/orpheus.checkout.latency_us/p50",
             "histograms/orpheus.query.latency_us/p50",
+            "counters/obs.journal.recorded",
+            "counters/obs.journal.dropped",
+            "counters/obs.journal.allocs",
+            "gauges/obs.journal.events",
         ],
     );
     let doc = obs::parse(&metrics).unwrap();
@@ -175,6 +187,81 @@ fn main() {
     for needle in ["orpheus.commit", "orpheus.checkout", "orpheus.query"] {
         assert!(spans.contains(needle), "span tree lacks {needle}:\n{spans}");
     }
+
+    // trace dump --json: every JSONL line must carry the Chrome trace
+    // schema, and the workload's request/commit/WAL-fsync spans must be
+    // present under non-zero trace ids.
+    let dump = text(db.execute("trace dump --json").expect("trace dump --json"));
+    let mut names = std::collections::BTreeSet::new();
+    let mut traces = std::collections::BTreeSet::new();
+    let mut lines = 0usize;
+    for line in dump.lines().filter(|l| !l.trim().is_empty()) {
+        check_schema(
+            "trace dump --json line",
+            line,
+            &[
+                "name",
+                "cat",
+                "ph",
+                "ts",
+                "pid",
+                "tid",
+                "args/trace",
+                "args/span",
+            ],
+        );
+        let ev = obs::parse(line).expect("trace event");
+        let name = ev.get_path("name").and_then(|v| v.as_str()).expect("name");
+        let trace = ev
+            .get_path("args/trace")
+            .and_then(|v| v.as_str())
+            .expect("args.trace");
+        assert_ne!(trace, "0x0", "journaled event with an untraced id: {line}");
+        names.insert(name.to_owned());
+        traces.insert(trace.to_owned());
+        lines += 1;
+    }
+    for needle in ["orpheus.request", "orpheus.commit", "pagestore.wal.fsync"] {
+        assert!(
+            names.contains(needle),
+            "trace dump lacks {needle:?} events; saw {names:?}"
+        );
+    }
+    let journal = db.recorder().journal();
+    assert_eq!(
+        journal.dropped(),
+        0,
+        "smoke workload overflowed the journal"
+    );
+    let trace_summary = obs::Json::object(vec![
+        ("events", obs::Json::Num(lines as f64)),
+        ("traces", obs::Json::Num(traces.len() as f64)),
+        ("recorded", obs::Json::Num(journal.recorded() as f64)),
+        ("dropped", obs::Json::Num(journal.dropped() as f64)),
+        (
+            "span_names",
+            obs::Json::Arr(names.iter().cloned().map(obs::Json::Str).collect()),
+        ),
+    ]);
+    let trace_path = bench::results_dir().join("trace_smoke.json");
+    match std::fs::create_dir_all(bench::results_dir())
+        .and_then(|()| std::fs::write(&trace_path, trace_summary.to_string_pretty()))
+    {
+        Ok(()) => println!("trace summary: {}", trace_path.display()),
+        Err(e) => eprintln!("warning: could not write trace summary: {e}"),
+    }
+    println!("trace dump: {lines} events across {} traces", traces.len());
+
+    // Disabled journal = zero further allocations, even under load.
+    journal.set_sample(0);
+    let allocs_before = journal.allocs();
+    db.execute("run SELECT * FROM VERSION 0 OF CVD SMOKE JOIN VERSION 1 ON k")
+        .expect("query with journal disabled");
+    assert_eq!(
+        db.recorder().journal().allocs(),
+        allocs_before,
+        "a disabled journal must not allocate"
+    );
 
     match bench::write_metrics_snapshot("smoke", db.metrics()) {
         Ok(path) => println!("metrics snapshot: {}", path.display()),

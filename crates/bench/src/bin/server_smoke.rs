@@ -11,8 +11,13 @@
 //! * **Group commit** — `pagestore.wal.fsyncs` stays strictly below the
 //!   commit count (one durability point per batch, not per commit);
 //! * **Metrics schema** — `metrics --json` carries every documented
-//!   `orpheus.server.*` key (counters, gauges, latency percentiles);
-//!   a missing key fails the gate;
+//!   `orpheus.server.*` and `obs.journal.*` key (counters, gauges,
+//!   latency percentiles); a missing key fails the gate;
+//! * **End-to-end tracing** — every scripted commit runs under a
+//!   client-chosen trace id; `trace dump --json` must show, per commit
+//!   trace, the request span and a WAL-fsync event (real or shared
+//!   group-commit attribution), and morsel worker task events must
+//!   carry the trace of the query that fanned out;
 //! * **Backpressure** — a full commit admission queue answers `53300`
 //!   immediately instead of queueing without bound;
 //! * **Clean shutdown** — every service thread joins (no leaked threads,
@@ -39,9 +44,15 @@ fn ok(c: &mut Client, line: &str) -> String {
     reply.tag().unwrap_or_default().to_owned()
 }
 
+/// The client-chosen trace id for writer `w`'s commit `i` (never 0).
+fn commit_trace(w: usize, i: usize) -> u64 {
+    0x5347_0000_0000_0000 | ((w as u64) << 8) | (i as u64 + 1)
+}
+
 /// One scripted client: pin a snapshot, verify the read repeats, then
 /// run checkout → insert → commit cycles, each from this writer's
-/// previous version.
+/// previous version. Commits run under client-chosen trace ids, which
+/// the server must echo on the completion.
 fn scripted_client(addr: SocketAddr, w: usize) {
     let mut c = Client::connect(addr, &format!("w{w}")).expect("connect");
     ok(&mut c, "pin t");
@@ -53,7 +64,19 @@ fn scripted_client(addr: SocketAddr, w: usize) {
         ok(&mut c, &format!("checkout t -v {parent} -t {table}"));
         let k = 1000 + w * 100 + i;
         ok(&mut c, &format!("insert {table} {k},{w},{i}"));
-        let tag = ok(&mut c, &format!("commit -t {table} -m w{w} c{i}"));
+        let trace = commit_trace(w, i);
+        let reply = c
+            .query_traced(&format!("commit -t {table} -m w{w} c{i}"), trace)
+            .expect("traced commit");
+        if let Some((code, msg)) = reply.error() {
+            panic!("traced commit failed [{code}]: {msg}");
+        }
+        assert_eq!(
+            reply.trace(),
+            Some(trace),
+            "server must echo the wire trace id"
+        );
+        let tag = reply.tag().unwrap_or_default();
         parent = tag
             .strip_prefix("COMMIT v")
             .unwrap_or_else(|| panic!("unexpected commit tag: {tag}"))
@@ -149,6 +172,9 @@ fn main() {
         engine: EngineConfig {
             data_dir: Some(dir.clone()),
             linger: Duration::from_millis(20),
+            // ≥2 morsel workers so the trace leg can assert that worker
+            // task spans re-attach to the originating request.
+            threads: 2,
             ..EngineConfig::default()
         },
     })
@@ -235,6 +261,10 @@ fn main() {
             "histograms/orpheus.server.query.latency_us/p95",
             "histograms/orpheus.server.query.latency_us/p99",
             "histograms/orpheus.server.group_commit.batch_size/p50",
+            "counters/obs.journal.recorded",
+            "counters/obs.journal.dropped",
+            "counters/obs.journal.allocs",
+            "gauges/obs.journal.events",
         ],
     );
     let registry = server.registry().clone();
@@ -247,6 +277,63 @@ fn main() {
         "group commit must fsync less than once per commit: {fsyncs} fsyncs / {commits} commits"
     );
     println!("group commit: {commits} commits → {batches} batches, {fsyncs} WAL fsyncs");
+
+    // --- end-to-end tracing --------------------------------------------
+    // A traced parallel read: morsel worker spans must re-attach to it.
+    let read_trace = 0x5347_0000_0000_ff00u64;
+    let reply = admin
+        .query_traced("run SELECT * FROM VERSION 0 OF CVD t", read_trace)
+        .expect("traced read");
+    assert!(reply.error().is_none(), "traced read failed");
+    assert_eq!(reply.trace(), Some(read_trace), "trace echo on read");
+
+    let dump = ok(&mut admin, "trace dump --json");
+    let mut by_trace: std::collections::HashMap<u64, Vec<String>> =
+        std::collections::HashMap::new();
+    for line in dump.lines().filter(|l| !l.trim().is_empty()) {
+        check_schema(
+            "trace dump --json line",
+            line,
+            &["name", "ph", "ts", "args/trace", "args/span"],
+        );
+        let ev = obs::parse(line).expect("trace event");
+        let name = ev.get_path("name").and_then(|v| v.as_str()).expect("name");
+        let trace = ev
+            .get_path("args/trace")
+            .and_then(|v| v.as_str())
+            .expect("args.trace");
+        let trace = u64::from_str_radix(trace.trim_start_matches("0x"), 16).expect("hex trace");
+        by_trace.entry(trace).or_default().push(name.to_owned());
+    }
+    for w in 0..WRITERS {
+        for i in 0..COMMITS {
+            let trace = commit_trace(w, i);
+            let names = by_trace
+                .get(&trace)
+                .unwrap_or_else(|| panic!("no journal events for commit trace {trace:#x}"));
+            assert!(
+                names.iter().any(|n| n == "orpheus.request"),
+                "commit trace {trace:#x} lost its request span: {names:?}"
+            );
+            assert!(
+                names
+                    .iter()
+                    .any(|n| n == "pagestore.wal.fsync" || n == "pagestore.wal.fsync.shared"),
+                "commit trace {trace:#x} has no WAL-fsync attribution: {names:?}"
+            );
+        }
+    }
+    let read_names = by_trace
+        .get(&read_trace)
+        .unwrap_or_else(|| panic!("no journal events for read trace {read_trace:#x}"));
+    assert!(
+        read_names.iter().any(|n| n == "exec.pool.task"),
+        "worker events did not re-attach to the read trace: {read_names:?}"
+    );
+    println!(
+        "tracing: {} traces journaled; every commit trace carries its WAL-fsync attribution",
+        by_trace.len()
+    );
 
     match bench::write_metrics_snapshot("server_smoke", &registry) {
         Ok(path) => println!("metrics snapshot: {}", path.display()),

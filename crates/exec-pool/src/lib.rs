@@ -37,8 +37,17 @@
 //!   the property the CI determinism gate checks end to end.
 //!
 //! Per-run metrics land in an optional [`obs::Registry`] under
-//! `exec.pool.*`: total tasks, steals, runs, panics, and per-worker task
-//! counts (`exec.pool.worker{w}.tasks`).
+//! `exec.pool.*`: total tasks, steals, runs, panics, per-worker task
+//! counts (`exec.pool.worker{w}.tasks`), and a task-latency histogram
+//! (`exec.pool.task.latency_us`, accumulated per worker off the registry
+//! lock and folded in with [`obs::Histogram::merge`]).
+//!
+//! With an [`obs::Recorder`] attached ([`WorkerPool::with_observability`]),
+//! every task also runs under an `exec.pool.task` span re-attached — via
+//! the [`obs::TraceCtx`] captured on the submitting thread — to the
+//! *submitting request's* trace and tree position, so morsel work done on
+//! worker threads shows up under the query's span instead of as a
+//! detached root, and journaled task events carry the request's trace id.
 //!
 //! Besides the scoped [`WorkerPool`], the crate provides
 //! [`ServiceThread`]: a *named, long-lived, joined-on-shutdown* thread for
@@ -51,6 +60,15 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use obs::TraceCtx;
+
+/// Histogram name for per-task wall-clock latency in microseconds.
+const TASK_LATENCY: &str = "exec.pool.task.latency_us";
+
+/// Span name tasks run under when a recorder is attached.
+const TASK_SPAN: &str = "exec.pool.task";
 
 /// Errors surfaced by [`WorkerPool::run`] and [`ServiceThread`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +106,7 @@ fn locked<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub struct WorkerPool {
     threads: usize,
     registry: Option<obs::Registry>,
+    recorder: Option<obs::Recorder>,
 }
 
 impl WorkerPool {
@@ -96,6 +115,7 @@ impl WorkerPool {
         WorkerPool {
             threads: threads.max(1),
             registry: None,
+            recorder: None,
         }
     }
 
@@ -105,6 +125,24 @@ impl WorkerPool {
         WorkerPool {
             threads: threads.max(1),
             registry: Some(registry),
+            recorder: None,
+        }
+    }
+
+    /// Like [`with_registry`](WorkerPool::with_registry), additionally
+    /// running every task under an `exec.pool.task` span on `recorder`,
+    /// attached to the trace context of the thread that calls
+    /// [`run`](WorkerPool::run) — worker subtrees and journal events
+    /// re-attach to the submitting request.
+    pub fn with_observability(
+        threads: usize,
+        registry: obs::Registry,
+        recorder: obs::Recorder,
+    ) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+            registry: Some(registry),
+            recorder: Some(recorder),
         }
     }
 
@@ -137,6 +175,14 @@ impl WorkerPool {
         if workers == 1 {
             return self.run_inline(tasks);
         }
+        // Capture the submitting thread's trace context once, before any
+        // worker exists; each task re-opens it as its span parent. The
+        // untraced fallback keeps the span-tree shape identical across
+        // thread counts (inline and scoped paths wrap tasks the same way).
+        let ctx = self
+            .recorder
+            .as_ref()
+            .map(|r| r.current_ctx().unwrap_or_else(|| TraceCtx::from_wire(0)));
 
         // Task slots: taken exactly once, under the slot's own lock, so a
         // stolen index can never run twice.
@@ -160,9 +206,15 @@ impl WorkerPool {
                 let panic_msg = &panic_msg;
                 let worker_tasks = &worker_tasks;
                 let steals = &steals;
+                let recorder = &self.recorder;
+                let registry = &self.registry;
                 scope.spawn(move || {
                     let mut ran = 0u64;
                     let mut stolen = 0u64;
+                    // Task latencies accumulate into a worker-local
+                    // histogram, folded into the registry once per run —
+                    // no shared lock on the per-task path.
+                    let mut latency = obs::Histogram::new();
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
@@ -184,8 +236,21 @@ impl WorkerPool {
                         let Some(task) = locked(&slots[idx]).take() else {
                             continue;
                         };
-                        match catch_unwind(AssertUnwindSafe(|| task(w))) {
+                        let started = Instant::now();
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            // The guard closes (and journals its End
+                            // event) even when `task` panics: it drops
+                            // during the unwind caught just below.
+                            let _span = match (recorder, ctx) {
+                                (Some(r), Some(c)) => Some(r.enter_with(TASK_SPAN, c)),
+                                _ => None,
+                            };
+                            task(w)
+                        })) {
                             Ok(value) => {
+                                latency.observe(
+                                    started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                                );
                                 *locked(&results[idx]) = Some(value);
                                 ran += 1;
                             }
@@ -201,6 +266,11 @@ impl WorkerPool {
                     }
                     *locked(&worker_tasks[w]) += ran;
                     *locked(steals) += stolen;
+                    if let Some(reg) = registry {
+                        if latency.count() > 0 {
+                            reg.merge_histogram(TASK_LATENCY, &latency);
+                        }
+                    }
                 });
             }
         });
@@ -227,11 +297,26 @@ impl WorkerPool {
     where
         F: FnOnce(usize) -> T,
     {
+        let ctx = self
+            .recorder
+            .as_ref()
+            .map(|r| r.current_ctx().unwrap_or_else(|| TraceCtx::from_wire(0)));
         let n = tasks.len() as u64;
         let mut out = Vec::with_capacity(tasks.len());
+        let mut latency = obs::Histogram::new();
         for task in tasks {
-            match catch_unwind(AssertUnwindSafe(|| task(0))) {
-                Ok(v) => out.push(v),
+            let started = Instant::now();
+            match catch_unwind(AssertUnwindSafe(|| {
+                let _span = match (&self.recorder, ctx) {
+                    (Some(r), Some(c)) => Some(r.enter_with(TASK_SPAN, c)),
+                    _ => None,
+                };
+                task(0)
+            })) {
+                Ok(v) => {
+                    latency.observe(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                    out.push(v);
+                }
                 Err(payload) => {
                     if let Some(reg) = &self.registry {
                         reg.counter_add("exec.pool.panics", 1);
@@ -245,6 +330,9 @@ impl WorkerPool {
             reg.counter_add("exec.pool.runs", 1);
             reg.counter_add("exec.pool.tasks", n);
             reg.counter_add("exec.pool.worker0.tasks", n);
+            if latency.count() > 0 {
+                reg.merge_histogram(TASK_LATENCY, &latency);
+            }
         }
         Ok(out)
     }
@@ -493,6 +581,107 @@ mod tests {
             .map(|w| reg.counter(&format!("exec.pool.worker{w}.tasks")))
             .sum();
         assert_eq!(per_worker, 64, "per-worker task counts must reconcile");
+    }
+
+    #[test]
+    fn task_latency_histogram_accounts_for_every_task() {
+        for threads in [1, 4] {
+            let reg = obs::Registry::new();
+            let pool = WorkerPool::with_registry(threads, reg.clone());
+            let tasks: Vec<_> = (0..32).map(|i| move |_w: usize| i).collect();
+            pool.run(tasks).unwrap();
+            let h = reg.histogram(TASK_LATENCY).unwrap();
+            assert_eq!(h.count(), 32, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_spans_reattach_to_the_submitting_request_exactly_once() {
+        for threads in [1, 4] {
+            let reg = obs::Registry::new();
+            let rec = obs::Recorder::with_journal(4096, 1);
+            let pool = WorkerPool::with_observability(threads, reg, rec.clone());
+            let trace = {
+                let req = rec.enter_request("request");
+                let tasks: Vec<_> = (0..16).map(|i| move |_w: usize| i * 3).collect();
+                let out = pool.run(tasks).unwrap();
+                assert_eq!(out.len(), 16);
+                req.trace_id()
+            };
+            let report = rec.report();
+            let request = report.find("request").unwrap();
+            // Exactly one worker subtree under the request, holding all
+            // 16 task closes — and no detached exec.pool.task root.
+            assert_eq!(request.children.len(), 1, "threads={threads}");
+            assert_eq!(request.children[0].name, TASK_SPAN);
+            assert_eq!(request.children[0].count, 16);
+            assert!(report.roots.iter().all(|r| r.name != TASK_SPAN));
+            // Every journaled task event carries the request's trace id.
+            let ends: Vec<_> = rec
+                .journal()
+                .trace_events(trace)
+                .into_iter()
+                .filter(|e| e.phase == obs::Phase::End && e.name.as_ref() == TASK_SPAN)
+                .collect();
+            assert_eq!(ends.len(), 16, "threads={threads}");
+            // And no cursor entry survives the run (leak regression).
+            assert_eq!(rec.open_cursors(), 0);
+        }
+    }
+
+    #[test]
+    fn untraced_runs_produce_no_journal_events() {
+        let reg = obs::Registry::new();
+        let rec = obs::Recorder::with_journal(4096, 1);
+        let pool = WorkerPool::with_observability(4, reg, rec.clone());
+        // No request span open on the submitting thread: tasks aggregate
+        // but are untraced, so nothing reaches the journal.
+        let tasks: Vec<_> = (0..8).map(|i| move |_w: usize| i).collect();
+        pool.run(tasks).unwrap();
+        assert_eq!(rec.report().find(TASK_SPAN).unwrap().count, 8);
+        assert!(rec.journal().is_empty());
+        assert_eq!(rec.journal().allocs(), 0);
+    }
+
+    #[test]
+    fn panicking_worker_closes_its_span_and_journals_the_end_event() {
+        for threads in [1, 4] {
+            let reg = obs::Registry::new();
+            let rec = obs::Recorder::with_journal(4096, 1);
+            let pool = WorkerPool::with_observability(threads, reg, rec.clone());
+            let trace = {
+                let req = rec.enter_request("request");
+                let tasks: Vec<Box<dyn FnOnce(usize) -> u32 + Send>> = (0..8u32)
+                    .map(|i| {
+                        Box::new(move |_w: usize| {
+                            if i == 3 {
+                                panic!("morsel {i} exploded");
+                            }
+                            i
+                        }) as Box<dyn FnOnce(usize) -> u32 + Send>
+                    })
+                    .collect();
+                match pool.run(tasks) {
+                    Err(PoolError::WorkerPanic(msg)) => assert!(msg.contains("exploded")),
+                    other => panic!("expected WorkerPanic, got {other:?}"),
+                }
+                req.trace_id()
+            };
+            // The panicking task's guard closed during unwind: its close
+            // is in the aggregate tree and its End event in the journal.
+            let report = rec.report();
+            let task_node = report.find(TASK_SPAN).unwrap();
+            assert!(task_node.count >= 1, "threads={threads}");
+            let events = rec.journal().trace_events(trace);
+            let (begins, ends): (Vec<_>, Vec<_>) = events
+                .iter()
+                .filter(|e| e.name.as_ref() == TASK_SPAN)
+                .partition(|e| e.phase == obs::Phase::Begin);
+            assert!(!ends.is_empty(), "threads={threads}");
+            // Unwound guards still close: every opened task span ended.
+            assert_eq!(begins.len(), ends.len(), "threads={threads}");
+            assert_eq!(rec.open_cursors(), 0);
+        }
     }
 
     #[test]

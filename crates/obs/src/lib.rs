@@ -11,16 +11,22 @@
 //!   with p50/p95/p99 ([`Registry`]); names follow `subsystem.object.verb`.
 //! - [`json`]: minimal JSON writer + parser so snapshots can be exported
 //!   (`metrics --json`) and validated in tests/CI without serde.
+//! - [`journal`]: a bounded, head-sampled ring of per-span begin/end
+//!   events ([`Journal`]) keyed by [`TraceCtx`] trace ids, exportable as
+//!   Chrome-trace-event JSONL (`trace dump --json`) — the per-request
+//!   complement to the aggregate-only [`Recorder`] tree.
 //!
 //! Both `Recorder` and `Registry` are cheap cloneable handles to shared
 //! state. Prefer a *scoped* instance owned by a `Database`/test so
 //! parallel tests stay hermetic; `::global()` exists for code with no
 //! scope at hand.
 
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod span;
 
+pub use journal::{Journal, Phase, SpanEvent};
 pub use json::{missing_keys, parse, Json, ParseError};
 pub use metrics::{Histogram, Registry};
-pub use span::{span, Recorder, SpanGuard, SpanReport, SpanStats};
+pub use span::{mint_trace_id, span, Recorder, SpanGuard, SpanReport, SpanStats, TraceCtx};

@@ -14,14 +14,96 @@
 //! The recorder is thread-safe (a mutex around the tree plus a
 //! per-thread cursor), and cheap enough for buffer-pool miss paths: one
 //! lock on enter, one on close.
+//!
+//! # Request tracing
+//!
+//! On top of the aggregate tree, every span carries a [`TraceCtx`]: a
+//! trace id naming the originating request and a span id naming this
+//! particular entry. Spans opened with plain [`Recorder::enter`] inherit
+//! the ids of the innermost open span on the thread; [`Recorder::enter_request`]
+//! starts a fresh trace (unless one is already open, e.g. the server's
+//! session span); [`Recorder::enter_with`] re-attaches work on *another*
+//! thread — a morsel worker, the group-commit leader — to the submitting
+//! request's trace and tree position. Sampled spans additionally emit
+//! begin/end events into the recorder's [`Journal`], which is what makes
+//! individual requests (rather than aggregates) reconstructible.
 
+use crate::journal::Journal;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
 /// Index of the implicit root node in a recorder's arena.
 const ROOT: usize = 0;
+
+/// Mint a process-unique trace id. The pid is folded into the high bits
+/// so dumps from different processes (server + CLI client) never collide
+/// when viewed together; the low 40 bits are a counter, which keeps
+/// `trace_id % sample` head-sampling well distributed.
+fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    ((std::process::id() as u64) << 40) | (n & 0xff_ffff_ffff)
+}
+
+/// Mint a fresh trace id for a transport layer that needs one before any
+/// span opens — e.g. a server session adopting a query that arrived
+/// without a wire trace. Never returns 0.
+pub fn mint_trace_id() -> u64 {
+    next_trace_id()
+}
+
+/// Mint a process-unique span id (0 is reserved for "no span").
+pub(crate) fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The identity of a request and of one open span within it — the value
+/// that crosses thread and process boundaries so remote work re-attaches
+/// to the originating request.
+///
+/// A `TraceCtx` is `Copy` and carries no lifetime: capture it on the
+/// submitting thread ([`Recorder::current_ctx`] or [`SpanGuard::ctx`]),
+/// move it into a worker closure, and open the worker's span with
+/// [`Recorder::enter_with`]. A trace id of `0` means "untraced": spans
+/// still aggregate into the tree but never reach the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    trace_id: u64,
+    span_id: u64,
+    /// Aggregate-tree node of the span that created this context; used
+    /// as the parent so worker subtrees nest under the submitting span.
+    /// Bounds-checked against the arena on use, so a context captured
+    /// before a [`Recorder::reset`] degrades to top level instead of
+    /// misfiling.
+    node: usize,
+}
+
+impl TraceCtx {
+    /// The request's trace id (0 = untraced).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The id of the span that created this context (0 = none).
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
+
+    /// Rebuild a context from a trace id received over the wire. The
+    /// tree position is unknown on this side, so spans opened with it
+    /// start at top level, carrying the caller's trace id.
+    pub fn from_wire(trace_id: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id,
+            span_id: 0,
+            node: ROOT,
+        }
+    }
+}
 
 #[derive(Debug)]
 struct Node {
@@ -31,11 +113,18 @@ struct Node {
     total: Duration,
 }
 
+/// Per-thread cursor: the innermost open span and its trace identity.
+#[derive(Debug, Clone, Copy)]
+struct Cursor {
+    node: usize,
+    trace_id: u64,
+    span_id: u64,
+}
+
 #[derive(Debug)]
 struct Inner {
     nodes: Vec<Node>,
-    /// Per-thread cursor: the node of the innermost open span.
-    current: HashMap<ThreadId, usize>,
+    current: HashMap<ThreadId, Cursor>,
 }
 
 impl Inner {
@@ -79,6 +168,7 @@ impl Inner {
 #[derive(Debug, Clone)]
 pub struct Recorder {
     inner: Arc<Mutex<Inner>>,
+    journal: Arc<Journal>,
 }
 
 impl Default for Recorder {
@@ -88,10 +178,21 @@ impl Default for Recorder {
 }
 
 impl Recorder {
-    /// A fresh, empty recorder (scoped use: one per database or test).
+    /// A fresh, empty recorder (scoped use: one per database or test)
+    /// with a journal configured from `ORPHEUS_TRACE_SAMPLE`.
     pub fn new() -> Self {
         Recorder {
             inner: Arc::new(Mutex::new(Inner::fresh())),
+            journal: Arc::new(Journal::from_env()),
+        }
+    }
+
+    /// A recorder whose journal has an explicit capacity and sampling
+    /// rate, independent of the environment (tests, embedders).
+    pub fn with_journal(capacity: usize, sample: u64) -> Self {
+        Recorder {
+            inner: Arc::new(Mutex::new(Inner::fresh())),
+            journal: Arc::new(Journal::new(capacity, sample)),
         }
     }
 
@@ -99,6 +200,11 @@ impl Recorder {
     pub fn global() -> &'static Recorder {
         static GLOBAL: OnceLock<Recorder> = OnceLock::new();
         GLOBAL.get_or_init(Recorder::new)
+    }
+
+    /// The event journal sampled spans record into.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
     }
 
     /// Lock the tree, recovering from poisoning: guards close during
@@ -110,27 +216,105 @@ impl Recorder {
     }
 
     /// Open a span named `name` under the innermost open span of this
-    /// thread (or at top level). Closes — records count and elapsed wall
-    /// time — when the returned guard drops, panic included.
+    /// thread (or at top level), inheriting that span's trace identity.
+    /// Closes — records count and elapsed wall time — when the returned
+    /// guard drops, panic included.
     pub fn enter(&self, name: &str) -> SpanGuard {
+        self.enter_impl(name, None, false)
+    }
+
+    /// Open a span that begins a new request: if no traced span is open
+    /// on this thread a fresh trace id is minted; an already-open trace
+    /// (e.g. the server session span) is inherited instead.
+    pub fn enter_request(&self, name: &str) -> SpanGuard {
+        self.enter_impl(name, None, true)
+    }
+
+    /// Open a span as a child of `ctx` — captured on another thread —
+    /// instead of this thread's innermost span. This is how morsel
+    /// workers and the group-commit leader re-attach their work to the
+    /// originating request's trace and tree position.
+    pub fn enter_with(&self, name: &str, ctx: TraceCtx) -> SpanGuard {
+        self.enter_impl(name, Some(ctx), false)
+    }
+
+    fn enter_impl(&self, name: &str, ctx: Option<TraceCtx>, mint: bool) -> SpanGuard {
         let thread = std::thread::current().id();
         let mut inner = self.locked();
-        let parent = inner.current.get(&thread).copied().unwrap_or(ROOT);
-        let node = inner.child_named(parent, name);
-        inner.current.insert(thread, node);
+        let (parent_node, mut trace_id, parent_span_id) = match ctx {
+            // An explicit context wins; clamp a stale node (captured
+            // before a reset) back to the root.
+            Some(c) => {
+                let node = if c.node < inner.nodes.len() {
+                    c.node
+                } else {
+                    ROOT
+                };
+                (node, c.trace_id, c.span_id)
+            }
+            None => match inner.current.get(&thread) {
+                Some(cur) => (cur.node, cur.trace_id, cur.span_id),
+                None => (ROOT, 0, 0),
+            },
+        };
+        if mint && trace_id == 0 {
+            trace_id = next_trace_id();
+        }
+        let span_id = if trace_id != 0 { next_span_id() } else { 0 };
+        let node = inner.child_named(parent_node, name);
+        let prev = inner.current.insert(
+            thread,
+            Cursor {
+                node,
+                trace_id,
+                span_id,
+            },
+        );
+        drop(inner);
+        if self.journal.sampled(trace_id) {
+            self.journal.begin(trace_id, span_id, parent_span_id, name);
+        }
         SpanGuard {
             recorder: self.clone(),
             node,
-            parent,
+            prev,
             thread,
+            trace_id,
+            span_id,
+            parent_span_id,
             start: Instant::now(),
         }
     }
 
-    /// Discard every recorded span (open guards still close safely: a
-    /// stale cursor from before the reset falls back to the root).
+    /// The trace context of this thread's innermost open span, if any.
+    /// Capture it before handing work to a pool; the workers pass it to
+    /// [`Recorder::enter_with`].
+    pub fn current_ctx(&self) -> Option<TraceCtx> {
+        let inner = self.locked();
+        inner
+            .current
+            .get(&std::thread::current().id())
+            .map(|cur| TraceCtx {
+                trace_id: cur.trace_id,
+                span_id: cur.span_id,
+                node: cur.node,
+            })
+    }
+
+    /// Number of threads with an open span cursor. Cursors are removed
+    /// when a thread's outermost span closes, so this returns to zero
+    /// once all guards have dropped — the regression hook for the old
+    /// entry-per-thread-forever leak.
+    pub fn open_cursors(&self) -> usize {
+        self.locked().current.len()
+    }
+
+    /// Discard every recorded span and journaled event (open guards
+    /// still close safely: a stale cursor from before the reset falls
+    /// back to the root).
     pub fn reset(&self) {
         *self.locked() = Inner::fresh();
+        self.journal.clear();
     }
 
     /// Snapshot the aggregated tree.
@@ -160,15 +344,38 @@ impl Recorder {
         let mut inner = self.locked();
         // A reset between enter and close invalidates the indices; the
         // shrunk arena tells us to drop the sample rather than misfile it.
-        if guard.node < inner.nodes.len() {
+        let journal_name = if guard.node < inner.nodes.len() {
             let node = &mut inner.nodes[guard.node];
             node.count += 1;
             node.total += elapsed;
-        }
-        if guard.parent < inner.nodes.len() {
-            inner.current.insert(guard.thread, guard.parent);
+            if self.journal.sampled(guard.trace_id) {
+                Some(node.name.clone())
+            } else {
+                None
+            }
         } else {
-            inner.current.remove(&guard.thread);
+            None
+        };
+        // Restore the previous cursor — and remove the entry outright
+        // when this was the thread's outermost span, so churning threads
+        // (server sessions, pool workers) don't grow the map forever.
+        match guard.prev {
+            Some(prev) if prev.node < inner.nodes.len() => {
+                inner.current.insert(guard.thread, prev);
+            }
+            _ => {
+                inner.current.remove(&guard.thread);
+            }
+        }
+        drop(inner);
+        if let Some(name) = journal_name {
+            self.journal.end(
+                guard.trace_id,
+                guard.span_id,
+                guard.parent_span_id,
+                &name,
+                elapsed,
+            );
         }
     }
 }
@@ -178,9 +385,28 @@ impl Recorder {
 pub struct SpanGuard {
     recorder: Recorder,
     node: usize,
-    parent: usize,
+    prev: Option<Cursor>,
     thread: ThreadId,
+    trace_id: u64,
+    span_id: u64,
+    parent_span_id: u64,
     start: Instant,
+}
+
+impl SpanGuard {
+    /// The trace context of this span, for handing to workers.
+    pub fn ctx(&self) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            node: self.node,
+        }
+    }
+
+    /// The trace id this span belongs to (0 = untraced).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
 }
 
 impl Drop for SpanGuard {
@@ -286,6 +512,7 @@ impl SpanReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::journal::Phase;
 
     #[test]
     fn spans_nest_into_a_tree_and_aggregate() {
@@ -397,5 +624,173 @@ mod tests {
         assert!(text.contains("alpha"), "{text}");
         assert!(text.contains("count=1"), "{text}");
         assert_eq!(Recorder::new().report().to_text(), "(no spans recorded)\n");
+    }
+
+    #[test]
+    fn cursor_entries_are_removed_when_threads_finish() {
+        // Regression: the old cursor map kept one entry per thread
+        // forever; with churning session workers that is a leak.
+        let rec = Recorder::with_journal(1024, 1);
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let r = rec.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        let _g = r.enter_request("job");
+                        let _c = r.enter("part");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.open_cursors(), 0);
+        assert_eq!(rec.report().find("job").unwrap().count, 160);
+    }
+
+    #[test]
+    fn cursor_is_removed_even_after_a_mid_span_reset() {
+        let rec = Recorder::new();
+        let outer = rec.enter("outer");
+        rec.reset();
+        drop(outer);
+        assert_eq!(rec.open_cursors(), 0);
+    }
+
+    #[test]
+    fn enter_request_mints_and_children_inherit() {
+        let rec = Recorder::with_journal(1024, 1);
+        let (trace, child_trace) = {
+            let req = rec.enter_request("request");
+            let child = rec.enter("child");
+            (req.trace_id(), child.trace_id())
+        };
+        assert_ne!(trace, 0);
+        assert_eq!(trace, child_trace, "plain enter inherits the trace id");
+        // A second request gets a different trace id.
+        let other = rec.enter_request("request").trace_id();
+        assert_ne!(other, trace);
+        // Untraced spans stay untraced.
+        assert_eq!(rec.enter("loose").trace_id(), 0);
+    }
+
+    #[test]
+    fn enter_request_inherits_an_open_trace() {
+        let rec = Recorder::with_journal(1024, 1);
+        let session = rec.enter_request("session");
+        let req = rec.enter_request("request");
+        assert_eq!(req.trace_id(), session.trace_id());
+        drop(req);
+        drop(session);
+    }
+
+    #[test]
+    fn enter_with_reattaches_to_the_captured_context() {
+        let rec = Recorder::with_journal(1024, 1);
+        let ctx = {
+            let _req = rec.enter_request("request");
+            rec.current_ctx().unwrap()
+        };
+        let r2 = rec.clone();
+        let worker_trace = std::thread::spawn(move || {
+            let g = r2.enter_with("worker", ctx);
+            g.trace_id()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(worker_trace, ctx.trace_id());
+        // The worker subtree nests under the request in the aggregate tree.
+        let report = rec.report();
+        let req = report.find("request").unwrap();
+        assert_eq!(req.children.len(), 1);
+        assert_eq!(req.children[0].name, "worker");
+        assert!(report.roots.iter().all(|r| r.name != "worker"));
+    }
+
+    #[test]
+    fn untraced_spans_never_reach_the_journal() {
+        let rec = Recorder::with_journal(1024, 1);
+        drop(rec.enter("plain"));
+        assert!(rec.journal().is_empty());
+        assert_eq!(rec.journal().allocs(), 0);
+    }
+
+    #[test]
+    fn sampled_request_emits_begin_and_end_events() {
+        let rec = Recorder::with_journal(1024, 1);
+        let trace = {
+            let req = rec.enter_request("request");
+            drop(rec.enter("step"));
+            req.trace_id()
+        };
+        let events = rec.journal().trace_events(trace);
+        assert_eq!(events.len(), 4, "{events:?}");
+        assert_eq!(events[0].phase, Phase::Begin);
+        assert_eq!(events[0].name.as_ref(), "request");
+        // The step's parent span id is the request's span id.
+        let req_span = events[0].span_id;
+        let step_begin = events
+            .iter()
+            .find(|e| e.phase == Phase::Begin && e.name.as_ref() == "step")
+            .unwrap();
+        assert_eq!(step_begin.parent_span_id, req_span);
+        // End events carry durations and close in LIFO order.
+        assert_eq!(events[3].phase, Phase::End);
+        assert_eq!(events[3].name.as_ref(), "request");
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing_for_requests() {
+        let rec = Recorder::with_journal(1024, 0);
+        {
+            let _req = rec.enter_request("request");
+            drop(rec.enter("step"));
+        }
+        assert_eq!(rec.journal().allocs(), 0);
+        assert!(rec.journal().is_empty());
+        // The aggregate tree still works.
+        assert_eq!(rec.report().find("request").unwrap().count, 1);
+    }
+
+    #[test]
+    fn journal_durations_reconcile_with_aggregate_totals() {
+        // Per-name summed End durations must equal the aggregate tree's
+        // totals (within per-event truncation: each End truncates to
+        // whole microseconds, the tree keeps full precision).
+        let rec = Recorder::with_journal(4096, 1);
+        for _ in 0..5 {
+            let _req = rec.enter_request("request");
+            for _ in 0..3 {
+                drop(rec.enter("step"));
+            }
+        }
+        let report = rec.report();
+        let events = rec.journal().snapshot();
+        for name in ["request", "step"] {
+            let agg = report.find(name).unwrap();
+            let journal_us: u64 = events
+                .iter()
+                .filter(|e| e.phase == Phase::End && e.name.as_ref() == name)
+                .map(|e| e.dur_us)
+                .sum();
+            let agg_us = agg.total.as_micros() as u64;
+            let events_n = agg.count; // one End per close
+            assert!(
+                agg_us.saturating_sub(journal_us) <= events_n,
+                "{name}: aggregate {agg_us}us vs journal {journal_us}us over {events_n} events"
+            );
+            assert!(journal_us <= agg_us, "{name}: journal overshoots");
+        }
+    }
+
+    #[test]
+    fn wire_context_carries_the_remote_trace_id() {
+        let rec = Recorder::with_journal(1024, 1);
+        let ctx = TraceCtx::from_wire(0xbeef);
+        let g = rec.enter_with("session", ctx);
+        assert_eq!(g.trace_id(), 0xbeef);
+        drop(g);
+        assert_eq!(rec.journal().trace_events(0xbeef).len(), 2);
     }
 }

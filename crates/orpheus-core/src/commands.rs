@@ -73,6 +73,11 @@ pub struct OrpheusDb {
     /// writes the catalog snapshot (`catalog.orc`) here, so `open_durable`
     /// can reload the CVDs after a crash. `None` in memory.
     data_dir: Option<std::path::PathBuf>,
+    /// Slow-query threshold in milliseconds (`ORPHEUS_SLOW_MS`, default
+    /// 100): any command taking at least this long logs one structured
+    /// line to stderr with its trace id and top self-time spans. `0`
+    /// logs every command. Always on — independent of journal sampling.
+    slow_ms: u64,
 }
 
 /// Worker count an instance starts with: `ORPHEUS_THREADS` when set to a
@@ -104,6 +109,7 @@ impl OrpheusDb {
             threads: default_threads(),
             auto_checkpoint: true,
             data_dir: None,
+            slow_ms: obs::journal::env_slow_ms(),
         }
     }
 
@@ -135,6 +141,7 @@ impl OrpheusDb {
             threads: default_threads(),
             auto_checkpoint: true,
             data_dir: Some(dir.clone()),
+            slow_ms: obs::journal::env_slow_ms(),
         };
         if let Some(snap) = catalog::read_snapshot(&dir)? {
             odb.users = snap.users;
@@ -192,13 +199,25 @@ impl OrpheusDb {
     /// — same bytes out, just not free.
     fn worker_pool(&self) -> Option<relstore::WorkerPool> {
         if self.threads > 1 {
-            Some(relstore::WorkerPool::with_registry(
+            Some(relstore::WorkerPool::with_observability(
                 self.threads,
                 self.db.metrics().clone(),
+                self.db.recorder().clone(),
             ))
         } else {
             None
         }
+    }
+
+    /// Slow-query threshold in milliseconds.
+    pub fn slow_ms(&self) -> u64 {
+        self.slow_ms
+    }
+
+    /// Override the slow-query threshold (`ORPHEUS_SLOW_MS` sets the
+    /// initial value); `0` logs every command.
+    pub fn set_slow_ms(&mut self, ms: u64) {
+        self.slow_ms = ms;
     }
 
     /// Whether the storage layer has a write-ahead log attached.
@@ -300,6 +319,7 @@ impl OrpheusDb {
     pub fn publish_metrics(&self) {
         self.db.publish_metrics();
         self.tracker.borrow().publish(self.db.metrics());
+        self.db.recorder().journal().publish(self.db.metrics());
     }
 
     /// Render the shared pool's counters for the `stats` shell command.
@@ -822,7 +842,59 @@ impl OrpheusDb {
 
     /// Execute a command-line style command string; the textual surface of
     /// §3.3.1 (e.g. `checkout Interaction -v 1 -t my_table`).
+    ///
+    /// Every non-introspection command runs under an `orpheus.request`
+    /// span: a fresh trace id is minted here (CLI/shell), or the open
+    /// server-session trace is inherited, so morsel-worker and WAL spans
+    /// downstream re-attach to this request. Commands at or over the
+    /// slow-query threshold additionally log one structured line to
+    /// stderr (stdout stays byte-identical across thread counts).
     pub fn execute(&mut self, line: &str) -> Result<CommandOutput> {
+        let cmd = line.split_whitespace().next().unwrap_or("");
+        // Introspection commands read the observability state; tracing
+        // them would perturb the very tree/journal they render.
+        if matches!(cmd, "spans" | "metrics" | "stats" | "trace" | "threads") {
+            return self.dispatch(line);
+        }
+        let started = std::time::Instant::now();
+        let (trace_id, result) = {
+            let span = self.db.recorder().enter_request("orpheus.request");
+            let trace_id = span.trace_id();
+            (trace_id, self.dispatch(line))
+        };
+        let elapsed = started.elapsed();
+        if elapsed.as_millis() as u64 >= self.slow_ms {
+            self.log_slow_query(line, trace_id, elapsed);
+        }
+        result
+    }
+
+    /// One line per over-threshold command: trace id, latency, statement,
+    /// and the top-3 self-time spans from the journal (when the trace was
+    /// sampled). Written to stderr so CI's stdout determinism diff and
+    /// shell pipelines never see it.
+    fn log_slow_query(&self, line: &str, trace_id: u64, elapsed: std::time::Duration) {
+        let events = self.db.recorder().journal().trace_events(trace_id);
+        let top = obs::journal::self_times(&events);
+        let spans = if top.is_empty() {
+            " spans=(journal disabled or unsampled)".to_owned()
+        } else {
+            let mut s = String::from(" spans=");
+            for (i, (name, us)) in top.iter().take(3).enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("{name}:{us}us"));
+            }
+            s
+        };
+        eprintln!(
+            "slow-query trace={trace_id:#x} ms={} stmt={line:?}{spans}",
+            elapsed.as_millis()
+        );
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<CommandOutput> {
         let args: Vec<&str> = line.split_whitespace().collect();
         let Some(&cmd) = args.first() else {
             return Err(Error::Parse("empty command".into()));
@@ -972,6 +1044,21 @@ impl OrpheusDb {
                     Ok(CommandOutput::Message(self.db.metrics().render_text()))
                 }
                 Some(other) => Err(Error::Parse(format!("unknown metrics option: {other}"))),
+            },
+            "trace" => match (args.get(1), args.get(2)) {
+                (Some(&"dump"), Some(&"--json")) => Ok(CommandOutput::Message(
+                    self.db.recorder().journal().to_chrome_jsonl(),
+                )),
+                (Some(&"dump"), None) => Ok(CommandOutput::Message(
+                    self.db.recorder().journal().summary_text(),
+                )),
+                (Some(&"reset"), None) => {
+                    self.db.recorder().journal().clear();
+                    Ok(CommandOutput::Message("trace journal reset".into()))
+                }
+                _ => Err(Error::Parse(
+                    "usage: trace dump [--json] | trace reset".into(),
+                )),
             },
             "spans" => match args.get(1) {
                 Some(&"reset") => {
@@ -1765,6 +1852,143 @@ mod tests {
         match odb.execute("spans").unwrap() {
             CommandOutput::Message(m) => assert!(m.contains("no spans"), "{m}"),
             other => panic!("expected message, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_commit_attributes_wal_fsync_to_the_request() {
+        let dir = std::env::temp_dir().join(format!("orpheus-trace-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut odb, _) = OrpheusDb::open_durable(&dir, 64).unwrap();
+            odb.execute("create_user alice").unwrap();
+            odb.execute("config alice").unwrap();
+            let csv = dir.join("seed.csv");
+            std::fs::write(&csv, "x\n1\n2\n").unwrap();
+            odb.execute(&format!("init d -f {} -s x:int -k x", csv.display()))
+                .unwrap();
+            odb.execute("checkout d -v 0 -t w").unwrap();
+            odb.execute("insert w 3").unwrap();
+            odb.execute("commit -t w -m add3").unwrap();
+            // The WAL fsync of the commit's checkpoint is journaled under
+            // the same trace as the commit's own request span.
+            let events = odb.recorder().journal().snapshot();
+            let fsync = events
+                .iter()
+                .find(|e| e.phase == obs::Phase::End && e.name.as_ref() == "pagestore.wal.fsync")
+                .unwrap_or_else(|| panic!("no fsync event journaled: {events:?}"));
+            assert_ne!(fsync.trace_id, 0);
+            let same_trace: Vec<&str> = events
+                .iter()
+                .filter(|e| e.trace_id == fsync.trace_id && e.phase == obs::Phase::End)
+                .map(|e| e.name.as_ref())
+                .collect();
+            assert!(same_trace.contains(&"orpheus.request"), "{same_trace:?}");
+            assert!(same_trace.contains(&"orpheus.commit"), "{same_trace:?}");
+            // Each executed command minted its own trace.
+            let request_traces: std::collections::HashSet<u64> = events
+                .iter()
+                .filter(|e| e.name.as_ref() == "orpheus.request")
+                .map(|e| e.trace_id)
+                .collect();
+            assert!(request_traces.len() >= 5, "{request_traces:?}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parallel_query_task_events_carry_the_request_trace() {
+        let mut odb = setup();
+        odb.set_threads(2);
+        odb.execute("checkout Interaction -v 0 -t w").unwrap();
+        odb.execute("run SELECT * FROM VERSION 0 OF CVD Interaction")
+            .unwrap();
+        let events = odb.recorder().journal().snapshot();
+        let task = events
+            .iter()
+            .find(|e| e.phase == obs::Phase::End && e.name.as_ref() == "exec.pool.task")
+            .unwrap_or_else(|| panic!("no pool task event journaled: {events:?}"));
+        assert_ne!(task.trace_id, 0);
+        let same_trace: Vec<&str> = events
+            .iter()
+            .filter(|e| e.trace_id == task.trace_id)
+            .map(|e| e.name.as_ref())
+            .collect();
+        assert!(same_trace.contains(&"orpheus.request"), "{same_trace:?}");
+        // The worker latency histogram was merged into the registry.
+        assert!(odb
+            .metrics()
+            .histogram("exec.pool.task.latency_us")
+            .is_some());
+    }
+
+    #[test]
+    fn trace_dump_and_reset_commands_export_the_journal() {
+        let mut odb = setup();
+        odb.execute("checkout Interaction -v 0 -t w").unwrap();
+        match odb.execute("trace dump").unwrap() {
+            CommandOutput::Message(m) => {
+                assert!(m.contains("journal:"), "{m}");
+                assert!(m.contains("trace 0x"), "{m}");
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+        match odb.execute("trace dump --json").unwrap() {
+            CommandOutput::Message(m) => {
+                assert!(!m.is_empty());
+                for line in m.lines() {
+                    let missing = obs::missing_keys(
+                        line,
+                        &["name", "ph", "ts", "pid", "tid", "args/trace", "args/span"],
+                    )
+                    .unwrap();
+                    assert!(missing.is_empty(), "{missing:?} in {line}");
+                }
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+        odb.execute("trace reset").unwrap();
+        match odb.execute("trace dump --json").unwrap() {
+            CommandOutput::Message(m) => assert!(m.is_empty(), "{m}"),
+            other => panic!("expected message, got {other:?}"),
+        }
+        assert!(odb.execute("trace bogus").is_err());
+        assert!(odb.execute("trace dump --bogus").is_err());
+    }
+
+    #[test]
+    fn journal_counters_appear_in_published_metrics() {
+        let mut odb = setup();
+        odb.execute("checkout Interaction -v 0 -t w").unwrap();
+        let m = match odb.execute("metrics --json").unwrap() {
+            CommandOutput::Message(m) => m,
+            other => panic!("expected message, got {other:?}"),
+        };
+        let doc = obs::parse(&m).unwrap();
+        let recorded = doc
+            .get_path("counters/obs.journal.recorded")
+            .and_then(obs::Json::as_f64)
+            .unwrap();
+        assert!(recorded > 0.0, "{m}");
+        assert_eq!(
+            doc.get_path("counters/obs.journal.dropped")
+                .and_then(obs::Json::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn slow_query_log_threshold_zero_logs_without_breaking_commands() {
+        // The slow-query line goes to stderr (stdout stays deterministic),
+        // so here we only assert the logging path runs and commands still
+        // succeed with the threshold forced to "log everything".
+        let mut odb = setup();
+        odb.set_slow_ms(0);
+        assert_eq!(odb.slow_ms(), 0);
+        odb.execute("checkout Interaction -v 0 -t w").unwrap();
+        match odb.execute("run SELECT * FROM VERSION 0 OF CVD Interaction") {
+            Ok(CommandOutput::Table(t)) => assert_eq!(t.rows.len(), 3),
+            other => panic!("expected table, got {other:?}"),
         }
     }
 

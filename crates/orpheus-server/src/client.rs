@@ -64,7 +64,16 @@ impl Reply {
     /// The completion tag, if the query succeeded.
     pub fn tag(&self) -> Option<&str> {
         self.messages.iter().find_map(|m| match m {
-            ServerMsg::CommandComplete { tag } => Some(tag.as_str()),
+            ServerMsg::CommandComplete { tag, .. } => Some(tag.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The trace id the server stamped on the completion, if any. Matches
+    /// the `trace` ids in the server's `trace dump --json` export.
+    pub fn trace(&self) -> Option<u64> {
+        self.messages.iter().find_map(|m| match m {
+            ServerMsg::CommandComplete { trace, .. } => *trace,
             _ => None,
         })
     }
@@ -105,7 +114,10 @@ pub fn render_messages(messages: &[ServerMsg]) -> String {
                 out.push_str(&rendered.join(" | "));
                 out.push('\n');
             }
-            ServerMsg::CommandComplete { tag } => {
+            // The trace id is correlation metadata, not part of the
+            // transcript: serial replay must stay byte-identical whether
+            // or not the query was traced.
+            ServerMsg::CommandComplete { tag, .. } => {
                 out.push_str("-- ");
                 out.push_str(tag);
                 out.push('\n');
@@ -152,12 +164,25 @@ impl Client {
         self.session_id
     }
 
-    /// Run one query line and collect the full reply.
+    /// Run one query line and collect the full reply. The server mints a
+    /// trace id for the request; [`Reply::trace`] returns it.
     pub fn query(&mut self, line: &str) -> Result<Reply, ClientError> {
+        self.query_inner(line, None)
+    }
+
+    /// Run one query line under a caller-chosen trace id, propagated to
+    /// the server so its spans (engine, morsel workers, WAL fsync) attach
+    /// to the caller's trace. `trace` must be non-zero to be adopted.
+    pub fn query_traced(&mut self, line: &str, trace: u64) -> Result<Reply, ClientError> {
+        self.query_inner(line, Some(trace))
+    }
+
+    fn query_inner(&mut self, line: &str, trace: Option<u64>) -> Result<Reply, ClientError> {
         protocol::write_client(
             &mut self.stream,
             &ClientMsg::Query {
                 line: line.to_owned(),
+                trace,
             },
         )?;
         let mut messages = Vec::new();

@@ -22,7 +22,7 @@
 //! instead of queueing unboundedly.
 
 use crate::protocol::code;
-use obs::Registry;
+use obs::{Recorder, Registry, TraceCtx};
 use orpheus_core::{CommandOutput, OrpheusDb, Snapshot};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -108,6 +108,7 @@ enum EngineMsg {
         session: u64,
         user: String,
         line: String,
+        trace: u64,
         reply: Reply,
     },
     /// A commit; drained into a group-commit batch.
@@ -115,6 +116,7 @@ enum EngineMsg {
         session: u64,
         user: String,
         line: String,
+        trace: u64,
         reply: Reply,
     },
     /// Pin an immutable snapshot of a CVD for lock-free session reads.
@@ -137,6 +139,7 @@ pub struct EngineHandle {
     queued: Arc<AtomicUsize>,
     capacity: usize,
     registry: Registry,
+    recorder: Recorder,
 }
 
 impl EngineHandle {
@@ -145,17 +148,27 @@ impl EngineHandle {
         &self.registry
     }
 
+    /// The engine database's span recorder (shared, thread-safe). Session
+    /// workers use it to attach pinned-snapshot reads to the request trace
+    /// without an engine round-trip.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Commits currently waiting in the admission queue.
     pub fn queued_commits(&self) -> usize {
         self.queued.load(Ordering::SeqCst)
     }
 
     /// Run a non-commit command on the engine thread and wait for it.
+    /// `trace` is the originating request's trace id (`0` = untraced);
+    /// engine-side spans re-attach to it.
     pub fn execute(
         &self,
         session: u64,
         user: &str,
         line: &str,
+        trace: u64,
     ) -> Result<CommandOutput, EngineError> {
         let (tx, rx) = mpsc::channel();
         if self
@@ -164,6 +177,7 @@ impl EngineHandle {
                 session,
                 user: user.to_owned(),
                 line: line.to_owned(),
+                trace,
                 reply: tx,
             })
             .is_err()
@@ -181,6 +195,7 @@ impl EngineHandle {
         session: u64,
         user: &str,
         line: &str,
+        trace: u64,
     ) -> Result<CommandOutput, EngineError> {
         let admitted = self
             .queued
@@ -210,6 +225,7 @@ impl EngineHandle {
                 session,
                 user: user.to_owned(),
                 line: line.to_owned(),
+                trace,
                 reply: tx,
             })
             .is_err()
@@ -262,8 +278,8 @@ impl EngineService {
             engine_loop(loop_cfg, rx, init_tx, q)
         })
         .map_err(crate::ServerError::Pool)?;
-        let registry = match init_rx.recv() {
-            Ok(Ok(registry)) => registry,
+        let (registry, recorder) = match init_rx.recv() {
+            Ok(Ok(pair)) => pair,
             Ok(Err(msg)) => {
                 drop(thread.join());
                 return Err(crate::ServerError::Engine(msg));
@@ -282,6 +298,7 @@ impl EngineService {
                 queued,
                 capacity: cfg.admission_capacity.max(1),
                 registry,
+                recorder,
             },
             thread: Some(thread),
         })
@@ -347,16 +364,21 @@ fn open_db(cfg: &EngineConfig) -> Result<OrpheusDb, String> {
 
 /// Run one command under the session's span so `spans` shows a
 /// per-session tree with the engine's own spans (`orpheus.commit`, …)
-/// nested inside.
+/// nested inside. The session span re-attaches to the originating
+/// request's trace (`trace != 0`), so engine-side work — including the
+/// morsel workers it fans out to — journals under the caller's trace id
+/// even though it runs on the engine thread.
 fn run_one(
     db: &mut OrpheusDb,
     session: u64,
     user: &str,
     line: &str,
+    trace: u64,
 ) -> Result<CommandOutput, EngineError> {
-    let _span = db
-        .recorder()
-        .enter(&format!("orpheus.server.session{session}"));
+    let _span = db.recorder().enter_with(
+        &format!("orpheus.server.session{session}"),
+        TraceCtx::from_wire(trace),
+    );
     db.execute_as(user, line).map_err(|e| map_err(&e))
 }
 
@@ -364,13 +386,14 @@ struct CommitJob {
     session: u64,
     user: String,
     line: String,
+    trace: u64,
     reply: Reply,
 }
 
 fn engine_loop(
     cfg: EngineConfig,
     rx: Receiver<EngineMsg>,
-    init_tx: Sender<Result<Registry, String>>,
+    init_tx: Sender<Result<(Registry, Recorder), String>>,
     queued: Arc<AtomicUsize>,
 ) {
     let mut db = match open_db(&cfg) {
@@ -382,7 +405,13 @@ fn engine_loop(
     };
     let registry = db.metrics().clone();
     seed_metrics(&registry);
-    if init_tx.send(Ok(registry.clone())).is_err() {
+    // Pre-register the journal counters alongside the server schema so
+    // `metrics --json` carries `obs.journal.*` from startup.
+    db.recorder().journal().publish(&registry);
+    if init_tx
+        .send(Ok((registry.clone(), db.recorder().clone())))
+        .is_err()
+    {
         return;
     }
     loop {
@@ -397,20 +426,23 @@ fn engine_loop(
                 session,
                 user,
                 line,
+                trace,
                 reply,
             } => {
-                drop(reply.send(run_one(&mut db, session, &user, &line)));
+                drop(reply.send(run_one(&mut db, session, &user, &line, trace)));
             }
             EngineMsg::Commit {
                 session,
                 user,
                 line,
+                trace,
                 reply,
             } => {
                 let first = CommitJob {
                     session,
                     user,
                     line,
+                    trace,
                     reply,
                 };
                 if group_commit(&mut db, first, &rx, &cfg, &queued, &registry) {
@@ -450,6 +482,7 @@ fn group_commit(
                 session,
                 user,
                 line,
+                trace,
                 reply,
             }) => {
                 queued.fetch_sub(1, Ordering::SeqCst);
@@ -457,6 +490,7 @@ fn group_commit(
                     session,
                     user,
                     line,
+                    trace,
                     reply,
                 });
             }
@@ -464,9 +498,10 @@ fn group_commit(
                 session,
                 user,
                 line,
+                trace,
                 reply,
             }) => {
-                drop(reply.send(run_one(db, session, &user, &line)));
+                drop(reply.send(run_one(db, session, &user, &line, trace)));
             }
             Ok(EngineMsg::Snapshot { cvd, reply }) => {
                 drop(reply.send(db.snapshot(&cvd).map_err(|e| map_err(&e))));
@@ -489,10 +524,29 @@ fn group_commit(
     // WAL-logged but NOT individually checkpointed (auto_checkpoint off).
     let mut results = Vec::with_capacity(batch.len());
     for job in &batch {
-        results.push(run_one(db, job.session, &job.user, &job.line));
+        results.push(run_one(db, job.session, &job.user, &job.line, job.trace));
     }
-    // One durability point for the whole batch.
-    let ckpt = db.checkpoint();
+    // One durability point for the whole batch, attributed to the batch
+    // leader's trace: the real `pagestore.wal.fsync` span nests under the
+    // leader's `orpheus.server.group_commit` span, and every other batch
+    // member gets a journal-only `pagestore.wal.fsync.shared` event with
+    // the shared fsync's duration, so each committed query's trace shows
+    // where its durability cost went without double-counting aggregates.
+    let leader_trace = batch.first().map_or(0, |job| job.trace);
+    let ckpt_started = Instant::now();
+    let ckpt = {
+        let _span = db.recorder().enter_with(
+            "orpheus.server.group_commit",
+            TraceCtx::from_wire(leader_trace),
+        );
+        db.checkpoint()
+    };
+    let ckpt_elapsed = ckpt_started.elapsed();
+    for job in batch.iter().skip(1) {
+        db.recorder()
+            .journal()
+            .attribute(job.trace, "pagestore.wal.fsync.shared", ckpt_elapsed);
+    }
     let n = batch.len() as u64;
     for (job, result) in batch.into_iter().zip(results) {
         let result = match (&ckpt, result) {
@@ -529,12 +583,12 @@ mod tests {
     fn execute_roundtrips_through_the_engine_thread() {
         let svc = start_mem(4, 1);
         let h = svc.handle();
-        let out = h.execute(1, "alice", "whoami").unwrap();
+        let out = h.execute(1, "alice", "whoami", 0).unwrap();
         assert_eq!(out, CommandOutput::Message("alice".into()));
         // Errors come back typed.
-        let err = h.execute(1, "alice", "bogus_cmd").unwrap_err();
+        let err = h.execute(1, "alice", "bogus_cmd", 0).unwrap_err();
         assert_eq!(err.code, code::PARSE);
-        let err = h.execute(1, "alice", "log nope").unwrap_err();
+        let err = h.execute(1, "alice", "log nope", 0).unwrap_err();
         assert_eq!(err.code, code::NOT_FOUND);
         svc.shutdown().unwrap();
     }
@@ -543,7 +597,8 @@ mod tests {
     fn snapshot_pins_are_served() {
         let svc = start_mem(4, 1);
         let h = svc.handle();
-        h.execute(1, "alice", "create_user ignored_twice").unwrap();
+        h.execute(1, "alice", "create_user ignored_twice", 0)
+            .unwrap();
         let err = h.snapshot("none").unwrap_err();
         assert_eq!(err.code, code::NOT_FOUND);
         svc.shutdown().unwrap();
@@ -564,7 +619,7 @@ mod tests {
                 exec_pool::ServiceThread::spawn(format!("commit-{i}"), move || {
                     // These fail (nothing checked out) but occupy queue slots
                     // until the engine wakes.
-                    let r = h.submit_commit(10 + i as u64, "w", "commit -t none -m x");
+                    let r = h.submit_commit(10 + i as u64, "w", "commit -t none -m x", 0);
                     assert_eq!(r.unwrap_err().code, code::NOT_FOUND);
                 })
                 .unwrap()
@@ -572,7 +627,9 @@ mod tests {
             .collect();
         std::thread::sleep(Duration::from_millis(50));
         assert_eq!(h.queued_commits(), 2);
-        let err = h.submit_commit(99, "w", "commit -t none -m x").unwrap_err();
+        let err = h
+            .submit_commit(99, "w", "commit -t none -m x", 0)
+            .unwrap_err();
         assert_eq!(err.code, code::BACKPRESSURE);
         assert!(err.message.contains("capacity 2"), "{}", err.message);
         assert!(

@@ -62,8 +62,13 @@ pub enum ClientMsg {
     /// Open a session as `user` (pgwire's startup packet, reduced to the
     /// one parameter the command layer needs).
     Startup { user: String },
-    /// One command line / versioned SQL statement.
-    Query { line: String },
+    /// One command line / versioned SQL statement. `trace` is an
+    /// optional client-chosen trace id: the server adopts it for the
+    /// command's spans and echoes it in `CommandComplete`, letting a
+    /// client stitch server-side journal events into its own trace. The
+    /// field is appended to the payload only when present, so old
+    /// encoders interoperate unchanged.
+    Query { line: String, trace: Option<u64> },
     /// Graceful goodbye.
     Terminate,
 }
@@ -78,7 +83,10 @@ pub enum ServerMsg {
     /// One result row; `None` is SQL NULL.
     DataRow { fields: Vec<Option<String>> },
     /// Statement finished; the tag summarizes it (`SELECT 4`, `COMMIT v7`).
-    CommandComplete { tag: String },
+    /// `trace` echoes the trace id the command ran under (the client's,
+    /// when one was sent, else the server-minted one), appended to the
+    /// payload only when present.
+    CommandComplete { tag: String, trace: Option<u64> },
     /// Statement failed. `code` is a SQLSTATE-style 5-character class.
     Error { code: String, message: String },
     /// Server is ready for the next query.
@@ -228,6 +236,12 @@ impl<'a> Cursor<'a> {
             .map_err(|_| ProtoError::Malformed("non-utf8 string".into()))
     }
 
+    /// Payload bytes not yet consumed — how optional trailing fields are
+    /// detected before the strict [`done`](Cursor::done) check.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn done(&self) -> Result<(), ProtoError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -252,9 +266,12 @@ pub fn write_client(w: &mut impl Write, msg: &ClientMsg) -> Result<(), ProtoErro
             put_str(&mut p, user);
             write_frame(w, b'U', &p)
         }
-        ClientMsg::Query { line } => {
+        ClientMsg::Query { line, trace } => {
             let mut p = Vec::new();
             put_str(&mut p, line);
+            if let Some(t) = trace {
+                p.extend_from_slice(&t.to_be_bytes());
+            }
             write_frame(w, b'Q', &p)
         }
         ClientMsg::Terminate => write_frame(w, b'X', &[]),
@@ -267,7 +284,15 @@ pub fn read_client(r: &mut impl Read) -> Result<ClientMsg, ProtoError> {
     let mut c = Cursor::new(&payload);
     let msg = match tag {
         b'U' => ClientMsg::Startup { user: c.str()? },
-        b'Q' => ClientMsg::Query { line: c.str()? },
+        b'Q' => {
+            let line = c.str()?;
+            let trace = if c.remaining() > 0 {
+                Some(c.u64()?)
+            } else {
+                None
+            };
+            ClientMsg::Query { line, trace }
+        }
         b'X' => ClientMsg::Terminate,
         other => {
             return Err(ProtoError::Malformed(format!(
@@ -306,9 +331,12 @@ pub fn write_server(w: &mut impl Write, msg: &ServerMsg) -> Result<(), ProtoErro
             }
             write_frame(w, b'D', &p)
         }
-        ServerMsg::CommandComplete { tag } => {
+        ServerMsg::CommandComplete { tag, trace } => {
             let mut p = Vec::new();
             put_str(&mut p, tag);
+            if let Some(t) = trace {
+                p.extend_from_slice(&t.to_be_bytes());
+            }
             write_frame(w, b'C', &p)
         }
         ServerMsg::Error { code, message } => {
@@ -354,7 +382,15 @@ pub fn read_server(r: &mut impl Read) -> Result<ServerMsg, ProtoError> {
             }
             ServerMsg::DataRow { fields }
         }
-        b'C' => ServerMsg::CommandComplete { tag: c.str()? },
+        b'C' => {
+            let tag = c.str()?;
+            let trace = if c.remaining() > 0 {
+                Some(c.u64()?)
+            } else {
+                None
+            };
+            ServerMsg::CommandComplete { tag, trace }
+        }
         b'E' => ServerMsg::Error {
             code: c.str()?,
             message: c.str()?,
@@ -395,8 +431,42 @@ mod tests {
         });
         roundtrip_client(ClientMsg::Query {
             line: "SELECT * FROM VERSION 1 OF CVD t WHERE name = 'x,y'".into(),
+            trace: None,
+        });
+        roundtrip_client(ClientMsg::Query {
+            line: "commit -t w -m traced".into(),
+            trace: Some(0xdead_beef_0042),
         });
         roundtrip_client(ClientMsg::Terminate);
+    }
+
+    #[test]
+    fn traceless_query_frames_decode_as_before() {
+        // An encoder that predates the trace field sends only the line;
+        // the decoder must accept that, not demand 8 more bytes.
+        let mut p = Vec::new();
+        put_str(&mut p, "ls");
+        let mut buf = vec![b'Q'];
+        buf.extend_from_slice(&(p.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&p);
+        assert_eq!(
+            read_client(&mut buf.as_slice()).unwrap(),
+            ClientMsg::Query {
+                line: "ls".into(),
+                trace: None
+            }
+        );
+        // A partial trace field (wrong width) is still malformed.
+        let mut p = Vec::new();
+        put_str(&mut p, "ls");
+        p.extend_from_slice(&[1, 2, 3]);
+        let mut buf = vec![b'Q'];
+        buf.extend_from_slice(&(p.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&p);
+        assert!(matches!(
+            read_client(&mut buf.as_slice()),
+            Err(ProtoError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -410,6 +480,11 @@ mod tests {
         });
         roundtrip_server(ServerMsg::CommandComplete {
             tag: "COMMIT v7".into(),
+            trace: None,
+        });
+        roundtrip_server(ServerMsg::CommandComplete {
+            tag: "COMMIT v7".into(),
+            trace: Some(0xabc),
         });
         roundtrip_server(ServerMsg::Error {
             code: code::BACKPRESSURE.into(),
@@ -422,12 +497,22 @@ mod tests {
     fn pipelined_frames_decode_in_order() {
         let mut buf = Vec::new();
         write_server(&mut buf, &ServerMsg::Ready).unwrap();
-        write_server(&mut buf, &ServerMsg::CommandComplete { tag: "OK".into() }).unwrap();
+        write_server(
+            &mut buf,
+            &ServerMsg::CommandComplete {
+                tag: "OK".into(),
+                trace: None,
+            },
+        )
+        .unwrap();
         let mut r = buf.as_slice();
         assert_eq!(read_server(&mut r).unwrap(), ServerMsg::Ready);
         assert_eq!(
             read_server(&mut r).unwrap(),
-            ServerMsg::CommandComplete { tag: "OK".into() }
+            ServerMsg::CommandComplete {
+                tag: "OK".into(),
+                trace: None
+            }
         );
         assert!(matches!(read_server(&mut r), Err(ProtoError::Closed)));
     }

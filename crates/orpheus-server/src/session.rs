@@ -36,13 +36,20 @@ const POLL_INTERVAL: Duration = Duration::from_millis(200);
 
 /// Render one command output as its wire messages. Shared by the live
 /// server and by serial-replay harnesses that byte-compare transcripts.
+/// Trace-agnostic: the query loop stamps the request's trace id onto the
+/// final `CommandComplete` (see [`stamp_trace`]), so replay transcripts
+/// stay byte-identical.
 pub fn output_messages(out: &CommandOutput) -> Vec<ServerMsg> {
     match out {
         CommandOutput::Table(t) => table_messages(t),
         CommandOutput::Version(v) => vec![ServerMsg::CommandComplete {
             tag: format!("COMMIT {v}"),
+            trace: None,
         }],
-        CommandOutput::Message(m) => vec![ServerMsg::CommandComplete { tag: m.clone() }],
+        CommandOutput::Message(m) => vec![ServerMsg::CommandComplete {
+            tag: m.clone(),
+            trace: None,
+        }],
         CommandOutput::Listing(items) => {
             let mut msgs = vec![ServerMsg::RowDescription {
                 columns: vec!["name".into()],
@@ -54,6 +61,7 @@ pub fn output_messages(out: &CommandOutput) -> Vec<ServerMsg> {
             }
             msgs.push(ServerMsg::CommandComplete {
                 tag: format!("LIST {}", items.len()),
+                trace: None,
             });
             msgs
         }
@@ -64,7 +72,10 @@ pub fn output_messages(out: &CommandOutput) -> Vec<ServerMsg> {
             msgs.push(ServerMsg::DataRow {
                 fields: vec![Some(text.clone())],
             });
-            msgs.push(ServerMsg::CommandComplete { tag: "CSV".into() });
+            msgs.push(ServerMsg::CommandComplete {
+                tag: "CSV".into(),
+                trace: None,
+            });
             msgs
         }
     }
@@ -81,8 +92,19 @@ fn table_messages(t: &QueryResult) -> Vec<ServerMsg> {
     }
     msgs.push(ServerMsg::CommandComplete {
         tag: format!("SELECT {}", t.rows.len()),
+        trace: None,
     });
     msgs
+}
+
+/// Echo the request's trace id on every `CommandComplete` so the client
+/// can correlate its reply with a server-side `trace dump`.
+fn stamp_trace(msgs: &mut [ServerMsg], trace: u64) {
+    for msg in msgs.iter_mut() {
+        if let ServerMsg::CommandComplete { trace: t, .. } = msg {
+            *t = Some(trace);
+        }
+    }
 }
 
 fn render_value(v: &Value) -> Option<String> {
@@ -156,8 +178,8 @@ fn query_loop(
     let registry = engine.registry().clone();
     let mut pinned: HashMap<String, Snapshot> = HashMap::new();
     loop {
-        let line = match protocol::read_client(stream) {
-            Ok(ClientMsg::Query { line }) => line,
+        let (line, wire_trace) = match protocol::read_client(stream) {
+            Ok(ClientMsg::Query { line, trace }) => (line, trace),
             Ok(ClientMsg::Terminate) => return Ok(()),
             Ok(ClientMsg::Startup { .. }) => {
                 write_all(
@@ -181,9 +203,18 @@ fn query_loop(
             Err(ProtoError::Closed) => return Ok(()),
             Err(e) => return Err(e),
         };
+        // Adopt the client's trace id, or mint one so every query is
+        // traceable end to end even from trace-unaware clients.
+        let trace = match wire_trace {
+            Some(t) if t != 0 => t,
+            _ => obs::mint_trace_id(),
+        };
         let start = Instant::now();
-        let msgs = match dispatch(&line, session_id, user, engine, &mut pinned) {
-            Ok(msgs) => msgs,
+        let msgs = match dispatch(&line, session_id, user, trace, engine, &mut pinned) {
+            Ok(mut msgs) => {
+                stamp_trace(&mut msgs, trace);
+                msgs
+            }
             Err(e) => vec![ServerMsg::Error {
                 code: e.code.into(),
                 message: e.message,
@@ -205,11 +236,14 @@ fn write_all(stream: &mut TcpStream, msgs: &[ServerMsg]) -> Result<(), ProtoErro
 }
 
 /// Route one query line: snapshot commands stay on this thread, commits
-/// take the admission queue, everything else goes to the engine.
+/// take the admission queue, everything else goes to the engine. `trace`
+/// is the request's trace id (already adopted or minted, never 0); it
+/// rides along to the engine so remote spans re-attach to this request.
 fn dispatch(
     line: &str,
     session_id: u64,
     user: &str,
+    trace: u64,
     engine: &EngineHandle,
     pinned: &mut HashMap<String, Snapshot>,
 ) -> Result<Vec<ServerMsg>, EngineError> {
@@ -229,7 +263,7 @@ fn dispatch(
                 snap.num_versions()
             );
             pinned.insert(cvd.to_owned(), snap);
-            Ok(vec![ServerMsg::CommandComplete { tag }])
+            Ok(vec![ServerMsg::CommandComplete { tag, trace: None }])
         }
         "unpin" => {
             let cvd = words.next().ok_or_else(|| EngineError {
@@ -240,7 +274,7 @@ fn dispatch(
                 Some(_) => format!("UNPIN {cvd}"),
                 None => format!("UNPIN {cvd} (was not pinned)"),
             };
-            Ok(vec![ServerMsg::CommandComplete { tag }])
+            Ok(vec![ServerMsg::CommandComplete { tag, trace: None }])
         }
         "sleep" => {
             // Test hook: stall the engine without holding this session.
@@ -254,15 +288,22 @@ fn dispatch(
             engine.sleep(millis);
             Ok(vec![ServerMsg::CommandComplete {
                 tag: format!("SLEEP {millis}"),
+                trace: None,
             }])
         }
         "commit" => {
-            let out = engine.submit_commit(session_id, user, trimmed)?;
+            let out = engine.submit_commit(session_id, user, trimmed, trace)?;
             Ok(output_messages(&out))
         }
         "run" => {
             let sql = trimmed.strip_prefix("run").unwrap_or("").trim();
             if let Some(snap) = snapshot_for(sql, pinned) {
+                // Lock-free read on this session thread; journal it under
+                // the request trace so snapshot reads show up in dumps.
+                let _span = engine.recorder().enter_with(
+                    "orpheus.server.snapshot_read",
+                    obs::TraceCtx::from_wire(trace),
+                );
                 let table = snap.run(sql).map_err(|e| EngineError {
                     code: code::INTERNAL,
                     message: e.to_string(),
@@ -272,11 +313,11 @@ fn dispatch(
                     .counter_add("orpheus.server.snapshot_reads_total", 1);
                 return Ok(table_messages(&table));
             }
-            let out = engine.execute(session_id, user, trimmed)?;
+            let out = engine.execute(session_id, user, trimmed, trace)?;
             Ok(output_messages(&out))
         }
         _ => {
-            let out = engine.execute(session_id, user, trimmed)?;
+            let out = engine.execute(session_id, user, trimmed, trace)?;
             Ok(output_messages(&out))
         }
     }
@@ -304,13 +345,20 @@ mod tests {
     #[test]
     fn output_messages_cover_every_variant() {
         let msgs = output_messages(&CommandOutput::Message("hi".into()));
-        assert_eq!(msgs, vec![ServerMsg::CommandComplete { tag: "hi".into() }]);
+        assert_eq!(
+            msgs,
+            vec![ServerMsg::CommandComplete {
+                tag: "hi".into(),
+                trace: None
+            }]
+        );
 
         let msgs = output_messages(&CommandOutput::Version(partition::Vid(7)));
         assert_eq!(
             msgs,
             vec![ServerMsg::CommandComplete {
-                tag: "COMMIT v7".into()
+                tag: "COMMIT v7".into(),
+                trace: None,
             }]
         );
 
@@ -319,7 +367,8 @@ mod tests {
         assert_eq!(
             msgs[3],
             ServerMsg::CommandComplete {
-                tag: "LIST 2".into()
+                tag: "LIST 2".into(),
+                trace: None,
             }
         );
 
@@ -353,7 +402,8 @@ mod tests {
         assert_eq!(
             msgs[3],
             ServerMsg::CommandComplete {
-                tag: "SELECT 2".into()
+                tag: "SELECT 2".into(),
+                trace: None,
             }
         );
     }

@@ -361,6 +361,118 @@ fn session_overflow_is_refused_with_typed_error() {
     server.shutdown().unwrap();
 }
 
+/// End-to-end tracing: 8 concurrent clients issue traced commits; the
+/// server's journal export must show, for every committed query's trace
+/// id, the request span plus a WAL-fsync event (the real span on the
+/// batch leader, the shared-attribution event on followers), and morsel
+/// worker task events must carry the trace of the query that fanned out.
+#[test]
+fn traced_queries_export_complete_traces() {
+    const WRITERS: usize = 8;
+
+    let dir = scratch("trace");
+    std::fs::remove_dir_all(&dir).ok();
+    let csv = seed_csv("trace");
+    let server = start_server(
+        WRITERS + 1,
+        EngineConfig {
+            data_dir: Some(dir.clone()),
+            threads: 2,
+            linger: Duration::from_millis(20),
+            ..EngineConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    let mut admin = Client::connect(addr, "admin").unwrap();
+    tag_of(&mut admin, &init_line(&csv));
+
+    // Trace-unaware clients still get a server-minted trace id back.
+    let minted = admin.query("whoami").unwrap().trace();
+    assert!(
+        minted.is_some_and(|t| t != 0),
+        "no minted trace: {minted:?}"
+    );
+
+    // One traced commit per writer, under caller-chosen trace ids.
+    let commit_traces: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr, &format!("w{w}")).unwrap();
+                    let trace = 0x7e57_0000_0000_0100 + w as u64;
+                    let table = format!("tw{w}");
+                    tag_of(&mut c, &format!("checkout t -v 0 -t {table}"));
+                    tag_of(&mut c, &format!("insert {table} {},{w},0", 2000 + w));
+                    let reply = c
+                        .query_traced(&format!("commit -t {table} -m t{w}"), trace)
+                        .unwrap();
+                    assert!(reply.error().is_none(), "{:?}", reply.error());
+                    assert_eq!(reply.trace(), Some(trace), "wire trace must be echoed");
+                    c.terminate().unwrap();
+                    trace
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // A traced parallel read: morsel worker spans re-attach to it.
+    let read_trace = 0x7e57_0000_0000_1000u64;
+    let reply = admin
+        .query_traced("run SELECT * FROM VERSION 0 OF CVD t", read_trace)
+        .unwrap();
+    assert!(reply.error().is_none(), "{:?}", reply.error());
+    assert_eq!(reply.trace(), Some(read_trace));
+
+    // Export the journal and index event names by trace id.
+    let dump = tag_of(&mut admin, "trace dump --json");
+    let mut by_trace: std::collections::HashMap<u64, Vec<String>> =
+        std::collections::HashMap::new();
+    for line in dump.lines().filter(|l| !l.trim().is_empty()) {
+        let ev = obs::json::parse(line).expect("chrome trace line must parse");
+        let name = ev
+            .get("name")
+            .and_then(obs::json::Json::as_str)
+            .expect("event has a name")
+            .to_owned();
+        let trace = ev
+            .get_path("args/trace")
+            .and_then(obs::json::Json::as_str)
+            .expect("event has args.trace");
+        let trace = u64::from_str_radix(trace.trim_start_matches("0x"), 16).unwrap();
+        by_trace.entry(trace).or_default().push(name);
+    }
+
+    for &trace in &commit_traces {
+        let names = by_trace
+            .get(&trace)
+            .unwrap_or_else(|| panic!("no journal events for commit trace {trace:#x}"));
+        assert!(
+            names.iter().any(|n| n == "orpheus.request"),
+            "commit trace {trace:#x} lost its request span: {names:?}"
+        );
+        assert!(
+            names
+                .iter()
+                .any(|n| n == "pagestore.wal.fsync" || n == "pagestore.wal.fsync.shared"),
+            "commit trace {trace:#x} has no WAL-fsync attribution: {names:?}"
+        );
+    }
+    let read_names = by_trace
+        .get(&read_trace)
+        .unwrap_or_else(|| panic!("no journal events for read trace {read_trace:#x}"));
+    assert!(
+        read_names.iter().any(|n| n == "exec.pool.task"),
+        "worker events did not re-attach to the read trace: {read_names:?}"
+    );
+
+    admin.terminate().unwrap();
+    server.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&csv).ok();
+}
+
 /// Pinned snapshots are immutable: a writer's commit is invisible until
 /// the reader re-pins.
 #[test]

@@ -62,11 +62,15 @@ probe_cmds | ./target/release/orpheusdb --threads 4 > /tmp/orpheus_probe_t4.out
 cmp /tmp/orpheus_probe_t1.out /tmp/orpheus_probe_t4.out
 echo "CLI output byte-identical across thread counts"
 
-echo "==> observability smoke (explain analyze + metrics --json)"
+echo "==> observability smoke (explain analyze + metrics --json + trace dump)"
 # End-to-end check of the obs pipeline: a durable commit/checkout workload
-# followed by `explain analyze` and `metrics --json`, with a JSON schema
-# checker over both outputs. Writes into the git-ignored results/ci/ so a
-# CI run never dirties the checked-in result files.
+# followed by `explain analyze`, `metrics --json` (including the
+# obs.journal.* counters), and `trace dump --json` — every exported
+# Chrome-trace JSONL line is schema-checked, the request/commit/WAL-fsync
+# spans must appear under non-zero trace ids, and a disabled journal
+# (sample 0) must record zero further allocations. Writes a trace summary
+# (trace_smoke.json) next to the metrics snapshot, into the git-ignored
+# results/ci/ so a CI run never dirties the checked-in result files.
 ORPHEUS_RESULTS_DIR=results/ci cargo run --release -q -p bench --bin obs_smoke
 
 echo "==> server smoke (concurrent sessions, group commit, backpressure)"
@@ -74,7 +78,11 @@ echo "==> server smoke (concurrent sessions, group commit, backpressure)"
 # clients, final state byte-compared against a serial replay of the commit
 # log, pagestore.wal.fsyncs < commit count (group commit), a 53300
 # backpressure leg, metrics schema check, and a leaked-thread check after
-# clean shutdown. See crates/bench/src/bin/server_smoke.rs.
+# clean shutdown. Every scripted commit runs under a client-chosen trace
+# id; the gate requires `trace dump --json` to show each commit's request
+# span plus its WAL-fsync attribution (real fsync on the batch leader,
+# shared event on followers) and morsel worker events re-attached to the
+# traced read. See crates/bench/src/bin/server_smoke.rs.
 ORPHEUS_RESULTS_DIR=results/ci cargo run --release -q -p bench --bin server_smoke
 
 echo "==> server crash recovery (kill -9 mid-load, WAL replay)"

@@ -19,6 +19,7 @@
 
 pub use benchgen;
 pub use deltastore;
+pub use obs;
 pub use orpheus_core as orpheus;
 pub use orpheus_core;
 pub use orpheus_server;

@@ -91,6 +91,8 @@ fn help() {
          stats [reset]   (buffer-pool I/O counters)\n  \
          metrics [--json|reset]   (counters, gauges, latency histograms)\n  \
          spans [--json|reset]     (aggregated trace-span tree)\n  \
+         trace dump [--json]      (per-request event journal; --json = Chrome trace JSONL)\n  \
+         trace reset              (clear the event journal)\n  \
          checkpoint      (flush dirty pages; atomic when --data-dir is set)\n  \
          recover         (replay the write-ahead log, as after a crash)\n  \
          threads [n]     (show or set morsel workers; 1 = sequential plans)\n  \
@@ -98,7 +100,10 @@ fn help() {
          modes:\n  \
          orpheusdb                      interactive single-session shell\n  \
          orpheusdb serve --port <p> [--data-dir <d>] [--threads <n>] [--workers <n>] [--admission <n>]\n  \
-         orpheusdb client --port <p> [--user <name>]   (extra: pin/unpin <cvd> for snapshot reads)"
+         orpheusdb client --port <p> [--user <name>]   (extra: pin/unpin <cvd> for snapshot reads)\n\
+         env:\n  \
+         ORPHEUS_TRACE_SAMPLE=<n>   journal 1-in-n requests (default 1; 0 disables the journal)\n  \
+         ORPHEUS_SLOW_MS=<n>        slow-query log threshold in ms (default 100; 0 logs every command)"
     );
 }
 
@@ -302,6 +307,12 @@ fn shell(args: &[String]) {
 }
 
 fn main() {
+    // Validate the tracing env knobs up front, in every mode: a typo'd
+    // ORPHEUS_TRACE_SAMPLE or ORPHEUS_SLOW_MS must fail loudly (exit 2,
+    // like a bad --flag) instead of silently falling back to defaults.
+    if let Err(msg) = obs::journal::check_env() {
+        fail(&msg);
+    }
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("serve") => serve(&args[1..]),

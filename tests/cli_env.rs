@@ -1,0 +1,94 @@
+//! CLI startup validation of the tracing env knobs: an invalid
+//! `ORPHEUS_TRACE_SAMPLE` or `ORPHEUS_SLOW_MS` must exit 2 with a clear
+//! message naming the variable, in every mode — before any database or
+//! socket is opened. Valid values (including the boundary `0`) must not
+//! trip the check.
+
+use std::process::{Command, Stdio};
+
+fn orpheusdb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_orpheusdb"))
+}
+
+/// Run the binary with one env override and empty stdin; return
+/// (exit code, stderr).
+fn run_with(var: &str, value: &str, args: &[&str]) -> (i32, String) {
+    let out = orpheusdb()
+        .args(args)
+        .env(var, value)
+        .stdin(Stdio::null())
+        .output()
+        .expect("spawn orpheusdb");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn invalid_trace_sample_exits_2_with_a_clear_message() {
+    for bad in ["nope", "-1", "1.5", ""] {
+        let (code, stderr) = run_with("ORPHEUS_TRACE_SAMPLE", bad, &[]);
+        assert_eq!(code, 2, "value {bad:?} must exit 2; stderr: {stderr}");
+        assert!(
+            stderr.contains("ORPHEUS_TRACE_SAMPLE"),
+            "stderr must name the variable for {bad:?}: {stderr}"
+        );
+        assert!(stderr.starts_with("error: "), "{stderr}");
+    }
+}
+
+#[test]
+fn invalid_slow_ms_exits_2_with_a_clear_message() {
+    for bad in ["fast", "-5", "10ms"] {
+        let (code, stderr) = run_with("ORPHEUS_SLOW_MS", bad, &[]);
+        assert_eq!(code, 2, "value {bad:?} must exit 2; stderr: {stderr}");
+        assert!(
+            stderr.contains("ORPHEUS_SLOW_MS"),
+            "stderr must name the variable for {bad:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn invalid_knobs_fail_before_serve_mode_opens_a_socket() {
+    let (code, stderr) = run_with("ORPHEUS_TRACE_SAMPLE", "many", &["serve", "--port", "0"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("ORPHEUS_TRACE_SAMPLE"), "{stderr}");
+}
+
+#[test]
+fn valid_knobs_reach_the_shell() {
+    // `0` is valid for both knobs (journal off; log every command). Empty
+    // stdin makes the shell exit immediately with status 0.
+    let out = orpheusdb()
+        .env("ORPHEUS_TRACE_SAMPLE", "0")
+        .env("ORPHEUS_SLOW_MS", "0")
+        .stdin(Stdio::null())
+        .output()
+        .expect("spawn orpheusdb");
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OrpheusDB shell"), "{stdout}");
+}
+
+#[test]
+fn help_documents_the_tracing_surface() {
+    let out = orpheusdb()
+        .arg("help")
+        .stdin(Stdio::null())
+        .output()
+        .expect("spawn orpheusdb");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "trace dump [--json]",
+        "ORPHEUS_TRACE_SAMPLE",
+        "ORPHEUS_SLOW_MS",
+    ] {
+        assert!(
+            stdout.contains(needle),
+            "help is missing {needle:?}:\n{stdout}"
+        );
+    }
+}
