@@ -1,0 +1,97 @@
+//! Machine-readable output for `orpheus-lint --json`.
+//!
+//! A writer-only vendoring of the `obs` crate's JSON module (the
+//! workspace is offline and this crate stays dependency-free, so we
+//! keep the ~40 lines of JSON we emit rather than linking anything).
+//! The schema is pinned by `tests/cli.rs::json_output_matches_schema`,
+//! which parses this output back with `obs::json`:
+//!
+//! ```json
+//! {
+//!   "schema": "orpheus-lint/1",
+//!   "files_scanned": 42,
+//!   "findings": [
+//!     {"path": "crates/x/src/a.rs", "line": 7, "rule": "L001", "msg": "…"}
+//!   ]
+//! }
+//! ```
+//!
+//! Findings are already sorted by `(path, line, rule)` by
+//! `lint_sources`, so the output is stable across runs.
+
+use crate::FileFinding;
+
+/// Current schema identifier; bump the suffix on breaking changes.
+pub const SCHEMA: &str = "orpheus-lint/1";
+
+/// Render the report document.
+pub fn render(findings: &[FileFinding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    write_escaped(&mut out, SCHEMA);
+    out.push_str(&format!(",\"files_scanned\":{files_scanned}"));
+    out.push_str(",\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"path\":");
+        write_escaped(&mut out, &f.path);
+        out.push_str(&format!(",\"line\":{}", f.finding.line));
+        out.push_str(",\"rule\":");
+        write_escaped(&mut out, f.finding.rule.id());
+        out.push_str(",\"msg\":");
+        write_escaped(&mut out, &f.finding.msg);
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// String escaping per RFC 8259 (vendored from `obs::json`).
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Finding, Rule};
+
+    #[test]
+    fn renders_escaped_and_ordered() {
+        let findings = vec![FileFinding {
+            path: "crates/x/src/a.rs".into(),
+            finding: Finding {
+                line: 3,
+                rule: Rule::L001,
+                msg: "has a \"quote\"".into(),
+            },
+        }];
+        let doc = render(&findings, 7);
+        assert!(doc.contains("\"schema\":\"orpheus-lint/1\""));
+        assert!(doc.contains("\"files_scanned\":7"));
+        assert!(doc.contains("\"rule\":\"L001\""));
+        assert!(doc.contains("has a \\\"quote\\\""));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        assert_eq!(
+            render(&[], 0),
+            "{\"schema\":\"orpheus-lint/1\",\"files_scanned\":0,\"findings\":[]}\n"
+        );
+    }
+}

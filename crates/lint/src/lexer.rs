@@ -442,6 +442,48 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_with_hashes_swallow_quotes_and_panics() {
+        // `r#"…"#` may contain bare quotes; `r##"…"##` may even contain
+        // `"#`. Nothing inside may leak out as identifiers.
+        let src = r####"let a = r#"has "quotes" and panic!()"#; let b = r##"ends "# not here"##; done"####;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b", "done"], "{ids:?}");
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings_are_opaque() {
+        let src = r###"let x = b"unwrap() bytes"; let y = br#"panic!("x")"#; let c = b'q';"###;
+        let lexed = lex(src);
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_owned()), "{ids:?}");
+        assert!(!ids.contains(&"panic".to_owned()), "{ids:?}");
+        let strs = lexed.toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(strs, 3, "b\"…\", br#\"…\"#, and b'…' are all literals");
+    }
+
+    #[test]
+    fn shift_right_lexes_as_two_single_closers() {
+        // `Vec<Vec<u8>>` ends in the same two characters as `x >> 2`;
+        // emitting single `>` puncts lets the parser close two generic
+        // levels without a dedicated `>>` token.
+        let lexed = lex("let m: Vec<Vec<u8>> = x >> 2;");
+        let gts = lexed.toks.iter().filter(|t| t.is_punct('>')).count();
+        assert_eq!(gts, 4, "two generic closers + the shift's two");
+    }
+
+    #[test]
+    fn raw_identifiers_lex_to_their_unprefixed_name() {
+        let lexed = lex("let r#type = 1; r#match.lock();");
+        let ids = idents("let r#type = 1; r#match.lock();");
+        assert!(ids.contains(&"type".to_owned()), "{ids:?}");
+        assert!(ids.contains(&"match".to_owned()), "{ids:?}");
+        // The `.lock()` method-call shape stays visible through `r#`.
+        let t = &lexed.toks;
+        let dot = t.iter().position(|t| t.is_punct('.')).unwrap();
+        assert!(t[dot + 1].is_ident("lock"));
+    }
+
+    #[test]
     fn nested_block_comments_and_unterminated_input() {
         let lexed = lex("/* a /* b */ c */ x");
         assert_eq!(lexed.comments.len(), 1);

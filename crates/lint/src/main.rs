@@ -1,5 +1,5 @@
 //! `orpheus-lint` — lint the workspace (or single files) against the
-//! L001–L008 rule catalog. Exit codes: 0 clean, 1 findings, 2 usage or
+//! L001–L012 rule catalog. Exit codes: 0 clean, 1 findings, 2 usage or
 //! I/O error.
 
 use std::path::Path;
@@ -7,49 +7,65 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let started = Instant::now();
-    match args.first().map(String::as_str) {
-        Some("--help" | "-h") => {
-            println!(
-                "usage: orpheus-lint [ROOT]        lint the workspace rooted at ROOT (default .)\n\
-                 \x20      orpheus-lint --file F...  lint single files (//@path directive aware)"
-            );
-            ExitCode::SUCCESS
-        }
-        Some("--file") => {
-            if args.len() < 2 {
-                eprintln!("orpheus-lint: --file needs at least one path");
-                return ExitCode::from(2);
+    let mut json = false;
+    let mut file_mode = false;
+    let mut operands: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: orpheus-lint [--json] [ROOT]        lint the workspace rooted at ROOT (default .)\n\
+                     \x20      orpheus-lint [--json] --file F...  lint files jointly (//@path directive aware)"
+                );
+                return ExitCode::SUCCESS;
             }
-            let mut findings = Vec::new();
-            for f in &args[1..] {
-                match lint::lint_file(Path::new(f)) {
-                    Ok(mut fs) => findings.append(&mut fs),
-                    Err(e) => {
-                        eprintln!("orpheus-lint: {f}: {e}");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
-            report(findings, args.len() - 1, started)
+            "--json" => json = true,
+            "--file" => file_mode = true,
+            _ => operands.push(arg),
         }
-        root => {
-            let root = Path::new(root.unwrap_or("."));
-            match lint::lint_workspace(root) {
-                Ok((findings, scanned)) => report(findings, scanned, started),
-                Err(e) => {
-                    eprintln!("orpheus-lint: {}: {e}", root.display());
-                    ExitCode::from(2)
-                }
+    }
+    if file_mode {
+        if operands.is_empty() {
+            eprintln!("orpheus-lint: --file needs at least one path");
+            return ExitCode::from(2);
+        }
+        let paths: Vec<&Path> = operands.iter().map(Path::new).collect();
+        match lint::lint_files(&paths) {
+            Ok(findings) => report(findings, paths.len(), json, started),
+            Err(e) => {
+                eprintln!("orpheus-lint: {e}");
+                ExitCode::from(2)
+            }
+        }
+    } else {
+        if operands.len() > 1 {
+            eprintln!("orpheus-lint: expected at most one ROOT");
+            return ExitCode::from(2);
+        }
+        let root = Path::new(operands.first().map(String::as_str).unwrap_or("."));
+        match lint::lint_workspace(root) {
+            Ok((findings, scanned)) => report(findings, scanned, json, started),
+            Err(e) => {
+                eprintln!("orpheus-lint: {}: {e}", root.display());
+                ExitCode::from(2)
             }
         }
     }
 }
 
-fn report(findings: Vec<lint::FileFinding>, files: usize, started: Instant) -> ExitCode {
-    for f in &findings {
-        println!("{f}");
+fn report(
+    findings: Vec<lint::FileFinding>,
+    files: usize,
+    json: bool,
+    started: Instant,
+) -> ExitCode {
+    if json {
+        print!("{}", lint::json::render(&findings, files));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
     }
     eprintln!(
         "orpheus-lint: {files} files, {} finding(s) in {:.1} ms",

@@ -23,13 +23,24 @@
 //!   (`crates/relstore/src/par*`): the parallel operators ship zero-copy
 //!   `PageLease`s, and an owned copy per page is exactly the coordinator
 //!   bottleneck that made 4-thread runs slower than sequential.
+//! - **L009** — no lock-order cycles across the engine's lock classes
+//!   (metrics registry, journal ring, buffer pool, session table,
+//!   group-commit queue, pool queue): a cycle in the held-across-call
+//!   graph is a potential deadlock (`graph.rs`).
+//! - **L010** — no Mutex/RwLock guard held across a blocking boundary
+//!   (`fsync`, the WAL append path, channel `recv`, thread `join`).
+//! - **L011** — no silently discarded `Result` in engine library code
+//!   (statement-level `.ok();`, `let _ =` on a Result-returning call).
+//! - **L012** — every `pub fn` command entry point (returning
+//!   `CommandOutput` in orpheus-core/orpheus-server) must create an obs
+//!   span, directly or transitively, or carry a reasoned suppression.
 //!
 //! Suppression: a non-doc comment `// lint:allow(L001): reason` on the
 //! finding's line or the line directly above silences that rule there.
 //! A suppression without a reason does not suppress and is itself an
 //! L006 finding.
 
-use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
 
 /// Crates whose library code must never panic (L001/L002): the storage
 /// engine holds the user's only copy of the data.
@@ -62,6 +73,10 @@ pub enum Rule {
     L006,
     L007,
     L008,
+    L009,
+    L010,
+    L011,
+    L012,
 }
 
 impl Rule {
@@ -75,6 +90,10 @@ impl Rule {
             Rule::L006 => "L006",
             Rule::L007 => "L007",
             Rule::L008 => "L008",
+            Rule::L009 => "L009",
+            Rule::L010 => "L010",
+            Rule::L011 => "L011",
+            Rule::L012 => "L012",
         }
     }
 
@@ -88,6 +107,10 @@ impl Rule {
             "L006" => Some(Rule::L006),
             "L007" => Some(Rule::L007),
             "L008" => Some(Rule::L008),
+            "L009" => Some(Rule::L009),
+            "L010" => Some(Rule::L010),
+            "L011" => Some(Rule::L011),
+            "L012" => Some(Rule::L012),
             _ => None,
         }
     }
@@ -141,40 +164,55 @@ pub fn classify(rel_path: &str) -> FileClass {
     }
 }
 
-/// Lint one source file. `rel_path` is workspace-relative and drives the
-/// per-crate rule scoping; `src` is the file contents.
+/// Lint one source file in isolation: the per-file rules plus the graph
+/// rules run over just this file. Cross-file lock-order cycles need the
+/// workspace entry point (`crate::lint_sources`), which shares the
+/// call graph across files.
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    crate::lint_sources(&[(rel_path.to_owned(), src.to_owned())])
+        .into_iter()
+        .map(|ff| ff.finding)
+        .collect()
+}
+
+/// The token-level rules (L001–L008 plus L011's `.ok();` arm) for one
+/// lexed file. The graph rules (L009/L010/L012 and L011's `let _ =`
+/// arm) are added by `graph::analyze`; suppressions are applied by
+/// [`finalize`] once both are in.
+pub(crate) fn per_file_findings(rel_path: &str, lexed: &Lexed, in_test: &[bool]) -> Vec<Finding> {
     let class = classify(rel_path);
-    let lexed = lex(src);
     let toks = &lexed.toks;
-    let in_test = test_region_mask(toks);
     let mut findings = Vec::new();
 
     if class.engine_lib {
-        l001_no_panicking_calls(toks, &in_test, &mut findings);
-        l002_no_discarded_guards(toks, &in_test, &mut findings);
+        l001_no_panicking_calls(toks, in_test, &mut findings);
+        l002_no_discarded_guards(toks, in_test, &mut findings);
+        l011_no_statement_level_ok_discards(toks, in_test, &mut findings);
     }
     if class.deterministic {
-        l003_deterministic_cost(toks, &in_test, &mut findings);
+        l003_deterministic_cost(toks, in_test, &mut findings);
     }
     l004_safety_comments(toks, &lexed.comments, &mut findings);
     l005_no_ignored_tests(toks, &mut findings);
     l006_allow_needs_reason(toks, &lexed.comments, &mut findings);
     if !class.pool_code && !class.test_code {
-        l007_no_raw_threads(toks, &in_test, &mut findings);
+        l007_no_raw_threads(toks, in_test, &mut findings);
     }
     if class.par_path {
-        l008_no_owned_snapshots_on_par_path(toks, &in_test, &mut findings);
+        l008_no_owned_snapshots_on_par_path(toks, in_test, &mut findings);
     }
+    findings
+}
 
-    let suppressions = collect_suppressions(&lexed.comments, &mut findings);
+/// Apply the suppression contract and order the file's findings.
+pub(crate) fn finalize(findings: &mut Vec<Finding>, comments: &[Comment]) {
+    let suppressions = collect_suppressions(comments, findings);
     findings.retain(|f| {
         !suppressions.iter().any(|s| {
             s.rules.contains(&f.rule) && (f.line == s.end_line || f.line == s.end_line + 1)
         })
     });
     findings.sort_by_key(|f| (f.line, f.rule));
-    findings
 }
 
 // ---------------------------------------------------------------------
@@ -183,7 +221,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
 
 /// Per-token flag: true inside an item annotated `#[cfg(test)]` (the
 /// attribute itself included).
-fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -360,6 +398,55 @@ fn l002_no_discarded_guards(toks: &[Tok], in_test: &[bool], findings: &mut Vec<F
                         .to_owned(),
                 });
             }
+        }
+    }
+}
+
+/// L011 (token arm): a statement that ends in `.ok();` evaluated for
+/// nothing converts an error into silence — `fallible().ok();` neither
+/// propagates nor logs. (`let maybe = fallible().ok();` binds the
+/// Option and is fine; the `let _ =` arm lives in `graph.rs` where the
+/// callee's return type is known.)
+fn l011_no_statement_level_ok_discards(
+    toks: &[Tok],
+    in_test: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let ok_call = toks[i].is_ident("ok")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && matches!(toks.get(i + 1), Some(t) if t.is_punct('('))
+            && matches!(toks.get(i + 2), Some(t) if t.is_punct(')'))
+            && matches!(toks.get(i + 3), Some(t) if t.is_punct(';'));
+        if !ok_call {
+            continue;
+        }
+        // Only expression statements: a `let`, an assignment, or a
+        // `return` consumes the Option.
+        let mut start = i;
+        while start > 0 {
+            let prev = &toks[start - 1];
+            if prev.is_punct(';') || prev.is_punct('{') || prev.is_punct('}') {
+                break;
+            }
+            start -= 1;
+        }
+        let consumed = (start..i).any(|k| {
+            toks[k].is_ident("let") || toks[k].is_ident("return") || toks[k].is_punct('=')
+        });
+        if !consumed {
+            findings.push(Finding {
+                line: toks[i].line,
+                rule: Rule::L011,
+                msg: "`.ok();` silently discards this Result (the error is \
+                      lost); propagate with `?`, handle it, or suppress with \
+                      a written reason"
+                    .to_owned(),
+            });
         }
     }
 }

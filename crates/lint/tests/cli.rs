@@ -39,6 +39,12 @@ fn each_firing_fixture_exits_one_with_its_rule_on_stdout() {
         ("l004_fire.rs", "L004"),
         ("l005_fire.rs", "L005"),
         ("l006_fire.rs", "L006"),
+        ("l007_fire.rs", "L007"),
+        ("l008_fire.rs", "L008"),
+        ("l009_fire.rs", "L009"),
+        ("l010_fire.rs", "L010"),
+        ("l011_fire.rs", "L011"),
+        ("l012_fire.rs", "L012"),
         ("suppress_bad.rs", "L006"),
     ] {
         let out = bin().args(["--file", &fixture(name)]).output().unwrap();
@@ -57,11 +63,101 @@ fn clean_fixtures_exit_zero() {
         "l004_clean.rs",
         "l005_clean.rs",
         "l006_clean.rs",
+        "l007_clean.rs",
+        "l008_clean.rs",
+        "l009_clean.rs",
+        "l010_clean.rs",
+        "l011_clean.rs",
+        "l012_clean.rs",
         "suppress_ok.rs",
     ] {
         let out = bin().args(["--file", &fixture(name)]).output().unwrap();
         assert_eq!(out.status.code(), Some(0), "{name} must pass the gate");
     }
+}
+
+/// Pins the `--json` schema (`orpheus-lint/1`): the document and each
+/// finding object must keep their keys, parsed back with `obs::json` —
+/// the same parser the engine's tooling uses on this output.
+#[test]
+fn json_output_matches_schema() {
+    let out = bin()
+        .args(["--json", "--file", &fixture("l001_fire.rs")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let missing = obs::json::missing_keys(&text, &["schema", "files_scanned", "findings"])
+        .expect("--json must emit parseable JSON");
+    assert!(missing.is_empty(), "missing keys: {missing:?}");
+    let doc = obs::json::parse(&text).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some("orpheus-lint/1")
+    );
+    let findings = match doc.get("findings") {
+        Some(obs::json::Json::Arr(items)) => items,
+        other => panic!("findings must be an array, got {other:?}"),
+    };
+    assert!(!findings.is_empty(), "l001_fire must produce findings");
+    for f in findings {
+        for key in ["path", "line", "rule", "msg"] {
+            assert!(f.get(key).is_some(), "finding missing `{key}`:\n{text}");
+        }
+        assert_eq!(f.get("rule").and_then(|r| r.as_str()), Some("L001"));
+    }
+
+    // A clean run still emits the full skeleton, with an empty array.
+    let out = bin()
+        .args(["--json", "--file", &fixture("l001_clean.rs")])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let doc = obs::json::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert!(
+        matches!(doc.get("findings"), Some(obs::json::Json::Arr(v)) if v.is_empty()),
+        "clean runs keep the schema skeleton"
+    );
+}
+
+/// `--json` output is byte-stable across runs: findings are sorted by
+/// (path, line, rule) with no timestamps or map-iteration order inside.
+#[test]
+fn json_output_is_stable_across_runs() {
+    let run = || {
+        bin()
+            .args([
+                "--json",
+                "--file",
+                &fixture("l001_fire.rs"),
+                &fixture("l002_fire.rs"),
+            ])
+            .output()
+            .unwrap()
+            .stdout
+    };
+    assert_eq!(run(), run());
+}
+
+/// Satellite: the self-lint runtime budget from the lint's design —
+/// whole-workspace analysis must stay interactive (< 250 ms). Debug
+/// builds are several times slower, so the gate runs only when the
+/// binary under test is compiled with optimizations.
+#[cfg(not(debug_assertions))]
+#[test]
+fn release_self_lint_stays_under_250ms() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap();
+    let started = std::time::Instant::now();
+    let out = bin().arg(root).output().unwrap();
+    let elapsed = started.elapsed();
+    assert!(out.status.success(), "self-lint must be clean");
+    assert!(
+        elapsed < std::time::Duration::from_millis(250),
+        "release self-lint (including process spawn) took {elapsed:?}"
+    );
 }
 
 #[test]

@@ -168,6 +168,91 @@ fn l007_spares_the_exec_pool_crate_itself() {
 }
 
 #[test]
+fn l009_fires_on_opposite_lock_orders_in_one_file() {
+    let rules = rules_of("l009_fire.rs");
+    assert!(!rules.is_empty(), "opposite lock orders must close a cycle");
+    assert!(rules.iter().all(|r| *r == Rule::L009), "{rules:?}");
+}
+
+#[test]
+fn l009_spares_a_consistent_global_order() {
+    assert_clean("l009_clean.rs");
+}
+
+#[test]
+fn l009_catches_cross_file_cycles_via_the_call_graph() {
+    // The cycle spans two files: metrics holds its registry lock while
+    // calling into the journal; the journal holds its ring lock while
+    // calling back into metrics. Only the joint call graph sees it.
+    let a = fixture("l009_x_registry.rs");
+    let b = fixture("l009_x_journal.rs");
+    let joint = lint::lint_files(&[a.as_path(), b.as_path()]).unwrap();
+    assert!(
+        joint.iter().any(|f| f.finding.rule == Rule::L009),
+        "joint lint must find the cross-file cycle; got:\n{}",
+        joint
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        joint
+            .iter()
+            .any(|f| f.finding.msg.contains("metrics-registry")
+                && f.finding.msg.contains("journal-ring")),
+        "the finding names both lock classes in the cycle"
+    );
+    // Each half alone is clean: the cycle is interprocedural, not a
+    // same-function token pattern.
+    assert_clean("l009_x_registry.rs");
+    assert_clean("l009_x_journal.rs");
+}
+
+#[test]
+fn l010_fires_on_guard_held_across_blocking() {
+    let rules = rules_of("l010_fire.rs");
+    assert_eq!(
+        rules,
+        vec![Rule::L010, Rule::L010],
+        "direct sync_all + helper resolving to sync_data"
+    );
+}
+
+#[test]
+fn l010_spares_scoped_and_dropped_guards() {
+    assert_clean("l010_clean.rs");
+}
+
+#[test]
+fn l011_fires_on_silently_discarded_results() {
+    let rules = rules_of("l011_fire.rs");
+    assert_eq!(
+        rules.iter().filter(|r| **r == Rule::L011).count(),
+        2,
+        "statement-level `.ok();` + `let _ =` on a Result call: {rules:?}"
+    );
+    // The `let _ =` shape also draws L002's generic-discard finding;
+    // L011 adds the callee-aware *why*.
+    assert!(rules.iter().all(|r| *r == Rule::L011 || *r == Rule::L002));
+}
+
+#[test]
+fn l011_spares_propagated_and_consumed_results() {
+    assert_clean("l011_clean.rs");
+}
+
+#[test]
+fn l012_fires_on_untraced_command_entry_points() {
+    assert_eq!(rules_of("l012_fire.rs"), vec![Rule::L012]);
+}
+
+#[test]
+fn l012_spares_direct_and_transitive_spans() {
+    assert_clean("l012_clean.rs");
+}
+
+#[test]
 fn reasoned_suppressions_silence_the_rule() {
     assert_clean("suppress_ok.rs");
 }

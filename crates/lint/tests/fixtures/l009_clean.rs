@@ -1,0 +1,25 @@
+//@path crates/orpheus-server/src/lockdemo.rs
+//! L009 negative: both functions take the two locks in the same global
+//! order (`order_a` before `order_b`), so the lock graph has one edge
+//! and no cycle — nesting alone is not a finding.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    order_a: Mutex<u64>,
+    order_b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u64 {
+        let a = self.order_a.lock().unwrap_or_else(|e| e.into_inner());
+        let b = self.order_b.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+
+    pub fn diff(&self) -> u64 {
+        let a = self.order_a.lock().unwrap_or_else(|e| e.into_inner());
+        let b = self.order_b.lock().unwrap_or_else(|e| e.into_inner());
+        *a - *b
+    }
+}

@@ -1,0 +1,26 @@
+//@path crates/orpheus-server/src/lockdemo.rs
+//! L009 positive: two lock classes acquired in opposite orders by two
+//! functions in the same file. Either order alone is fine; together
+//! they form the cycle `order_a -> order_b -> order_a`, and two threads
+//! entering from different sides deadlock.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    order_a: Mutex<u64>,
+    order_b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let a = self.order_a.lock().unwrap_or_else(|e| e.into_inner());
+        let b = self.order_b.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u64 {
+        let b = self.order_b.lock().unwrap_or_else(|e| e.into_inner());
+        let a = self.order_a.lock().unwrap_or_else(|e| e.into_inner());
+        *a - *b
+    }
+}

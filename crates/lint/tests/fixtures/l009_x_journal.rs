@@ -1,0 +1,15 @@
+//@path crates/obs/src/journal.rs
+//! L009 cross-file positive, half 2 (the journal side). See
+//! `l009_x_registry.rs` for the full cycle description: `note` holds
+//! the `journal-ring` lock across a call that re-enters the metrics
+//! registry.
+
+use std::sync::Mutex;
+
+pub static RING: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+pub fn note(event: &str) {
+    let mut ring = RING.lock().unwrap_or_else(|e| e.into_inner());
+    ring.push(event.to_owned());
+    crate::metrics::touch();
+}

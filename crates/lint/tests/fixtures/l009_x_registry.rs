@@ -1,0 +1,24 @@
+//@path crates/obs/src/metrics.rs
+//! L009 cross-file positive, half 1 (the metrics side).
+//!
+//! `bump_with_journal` holds the `metrics-registry` lock while calling
+//! into the journal module; the other half (`l009_x_journal.rs`) holds
+//! the `journal-ring` lock while calling back into `touch`. Linted
+//! together the two files close the interprocedural cycle
+//! `metrics-registry -> journal-ring -> metrics-registry`; linted alone
+//! each half is clean because the cross-module call cannot resolve.
+
+use std::sync::Mutex;
+
+pub static REG: Mutex<u64> = Mutex::new(0);
+
+pub fn bump_with_journal() {
+    let mut reg = REG.lock().unwrap_or_else(|e| e.into_inner());
+    *reg += 1;
+    crate::journal::note("bump");
+}
+
+pub fn touch() {
+    let mut reg = REG.lock().unwrap_or_else(|e| e.into_inner());
+    *reg += 1;
+}

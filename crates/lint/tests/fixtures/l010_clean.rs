@@ -1,0 +1,30 @@
+//@path crates/pagestore/src/flushdemo.rs
+//! L010 negative: the guard is scoped out or explicitly dropped before
+//! the blocking I/O starts, so no other thread stalls behind the fsync.
+
+use std::fs::File;
+use std::sync::Mutex;
+
+pub struct Meta {
+    dirty: Mutex<u64>,
+}
+
+impl Meta {
+    pub fn flush_scoped(&self, f: &File) -> Result<(), std::io::Error> {
+        {
+            let mut dirty = self.dirty.lock().unwrap_or_else(|e| e.into_inner());
+            *dirty = 0;
+        }
+        f.sync_all()
+    }
+
+    pub fn flush_dropped(&self, f: &File) -> Result<(), std::io::Error> {
+        let dirty = self.dirty.lock().unwrap_or_else(|e| e.into_inner());
+        let want = *dirty > 0;
+        drop(dirty);
+        if want {
+            f.sync_all()?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,31 @@
+//@path crates/pagestore/src/flushdemo.rs
+//! L010 positive: a mutex guard held across fsync-class blocking calls —
+//! once directly (`sync_all`) and once through a helper the call graph
+//! resolves to a `sync_data` (the interprocedural case).
+
+use std::fs::File;
+use std::sync::Mutex;
+
+pub struct Meta {
+    dirty: Mutex<u64>,
+}
+
+impl Meta {
+    pub fn flush_direct(&self, f: &File) -> Result<(), std::io::Error> {
+        let mut dirty = self.dirty.lock().unwrap_or_else(|e| e.into_inner());
+        f.sync_all()?;
+        *dirty = 0;
+        Ok(())
+    }
+
+    pub fn flush_via_helper(&self, f: &File) -> Result<(), std::io::Error> {
+        let mut dirty = self.dirty.lock().unwrap_or_else(|e| e.into_inner());
+        persist(f)?;
+        *dirty = 0;
+        Ok(())
+    }
+}
+
+fn persist(f: &File) -> Result<(), std::io::Error> {
+    f.sync_data()
+}

@@ -1,0 +1,25 @@
+//@path crates/relstore/src/okdemo.rs
+//! L011 negative: results are propagated with `?`, handled, or the
+//! `.ok()` Option is actually consumed (tail position / bound).
+
+pub fn read_page(id: u64) -> Result<Vec<u8>, String> {
+    if id == 0 {
+        return Err("page 0 is reserved".to_owned());
+    }
+    Ok(vec![0u8; 16])
+}
+
+pub fn checkpoint_header(id: u64) -> Result<usize, String> {
+    let page = read_page(id)?;
+    Ok(page.len())
+}
+
+pub fn best_effort(id: u64) -> Option<Vec<u8>> {
+    read_page(id).ok()
+}
+
+pub fn logged(id: u64) {
+    if let Err(e) = read_page(id) {
+        eprintln!("prefetch {id} failed: {e}");
+    }
+}

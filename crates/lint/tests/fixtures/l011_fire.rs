@@ -1,0 +1,20 @@
+//@path crates/relstore/src/okdemo.rs
+//! L011 positive: fallible results silently discarded in engine library
+//! code — a statement-level `.ok();` and a `let _ =` on a call the
+//! graph resolves to a Result-returning function (the latter also draws
+//! L002's generic-discard finding; L011 adds the *why*).
+
+pub fn read_page(id: u64) -> Result<Vec<u8>, String> {
+    if id == 0 {
+        return Err("page 0 is reserved".to_owned());
+    }
+    Ok(vec![0u8; 16])
+}
+
+pub fn checkpoint_header(id: u64) {
+    read_page(id).ok();
+}
+
+pub fn prefetch(id: u64) {
+    let _ = read_page(id);
+}

@@ -1,0 +1,21 @@
+//@path crates/orpheus-core/src/cmddemo.rs
+//! L012 negative: entry points that open a span directly, or through a
+//! helper the call graph resolves (the span need not be lexical).
+
+pub struct CommandOutput {
+    pub rows: usize,
+}
+
+pub fn run_traced(rec: &obs::Recorder, sql: &str) -> Result<CommandOutput, String> {
+    let _span = rec.enter("command");
+    Ok(CommandOutput { rows: sql.len() })
+}
+
+pub fn run_traced_transitively(rec: &obs::Recorder) -> Result<CommandOutput, String> {
+    let _span = traced_scope(rec);
+    Ok(CommandOutput { rows: 0 })
+}
+
+fn traced_scope(rec: &obs::Recorder) -> obs::SpanGuard {
+    rec.enter("command")
+}

@@ -1,0 +1,15 @@
+//@path crates/orpheus-core/src/cmddemo.rs
+//! L012 positive: a pub command entry point that returns a
+//! CommandOutput without ever opening an obs span — the request would
+//! be invisible to the journal and the slow-query log.
+
+pub struct CommandOutput {
+    pub rows: usize,
+}
+
+pub fn run_untraced(sql: &str) -> Result<CommandOutput, String> {
+    if sql.is_empty() {
+        return Err("empty command".to_owned());
+    }
+    Ok(CommandOutput { rows: 0 })
+}

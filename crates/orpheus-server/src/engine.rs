@@ -163,6 +163,7 @@ impl EngineHandle {
     /// Run a non-commit command on the engine thread and wait for it.
     /// `trace` is the originating request's trace id (`0` = untraced);
     /// engine-side spans re-attach to it.
+    // lint:allow(L012): traced engine-side in run_one via enter_with (the work crosses an mpsc channel the lint call graph cannot follow)
     pub fn execute(
         &self,
         session: u64,
@@ -190,6 +191,7 @@ impl EngineHandle {
     /// Submit a commit through the bounded admission queue. Rejected with
     /// [`code::BACKPRESSURE`] — without blocking and without queueing —
     /// when `admission_capacity` commits are already waiting.
+    // lint:allow(L012): traced engine-side in run_one via enter_with, re-attached to `trace` across the group-commit channel
     pub fn submit_commit(
         &self,
         session: u64,

@@ -258,6 +258,7 @@ fn worker_loop(
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),
             };
+            // lint:allow(L010): deliberate — idle workers serialize on the one shared Receiver; the guard is held only for this bounded 100 ms wait, never across session work or engine I/O
             rx.recv_timeout(Duration::from_millis(100))
         };
         match next {
