@@ -14,6 +14,12 @@
 //! threads wall-clock leg either ran (hosts with ≥4 cores) and met its
 //! floor, or recorded its skip reason.
 //!
+//! And of `$ORPHEUS_RESULTS_DIR/frontier_smoke.json` (the page-format
+//! storage/recreation gate): Delta strictly undercuts Flat's stored
+//! bytes past the recorded floor, every budget-frontier point respects
+//! its β, the LMG/exact oracle ratio holds, and the full (1M) tier ran
+//! or recorded why it did not.
+//!
 //! Exit status 1 on any regression. When an intentional engine change moves
 //! a counter, refresh the baseline:
 //!
@@ -92,6 +98,31 @@ fn main() -> ExitCode {
             report
                 .regressions
                 .push("parallel_scaling.json: missing — scaling gate did not run".into());
+        }
+    }
+
+    // Frontier results: absolute page-format storage/recreation
+    // assertions over the frontier smoke run.
+    let frontier_path = bench::results_dir().join("frontier_smoke.json");
+    match load(&frontier_path) {
+        Ok(frontier) => {
+            let f = bench::gate::check_frontier(&frontier);
+            if let Some(reason) = frontier
+                .get_path("full_tier/skip_reason")
+                .and_then(obs::Json::as_str)
+                .filter(|r| !r.is_empty())
+            {
+                println!("  frontier full tier skipped: {reason}");
+            }
+            println!("perf gate: {} frontier assertion(s) checked", f.checked);
+            report.checked += f.checked;
+            report.regressions.extend(f.regressions);
+        }
+        Err(err) => {
+            eprintln!("perf gate: {err}");
+            report
+                .regressions
+                .push("frontier_smoke.json: missing — page-format gate did not run".into());
         }
     }
 

@@ -197,6 +197,148 @@ pub fn check_scaling(doc: &Json) -> GateReport {
     report
 }
 
+/// Absolute assertions over the `frontier_smoke.json` results document
+/// (the page-format storage/recreation gate).
+///
+/// Baseline-free, like [`check_scaling`]: for every dataset the Delta
+/// format must *strictly* undercut Flat's stored bytes and clear the
+/// recorded `min_reduction_pct`; every frontier point must respect its
+/// budget (`storage_records ≤ beta`) and more budget must never worsen
+/// the objective (ΣR at the loosest factor ≤ ΣR at the tightest); the
+/// budget-oracle leg must stay within its recorded LMG/exact ratio bound
+/// or record why it was skipped; and the full (1M) tier must either have
+/// run or carry a skip reason — a silently dropped leg is a regression.
+/// Wall-clock checkout times are reported but never gated.
+pub fn check_frontier(doc: &Json) -> GateReport {
+    let mut report = GateReport::default();
+    let num = |v: &Json, path: &str| v.get_path(path).and_then(Json::as_f64);
+
+    let datasets = match doc.get("datasets") {
+        Some(Json::Arr(d)) if !d.is_empty() => d.as_slice(),
+        _ => {
+            report.regressions.push("datasets: missing or empty".into());
+            report.checked += 1;
+            &[]
+        }
+    };
+    for (i, ds) in datasets.iter().enumerate() {
+        let name = ds
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_owned();
+        report.checked += 1;
+        match (
+            num(ds, "storage/flat_bytes"),
+            num(ds, "storage/delta_bytes"),
+        ) {
+            (Some(flat), Some(delta)) if delta < flat => {}
+            (Some(flat), Some(delta)) => report.regressions.push(format!(
+                "datasets[{i}] {name}: delta_bytes {delta} must be strictly below flat_bytes {flat}"
+            )),
+            _ => report.regressions.push(format!(
+                "datasets[{i}] {name}: storage/flat_bytes or delta_bytes missing"
+            )),
+        }
+        report.checked += 1;
+        match (
+            num(ds, "storage/reduction_pct"),
+            num(ds, "storage/min_reduction_pct"),
+        ) {
+            (Some(got), Some(floor)) if got + f64::EPSILON >= floor => {}
+            (Some(got), Some(floor)) => report.regressions.push(format!(
+                "datasets[{i}] {name}: reduction {got:.1}% below the {floor:.0}% floor"
+            )),
+            _ => report.regressions.push(format!(
+                "datasets[{i}] {name}: storage/reduction_pct(+min) missing"
+            )),
+        }
+        report.checked += 1;
+        match ds.get("frontier") {
+            Some(Json::Arr(points)) if !points.is_empty() => {
+                for (j, p) in points.iter().enumerate() {
+                    match (num(p, "storage_records"), num(p, "beta")) {
+                        (Some(s), Some(b)) if s <= b => {}
+                        (Some(s), Some(b)) => report.regressions.push(format!(
+                            "datasets[{i}] {name} frontier[{j}]: storage {s} exceeds budget β {b}"
+                        )),
+                        _ => report.regressions.push(format!(
+                            "datasets[{i}] {name} frontier[{j}]: storage_records or beta missing"
+                        )),
+                    }
+                }
+                let first = num(&points[0], "sum_recreation");
+                let last = points.last().and_then(|p| num(p, "sum_recreation"));
+                match (first, last) {
+                    (Some(tight), Some(loose)) if loose <= tight => {}
+                    (Some(tight), Some(loose)) => report.regressions.push(format!(
+                        "datasets[{i}] {name}: ΣR worsened with budget ({tight} → {loose})"
+                    )),
+                    _ => report.regressions.push(format!(
+                        "datasets[{i}] {name}: frontier sum_recreation missing"
+                    )),
+                }
+            }
+            _ => report
+                .regressions
+                .push(format!("datasets[{i}] {name}: frontier missing or empty")),
+        }
+    }
+
+    report.checked += 1;
+    match doc.get_path("budget_oracle/ran") {
+        Some(Json::Bool(true)) => {
+            match (
+                num(doc, "budget_oracle/worst_ratio"),
+                num(doc, "budget_oracle/max_ratio"),
+            ) {
+                (Some(worst), Some(max)) if worst <= max => {}
+                (Some(worst), Some(max)) => report.regressions.push(format!(
+                    "budget_oracle: LMG/exact ratio {worst:.3} above the {max:.1} bound"
+                )),
+                _ => report
+                    .regressions
+                    .push("budget_oracle: worst_ratio/max_ratio missing".into()),
+            }
+        }
+        Some(Json::Bool(false)) => {
+            let reason = doc
+                .get_path("budget_oracle/skip_reason")
+                .and_then(Json::as_str)
+                .unwrap_or("");
+            if reason.is_empty() {
+                report
+                    .regressions
+                    .push("budget_oracle: skipped without a recorded skip_reason".into());
+            }
+        }
+        _ => report
+            .regressions
+            .push("budget_oracle/ran: missing from results".into()),
+    }
+
+    report.checked += 1;
+    match doc.get_path("full_tier/ran") {
+        Some(Json::Bool(true)) => {}
+        Some(Json::Bool(false)) => {
+            let reason = doc
+                .get_path("full_tier/skip_reason")
+                .and_then(Json::as_str)
+                .unwrap_or("");
+            if reason.is_empty() {
+                report
+                    .regressions
+                    .push("full_tier: skipped without a recorded skip_reason".into());
+            }
+        }
+        _ => report
+            .regressions
+            .push("full_tier/ran: missing from results".into()),
+    }
+
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +497,167 @@ mod tests {
     fn scaling_missing_counters_fail() {
         let doc = obs::parse(r#"{"cores": 1}"#).unwrap();
         let r = check_scaling(&doc);
+        assert_eq!(r.regressions.len(), 3, "{:?}", r.regressions);
+    }
+
+    // lint:allow too_many_arguments — fixture builder: each test names only
+    // the knob it perturbs, a params struct would just duplicate the JSON.
+    #[allow(clippy::too_many_arguments)]
+    fn frontier_doc(
+        flat: f64,
+        delta: f64,
+        reduction: f64,
+        storage: f64,
+        beta: f64,
+        sum_tight: f64,
+        sum_loose: f64,
+        worst_ratio: f64,
+        full_ran: bool,
+        full_reason: &str,
+    ) -> Json {
+        obs::parse(&format!(
+            r#"{{
+              "tier": "smoke",
+              "datasets": [
+                {{
+                  "name": "SCI_SMOKE",
+                  "versions": 60,
+                  "records": 2400,
+                  "storage": {{
+                    "flat_bytes": {flat},
+                    "delta_bytes": {delta},
+                    "reduction_pct": {reduction},
+                    "min_reduction_pct": 10.0
+                  }},
+                  "recreation": {{
+                    "sampled_versions": 12,
+                    "flat_ms_per_checkout": 1.0,
+                    "delta_ms_per_checkout": 1.2,
+                    "delta_decoded_tuples": 9000
+                  }},
+                  "frontier": [
+                    {{"factor": 1.0, "beta": {beta}, "min_storage": {beta},
+                      "storage_records": {storage}, "sum_recreation": {sum_tight},
+                      "max_recreation": 900, "materialized": 1}},
+                    {{"factor": 5.0, "beta": {b5}, "min_storage": {beta},
+                      "storage_records": {storage}, "sum_recreation": {sum_loose},
+                      "max_recreation": 400, "materialized": 7}}
+                  ]
+                }}
+              ],
+              "budget_oracle": {{
+                "ran": true, "skip_reason": "", "cases": 12,
+                "worst_ratio": {worst_ratio}, "max_ratio": 1.5
+              }},
+              "full_tier": {{ "ran": {full_ran}, "skip_reason": "{full_reason}" }}
+            }}"#,
+            b5 = beta * 5.0,
+        ))
+        .unwrap()
+    }
+
+    fn good_frontier() -> Json {
+        frontier_doc(
+            100_000.0,
+            40_000.0,
+            60.0,
+            5000.0,
+            5000.0,
+            9000.0,
+            4000.0,
+            1.1,
+            false,
+            "tier runs locally",
+        )
+    }
+
+    #[test]
+    fn frontier_good_doc_passes() {
+        let r = check_frontier(&good_frontier());
+        assert!(r.passed(), "{:?}", r.regressions);
+        // 3 per dataset + oracle + full-tier contract.
+        assert_eq!(r.checked, 5);
+    }
+
+    #[test]
+    fn frontier_delta_not_smaller_fails() {
+        let doc = frontier_doc(
+            100_000.0, 100_000.0, 0.0, 5000.0, 5000.0, 9000.0, 4000.0, 1.1, false, "local",
+        );
+        let r = check_frontier(&doc);
+        assert!(!r.passed());
+        assert!(r
+            .regressions
+            .iter()
+            .any(|m| m.contains("strictly below flat_bytes")));
+    }
+
+    #[test]
+    fn frontier_reduction_floor_enforced() {
+        let doc = frontier_doc(
+            100_000.0, 98_000.0, 2.0, 5000.0, 5000.0, 9000.0, 4000.0, 1.1, false, "local",
+        );
+        let r = check_frontier(&doc);
+        assert!(!r.passed());
+        assert!(r
+            .regressions
+            .iter()
+            .any(|m| m.contains("below the 10% floor")));
+    }
+
+    #[test]
+    fn frontier_budget_overrun_fails() {
+        let doc = frontier_doc(
+            100_000.0, 40_000.0, 60.0, 6000.0, 5000.0, 9000.0, 4000.0, 1.1, false, "local",
+        );
+        let r = check_frontier(&doc);
+        assert!(!r.passed());
+        assert!(r.regressions.iter().any(|m| m.contains("exceeds budget")));
+    }
+
+    #[test]
+    fn frontier_recreation_must_not_worsen_with_budget() {
+        let doc = frontier_doc(
+            100_000.0, 40_000.0, 60.0, 5000.0, 5000.0, 4000.0, 9000.0, 1.1, false, "local",
+        );
+        let r = check_frontier(&doc);
+        assert!(!r.passed());
+        assert!(r
+            .regressions
+            .iter()
+            .any(|m| m.contains("worsened with budget")));
+    }
+
+    #[test]
+    fn frontier_oracle_ratio_bound_enforced() {
+        let doc = frontier_doc(
+            100_000.0, 40_000.0, 60.0, 5000.0, 5000.0, 9000.0, 4000.0, 2.7, false, "local",
+        );
+        let r = check_frontier(&doc);
+        assert!(!r.passed());
+        assert!(r
+            .regressions
+            .iter()
+            .any(|m| m.contains("above the 1.5 bound")));
+    }
+
+    #[test]
+    fn frontier_silent_full_tier_skip_fails() {
+        let doc = frontier_doc(
+            100_000.0, 40_000.0, 60.0, 5000.0, 5000.0, 9000.0, 4000.0, 1.1, false, "",
+        );
+        let r = check_frontier(&doc);
+        assert!(!r.passed());
+        assert!(r
+            .regressions
+            .iter()
+            .any(|m| m.contains("full_tier: skipped without a recorded skip_reason")));
+    }
+
+    #[test]
+    fn frontier_empty_doc_fails_everything() {
+        let doc = obs::parse(r#"{"tier": "smoke"}"#).unwrap();
+        let r = check_frontier(&doc);
         assert_eq!(r.regressions.len(), 3, "{:?}", r.regressions);
     }
 }

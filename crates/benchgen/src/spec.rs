@@ -97,6 +97,19 @@ impl DatasetSpec {
             DatasetSpec::cur("CUR_100K", 2000, 200, 50),
         ]
     }
+
+    /// The full-scale tier: 1M+ records across thousands of versions
+    /// (|R| ≈ |V| × I), used by the storage/recreation frontier bench.
+    /// Too large for the CI smoke gate — `frontier` runs these only when
+    /// `ORPHEUS_FRONTIER_TIER=full` (see EXPERIMENTS.md).
+    pub fn scale_presets() -> Vec<DatasetSpec> {
+        vec![
+            DatasetSpec::sci("SCI_1M", 4000, 400, 270),
+            // CUR spends one version per cycle on a merge (which creates
+            // no records), so it needs a higher I to clear 1M records.
+            DatasetSpec::cur("CUR_1M", 4000, 400, 300),
+        ]
+    }
 }
 
 /// Realized dataset statistics — one row of Table 5.2.

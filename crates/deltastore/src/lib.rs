@@ -31,6 +31,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod baselines;
+pub mod budget;
 pub mod delta;
 pub mod exact;
 pub mod gen;
@@ -43,6 +44,7 @@ pub mod solution;
 pub mod spanning;
 
 pub use baselines::gith;
+pub use budget::{plan_with_budget, BudgetPlan};
 pub use delta::{Delta, VersionContent};
 pub use gen::{GenConfig, GraphShape};
 pub use graph::{EdgeId, NodeId, StorageGraph, ROOT};

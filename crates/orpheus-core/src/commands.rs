@@ -700,6 +700,55 @@ impl OrpheusDb {
         Ok(n)
     }
 
+    /// `plan_storage`: solve the materialization-budget problem for a
+    /// CVD's version graph — which versions stay fully materialized and
+    /// which are stored as deltas under `C ≤ β = factor × C_min`
+    /// (deltastore Problem 7.3, LMG heuristic; the branch-and-bound in
+    /// `deltastore::exact` validates the heuristic in its own tests).
+    /// Costs are record counts: a materialization weighs `|records(v)|`,
+    /// a parent→child delta weighs the symmetric record difference.
+    pub fn plan_storage(&self, cvd_name: &str, factor: f64) -> Result<Vec<String>> {
+        let _span = self.db.recorder().enter("orpheus.plan_storage");
+        let handle = self.handle(cvd_name)?;
+        let cvd = &handle.cvd;
+        let n = cvd.num_versions();
+        let mut graph = deltastore::StorageGraph::new(n, false);
+        for (i, meta) in cvd.metas().iter().enumerate() {
+            let vid = Vid(i as u32);
+            let node = i + 1; // deltastore versions are 1-based
+            let recs = cvd.version_records(vid)?;
+            graph.add_materialization(node, recs.len() as u64, recs.len() as u64);
+            for &p in &meta.parents {
+                let (only_a, only_b) = cvd.diff(p, vid)?;
+                let d = (only_a.len() + only_b.len()).max(1) as u64;
+                graph.add_delta(p.0 as usize + 1, node, d, d);
+            }
+        }
+        let plan = deltastore::plan_with_budget(&graph, factor);
+        let mat = plan.materialized();
+        let mut out = vec![
+            format!(
+                "budget β = {} records ({} × min storage {})",
+                plan.beta, plan.factor, plan.min_storage
+            ),
+            format!(
+                "materialized {} of {n} version(s): {}",
+                mat.len(),
+                mat.iter()
+                    .map(|v| format!("v{}", v - 1))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ),
+        ];
+        out.push(format!(
+            "storage {} | sum recreation {} | max recreation {}",
+            plan.solution.storage_cost(),
+            plan.solution.sum_recreation(),
+            plan.solution.max_recreation()
+        ));
+        Ok(out)
+    }
+
     /// Checkout served by the partitioned store when one exists.
     pub fn checkout_rows_fast(&self, cvd_name: &str, vid: Vid) -> Result<(Vec<Row>, ExecContext)> {
         let _span = self.db.recorder().enter("orpheus.checkout");
@@ -1006,6 +1055,16 @@ impl OrpheusDb {
                     "partitioned {cvd} into {parts} partition(s)"
                 )))
             }
+            "plan_storage" => {
+                let cvd = arg_at(&args, 1)?.to_owned();
+                let factor = match flag_value(&args, "-b") {
+                    Ok(s) => deltastore::budget::parse_mat_budget(s)
+                        .map_err(|m| Error::Parse(format!("bad budget factor: {m}")))?,
+                    Err(_) => deltastore::budget::env_budget()
+                        .unwrap_or(deltastore::budget::DEFAULT_FACTOR),
+                };
+                Ok(CommandOutput::Listing(self.plan_storage(&cvd, factor)?))
+            }
             "run" => {
                 let sql = line[cmd.len()..].trim();
                 Ok(CommandOutput::Table(self.run(sql)?))
@@ -1302,6 +1361,40 @@ mod tests {
         )
         .unwrap();
         odb
+    }
+
+    #[test]
+    fn plan_storage_reports_materializations_under_budget() {
+        let mut odb = setup();
+        // Grow a few versions so the plan has real deltas to choose from.
+        for i in 0..4 {
+            odb.checkout("Interaction", &[Vid(i)], "w").unwrap();
+            let t = odb.staging_table_mut("w").unwrap();
+            t.insert(vec![
+                Value::from(format!("X{i}")),
+                Value::from(format!("Y{i}")),
+                Value::Int64(i as i64),
+            ])
+            .unwrap();
+            odb.commit("w", "grow").unwrap();
+        }
+        let out = odb.execute("plan_storage Interaction -b 1.0").unwrap();
+        let CommandOutput::Listing(lines) = out else {
+            panic!("expected listing, got {out:?}");
+        };
+        assert!(lines[0].contains("budget β"), "{lines:?}");
+        assert!(lines[1].contains("materialized"), "{lines:?}");
+        // With β = C_min only the root anchors; deltas carry the rest.
+        assert!(lines[1].contains("1 of 5"), "{lines:?}");
+        // A loose budget may only lower the recreation objective.
+        let loose = odb.execute("plan_storage Interaction -b 5.0").unwrap();
+        let CommandOutput::Listing(loose_lines) = loose else {
+            panic!("expected listing");
+        };
+        assert!(loose_lines[2].contains("sum recreation"), "{loose_lines:?}");
+        // Bad factors are parse errors, not silent defaults.
+        assert!(odb.execute("plan_storage Interaction -b nope").is_err());
+        assert!(odb.execute("plan_storage Interaction -b 0.5").is_err());
     }
 
     #[test]

@@ -385,6 +385,21 @@ impl BufferPool {
         self.stats.borrow_mut().morsel_allocs += n;
     }
 
+    /// Count `bytes` of tuple payload written through the page codec.
+    pub fn note_tuple_encoded(&self, bytes: u64) {
+        self.stats.borrow_mut().tuple_bytes_encoded += bytes;
+    }
+
+    /// Count `n` tuples decoded from page bytes back into rows.
+    pub fn note_tuples_decoded(&self, n: u64) {
+        self.stats.borrow_mut().tuples_decoded += n;
+    }
+
+    /// Count wall-clock microseconds spent decoding on the scan path.
+    pub fn note_decode_micros(&self, us: u64) {
+        self.stats.borrow_mut().decode_micros += us;
+    }
+
     /// Pin `id` for writing; the frame is marked dirty once the exclusive
     /// borrow succeeds. A page with any live guard fails with
     /// [`Error::PageBusy`] — and stays clean, so a failed attempt never

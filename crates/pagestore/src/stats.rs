@@ -37,6 +37,17 @@ pub struct IoStats {
     /// per-row scratch) — the allocations the lease rework moved out of
     /// the per-row path. Should stay O(workers), not O(rows).
     pub morsel_allocs: u64,
+    /// Bytes of tuple payload written through the page codec (Flat or
+    /// Delta). The frontier bench divides this by logical row bytes to
+    /// report the compression ratio; the perf gate pins it.
+    pub tuple_bytes_encoded: u64,
+    /// Tuples decoded from page bytes back into rows (scan + fetch paths,
+    /// sequential and morsel workers alike — thread-count independent).
+    pub tuples_decoded: u64,
+    /// Wall-clock microseconds spent decoding page tuples on the
+    /// page-scan path. Published as a gauge, never gated: latency is
+    /// host-dependent (see crates/bench/src/gate.rs).
+    pub decode_micros: u64,
 }
 
 impl IoStats {
@@ -87,6 +98,11 @@ impl IoStats {
                 .bytes_copied_to_workers
                 .saturating_sub(earlier.bytes_copied_to_workers),
             morsel_allocs: self.morsel_allocs.saturating_sub(earlier.morsel_allocs),
+            tuple_bytes_encoded: self
+                .tuple_bytes_encoded
+                .saturating_sub(earlier.tuple_bytes_encoded),
+            tuples_decoded: self.tuples_decoded.saturating_sub(earlier.tuples_decoded),
+            decode_micros: self.decode_micros.saturating_sub(earlier.decode_micros),
         }
     }
 
@@ -103,6 +119,9 @@ impl IoStats {
         self.checkpoints += other.checkpoints;
         self.bytes_copied_to_workers += other.bytes_copied_to_workers;
         self.morsel_allocs += other.morsel_allocs;
+        self.tuple_bytes_encoded += other.tuple_bytes_encoded;
+        self.tuples_decoded += other.tuples_decoded;
+        self.decode_micros += other.decode_micros;
     }
 
     /// Publish every counter into a metrics registry under
@@ -121,6 +140,11 @@ impl IoStats {
             self.bytes_copied_to_workers,
         );
         registry.counter_set("pagestore.pool.morsel_allocs", self.morsel_allocs);
+        registry.counter_set("pagestore.page.encoded_bytes", self.tuple_bytes_encoded);
+        registry.counter_set("pagestore.page.decoded_tuples", self.tuples_decoded);
+        // Wall-clock: a gauge, not a counter — the perf gate never pins
+        // latency, only deterministic work counters.
+        registry.gauge_set("pagestore.page.decode_us", self.decode_micros as f64);
         registry.counter_set("pagestore.wal.appends", self.wal_appends);
         registry.counter_set("pagestore.wal.bytes", self.wal_bytes);
         registry.counter_set("pagestore.wal.fsyncs", self.wal_fsyncs);
@@ -259,6 +283,31 @@ mod tests {
         // Display stays silent while the zero-copy path holds.
         assert!(!format!("{}", IoStats::new()).contains("copied"));
         assert!(format!("{s}").contains("10240 B copied / 7 morsel allocs"));
+    }
+
+    #[test]
+    fn codec_counters_flow_through_since_absorb_and_publish() {
+        let mut s = IoStats::new();
+        s.tuple_bytes_encoded = 1000;
+        s.tuples_decoded = 10;
+        s.decode_micros = 50;
+        let snap = s;
+        s.tuple_bytes_encoded = 1600;
+        s.tuples_decoded = 25;
+        s.decode_micros = 80;
+        let d = s.since(&snap);
+        assert_eq!(d.tuple_bytes_encoded, 600);
+        assert_eq!(d.tuples_decoded, 15);
+        assert_eq!(d.decode_micros, 30);
+        let mut acc = IoStats::new();
+        acc.absorb(&d);
+        acc.absorb(&d);
+        assert_eq!(acc.tuples_decoded, 30);
+        let reg = obs::Registry::new();
+        s.publish(&reg);
+        assert_eq!(reg.counter("pagestore.page.encoded_bytes"), 1600);
+        assert_eq!(reg.counter("pagestore.page.decoded_tuples"), 25);
+        assert_eq!(reg.gauge("pagestore.page.decode_us"), Some(80.0));
     }
 
     #[test]

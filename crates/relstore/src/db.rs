@@ -1,5 +1,6 @@
 //! A named catalog of tables over one shared buffer pool.
 
+use crate::codec::PageFormatKind;
 use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::table::{Table, DEFAULT_POOL_PAGES};
@@ -25,6 +26,11 @@ pub struct Database {
     recorder: Recorder,
     /// Scoped metrics registry ([`publish_metrics`](Self::publish_metrics)).
     metrics: Registry,
+    /// Page format given to tables created through the catalog
+    /// ([`create_table`](Self::create_table)); `ORPHEUS_PAGE_FORMAT`
+    /// seeds it, [`set_default_format`](Self::set_default_format)
+    /// overrides it.
+    default_format: PageFormatKind,
 }
 
 impl Default for Database {
@@ -51,7 +57,19 @@ impl Database {
             pool: Rc::new(pool),
             recorder,
             metrics: Registry::new(),
+            default_format: PageFormatKind::from_env(),
         }
+    }
+
+    /// Page format tables created through this catalog will use.
+    pub fn default_format(&self) -> PageFormatKind {
+        self.default_format
+    }
+
+    /// Override the page format for tables created from here on; existing
+    /// tables keep the format they were created with.
+    pub fn set_default_format(&mut self, kind: PageFormatKind) {
+        self.default_format = kind;
     }
 
     /// Open (or create) a database whose shared pool is backed by a
@@ -126,7 +144,12 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(Error::TableExists(name));
         }
-        let table = Table::with_pool(name.clone(), schema, Rc::clone(&self.pool));
+        let table = Table::with_format(
+            name.clone(),
+            schema,
+            Rc::clone(&self.pool),
+            self.default_format,
+        );
         Ok(self.tables.entry(name).or_insert(table))
     }
 
@@ -188,6 +211,17 @@ impl Database {
             .iter()
             .map(|n| self.tables[*n].storage_bytes())
             .sum()
+    }
+
+    /// Physical on-page bytes (per the page format, including dictionary
+    /// pages) of tables matching a prefix. Scans the heaps; see
+    /// [`Table::encoded_bytes`].
+    pub fn encoded_bytes_with_prefix(&self, prefix: &str) -> Result<usize> {
+        let mut total = 0;
+        for n in self.tables_with_prefix(prefix) {
+            total += self.tables[n].encoded_bytes()?;
+        }
+        Ok(total)
     }
 }
 
@@ -311,6 +345,40 @@ mod tests {
         let m = db.metrics();
         assert!(m.counter("pagestore.pool.logical_reads") > 0);
         assert!(m.gauge("pagestore.pool.hit_ratio").is_some());
+    }
+
+    #[test]
+    fn default_format_flows_into_created_tables() {
+        let mut db = Database::with_pool_capacity(8);
+        assert_eq!(db.default_format(), PageFormatKind::Flat);
+        db.create_table("f", schema()).unwrap();
+        assert_eq!(db.table("f").unwrap().format_kind(), PageFormatKind::Flat);
+        db.set_default_format(PageFormatKind::Delta);
+        db.create_table("d", schema()).unwrap();
+        assert_eq!(db.table("d").unwrap().format_kind(), PageFormatKind::Delta);
+        // Same logical rows, identical reads back, smaller pages.
+        for t in ["f", "d"] {
+            let table = db.table_mut(t).unwrap();
+            for i in 0..200 {
+                table.insert(vec![Value::Int64(i)]).unwrap();
+            }
+        }
+        let flat = db.table("f").unwrap();
+        let delta = db.table("d").unwrap();
+        assert_eq!(
+            flat.iter().map(|(_, r)| r).collect::<Vec<_>>(),
+            delta.iter().map(|(_, r)| r).collect::<Vec<_>>()
+        );
+        assert!(
+            delta.encoded_bytes().unwrap() < flat.encoded_bytes().unwrap(),
+            "delta {} B should undercut flat {} B",
+            delta.encoded_bytes().unwrap(),
+            flat.encoded_bytes().unwrap()
+        );
+        assert_eq!(
+            db.encoded_bytes_with_prefix("f").unwrap(),
+            flat.encoded_bytes().unwrap()
+        );
     }
 
     #[test]

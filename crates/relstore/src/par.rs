@@ -31,7 +31,6 @@
 //! without spawning, so `threads=1` is the sequential engine in both
 //! result bytes and thread behaviour.
 
-use crate::codec;
 use crate::cost::CostTracker;
 use crate::error::{Error, Result};
 use crate::exec::{join_key, BoxExec, ExecContext, Executor};
@@ -209,17 +208,20 @@ impl<'a> ParSeqScan<'a> {
             .seq_scan(self.table.heap_size() as u64, &ctx.model);
         let predicate = self.predicate.as_ref();
         let projection = self.projection.as_deref();
+        let decoder = self.table.decoder();
         let mut waves = LeaseWaves::new(self.table);
         while let Some(wave) = waves.next_wave(&mut ctx.tracker)? {
             let tasks: Vec<_> = wave
                 .into_iter()
                 .map(|morsel| {
+                    let decoder = decoder.clone();
                     move |worker: usize| -> Result<(usize, Vec<Row>, CostTracker)> {
                         let mut tracker = CostTracker::new();
                         let mut rows = Vec::new();
                         for view in &morsel {
                             for bytes in view.tuples().map_err(Error::from)? {
-                                let (_, row) = codec::decode_row(bytes)?;
+                                let (_, row) = decoder.decode_row(bytes)?;
+                                tracker.measured.tuples_decoded += 1;
                                 if let Some(p) = predicate {
                                     if !p.matches(&row, &mut tracker)? {
                                         continue;
@@ -241,10 +243,16 @@ impl<'a> ParSeqScan<'a> {
                 .collect();
             let results = self.pool.run(tasks)?;
             let mut worker_rows = self.worker_rows.borrow_mut();
+            let mut wave_decoded = 0;
             for result in results {
                 let (worker, rows, tracker) = result?;
+                wave_decoded += tracker.measured.tuples_decoded;
                 merge_morsel(&mut self.out, &mut worker_rows, ctx, worker, rows, tracker);
             }
+            // Mirror the workers' decode tally into the pool counter
+            // outside any since-window (the morsel_allocs pattern), so
+            // pagestore.page.decoded_tuples stays thread-count-invariant.
+            self.table.pool().note_tuples_decoded(wave_decoded);
         }
         Ok(())
     }
@@ -402,11 +410,13 @@ impl<'a> ParHashJoin<'a> {
         self.probe.pool().note_morsel_allocs(workers as u64);
         ctx.tracker.measured.morsel_allocs += workers as u64;
         let scratch = &scratch;
+        let decoder = self.probe.decoder();
         let mut waves = LeaseWaves::new(self.probe);
         while let Some(wave) = waves.next_wave(&mut ctx.tracker)? {
             let tasks: Vec<_> = wave
                 .into_iter()
                 .map(|morsel| {
+                    let decoder = decoder.clone();
                     move |worker: usize| -> Result<(usize, Vec<Row>, CostTracker)> {
                         let mut tracker = CostTracker::new();
                         let mut rows = Vec::new();
@@ -415,7 +425,8 @@ impl<'a> ParHashJoin<'a> {
                             .unwrap_or_else(PoisonError::into_inner);
                         for view in &morsel {
                             for bytes in view.tuples().map_err(Error::from)? {
-                                let (_, probe_row) = codec::decode_row(bytes)?;
+                                let (_, probe_row) = decoder.decode_row(bytes)?;
+                                tracker.measured.tuples_decoded += 1;
                                 tracker.ops(1); // hash probe
                                 let Some(k) = join_key(&probe_row, probe_key)? else {
                                     continue;
@@ -461,10 +472,13 @@ impl<'a> ParHashJoin<'a> {
                 .collect();
             let results = self.pool.run(tasks)?;
             let mut worker_rows = self.worker_rows.borrow_mut();
+            let mut wave_decoded = 0;
             for result in results {
                 let (worker, rows, tracker) = result?;
+                wave_decoded += tracker.measured.tuples_decoded;
                 merge_morsel(&mut self.out, &mut worker_rows, ctx, worker, rows, tracker);
             }
+            self.probe.pool().note_tuples_decoded(wave_decoded);
         }
         Ok(())
     }

@@ -9,7 +9,7 @@
 //! [`TupleAddr`]; indexes likewise stay in memory, but the heap fetch an
 //! index probe triggers is charged to the pool like any other.
 
-use crate::codec;
+use crate::codec::{self, PageFormat, PageFormatKind, RowDecoder};
 use crate::cost::{CostModel, CostTracker};
 use crate::error::{Error, Result};
 use crate::index::{Index, IndexKind};
@@ -66,6 +66,8 @@ pub struct Table {
     bytes_live: usize,
     clustering: Clustering,
     indexes: HashMap<String, IndexEntry>,
+    /// Tuple codec for this table's heap pages (Flat or Delta).
+    format: Box<dyn PageFormat>,
 }
 
 impl Table {
@@ -80,8 +82,25 @@ impl Table {
     }
 
     /// A table whose pages live in `pool` (shared with other tables of the
-    /// same database).
+    /// same database), in the Flat (seed) tuple format.
     pub fn with_pool(name: impl Into<String>, schema: Schema, pool: Rc<BufferPool>) -> Self {
+        Table::with_format(name, schema, pool, PageFormatKind::Flat)
+    }
+
+    /// A table using an explicit page format. Delta tables get a string
+    /// dictionary backed by dictionary pages in the same pool.
+    pub fn with_format(
+        name: impl Into<String>,
+        schema: Schema,
+        pool: Rc<BufferPool>,
+        kind: PageFormatKind,
+    ) -> Self {
+        let format: Box<dyn PageFormat> = match kind {
+            PageFormatKind::Flat => Box::new(codec::FlatFormat),
+            PageFormatKind::Delta => {
+                Box::new(codec::DeltaFormat::with_dict_pages(Rc::clone(&pool)))
+            }
+        };
         Table {
             name: name.into(),
             schema,
@@ -92,7 +111,19 @@ impl Table {
             bytes_live: 0,
             clustering: Clustering::None,
             indexes: HashMap::new(),
+            format,
         }
+    }
+
+    /// Which tuple codec this table's heap pages use.
+    pub fn format_kind(&self) -> PageFormatKind {
+        self.format.kind()
+    }
+
+    /// A `Send + Sync` decoder snapshot for morsel workers; covers every
+    /// tuple written before this call.
+    pub fn decoder(&self) -> RowDecoder {
+        self.format.decoder()
     }
 
     pub fn name(&self) -> &str {
@@ -139,6 +170,21 @@ impl Table {
         self.bytes_live
     }
 
+    /// Physical bytes this table's live tuples occupy on heap pages under
+    /// its page format, plus format side storage (dictionary pages).
+    /// Computed by scanning the heap rather than kept incrementally: a
+    /// Delta table's dictionary evolves, so re-encoding an old row would
+    /// not reproduce its stored length.
+    pub fn encoded_bytes(&self) -> Result<usize> {
+        let mut total = 0;
+        for ord in 0..self.heap.num_pages() {
+            for (_, bytes) in self.heap.tuples_on_page(&self.pool, ord)? {
+                total += bytes.len();
+            }
+        }
+        Ok(total + self.format.aux_bytes())
+    }
+
     fn row_bytes(row: &Row) -> usize {
         ROW_HEADER + row.iter().map(Value::byte_size).sum::<usize>()
     }
@@ -155,7 +201,8 @@ impl Table {
     fn read_row(&self, id: RowId) -> Result<Row> {
         let addr = self.addr_of(id)?;
         let bytes = self.heap.get(&self.pool, addr)?;
-        let (stored_id, row) = codec::decode_row(&bytes)?;
+        let (stored_id, row) = self.format.decode_row(&bytes)?;
+        self.pool.note_tuples_decoded(1);
         debug_assert_eq!(stored_id, id);
         Ok(row)
     }
@@ -177,7 +224,9 @@ impl Table {
             }
         }
         let id = self.directory.len() as RowId;
-        let addr = self.heap.insert(&self.pool, &codec::encode_row(id, &row))?;
+        let bytes = self.format.encode_row(id, &row)?;
+        self.pool.note_tuple_encoded(bytes.len() as u64);
+        let addr = self.heap.insert(&self.pool, &bytes)?;
         for entry in self.indexes.values_mut() {
             if let Some(key) = row[entry.column].as_i64() {
                 entry.index.insert(key, id);
@@ -248,9 +297,9 @@ impl Table {
                 }
             }
         }
-        let new_addr = self
-            .heap
-            .update(&self.pool, addr, &codec::encode_row(id, &row))?;
+        let bytes = self.format.encode_row(id, &row)?;
+        self.pool.note_tuple_encoded(bytes.len() as u64);
+        let new_addr = self.heap.update(&self.pool, addr, &bytes)?;
         self.directory[id as usize] = Some(new_addr);
         self.bytes_live += Self::row_bytes(&row);
         self.bytes_live -= Self::row_bytes(&old);
@@ -269,7 +318,13 @@ impl Table {
                 .tuples_on_page(&self.pool, ord)
                 .unwrap_or_default()
                 .into_iter()
-                .filter_map(|(_, bytes)| codec::decode_row(&bytes).ok())
+                .filter_map(|(_, bytes)| {
+                    let decoded = self.format.decode_row(&bytes).ok();
+                    if decoded.is_some() {
+                        self.pool.note_tuples_decoded(1);
+                    }
+                    decoded
+                })
         })
     }
 
@@ -282,11 +337,17 @@ impl Table {
     ) -> Result<Vec<(RowId, Row)>> {
         let before = self.pool.stats();
         let tuples = self.heap.tuples_on_page(&self.pool, page_ord)?;
+        tracker.measured.absorb(&self.pool.stats().since(&before));
+        // Decode outside the measured window: decoding reads the already
+        // materialized bytes, never the pool.
+        let started = std::time::Instant::now();
         let mut out = Vec::with_capacity(tuples.len());
         for (_, bytes) in tuples {
-            out.push(codec::decode_row(&bytes)?);
+            out.push(self.format.decode_row(&bytes)?);
         }
-        tracker.measured.absorb(&self.pool.stats().since(&before));
+        self.pool.note_tuples_decoded(out.len() as u64);
+        self.pool
+            .note_decode_micros(started.elapsed().as_micros() as u64);
         Ok(out)
     }
 
@@ -498,9 +559,9 @@ impl Table {
         self.bytes_live -= Self::row_bytes(&row);
         f(&mut row);
         self.bytes_live += Self::row_bytes(&row);
-        let new_addr = self
-            .heap
-            .update(&self.pool, addr, &codec::encode_row(id, &row))?;
+        let bytes = self.format.encode_row(id, &row)?;
+        self.pool.note_tuple_encoded(bytes.len() as u64);
+        let new_addr = self.heap.update(&self.pool, addr, &bytes)?;
         self.directory[id as usize] = Some(new_addr);
         Ok(())
     }

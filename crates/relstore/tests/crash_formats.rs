@@ -1,0 +1,222 @@
+//! Crash-point matrix for page formats: a crash mid-checkpoint of a
+//! Delta-format table must replay to exactly the bytes the committed
+//! history produced — the same guarantee the Flat format already has.
+//! For every I/O operation inside the in-flight checkpoint, inject a
+//! fault there, reopen, recover, and compare raw page images against
+//! clean reference runs. Also pins rebuild determinism: replaying the
+//! same logical history into a fresh store yields identical page images,
+//! including dictionary page order under Delta.
+
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use pagestore::{
+    FaultKind, FaultPager, FaultPlan, FaultWal, FilePager, FileWalStore, Wal, PAGE_SIZE,
+};
+use relstore::codec::PageFormatKind;
+use relstore::{BufferPool, Column, DataType, Schema, Table, Value};
+
+const CAP: usize = 8;
+
+fn unique_base(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "relstore-crash-formats-{tag}-{}",
+        std::process::id()
+    ))
+}
+
+/// A fresh durable store in `dir` whose pager and WAL share one fault
+/// plan (same shape as pagestore's crash matrix).
+fn open_faulty(dir: &Path, plan: &FaultPlan) -> Rc<BufferPool> {
+    std::fs::create_dir_all(dir).unwrap();
+    let pager = FaultPager::new(
+        Box::new(FilePager::open_recoverable(dir.join("pages.db")).unwrap()),
+        plan.clone(),
+    );
+    let store = FaultWal::new(
+        Box::new(FileWalStore::open(dir.join("wal.log")).unwrap()),
+        plan.clone(),
+    );
+    Rc::new(BufferPool::with_wal(
+        Box::new(pager),
+        Wal::new(Box::new(store)),
+        CAP,
+    ))
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::new("k", DataType::Int64),
+        Column::new("tag", DataType::Text),
+        Column::new("rlist", DataType::IntArray),
+    ])
+}
+
+fn row(i: i64) -> Vec<Value> {
+    // Cycling tags drive dictionary promotion under Delta; sorted rlists
+    // exercise the bitpacked int-array path.
+    let tag = format!("commit-tag-{}", i % 4);
+    Vec::from([
+        Value::Int64(i),
+        Value::Text(tag),
+        Value::IntArray(vec![i, i + 2, i + 7]),
+    ])
+}
+
+/// Commits 1 and 2 — the durable history that must survive any fault.
+fn committed_prefix(table: &mut Table) {
+    for i in 0..20 {
+        table.insert(row(i)).unwrap();
+    }
+    table.pool().flush_all().unwrap();
+    for i in 20..32 {
+        table.insert(row(i)).unwrap();
+    }
+    table.update(3, row(103)).unwrap();
+    table.pool().flush_all().unwrap();
+}
+
+/// The in-flight commit 3's body (everything before its checkpoint).
+fn inflight_body(table: &mut Table) -> relstore::Result<()> {
+    for i in 32..40 {
+        table.insert(row(i))?;
+    }
+    table.update(7, row(107))?;
+    Ok(())
+}
+
+/// Raw images of every page in the store.
+fn page_images(pool: &BufferPool) -> Vec<[u8; PAGE_SIZE]> {
+    (0..pool.num_pages())
+        .map(|id| *pool.fetch(id).unwrap().bytes())
+        .collect()
+}
+
+/// Clean reference run: the page images after commit 2 and after
+/// commit 3, plus the I/O op count of commit 3's checkpoint alone.
+fn reference_run(
+    dir: &Path,
+    kind: PageFormatKind,
+) -> (Vec<[u8; PAGE_SIZE]>, Vec<[u8; PAGE_SIZE]>, u64) {
+    let plan = FaultPlan::unarmed();
+    let pool = open_faulty(dir, &plan);
+    let mut table = Table::with_format("t", schema(), Rc::clone(&pool), kind);
+    committed_prefix(&mut table);
+    let after_c2 = page_images(&pool);
+    inflight_body(&mut table).unwrap();
+    let at_flush = plan.ops();
+    pool.flush_all().unwrap();
+    let flush_ops = plan.ops() - at_flush;
+    let after_c3 = page_images(&pool);
+    (after_c2, after_c3, flush_ops)
+}
+
+/// Which committed state the recovered store matches, byte for byte.
+/// Panics if it matches neither — a torn checkpoint leaked through.
+fn matches_reference(
+    pool: &BufferPool,
+    after_c2: &[[u8; PAGE_SIZE]],
+    after_c3: &[[u8; PAGE_SIZE]],
+    context: &str,
+) -> bool {
+    let got = page_images(pool);
+    for (want, label) in [(after_c2, "commit 2"), (after_c3, "commit 3")] {
+        if got.len() < want.len() {
+            continue;
+        }
+        let prefix_ok = got[..want.len()]
+            .iter()
+            .zip(want.iter())
+            .all(|(g, w)| g == w);
+        // A crashed allocation may have grown the file past the reference;
+        // such tail pages must be empty, never half-written tuples.
+        let tail_ok = got[want.len()..]
+            .iter()
+            .all(|img| pagestore::live_cells(img).count() == 0);
+        if prefix_ok && tail_ok {
+            return label == "commit 3";
+        }
+    }
+    panic!("{context}: recovered pages match neither committed state byte-for-byte");
+}
+
+/// Every crash point inside commit 3's checkpoint, for both formats and
+/// both crash kinds: recovery must land on one committed state exactly.
+#[test]
+fn crash_mid_checkpoint_replays_committed_bytes_in_both_formats() {
+    let base = unique_base("matrix");
+    let _ = std::fs::remove_dir_all(&base);
+    for kind in [PageFormatKind::Flat, PageFormatKind::Delta] {
+        let ref_dir = base.join(format!("{kind:?}-ref"));
+        let (after_c2, after_c3, flush_ops) = reference_run(&ref_dir, kind);
+        assert!(
+            flush_ops >= 6,
+            "{kind:?}: checkpoint = WAL appends + sync + page writes + sync + truncate"
+        );
+        let mut committed = 0u32;
+        let mut rolled_back = 0u32;
+        for fault in [FaultKind::CrashStop, FaultKind::ShortWrite] {
+            for nth in 1..=flush_ops {
+                let dir = base.join(format!("{kind:?}-{fault:?}-{nth}"));
+                let plan = FaultPlan::unarmed();
+                {
+                    let pool = open_faulty(&dir, &plan);
+                    let mut table = Table::with_format("t", schema(), Rc::clone(&pool), kind);
+                    committed_prefix(&mut table);
+                    inflight_body(&mut table).unwrap();
+                    plan.arm(nth, fault);
+                    pool.flush_all()
+                        .expect_err("the armed fault must surface as an error");
+                    assert!(plan.fired(), "{kind:?} fault point {nth} was never reached");
+                }
+                let (pool, _report) = BufferPool::open_durable(&dir, CAP).unwrap();
+                let context = format!("{kind:?} {fault:?} at checkpoint op {nth}");
+                if matches_reference(&pool, &after_c2, &after_c3, &context) {
+                    committed += 1;
+                } else {
+                    rolled_back += 1;
+                }
+            }
+        }
+        assert!(
+            rolled_back > 0,
+            "{kind:?}: some fault points must lose commit 3"
+        );
+        assert!(
+            committed > 0,
+            "{kind:?}: some fault points must replay commit 3"
+        );
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+/// Rebuild determinism: the same logical history in a fresh store encodes
+/// to identical page images — for Delta this includes dictionary codes
+/// and dictionary page contents, which crash byte-identity depends on.
+#[test]
+fn same_history_rebuilds_identical_page_images() {
+    let base = unique_base("rebuild");
+    let _ = std::fs::remove_dir_all(&base);
+    for kind in [PageFormatKind::Flat, PageFormatKind::Delta] {
+        let (a, b): (Vec<_>, Vec<_>) = ["a", "b"]
+            .map(|leg| {
+                let dir = base.join(format!("{kind:?}-{leg}"));
+                let plan = FaultPlan::unarmed();
+                let pool = open_faulty(&dir, &plan);
+                let mut table = Table::with_format("t", schema(), Rc::clone(&pool), kind);
+                committed_prefix(&mut table);
+                inflight_body(&mut table).unwrap();
+                pool.flush_all().unwrap();
+                page_images(&pool)
+            })
+            .into();
+        assert_eq!(a.len(), b.len(), "{kind:?}: page counts differ");
+        for (id, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                x, y,
+                "{kind:?}: page {id} differs between identical histories"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}

@@ -31,6 +31,16 @@ echo "==> fault-injection / crash-recovery suite (release)"
 # it in release so the full matrix stays fast.
 cargo test -p pagestore --release -q --test crash_matrix --test pool_props
 
+echo "==> page-format codec round-trip + crash byte-identity suite (release)"
+# Property/fuzz round-trips for both tuple codecs (Flat and Delta):
+# randomized rows, page-overflow chains, and torn-tail truncations must
+# decode exactly or fail with a typed error — plus the per-format crash
+# matrix: a fault at every I/O of a checkpoint must replay committed
+# pages byte-identically under Delta exactly as under Flat, and the same
+# logical history must rebuild identical page images (dictionary order
+# included). See crates/relstore/tests/{codec_props,crash_formats}.rs.
+cargo test -p relstore --release -q --test codec_props --test crash_formats
+
 echo "==> parallel determinism (ORPHEUS_THREADS=4 test pass)"
 # The default test run above executes with sequential plans; this pass
 # re-runs the engine-facing suites with 4 morsel workers so every
@@ -64,6 +74,16 @@ probe_cmds | ./target/release/orpheusdb --threads 4 > /tmp/orpheus_probe_t4.out
 cmp /tmp/orpheus_probe_t1.out /tmp/orpheus_probe_t4.out
 echo "CLI output byte-identical across thread counts"
 
+echo "==> page-format determinism (CLI probe, flat vs delta)"
+# The same command script under --page-format delta must produce stdout
+# byte-identical to the flat run: the tuple codec is a physical layer,
+# never visible in logical command output — at either thread count.
+probe_cmds | ./target/release/orpheusdb --threads 1 --page-format delta > /tmp/orpheus_probe_delta.out
+cmp /tmp/orpheus_probe_t1.out /tmp/orpheus_probe_delta.out
+probe_cmds | ./target/release/orpheusdb --threads 4 --page-format delta > /tmp/orpheus_probe_delta_t4.out
+cmp /tmp/orpheus_probe_t1.out /tmp/orpheus_probe_delta_t4.out
+echo "CLI output byte-identical across page formats"
+
 echo "==> observability smoke (explain analyze + metrics --json + trace dump)"
 # End-to-end check of the obs pipeline: a durable commit/checkout workload
 # followed by `explain analyze`, `metrics --json` (including the
@@ -86,6 +106,17 @@ echo "==> server smoke (concurrent sessions, group commit, backpressure)"
 # shared event on followers) and morsel worker events re-attached to the
 # traced read. See crates/bench/src/bin/server_smoke.rs.
 ORPHEUS_RESULTS_DIR=results/ci cargo run --release -q -p bench --bin server_smoke
+
+echo "==> page-format frontier smoke (storage bytes vs recreation cost)"
+# Loads small SCI/CUR datasets under Flat and Delta, asserts Delta
+# strictly reduces stored bytes past the recorded floor, sweeps the
+# ORPHEUS_MAT_BUDGET frontier (every point within its β, more budget
+# never worsens ΣR), and validates the LMG budget planner against the
+# branch-and-bound oracle. Writes results/ci/frontier_smoke.json against
+# a pinned schema; the 1M-record tier is recorded as skipped with a
+# reason (it runs locally via ORPHEUS_FRONTIER_TIER=full — numbers in
+# EXPERIMENTS.md). perf_gate re-checks the document.
+ORPHEUS_RESULTS_DIR=results/ci cargo run --release -q -p bench --bin frontier
 
 echo "==> server crash recovery (kill -9 mid-load, WAL replay)"
 # The external leg: the real `serve` binary on a loopback port, concurrent

@@ -20,4 +20,7 @@ cargo run --release -q -p bench --bin obs_smoke >/dev/null
 # One rep per timing: the gate needs the deterministic counters and the
 # leg bookkeeping, not publication-grade wall numbers.
 ORPHEUS_SCALING_REPS=1 cargo run --release -q -p bench --bin parallel_scaling >/dev/null
+# Page-format storage/recreation gate (smoke tier; the 1M tier runs
+# locally via ORPHEUS_FRONTIER_TIER=full — see EXPERIMENTS.md).
+cargo run --release -q -p bench --bin frontier >/dev/null
 cargo run --release -q -p bench --bin perf_gate -- "$@"

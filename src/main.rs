@@ -87,6 +87,7 @@ fn help() {
          diff <cvd> -v <a> <b>\n  \
          run <SELECT … FROM VERSION i OF CVD c | SELECT vid, agg(col) FROM CVD c GROUP BY vid>\n  \
          optimize <cvd> [-g <gamma>]\n  \
+         plan_storage <cvd> [-b <factor>]   (materialization plan under a storage budget)\n  \
          explain analyze [--json] <query>   (instrumented plan: estimated vs actual)\n  \
          stats [reset]   (buffer-pool I/O counters)\n  \
          metrics [--json|reset]   (counters, gauges, latency histograms)\n  \
@@ -101,9 +102,14 @@ fn help() {
          orpheusdb                      interactive single-session shell\n  \
          orpheusdb serve --port <p> [--data-dir <d>] [--threads <n>] [--workers <n>] [--admission <n>]\n  \
          orpheusdb client --port <p> [--user <name>]   (extra: pin/unpin <cvd> for snapshot reads)\n\
+         storage flags (any mode):\n  \
+         --page-format <flat|delta>  tuple codec for new tables (delta: varint + bitpacked arrays + dict)\n  \
+         --mat-budget <factor>       materialization budget as a multiple of minimum storage (≥ 1.0)\n\
          env:\n  \
          ORPHEUS_TRACE_SAMPLE=<n>   journal 1-in-n requests (default 1; 0 disables the journal)\n  \
-         ORPHEUS_SLOW_MS=<n>        slow-query log threshold in ms (default 100; 0 logs every command)"
+         ORPHEUS_SLOW_MS=<n>        slow-query log threshold in ms (default 100; 0 logs every command)\n  \
+         ORPHEUS_PAGE_FORMAT=<f>    flat | delta — same as --page-format\n  \
+         ORPHEUS_MAT_BUDGET=<f>     same as --mat-budget (default 2.0)"
     );
 }
 
@@ -307,13 +313,37 @@ fn shell(args: &[String]) {
 }
 
 fn main() {
-    // Validate the tracing env knobs up front, in every mode: a typo'd
-    // ORPHEUS_TRACE_SAMPLE or ORPHEUS_SLOW_MS must fail loudly (exit 2,
-    // like a bad --flag) instead of silently falling back to defaults.
+    // Validate the env knobs up front, in every mode: a typo'd
+    // ORPHEUS_TRACE_SAMPLE, ORPHEUS_SLOW_MS, ORPHEUS_PAGE_FORMAT, or
+    // ORPHEUS_MAT_BUDGET must fail loudly (exit 2, like a bad --flag)
+    // instead of silently falling back to defaults.
     if let Err(msg) = obs::journal::check_env() {
         fail(&msg);
     }
+    if let Err(msg) = relstore::codec::check_env() {
+        fail(&msg);
+    }
+    if let Err(msg) = deltastore::budget::check_env() {
+        fail(&msg);
+    }
     let args: Vec<String> = std::env::args().collect();
+    // The flags are spellings of the env knobs (validated the same way);
+    // they must take effect before any database is constructed, so export
+    // them for the engine to pick up wherever it opens.
+    if let Some(fmt) = flag_value(&args, "--page-format") {
+        match relstore::codec::PageFormatKind::parse(fmt) {
+            Some(_) => std::env::set_var(relstore::codec::PAGE_FORMAT_ENV, fmt),
+            None => fail(&format!(
+                "invalid --page-format value: {fmt} (expected flat | delta)"
+            )),
+        }
+    }
+    if let Some(b) = flag_value(&args, "--mat-budget") {
+        match deltastore::budget::parse_mat_budget(b) {
+            Ok(_) => std::env::set_var(deltastore::budget::ENV, b),
+            Err(m) => fail(&format!("invalid --mat-budget value: {m}")),
+        }
+    }
     match args.get(1).map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("client") => client(&args[1..]),

@@ -1,8 +1,9 @@
-//! CLI startup validation of the tracing env knobs: an invalid
-//! `ORPHEUS_TRACE_SAMPLE` or `ORPHEUS_SLOW_MS` must exit 2 with a clear
-//! message naming the variable, in every mode — before any database or
-//! socket is opened. Valid values (including the boundary `0`) must not
-//! trip the check.
+//! CLI startup validation of the env knobs: an invalid
+//! `ORPHEUS_TRACE_SAMPLE`, `ORPHEUS_SLOW_MS`, `ORPHEUS_PAGE_FORMAT`, or
+//! `ORPHEUS_MAT_BUDGET` must exit 2 with a clear message naming the
+//! variable, in every mode — before any database or socket is opened.
+//! Valid values (including boundaries like `0` and `1.0`) must not trip
+//! the check.
 
 use std::process::{Command, Stdio};
 
@@ -51,6 +52,62 @@ fn invalid_slow_ms_exits_2_with_a_clear_message() {
 }
 
 #[test]
+fn invalid_page_format_exits_2_with_a_clear_message() {
+    for bad in ["zip", "DELTA2", "flat,delta", ""] {
+        let (code, stderr) = run_with("ORPHEUS_PAGE_FORMAT", bad, &[]);
+        assert_eq!(code, 2, "value {bad:?} must exit 2; stderr: {stderr}");
+        assert!(
+            stderr.contains("ORPHEUS_PAGE_FORMAT"),
+            "stderr must name the variable for {bad:?}: {stderr}"
+        );
+        assert!(stderr.starts_with("error: "), "{stderr}");
+    }
+}
+
+#[test]
+fn invalid_mat_budget_exits_2_with_a_clear_message() {
+    // The bugfix this suite pins: a typo'd budget used to be silently
+    // ignored in favour of the default factor.
+    for bad in ["nope", "-1", "0", "0.5", "inf", "nan", ""] {
+        let (code, stderr) = run_with("ORPHEUS_MAT_BUDGET", bad, &[]);
+        assert_eq!(code, 2, "value {bad:?} must exit 2; stderr: {stderr}");
+        assert!(
+            stderr.contains("ORPHEUS_MAT_BUDGET"),
+            "stderr must name the variable for {bad:?}: {stderr}"
+        );
+        assert!(stderr.starts_with("error: "), "{stderr}");
+    }
+}
+
+#[test]
+fn invalid_storage_flags_exit_2() {
+    for (flag, bad) in [("--page-format", "zip"), ("--mat-budget", "0.5")] {
+        let out = orpheusdb()
+            .args([flag, bad])
+            .stdin(Stdio::null())
+            .output()
+            .expect("spawn orpheusdb");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "{flag} {bad}: {stderr}");
+        assert!(stderr.contains(flag), "{stderr}");
+    }
+}
+
+#[test]
+fn valid_storage_knobs_reach_the_shell() {
+    let out = orpheusdb()
+        .args(["--page-format", "delta", "--mat-budget", "1.5"])
+        .env("ORPHEUS_PAGE_FORMAT", "delta")
+        .env("ORPHEUS_MAT_BUDGET", "1.0")
+        .stdin(Stdio::null())
+        .output()
+        .expect("spawn orpheusdb");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OrpheusDB shell"), "{stdout}");
+}
+
+#[test]
 fn invalid_knobs_fail_before_serve_mode_opens_a_socket() {
     let (code, stderr) = run_with("ORPHEUS_TRACE_SAMPLE", "many", &["serve", "--port", "0"]);
     assert_eq!(code, 2, "stderr: {stderr}");
@@ -85,6 +142,10 @@ fn help_documents_the_tracing_surface() {
         "trace dump [--json]",
         "ORPHEUS_TRACE_SAMPLE",
         "ORPHEUS_SLOW_MS",
+        "plan_storage",
+        "--page-format",
+        "ORPHEUS_PAGE_FORMAT",
+        "ORPHEUS_MAT_BUDGET",
     ] {
         assert!(
             stdout.contains(needle),
